@@ -1,0 +1,969 @@
+//! MIMD Lattice Computation proxy (§4.4, Figure 8).
+//!
+//! MILC's su3_rmd spends its time in a conjugate-gradient solver over a
+//! 4-dimensional lattice, communicating with all 8 neighbours (±x ±y ±z ±t)
+//! every iteration plus global allreductions for the CG dot products. This
+//! proxy keeps exactly that structure — 4-D domain decomposition,
+//! pack/exchange/unpack of 8 halo faces per stencil application, two dot
+//! products per iteration — over a 3-complex vector field per site, with an
+//! SPD Laplacian-like operator so CG provably converges.
+//!
+//! Communication backends follow the paper:
+//!
+//! * **MPI-1**: nonblocking isend/irecv of packed faces + waitall (the
+//!   original MILC scheme);
+//! * **foMPI RMA**: the UPC port's scheme rebuilt on MPI-3 — data lands in
+//!   the neighbour's window via `MPI_Put`, a flag is raised with
+//!   `MPI_Fetch_and_op`, all inside one `lock_all` epoch with
+//!   `MPI_Win_flush`; receivers spin on monotonic per-face iteration
+//!   counters (no resets, no races);
+//! * **UPC**: notify with `aadd`, peers `upc_memget_nb` from the source's
+//!   send buffer and fence.
+//!
+//! All backends execute identical local arithmetic; the RMA and UPC
+//! variants share the tuned collective for dot products and must agree
+//! bitwise, while MPI-1 reduces in tree order (equal up to FP
+//! reassociation).
+
+use fompi::{MpiOp, NumKind, Win};
+use fompi_msg::Comm;
+use fompi_pgas::SharedArray;
+use fompi_runtime::RankCtx;
+
+/// Values per lattice site (3 complex = 6 f64, an su3 vector).
+pub const SITE_F64: usize = 6;
+
+/// Mass-squared term of the Wilson-like operator `(8 + m²)·x − Σ x_neib`.
+/// Without it the operator has the constant vector in its null space and CG
+/// stalls — exactly why lattice QCD solvers carry a mass term.
+pub const MASS2: f64 = 1.0;
+
+/// Problem description.
+#[derive(Debug, Clone, Copy)]
+pub struct MilcConfig {
+    /// Local lattice dims [x, y, z, t] — the paper uses 4³×8 per process.
+    pub local: [usize; 4],
+    /// CG iterations to run.
+    pub iters: usize,
+    /// RNG seed for the right-hand side.
+    pub seed: u64,
+}
+
+impl Default for MilcConfig {
+    fn default() -> Self {
+        Self { local: [4, 4, 4, 8], iters: 8, seed: 77 }
+    }
+}
+
+/// Per-rank outcome.
+#[derive(Debug, Clone)]
+pub struct MilcResult {
+    /// Virtual ns for the CG loop.
+    pub time_ns: f64,
+    /// Residual norm after each iteration (identical on all ranks and
+    /// across backends).
+    pub residuals: Vec<f64>,
+}
+
+/// Factor `p` into a 4-D process grid, greedily balancing dimensions.
+pub fn grid_dims(p: usize) -> [usize; 4] {
+    let mut dims = [1usize; 4];
+    let mut rest = p;
+    let mut f = 2;
+    let mut factors = Vec::new();
+    while rest > 1 {
+        while rest % f == 0 {
+            factors.push(f);
+            rest /= f;
+        }
+        f += 1;
+    }
+    // Largest factors first onto the smallest dimension.
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let i = (0..4).min_by_key(|&i| dims[i]).unwrap();
+        dims[i] *= f;
+    }
+    dims
+}
+
+fn rank_coords(rank: usize, dims: &[usize; 4]) -> [usize; 4] {
+    let mut c = [0; 4];
+    let mut r = rank;
+    for d in 0..4 {
+        c[d] = r % dims[d];
+        r /= dims[d];
+    }
+    c
+}
+
+fn coords_rank(c: &[usize; 4], dims: &[usize; 4]) -> usize {
+    ((c[3] * dims[2] + c[2]) * dims[1] + c[1]) * dims[0] + c[0]
+}
+
+/// The lattice geometry and face packing for one rank.
+pub struct Lattice {
+    local: [usize; 4],
+    dims: [usize; 4],
+    coords: [usize; 4],
+    vol: usize,
+}
+
+impl Lattice {
+    /// Build for `rank` of `p`.
+    pub fn new(rank: usize, p: usize, cfg: &MilcConfig) -> Lattice {
+        let dims = grid_dims(p);
+        Lattice {
+            local: cfg.local,
+            dims,
+            coords: rank_coords(rank, &dims),
+            vol: cfg.local.iter().product(),
+        }
+    }
+
+    /// Local site count.
+    pub fn volume(&self) -> usize {
+        self.vol
+    }
+
+    /// Sites on the face normal to dim `d`.
+    pub fn face_sites(&self, d: usize) -> usize {
+        self.vol / self.local[d]
+    }
+
+    fn site_index(&self, c: &[usize; 4]) -> usize {
+        ((c[3] * self.local[2] + c[2]) * self.local[1] + c[1]) * self.local[0] + c[0]
+    }
+
+    /// Neighbour rank in dim `d`, direction `up` (periodic).
+    pub fn neighbor(&self, d: usize, up: bool) -> usize {
+        let mut c = self.coords;
+        let n = self.dims[d];
+        c[d] = if up { (c[d] + 1) % n } else { (c[d] + n - 1) % n };
+        coords_rank(&c, &self.dims)
+    }
+
+    /// Iterate the sites of the face at `d`, boundary side `hi`
+    /// (coordinate = L-1 when hi else 0), in canonical order.
+    fn face_iter(&self, d: usize, hi: bool) -> Vec<usize> {
+        let mut sites = Vec::with_capacity(self.face_sites(d));
+        let mut c = [0usize; 4];
+        let fixed = if hi { self.local[d] - 1 } else { 0 };
+        // Iterate remaining dims in order.
+        let others: Vec<usize> = (0..4).filter(|&x| x != d).collect();
+        let counts: Vec<usize> = others.iter().map(|&x| self.local[x]).collect();
+        let total: usize = counts.iter().product();
+        for mut idx in 0..total {
+            for (k, &o) in others.iter().enumerate() {
+                c[o] = idx % counts[k];
+                idx /= counts[k];
+            }
+            c[d] = fixed;
+            sites.push(self.site_index(&c));
+        }
+        sites
+    }
+
+    /// Pack the face data (f64 LE bytes) that travels `up` in dim `d`.
+    pub fn pack_face(&self, field: &[f64], d: usize, up: bool) -> Vec<u8> {
+        let sites = self.face_iter(d, up);
+        let mut out = Vec::with_capacity(sites.len() * SITE_F64 * 8);
+        for s in sites {
+            for k in 0..SITE_F64 {
+                out.extend_from_slice(&field[s * SITE_F64 + k].to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a received face buffer.
+    pub fn decode_face(bytes: &[u8]) -> Vec<f64> {
+        bytes
+            .chunks_exact(8)
+            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
+            .collect()
+    }
+
+    /// Apply the SPD stencil: `out = (8+m²)·x − Σ neighbours`, using `halo[d][side]`
+    /// for off-rank neighbours. `halo[d][0]` holds the face received from
+    /// the *down* neighbour (our x at coord −1), `halo[d][1]` from up.
+    /// Charges su3-like flops.
+    pub fn apply_stencil(
+        &self,
+        ctx: &RankCtx,
+        x: &[f64],
+        halo: &[[Vec<f64>; 2]; 4],
+        out: &mut [f64],
+    ) {
+        let l = self.local;
+        // Precompute face orderings for halo lookup.
+        let face_pos: Vec<[std::collections::HashMap<usize, usize>; 2]> = (0..4)
+            .map(|d| {
+                let lo: std::collections::HashMap<usize, usize> =
+                    self.face_iter(d, false).into_iter().enumerate().map(|(i, s)| (s, i)).collect();
+                let hi: std::collections::HashMap<usize, usize> =
+                    self.face_iter(d, true).into_iter().enumerate().map(|(i, s)| (s, i)).collect();
+                [lo, hi]
+            })
+            .collect();
+        for ct in 0..l[3] {
+            for cz in 0..l[2] {
+                for cy in 0..l[1] {
+                    for cx in 0..l[0] {
+                        let c = [cx, cy, cz, ct];
+                        let s = self.site_index(&c);
+                        for k in 0..SITE_F64 {
+                            let mut acc = (8.0 + MASS2) * x[s * SITE_F64 + k];
+                            for d in 0..4 {
+                                // Up neighbour.
+                                if c[d] + 1 < l[d] {
+                                    let mut cn = c;
+                                    cn[d] += 1;
+                                    acc -= x[self.site_index(&cn) * SITE_F64 + k];
+                                } else {
+                                    // Comes from the up halo: our hi face
+                                    // position indexes the neighbour's lo
+                                    // face (same canonical order).
+                                    let fi = face_pos[d][1][&s];
+                                    acc -= halo[d][1][fi * SITE_F64 + k];
+                                }
+                                // Down neighbour.
+                                if c[d] > 0 {
+                                    let mut cn = c;
+                                    cn[d] -= 1;
+                                    acc -= x[self.site_index(&cn) * SITE_F64 + k];
+                                } else {
+                                    let fi = face_pos[d][0][&s];
+                                    acc -= halo[d][0][fi * SITE_F64 + k];
+                                }
+                            }
+                            out[s * SITE_F64 + k] = acc;
+                        }
+                    }
+                }
+            }
+        }
+        // su3_rmd does ~72 flops per site per direction; charge the full
+        // matrix-vector work.
+        ctx.ep().charge_flops(self.vol as f64 * 8.0 * 72.0);
+    }
+}
+
+/// Halo exchange backends: given the field, produce `halo[d][side]` for the
+/// stencil (side 0 = from down neighbour, 1 = from up neighbour).
+pub trait HaloExchange {
+    /// Exchange all 8 faces of `field` for iteration `iter`.
+    fn exchange(&mut self, ctx: &RankCtx, lat: &Lattice, field: &[f64], iter: usize)
+        -> [[Vec<f64>; 2]; 4];
+}
+
+/// MPI-1 backend: 8 isend/irecv pairs + waitall.
+pub struct Mpi1Halo<'c> {
+    /// The communicator.
+    pub comm: &'c Comm,
+}
+
+const MILC_TAG: u32 = 0x111C_0000;
+
+impl HaloExchange for Mpi1Halo<'_> {
+    fn exchange(
+        &mut self,
+        ctx: &RankCtx,
+        lat: &Lattice,
+        field: &[f64],
+        iter: usize,
+    ) -> [[Vec<f64>; 2]; 4] {
+        let _ = ctx;
+        let tag = MILC_TAG + (iter as u32 % 16) * 8;
+        let mut halo: [[Vec<f64>; 2]; 4] = std::array::from_fn(|_| [Vec::new(), Vec::new()]);
+        for d in 0..4 {
+            let fb = lat.face_sites(d) * SITE_F64 * 8;
+            let up = lat.neighbor(d, true) as u32;
+            let down = lat.neighbor(d, false) as u32;
+            // Send our hi face up (it becomes their lo halo? no: their
+            // *down* halo is data from their down neighbour's hi face).
+            let hi_face = lat.pack_face(field, d, true);
+            let lo_face = lat.pack_face(field, d, false);
+            let mut from_down = vec![0u8; fb];
+            let mut from_up = vec![0u8; fb];
+            // hi face → up neighbour (arrives as their halo[d][0]);
+            // lo face → down neighbour (arrives as their halo[d][1]).
+            let r1 = self.comm.irecv(&mut from_down, down, tag + d as u32).unwrap();
+            let r2 = self.comm.irecv(&mut from_up, up, tag + 4 + d as u32).unwrap();
+            self.comm.isend(&hi_face, up, tag + d as u32).unwrap().wait(self.comm.ep());
+            self.comm.isend(&lo_face, down, tag + 4 + d as u32).unwrap().wait(self.comm.ep());
+            r1.wait(self.comm.ep());
+            r2.wait(self.comm.ep());
+            halo[d][0] = Lattice::decode_face(&from_down);
+            halo[d][1] = Lattice::decode_face(&from_up);
+        }
+        halo
+    }
+}
+
+/// foMPI RMA backend: put + fetch_and_op notify inside a lock_all epoch.
+pub struct RmaHalo {
+    /// Window holding halo landing zones + 8 iteration counters.
+    pub win: Win,
+    face_bytes: [usize; 4],
+}
+
+impl RmaHalo {
+    /// Window layout: 8 counters (64 B) then the 8 face landing zones
+    /// (d-major, lo then hi).
+    pub fn new(ctx: &RankCtx, cfg: &MilcConfig) -> RmaHalo {
+        let lat = Lattice::new(ctx.rank() as usize, ctx.size(), cfg);
+        let mut face_bytes = [0usize; 4];
+        let mut total = 64;
+        for d in 0..4 {
+            face_bytes[d] = lat.face_sites(d) * SITE_F64 * 8;
+            total += 2 * face_bytes[d];
+        }
+        let win = Win::allocate(ctx, total, 1).expect("milc window");
+        win.lock_all().expect("milc lock_all");
+        RmaHalo { win, face_bytes }
+    }
+
+    fn zone_off(&self, d: usize, side: usize) -> usize {
+        let mut off = 64;
+        for dd in 0..d {
+            off += 2 * self.face_bytes[dd];
+        }
+        off + side * self.face_bytes[d]
+    }
+
+    /// Release the epoch (call before dropping).
+    pub fn finish(self) {
+        self.win.unlock_all().expect("milc unlock_all");
+    }
+}
+
+impl HaloExchange for RmaHalo {
+    fn exchange(
+        &mut self,
+        ctx: &RankCtx,
+        lat: &Lattice,
+        field: &[f64],
+        iter: usize,
+    ) -> [[Vec<f64>; 2]; 4] {
+        let want = (iter + 1) as u64;
+        let memcpy = ctx.fabric().model().memcpy_byte_ns;
+        for d in 0..4 {
+            let up = lat.neighbor(d, true) as u32;
+            let down = lat.neighbor(d, false) as u32;
+            let hi_face = lat.pack_face(field, d, true);
+            let lo_face = lat.pack_face(field, d, false);
+            // Packing into the communication buffer costs a copy.
+            ctx.ep().charge(memcpy * (hi_face.len() + lo_face.len()) as f64);
+            // Our hi face lands in the up neighbour's lo zone, and vice
+            // versa.
+            self.win.put(&hi_face, up, self.zone_off(d, 0)).expect("halo put");
+            self.win.put(&lo_face, down, self.zone_off(d, 1)).expect("halo put");
+        }
+        // One flush, then notify all 8 neighbours with monotonic counters.
+        self.win.flush_all().expect("halo flush");
+        let one = 1u64.to_le_bytes();
+        let mut old = [0u8; 8];
+        for d in 0..4 {
+            let up = lat.neighbor(d, true) as u32;
+            let down = lat.neighbor(d, false) as u32;
+            // Counter slot 2d   = "lo zone filled" (written by down's hi),
+            // counter slot 2d+1 = "hi zone filled".
+            self.win
+                .fetch_and_op(&one, &mut old, NumKind::U64, MpiOp::Sum, up, (2 * d) * 8)
+                .expect("notify");
+            self.win
+                .fetch_and_op(&one, &mut old, NumKind::U64, MpiOp::Sum, down, (2 * d + 1) * 8)
+                .expect("notify");
+        }
+        // Wait for all 8 of our own flags to reach this iteration's count.
+        let mut halo: [[Vec<f64>; 2]; 4] = std::array::from_fn(|_| [Vec::new(), Vec::new()]);
+        for d in 0..4 {
+            for side in 0..2 {
+                let mut spins = 0u64;
+                loop {
+                    let mut cur = [0u8; 8];
+                    self.win
+                        .fetch_and_op(&[], &mut cur, NumKind::U64, MpiOp::NoOp, ctx.rank(), (2 * d + side) * 8)
+                        .expect("flag read");
+                    if u64::from_le_bytes(cur) >= want {
+                        break;
+                    }
+                    spins += 1;
+                    assert!(spins < 200_000_000, "milc halo deadlock");
+                    std::thread::yield_now();
+                }
+                let mut bytes = vec![0u8; self.face_bytes[d]];
+                self.win.read_local(self.zone_off(d, side), &mut bytes);
+                halo[d][side] = Lattice::decode_face(&bytes);
+            }
+        }
+        halo
+    }
+}
+
+/// UPC backend: write to own send buffer, `aadd` the neighbour's flag,
+/// peers `memget_nb` + fence.
+pub struct UpcHalo {
+    arr: SharedArray,
+    face_bytes: [usize; 4],
+}
+
+impl UpcHalo {
+    /// Chunk layout: 8 flags (64 B) then 8 send-face zones (d-major, lo/hi).
+    pub fn new(ctx: &RankCtx, cfg: &MilcConfig) -> UpcHalo {
+        let lat = Lattice::new(ctx.rank() as usize, ctx.size(), cfg);
+        let mut face_bytes = [0usize; 4];
+        let mut total = 64;
+        for d in 0..4 {
+            face_bytes[d] = lat.face_sites(d) * SITE_F64 * 8;
+            total += 2 * face_bytes[d];
+        }
+        UpcHalo { arr: SharedArray::all_alloc(ctx, total), face_bytes }
+    }
+
+    fn zone_off(&self, d: usize, side: usize) -> usize {
+        let mut off = 64;
+        for dd in 0..d {
+            off += 2 * self.face_bytes[dd];
+        }
+        off + side * self.face_bytes[d]
+    }
+}
+
+impl HaloExchange for UpcHalo {
+    fn exchange(
+        &mut self,
+        ctx: &RankCtx,
+        lat: &Lattice,
+        field: &[f64],
+        iter: usize,
+    ) -> [[Vec<f64>; 2]; 4] {
+        let want = (iter + 1) as u64;
+        // Publish faces in our own chunk: zone (d, 0) = our lo face,
+        // zone (d, 1) = our hi face.
+        for d in 0..4 {
+            let lo = lat.pack_face(field, d, false);
+            let hi = lat.pack_face(field, d, true);
+            self.arr.write_local(self.zone_off(d, 0), &lo);
+            self.arr.write_local(self.zone_off(d, 1), &hi);
+        }
+        self.arr.fence();
+        // Notify: tell each neighbour its source data is ready.
+        for d in 0..4 {
+            let up = lat.neighbor(d, true) as u32;
+            let down = lat.neighbor(d, false) as u32;
+            self.arr.aadd(up, (2 * d) as usize * 8, 1);
+            self.arr.aadd(down, (2 * d + 1) as usize * 8, 1);
+        }
+        // Wait + pull.
+        let mut halo: [[Vec<f64>; 2]; 4] = std::array::from_fn(|_| [Vec::new(), Vec::new()]);
+        for d in 0..4 {
+            let up = lat.neighbor(d, true) as u32;
+            let down = lat.neighbor(d, false) as u32;
+            for (side, (peer, zone)) in [(down, 1usize), (up, 0usize)].into_iter().enumerate() {
+                let mut spins = 0u64;
+                loop {
+                    if self.arr.aadd(ctx.rank(), (2 * d + side) * 8, 0) >= want {
+                        break;
+                    }
+                    spins += 1;
+                    assert!(spins < 200_000_000, "upc halo deadlock");
+                    std::thread::yield_now();
+                }
+                // side 0: data from down neighbour = its hi face (zone 1);
+                // side 1: data from up neighbour = its lo face (zone 0).
+                let mut bytes = vec![0u8; self.face_bytes[d]];
+                self.arr.memget_nb(&mut bytes, peer, self.zone_off(d, zone));
+                self.arr.fence();
+                halo[d][side] = Lattice::decode_face(&bytes);
+            }
+        }
+        halo
+    }
+}
+
+/// Zero-copy RMA halo backend (the §4.4 remark: "one could use MPI
+/// datatypes to communicate the data directly from the application buffers
+/// resulting in additional performance gains", cf. Hoefler & Gottlieb's
+/// zero-copy datatype schemes). Faces are described as 5-D subarray
+/// datatypes over the field and shipped with `put_typed` — no pack/unpack
+/// copies; the fabric issues one operation per contiguous block instead.
+///
+/// The trade-off this ablation exposes: the t-face is one contiguous block
+/// (typed wins — no copy, one put), while the x-face shatters into
+/// `ly·lz·lt` tiny blocks (typed loses — per-block injection beats the
+/// memcpy it saved). Exactly the crossover studied in the paper's reference \[13\].
+pub struct RmaTypedHalo {
+    /// Window with counters + landing zones (same layout as [`RmaHalo`]).
+    pub win: Win,
+    face_bytes: [usize; 4],
+    /// Face datatypes, `[d][side]`, side 0 = lo face, 1 = hi face.
+    face_ty: Vec<[fompi::DataType; 2]>,
+}
+
+impl RmaTypedHalo {
+    /// Build the window and the face subarray types.
+    pub fn new(ctx: &RankCtx, cfg: &MilcConfig) -> RmaTypedHalo {
+        let lat = Lattice::new(ctx.rank() as usize, ctx.size(), cfg);
+        let l = cfg.local;
+        let mut face_bytes = [0usize; 4];
+        let mut total = 64;
+        for d in 0..4 {
+            face_bytes[d] = lat.face_sites(d) * SITE_F64 * 8;
+            total += 2 * face_bytes[d];
+        }
+        // Field as a 5-D byte array, axes outer→inner: [t][z][y][x][site].
+        let sizes = [l[3], l[2], l[1], l[0], SITE_F64 * 8];
+        // Lattice dim d maps to array axis: x→3, y→2, z→1, t→0.
+        let axis_of = [3usize, 2, 1, 0];
+        let face_ty = (0..4)
+            .map(|d| {
+                let a = axis_of[d];
+                let mk = |hi: bool| {
+                    let mut sub = sizes;
+                    let mut start = [0usize; 5];
+                    sub[a] = 1;
+                    start[a] = if hi { sizes[a] - 1 } else { 0 };
+                    fompi::DataType::subarray(&sizes, &sub, &start, fompi::DataType::byte())
+                };
+                [mk(false), mk(true)]
+            })
+            .collect();
+        let win = Win::allocate(ctx, total, 1).expect("milc typed window");
+        win.lock_all().expect("milc typed lock_all");
+        RmaTypedHalo { win, face_bytes, face_ty }
+    }
+
+    fn zone_off(&self, d: usize, side: usize) -> usize {
+        let mut off = 64;
+        for dd in 0..d {
+            off += 2 * self.face_bytes[dd];
+        }
+        off + side * self.face_bytes[d]
+    }
+
+    /// Release the epoch.
+    pub fn finish(self) {
+        self.win.unlock_all().expect("milc typed unlock_all");
+    }
+}
+
+impl HaloExchange for RmaTypedHalo {
+    fn exchange(
+        &mut self,
+        ctx: &RankCtx,
+        lat: &Lattice,
+        field: &[f64],
+        iter: usize,
+    ) -> [[Vec<f64>; 2]; 4] {
+        let want = (iter + 1) as u64;
+        // One byte view of the field (the host-language copy is an artifact
+        // of Rust slices; the *model* cost is only the typed puts — the
+        // point of zero-copy).
+        let bytes: Vec<u8> = field.iter().flat_map(|v| v.to_le_bytes()).collect();
+        for d in 0..4 {
+            let up = lat.neighbor(d, true) as u32;
+            let down = lat.neighbor(d, false) as u32;
+            let dense = fompi::DataType::contiguous(self.face_bytes[d], fompi::DataType::byte());
+            // hi face → up neighbour's lo zone; lo face → down's hi zone.
+            self.win
+                .put_typed(&bytes, 1, &self.face_ty[d][1], up, self.zone_off(d, 0), 1, &dense)
+                .expect("typed halo put");
+            self.win
+                .put_typed(&bytes, 1, &self.face_ty[d][0], down, self.zone_off(d, 1), 1, &dense)
+                .expect("typed halo put");
+        }
+        self.win.flush_all().expect("typed halo flush");
+        let one = 1u64.to_le_bytes();
+        let mut old = [0u8; 8];
+        for d in 0..4 {
+            let up = lat.neighbor(d, true) as u32;
+            let down = lat.neighbor(d, false) as u32;
+            self.win
+                .fetch_and_op(&one, &mut old, NumKind::U64, MpiOp::Sum, up, (2 * d) * 8)
+                .expect("notify");
+            self.win
+                .fetch_and_op(&one, &mut old, NumKind::U64, MpiOp::Sum, down, (2 * d + 1) * 8)
+                .expect("notify");
+        }
+        let mut halo: [[Vec<f64>; 2]; 4] = std::array::from_fn(|_| [Vec::new(), Vec::new()]);
+        for d in 0..4 {
+            for side in 0..2 {
+                let mut spins = 0u64;
+                loop {
+                    let mut cur = [0u8; 8];
+                    self.win
+                        .fetch_and_op(&[], &mut cur, NumKind::U64, MpiOp::NoOp, ctx.rank(), (2 * d + side) * 8)
+                        .expect("flag read");
+                    if u64::from_le_bytes(cur) >= want {
+                        break;
+                    }
+                    spins += 1;
+                    assert!(spins < 200_000_000, "milc typed halo deadlock");
+                    std::thread::yield_now();
+                }
+                let mut zb = vec![0u8; self.face_bytes[d]];
+                self.win.read_local(self.zone_off(d, side), &mut zb);
+                halo[d][side] = Lattice::decode_face(&zb);
+            }
+        }
+        halo
+    }
+}
+
+/// foMPI backend with zero-copy datatype halos (§4.4's suggested
+/// optimisation).
+pub fn run_rma_typed(ctx: &RankCtx, cfg: &MilcConfig) -> MilcResult {
+    let halo = RmaTypedHalo::new(ctx, cfg);
+    let res = run_cg(ctx, cfg, halo, |ctx, v| {
+        ctx.coll().allreduce_f64(ctx.ep(), v, |a, b| a + b);
+    });
+    ctx.barrier();
+    res
+}
+
+/// Notified-access halo backend: `put_notify` fuses the data transfer and
+/// the flag update into one call (saving one injection + one AMO round
+/// trip per face versus [`RmaHalo`]) and waiters spin on local counters.
+pub struct NotifyHalo {
+    /// Window with landing zones only (no separate flag words needed).
+    pub win: Win,
+    face_bytes: [usize; 4],
+}
+
+impl NotifyHalo {
+    /// Window layout: the 8 face landing zones (d-major, lo then hi).
+    pub fn new(ctx: &RankCtx, cfg: &MilcConfig) -> NotifyHalo {
+        let lat = Lattice::new(ctx.rank() as usize, ctx.size(), cfg);
+        let mut face_bytes = [0usize; 4];
+        let mut total = 0;
+        for d in 0..4 {
+            face_bytes[d] = lat.face_sites(d) * SITE_F64 * 8;
+            total += 2 * face_bytes[d];
+        }
+        let win = Win::allocate(ctx, total.max(8), 1).expect("milc notify window");
+        win.lock_all().expect("milc notify lock_all");
+        NotifyHalo { win, face_bytes }
+    }
+
+    fn zone_off(&self, d: usize, side: usize) -> usize {
+        let mut off = 0;
+        for dd in 0..d {
+            off += 2 * self.face_bytes[dd];
+        }
+        off + side * self.face_bytes[d]
+    }
+
+    /// Release the epoch.
+    pub fn finish(self) {
+        self.win.unlock_all().expect("milc notify unlock_all");
+    }
+}
+
+impl HaloExchange for NotifyHalo {
+    fn exchange(
+        &mut self,
+        ctx: &RankCtx,
+        lat: &Lattice,
+        field: &[f64],
+        iter: usize,
+    ) -> [[Vec<f64>; 2]; 4] {
+        let want = (iter + 1) as u64;
+        let memcpy = ctx.fabric().model().memcpy_byte_ns;
+        for d in 0..4 {
+            let up = lat.neighbor(d, true) as u32;
+            let down = lat.neighbor(d, false) as u32;
+            let hi_face = lat.pack_face(field, d, true);
+            let lo_face = lat.pack_face(field, d, false);
+            ctx.ep().charge(memcpy * (hi_face.len() + lo_face.len()) as f64);
+            // One fused call per face: data + notification (slot 2d for
+            // the lo zone, 2d+1 for the hi zone, like RmaHalo's flags).
+            self.win
+                .put_notify(&hi_face, up, self.zone_off(d, 0), 2 * d)
+                .expect("notify halo put");
+            self.win
+                .put_notify(&lo_face, down, self.zone_off(d, 1), 2 * d + 1)
+                .expect("notify halo put");
+        }
+        let mut halo: [[Vec<f64>; 2]; 4] = std::array::from_fn(|_| [Vec::new(), Vec::new()]);
+        for d in 0..4 {
+            for side in 0..2 {
+                self.win.notify_wait(2 * d + side, want).expect("notify wait");
+                let mut bytes = vec![0u8; self.face_bytes[d]];
+                self.win.read_local(self.zone_off(d, side), &mut bytes);
+                halo[d][side] = Lattice::decode_face(&bytes);
+            }
+        }
+        halo
+    }
+}
+
+/// foMPI backend with notified access (the foMPI-NA extension direction).
+pub fn run_rma_notify(ctx: &RankCtx, cfg: &MilcConfig) -> MilcResult {
+    let halo = NotifyHalo::new(ctx, cfg);
+    let res = run_cg(ctx, cfg, halo, |ctx, v| {
+        ctx.coll().allreduce_f64(ctx.ep(), v, |a, b| a + b);
+    });
+    ctx.barrier();
+    res
+}
+
+/// Deterministic right-hand side.
+fn rhs(lat: &Lattice, cfg: &MilcConfig, rank: usize) -> Vec<f64> {
+    (0..lat.volume() * SITE_F64)
+        .map(|i| {
+            let h = crate::splitmix64(cfg.seed ^ ((rank as u64) << 32) ^ i as u64);
+            ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect()
+}
+
+/// Run `cfg.iters` CG iterations with the given halo backend and a dot
+/// product reducer (message-based for MPI-1, tuned-collective for
+/// RMA/PGAS).
+pub fn run_cg(
+    ctx: &RankCtx,
+    cfg: &MilcConfig,
+    mut halo: impl HaloExchange,
+    allreduce: impl Fn(&RankCtx, &mut [f64]),
+) -> MilcResult {
+    let lat = Lattice::new(ctx.rank() as usize, ctx.size(), cfg);
+    let nvals = lat.volume() * SITE_F64;
+    let b = rhs(&lat, cfg, ctx.rank() as usize);
+    let mut x = vec![0.0f64; nvals];
+    let mut r = b.clone();
+    let mut pvec = r.clone();
+    let mut ax = vec![0.0f64; nvals];
+    let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+    let mut residuals = Vec::with_capacity(cfg.iters);
+    ctx.barrier();
+    let t0 = ctx.now();
+    let mut rr = [dot(&r, &r)];
+    allreduce(ctx, &mut rr);
+    for it in 0..cfg.iters {
+        let h = halo.exchange(ctx, &lat, &pvec, it);
+        lat.apply_stencil(ctx, &pvec, &h, &mut ax);
+        ctx.ep().charge_flops(2.0 * nvals as f64); // dot
+        let mut pap = [dot(&pvec, &ax)];
+        allreduce(ctx, &mut pap);
+        let alpha = rr[0] / pap[0];
+        for i in 0..nvals {
+            x[i] += alpha * pvec[i];
+            r[i] -= alpha * ax[i];
+        }
+        ctx.ep().charge_flops(4.0 * nvals as f64);
+        let mut rr_new = [dot(&r, &r)];
+        allreduce(ctx, &mut rr_new);
+        let beta = rr_new[0] / rr[0];
+        for i in 0..nvals {
+            pvec[i] = r[i] + beta * pvec[i];
+        }
+        ctx.ep().charge_flops(2.0 * nvals as f64);
+        rr = rr_new;
+        residuals.push(rr[0].sqrt());
+    }
+    ctx.barrier();
+    MilcResult { time_ns: ctx.now() - t0, residuals }
+}
+
+/// Convenience wrappers for the three backends.
+pub fn run_mpi1(ctx: &RankCtx, comm: &Comm, cfg: &MilcConfig) -> MilcResult {
+    run_cg(ctx, cfg, Mpi1Halo { comm }, |_ctx, v| {
+        // Message-based allreduce through the MPI-1 stack.
+        comm.allreduce_f64(v, |a, b| a + b);
+    })
+}
+
+/// foMPI backend entry point.
+pub fn run_rma(ctx: &RankCtx, cfg: &MilcConfig) -> MilcResult {
+    let halo = RmaHalo::new(ctx, cfg);
+    let res = run_cg(ctx, cfg, halo, |ctx, v| {
+        ctx.coll().allreduce_f64(ctx.ep(), v, |a, b| a + b);
+    });
+    ctx.barrier();
+    res
+}
+
+/// UPC backend entry point.
+pub fn run_upc(ctx: &RankCtx, cfg: &MilcConfig) -> MilcResult {
+    let halo = UpcHalo::new(ctx, cfg);
+    let res = run_cg(ctx, cfg, halo, |ctx, v| {
+        ctx.coll().allreduce_f64(ctx.ep(), v, |a, b| a + b);
+    });
+    ctx.barrier();
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fompi_msg::MsgEngine;
+    use fompi_runtime::Universe;
+
+    #[test]
+    fn grid_dims_cover_p() {
+        for p in [1, 2, 4, 6, 8, 12, 16, 64, 512] {
+            let d = grid_dims(p);
+            assert_eq!(d.iter().product::<usize>(), p, "p={p} dims={d:?}");
+        }
+    }
+
+    #[test]
+    fn neighbor_symmetry() {
+        let cfg = MilcConfig::default();
+        let p = 8;
+        for rank in 0..p {
+            let lat = Lattice::new(rank, p, &cfg);
+            for d in 0..4 {
+                let up = lat.neighbor(d, true);
+                let back = Lattice::new(up, p, &cfg).neighbor(d, false);
+                assert_eq!(back, rank, "rank {rank} dim {d}");
+            }
+        }
+    }
+
+    fn residuals_of(res: &[MilcResult]) -> Vec<f64> {
+        res[0].residuals.clone()
+    }
+
+    #[test]
+    fn cg_converges_mpi1() {
+        let cfg = MilcConfig { local: [2, 2, 2, 2], iters: 6, seed: 5 };
+        let p = 4;
+        let engine = MsgEngine::new(p);
+        let got = Universe::new(p).node_size(2).run(move |ctx| {
+            let comm = Comm::attach(ctx, &engine);
+            run_mpi1(ctx, &comm, &cfg)
+        });
+        let r = residuals_of(&got);
+        assert!(r.last().unwrap() < &r[0], "CG must reduce the residual: {r:?}");
+        // All ranks agree bit-for-bit.
+        for other in &got[1..] {
+            assert_eq!(other.residuals, r);
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_bitwise() {
+        let cfg = MilcConfig { local: [2, 2, 2, 2], iters: 5, seed: 9 };
+        let p = 4;
+        let engine = MsgEngine::new(p);
+        let mpi = Universe::new(p).node_size(2).run(move |ctx| {
+            let comm = Comm::attach(ctx, &engine);
+            run_mpi1(ctx, &comm, &cfg)
+        });
+        let rma = Universe::new(p).node_size(2).run(move |ctx| run_rma(ctx, &cfg));
+        let upc = Universe::new(p).node_size(2).run(move |ctx| run_upc(ctx, &cfg));
+        // The MPI-1 dot products reduce in binomial-tree order while the
+        // RMA/UPC variants use the tuned collective (sequential order), so
+        // agreement is to floating-point reassociation, not bitwise.
+        for (a, b) in mpi[0].residuals.iter().zip(&rma[0].residuals) {
+            assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "MPI-1 vs RMA: {a} vs {b}");
+        }
+        for (a, b) in rma[0].residuals.iter().zip(&upc[0].residuals) {
+            assert_eq!(a, b, "RMA vs UPC must match bitwise (same reduce order)");
+        }
+    }
+
+    #[test]
+    fn odd_process_grid_converges() {
+        // p = 6 factors to a non-power-of-two 4-D grid; halo pairing and
+        // the CG must still work.
+        let cfg = MilcConfig { local: [2, 2, 2, 2], iters: 4, seed: 8 };
+        let p = 6;
+        let got = Universe::new(p).node_size(3).run(move |ctx| run_rma(ctx, &cfg));
+        let r = &got[0].residuals;
+        assert!(r.last().unwrap() < &r[0]);
+        for other in &got[1..] {
+            assert_eq!(&other.residuals, r);
+        }
+    }
+
+    #[test]
+    fn single_rank_self_neighbor_works() {
+        let cfg = MilcConfig { local: [2, 2, 2, 4], iters: 4, seed: 3 };
+        let got = Universe::new(1).node_size(1).run(move |ctx| run_rma(ctx, &cfg));
+        let r = &got[0].residuals;
+        assert!(r.last().unwrap() < &r[0]);
+    }
+
+    #[test]
+    fn typed_faces_equal_packed_faces() {
+        // The subarray datatype must enumerate face bytes in exactly the
+        // order pack_face uses, or the receiver's decode is garbage.
+        let cfg = MilcConfig { local: [2, 3, 2, 4], iters: 1, seed: 1 };
+        let lat = Lattice::new(0, 1, &cfg);
+        let field: Vec<f64> = (0..lat.volume() * SITE_F64).map(|i| i as f64).collect();
+        let bytes: Vec<u8> = field.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let l = cfg.local;
+        let sizes = [l[3], l[2], l[1], l[0], SITE_F64 * 8];
+        let axis_of = [3usize, 2, 1, 0];
+        for d in 0..4 {
+            for (side, hi) in [(false, false), (true, true)] {
+                let a = axis_of[d];
+                let mut sub = sizes;
+                let mut start = [0usize; 5];
+                sub[a] = 1;
+                start[a] = if hi { sizes[a] - 1 } else { 0 };
+                let ty = fompi::DataType::subarray(&sizes, &sub, &start, fompi::DataType::byte());
+                let typed = ty.pack(1, &bytes);
+                let packed = lat.pack_face(&field, d, side);
+                assert_eq!(typed, packed, "dim {d} hi={hi}");
+            }
+        }
+    }
+
+    #[test]
+    fn typed_halo_matches_packed_halo() {
+        let cfg = MilcConfig { local: [2, 2, 2, 4], iters: 4, seed: 6 };
+        let p = 8;
+        let packed = Universe::new(p).node_size(4).run(move |ctx| run_rma(ctx, &cfg));
+        let typed = Universe::new(p).node_size(4).run(move |ctx| run_rma_typed(ctx, &cfg));
+        assert_eq!(packed[0].residuals, typed[0].residuals, "typed halo must be bit-identical");
+    }
+
+    #[test]
+    fn notify_halo_matches_packed_halo() {
+        let cfg = MilcConfig { local: [2, 2, 2, 4], iters: 4, seed: 6 };
+        let p = 8;
+        let packed = Universe::new(p).node_size(4).run(move |ctx| run_rma(ctx, &cfg));
+        let notify = Universe::new(p).node_size(4).run(move |ctx| run_rma_notify(ctx, &cfg));
+        assert_eq!(packed[0].residuals, notify[0].residuals);
+    }
+
+    #[test]
+    fn notify_halo_cheaper_than_flag_halo() {
+        // Fusing data + notification must save time over put + flush +
+        // separate fetch_and_op flags.
+        let cfg = MilcConfig { local: [4, 4, 4, 8], iters: 4, seed: 2 };
+        let p = 8;
+        let flags = Universe::new(p).node_size(4).run(move |ctx| run_rma(ctx, &cfg));
+        let notify = Universe::new(p).node_size(4).run(move |ctx| run_rma_notify(ctx, &cfg));
+        let t = |r: &[MilcResult]| r.iter().map(|x| x.time_ns).fold(0.0, f64::max);
+        assert!(
+            t(&notify) < t(&flags),
+            "notified access {} should beat flag-based {}",
+            t(&notify),
+            t(&flags)
+        );
+    }
+
+    #[test]
+    fn rma_not_slower_than_mpi1() {
+        let cfg = MilcConfig { local: [2, 2, 2, 4], iters: 4, seed: 2 };
+        let p = 8;
+        let engine = MsgEngine::new(p);
+        let mpi = Universe::new(p).node_size(2).run(move |ctx| {
+            let comm = Comm::attach(ctx, &engine);
+            run_mpi1(ctx, &comm, &cfg)
+        });
+        let rma = Universe::new(p).node_size(2).run(move |ctx| run_rma(ctx, &cfg));
+        let t_mpi = crate::max_time(&mpi.iter().map(|r| r.time_ns).collect::<Vec<_>>());
+        let t_rma = crate::max_time(&rma.iter().map(|r| r.time_ns).collect::<Vec<_>>());
+        assert!(
+            t_rma < t_mpi * 1.02,
+            "RMA halo ({t_rma}) should not lose to MPI-1 ({t_mpi})"
+        );
+    }
+}

@@ -1,0 +1,464 @@
+//! MPI derived datatypes and the MPITypes-style flattening engine.
+//!
+//! §2.4 of the paper: "In each communication, the datatypes are split into
+//! the smallest number of contiguous blocks (using both the origin and
+//! target datatype) and one DMAPP operation or memory copy is initiated for
+//! each block." [`DataType::flatten`] produces the coalesced block list;
+//! [`zip_blocks`] merges an origin and a target block stream into transfer
+//! triples; [`DataType::pack`]/[`DataType::unpack`] serve the
+//! message-passing baseline.
+//!
+//! Supported constructors mirror the common MPI set: named types,
+//! contiguous, vector (strided), indexed, and struct (heterogeneous with
+//! byte displacements). Displacements must be non-negative (MPI's negative
+//! lower bounds are not needed by any experiment in the paper).
+
+use crate::error::{FompiError, Result};
+use crate::op::NumKind;
+
+/// An MPI datatype.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataType {
+    /// A named (predefined) type of the given numeric kind.
+    Named(NumKind),
+    /// `count` consecutive copies of `inner`.
+    Contiguous {
+        /// Repetition count.
+        count: usize,
+        /// Element type.
+        inner: Box<DataType>,
+    },
+    /// `count` blocks of `blocklen` elements, successive blocks `stride`
+    /// elements apart (stride in units of `inner`'s extent, like
+    /// `MPI_Type_vector`).
+    Vector {
+        /// Number of blocks.
+        count: usize,
+        /// Elements per block.
+        blocklen: usize,
+        /// Inter-block stride in elements (must be ≥ blocklen).
+        stride: usize,
+        /// Element type.
+        inner: Box<DataType>,
+    },
+    /// Blocks of varying length at varying element displacements
+    /// (`MPI_Type_indexed`): `(blocklen, displacement)` pairs, displacement
+    /// in elements.
+    Indexed {
+        /// `(blocklen, displacement)` pairs.
+        blocks: Vec<(usize, usize)>,
+        /// Element type.
+        inner: Box<DataType>,
+    },
+    /// Heterogeneous struct: `(count, byte displacement, field type)`.
+    Struct {
+        /// Fields in declaration order.
+        fields: Vec<(usize, usize, DataType)>,
+    },
+}
+
+/// Convenience constructors matching the MPI naming.
+impl DataType {
+    /// MPI_DOUBLE.
+    pub fn double() -> Self {
+        DataType::Named(NumKind::F64)
+    }
+
+    /// MPI_INT64_T.
+    pub fn int64() -> Self {
+        DataType::Named(NumKind::I64)
+    }
+
+    /// MPI_UINT64_T.
+    pub fn uint64() -> Self {
+        DataType::Named(NumKind::U64)
+    }
+
+    /// MPI_BYTE.
+    pub fn byte() -> Self {
+        DataType::Named(NumKind::U8)
+    }
+
+    /// MPI_Type_contiguous.
+    pub fn contiguous(count: usize, inner: DataType) -> Self {
+        DataType::Contiguous { count, inner: Box::new(inner) }
+    }
+
+    /// MPI_Type_vector.
+    pub fn vector(count: usize, blocklen: usize, stride: usize, inner: DataType) -> Self {
+        assert!(stride >= blocklen, "vector stride must cover the block");
+        DataType::Vector { count, blocklen, stride, inner: Box::new(inner) }
+    }
+
+    /// MPI_Type_indexed.
+    pub fn indexed(blocks: Vec<(usize, usize)>, inner: DataType) -> Self {
+        DataType::Indexed { blocks, inner: Box::new(inner) }
+    }
+
+    /// MPI_Type_create_struct (displacements in bytes).
+    pub fn structure(fields: Vec<(usize, usize, DataType)>) -> Self {
+        DataType::Struct { fields }
+    }
+
+    /// MPI_Type_create_subarray (C order): select the box
+    /// `starts[d] .. starts[d] + subsizes[d]` out of an n-dimensional array
+    /// of `sizes`, built by nesting vector types (innermost dimension
+    /// contiguous). Used for zero-copy halo faces.
+    pub fn subarray(sizes: &[usize], subsizes: &[usize], starts: &[usize], elem: DataType) -> Self {
+        assert!(!sizes.is_empty());
+        assert_eq!(sizes.len(), subsizes.len());
+        assert_eq!(sizes.len(), starts.len());
+        for d in 0..sizes.len() {
+            assert!(starts[d] + subsizes[d] <= sizes[d], "subarray out of bounds in dim {d}");
+        }
+        // Innermost (last) dimension: a contiguous run of elements offset
+        // by starts, expressed as an indexed type with one block.
+        let nd = sizes.len();
+        let mut ty = DataType::indexed(vec![(subsizes[nd - 1], starts[nd - 1])], elem);
+        // Pad the extent to the full row so outer vectors stride correctly:
+        // wrap in a struct placing the block inside a row-sized field.
+        let elem_size = match &ty {
+            DataType::Indexed { inner, .. } => inner.extent(),
+            _ => unreachable!(),
+        };
+        ty = DataType::structure(vec![(1, 0, ty), (0, sizes[nd - 1] * elem_size, DataType::byte())]);
+        for d in (0..nd - 1).rev() {
+            let row_extent = ty.extent();
+            let inner = ty;
+            // subsizes[d] rows starting at starts[d], stride = full dim.
+            let sel = DataType::indexed(vec![(subsizes[d], starts[d])], inner);
+            ty = DataType::structure(vec![(1, 0, sel), (0, sizes[d] * row_extent, DataType::byte())]);
+        }
+        ty
+    }
+
+    /// Total payload bytes of one instance.
+    pub fn size(&self) -> usize {
+        match self {
+            DataType::Named(k) => k.size(),
+            DataType::Contiguous { count, inner } => count * inner.size(),
+            DataType::Vector { count, blocklen, inner, .. } => count * blocklen * inner.size(),
+            DataType::Indexed { blocks, inner } => {
+                blocks.iter().map(|(b, _)| b * inner.size()).sum()
+            }
+            DataType::Struct { fields } => fields.iter().map(|(c, _, t)| c * t.size()).sum(),
+        }
+    }
+
+    /// Extent in bytes (span from offset 0 to the last byte touched, i.e.
+    /// the stride between consecutive instances in a count > 1 transfer).
+    pub fn extent(&self) -> usize {
+        match self {
+            DataType::Named(k) => k.size(),
+            DataType::Contiguous { count, inner } => count * inner.extent(),
+            DataType::Vector { count, blocklen, stride, inner } => {
+                if *count == 0 {
+                    0
+                } else {
+                    ((count - 1) * stride + blocklen) * inner.extent()
+                }
+            }
+            DataType::Indexed { blocks, inner } => blocks
+                .iter()
+                .map(|(b, d)| (d + b) * inner.extent())
+                .max()
+                .unwrap_or(0),
+            DataType::Struct { fields } => fields
+                .iter()
+                .map(|(c, d, t)| d + if *c == 0 { 0 } else { (c - 1) * t.extent() + t.size_of_last() })
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Size of the trailing instance (for struct extent computation; for
+    /// our non-resized types this is the payload of one instance's last
+    /// contiguous run — conservatively, `extent()` of the field type).
+    fn size_of_last(&self) -> usize {
+        self.extent()
+    }
+
+    /// True if one instance occupies one contiguous run.
+    pub fn is_contiguous(&self) -> bool {
+        match self {
+            DataType::Named(_) => true,
+            DataType::Contiguous { inner, .. } => inner.is_contiguous_dense(),
+            DataType::Vector { count, blocklen, stride, inner } => {
+                inner.is_contiguous_dense() && (*count <= 1 || stride == blocklen)
+            }
+            DataType::Indexed { blocks, inner } => {
+                if !inner.is_contiguous_dense() {
+                    return false;
+                }
+                let mut expect = None;
+                for (b, d) in blocks {
+                    if let Some(e) = expect {
+                        if *d != e {
+                            return false;
+                        }
+                    } else if *d != 0 {
+                        return false;
+                    }
+                    expect = Some(d + b);
+                }
+                true
+            }
+            DataType::Struct { .. } => {
+                self.flatten_one().len() <= 1
+            }
+        }
+    }
+
+    /// Contiguous *and* extent == size (instances tile densely).
+    fn is_contiguous_dense(&self) -> bool {
+        self.is_contiguous() && self.extent() == self.size()
+    }
+
+    /// Flatten one instance into `(byte offset, len)` runs, coalesced.
+    pub fn flatten_one(&self) -> Vec<(usize, usize)> {
+        let mut runs = Vec::new();
+        self.emit(0, &mut runs);
+        coalesce(&mut runs);
+        runs
+    }
+
+    /// Flatten `count` consecutive instances (spaced by `extent()`),
+    /// coalesced — "the smallest number of contiguous blocks".
+    pub fn flatten(&self, count: usize) -> Vec<(usize, usize)> {
+        let ext = self.extent();
+        let one = self.flatten_one();
+        let mut runs = Vec::with_capacity(one.len() * count);
+        for i in 0..count {
+            let base = i * ext;
+            runs.extend(one.iter().map(|&(o, l)| (base + o, l)));
+        }
+        coalesce(&mut runs);
+        runs
+    }
+
+    fn emit(&self, base: usize, out: &mut Vec<(usize, usize)>) {
+        match self {
+            DataType::Named(k) => out.push((base, k.size())),
+            DataType::Contiguous { count, inner } => {
+                let ext = inner.extent();
+                for i in 0..*count {
+                    inner.emit(base + i * ext, out);
+                }
+            }
+            DataType::Vector { count, blocklen, stride, inner } => {
+                let ext = inner.extent();
+                for i in 0..*count {
+                    for j in 0..*blocklen {
+                        inner.emit(base + (i * stride + j) * ext, out);
+                    }
+                }
+            }
+            DataType::Indexed { blocks, inner } => {
+                let ext = inner.extent();
+                for (b, d) in blocks {
+                    for j in 0..*b {
+                        inner.emit(base + (d + j) * ext, out);
+                    }
+                }
+            }
+            DataType::Struct { fields } => {
+                for (c, d, t) in fields {
+                    let ext = t.extent();
+                    for i in 0..*c {
+                        t.emit(base + d + i * ext, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pack `count` instances from `src` (laid out with this type) into a
+    /// dense byte vector.
+    pub fn pack(&self, count: usize, src: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size() * count);
+        for (off, len) in self.flatten(count) {
+            out.extend_from_slice(&src[off..off + len]);
+        }
+        out
+    }
+
+    /// Unpack a dense byte vector into `dst` laid out with this type.
+    pub fn unpack(&self, count: usize, packed: &[u8], dst: &mut [u8]) {
+        let mut cur = 0;
+        for (off, len) in self.flatten(count) {
+            dst[off..off + len].copy_from_slice(&packed[cur..cur + len]);
+            cur += len;
+        }
+        debug_assert_eq!(cur, packed.len());
+    }
+}
+
+fn coalesce(runs: &mut Vec<(usize, usize)>) {
+    if runs.is_empty() {
+        return;
+    }
+    runs.sort_unstable();
+    let mut w = 0;
+    for i in 1..runs.len() {
+        if runs[w].0 + runs[w].1 == runs[i].0 {
+            runs[w].1 += runs[i].1;
+        } else {
+            w += 1;
+            runs[w] = runs[i];
+        }
+    }
+    runs.truncate(w + 1);
+}
+
+/// Merge an origin block stream and a target block stream (equal total
+/// bytes) into `(origin_off, target_off, len)` transfer triples — one fabric
+/// operation each.
+pub fn zip_blocks(
+    origin: &[(usize, usize)],
+    target: &[(usize, usize)],
+) -> Result<Vec<(usize, usize, usize)>> {
+    let ob: usize = origin.iter().map(|r| r.1).sum();
+    let tb: usize = target.iter().map(|r| r.1).sum();
+    if ob != tb {
+        return Err(FompiError::TypeMismatch { origin_bytes: ob, target_bytes: tb });
+    }
+    let mut out = Vec::new();
+    let (mut oi, mut ti) = (0usize, 0usize);
+    let (mut oo, mut to) = (0usize, 0usize); // consumed within current runs
+    while oi < origin.len() && ti < target.len() {
+        let (obase, olen) = origin[oi];
+        let (tbase, tlen) = target[ti];
+        let n = (olen - oo).min(tlen - to);
+        out.push((obase + oo, tbase + to, n));
+        oo += n;
+        to += n;
+        if oo == olen {
+            oi += 1;
+            oo = 0;
+        }
+        if to == tlen {
+            ti += 1;
+            to = 0;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_basics() {
+        let d = DataType::double();
+        assert_eq!(d.size(), 8);
+        assert_eq!(d.extent(), 8);
+        assert!(d.is_contiguous());
+        assert_eq!(d.flatten(3), vec![(0, 24)]);
+    }
+
+    #[test]
+    fn vector_flattening() {
+        // 3 blocks of 2 doubles, stride 4 doubles: runs at 0, 32, 64.
+        let v = DataType::vector(3, 2, 4, DataType::double());
+        assert_eq!(v.size(), 48);
+        assert_eq!(v.extent(), (2 * 4 + 2) * 8);
+        assert!(!v.is_contiguous());
+        assert_eq!(v.flatten_one(), vec![(0, 16), (32, 16), (64, 16)]);
+    }
+
+    #[test]
+    fn dense_vector_is_contiguous() {
+        let v = DataType::vector(4, 2, 2, DataType::int64());
+        assert!(v.is_contiguous());
+        assert_eq!(v.flatten_one(), vec![(0, 64)]);
+    }
+
+    #[test]
+    fn indexed_coalesces_adjacent_blocks() {
+        let d = DataType::indexed(vec![(2, 0), (1, 2), (3, 5)], DataType::byte());
+        assert_eq!(d.flatten_one(), vec![(0, 3), (5, 3)]);
+        assert_eq!(d.size(), 6);
+        assert_eq!(d.extent(), 8);
+    }
+
+    #[test]
+    fn struct_mixed_fields() {
+        // {2×i64 at 0, 1×f32 at 20}
+        let s = DataType::structure(vec![
+            (2, 0, DataType::int64()),
+            (1, 20, DataType::Named(NumKind::F32)),
+        ]);
+        assert_eq!(s.size(), 20);
+        assert_eq!(s.flatten_one(), vec![(0, 16), (20, 4)]);
+    }
+
+    #[test]
+    fn multi_count_flatten_merges_across_instances() {
+        // Contiguous type: N instances must merge to a single run.
+        let c = DataType::contiguous(4, DataType::byte());
+        assert_eq!(c.flatten(5), vec![(0, 20)]);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_vector() {
+        let v = DataType::vector(2, 1, 3, DataType::byte()); // bytes at 0 and 3
+        let src: Vec<u8> = (0..10).collect();
+        let packed = v.pack(2, &src); // extent 4: instance 1 at 0/3, instance 2 at 4/7
+        assert_eq!(packed, vec![0, 3, 4, 7]);
+        let mut dst = vec![0xFFu8; 10];
+        v.unpack(2, &packed, &mut dst);
+        assert_eq!(dst[0], 0);
+        assert_eq!(dst[3], 3);
+        assert_eq!(dst[4], 4);
+        assert_eq!(dst[7], 7);
+        assert_eq!(dst[1], 0xFF); // gaps untouched
+    }
+
+    #[test]
+    fn zip_blocks_merges_streams() {
+        // origin: [0,8) [16,24); target: [100,116)
+        let triples =
+            zip_blocks(&[(0, 8), (16, 8)], &[(100, 16)]).unwrap();
+        assert_eq!(triples, vec![(0, 100, 8), (16, 108, 8)]);
+    }
+
+    #[test]
+    fn zip_blocks_rejects_mismatch() {
+        assert!(matches!(
+            zip_blocks(&[(0, 8)], &[(0, 4)]),
+            Err(FompiError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn subarray_2d_selects_box() {
+        // 4x6 byte array, take rows 1..3, cols 2..5.
+        let ty = DataType::subarray(&[4, 6], &[2, 3], &[1, 2], DataType::byte());
+        assert_eq!(ty.size(), 6);
+        assert_eq!(ty.flatten_one(), vec![(8, 3), (14, 3)]);
+        // Extent covers the whole array so count>1 instances tile it.
+        assert_eq!(ty.extent(), 24);
+    }
+
+    #[test]
+    fn subarray_3d_face() {
+        // 2x3x4 array, the z=1 plane: sizes [2,3,4], sub [1,3,4], start [1,0,0].
+        let ty = DataType::subarray(&[2, 3, 4], &[1, 3, 4], &[1, 0, 0], DataType::byte());
+        assert_eq!(ty.size(), 12);
+        assert_eq!(ty.flatten_one(), vec![(12, 12)]);
+    }
+
+    #[test]
+    fn subarray_roundtrip_pack() {
+        let ty = DataType::subarray(&[3, 3], &[2, 2], &[0, 1], DataType::byte());
+        let src: Vec<u8> = (0..9).collect();
+        assert_eq!(ty.pack(1, &src), vec![1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn zip_blocks_uneven_split() {
+        let t = zip_blocks(&[(0, 10)], &[(50, 4), (60, 6)]).unwrap();
+        assert_eq!(t, vec![(0, 50, 4), (4, 60, 6)]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Dynamic windows: attach/detach and the one-sided region-table cache
+//! (§2.2).
+//!
+//! Attach and detach are *non-collective* and purely local: the owner
+//! registers the region, appends `(addr, size, key)` to its region table in
+//! the meta segment and bumps the table's id counter. A peer that wants to
+//! communicate first reads the remote id (one get); if its cached table is
+//! stale it fetches the whole table with one bulk get and re-resolves.
+//! This is exactly the paper's cached protocol — O(1) memory per region
+//! and one extra round trip only after attach/detach activity.
+//!
+//! With `WinConfig::dyn_notify` the §2.2 *optimised* variant runs instead:
+//! a peer that caches a target's table registers itself in the target's
+//! registered-readers list (the Figure-2c pool again); `detach` drains
+//! that list and pushes an invalidation into each reader's mailbox. A
+//! reader then only checks its **local** invalidation mailbox before each
+//! access — no remote id read — trading detach cost for communication
+//! latency.
+
+use crate::error::{FompiError, Result};
+use crate::meta::{off, DYN_ENTRY_BYTES};
+use crate::win::{LocalRegion, RemoteRegions, Win, WinKind};
+use fompi_fabric::{SegKey, Segment};
+
+impl Win {
+    /// MPI_Win_attach: expose `size` bytes (library-allocated — ranks are
+    /// threads, so "user memory" is handed out by the window). Returns the
+    /// region's address in the target address space.
+    pub fn attach(&self, size: usize) -> Result<u64> {
+        if self.kind() != WinKind::Dynamic {
+            return Err(FompiError::InvalidEpoch("attach requires a dynamic window"));
+        }
+        let mut local = self.dyn_local.borrow_mut();
+        if local.len() >= self.shared.cfg.max_dyn_regions {
+            return Err(FompiError::RegionTableFull);
+        }
+        let seg = Segment::new(size.max(8));
+        let key = self.ep.fabric().register(self.ep.rank(), seg.clone());
+        self.ep.charge(self.ep.fabric().model().register_ns);
+        // Page-aligned bump allocation of the virtual RMA address space.
+        let addr = self.dyn_next_addr.get();
+        let span = (size.max(8) as u64 + 0xFFF) & !0xFFF;
+        self.dyn_next_addr.set(addr + span);
+        // Publish: write the table entry, bump count, bump the id counter
+        // (readers check the id first, so order matters).
+        let idx = local.len();
+        let ekey = self.meta_key(self.ep.rank());
+        let eoff = self.shared.cfg.dyn_entry_off(idx);
+        self.my_meta.write_u64(eoff, addr);
+        self.my_meta.write_u64(eoff + 8, size as u64);
+        self.my_meta.write_u64(eoff + 16, key.id);
+        self.ep.write_sync(ekey, off::DYN_COUNT, (idx + 1) as u64)?;
+        self.ep
+            .amo_sync(ekey, off::DYN_ID, fompi_fabric::AmoOp::Add, 1, 0)?;
+        local.push(LocalRegion { addr, size, key, seg });
+        Ok(addr)
+    }
+
+    /// MPI_Win_detach: withdraw the region at `addr`. Remote peers with a
+    /// cached descriptor notice via the id counter on their next access.
+    pub fn detach(&self, addr: u64) -> Result<()> {
+        if self.kind() != WinKind::Dynamic {
+            return Err(FompiError::InvalidEpoch("detach requires a dynamic window"));
+        }
+        let mut local = self.dyn_local.borrow_mut();
+        let idx = local
+            .iter()
+            .position(|r| r.addr == addr)
+            .ok_or(FompiError::NotAttached { target: self.ep.rank(), addr })?;
+        let removed = local.swap_remove(idx);
+        // Rewrite the table: the swapped-in entry moves to `idx`.
+        if idx < local.len() {
+            let moved = &local[idx];
+            let eoff = self.shared.cfg.dyn_entry_off(idx);
+            self.my_meta.write_u64(eoff, moved.addr);
+            self.my_meta.write_u64(eoff + 8, moved.size as u64);
+            self.my_meta.write_u64(eoff + 16, moved.key.id);
+        }
+        let ekey = self.meta_key(self.ep.rank());
+        self.ep.write_sync(ekey, off::DYN_COUNT, local.len() as u64)?;
+        self.ep
+            .amo_sync(ekey, off::DYN_ID, fompi_fabric::AmoOp::Add, 1, 0)?;
+        if self.shared.cfg.dyn_notify {
+            // §2.2 optimised protocol: tell every registered reader to drop
+            // its cached copy of our table, then forget the reader list.
+            drop(local);
+            let me = self.ep.rank();
+            for reader in self.list_drain_local(off::READERS_HEAD)? {
+                let idx = self.list_acquire_slot(reader)?;
+                self.list_push(reader, off::INVAL_HEAD, idx, me)?;
+            }
+        }
+        self.ep.fabric().deregister(removed.key);
+        Ok(())
+    }
+
+    /// Local data of an attached region (for verification in examples and
+    /// tests).
+    pub fn region_read(&self, addr: u64, off_in: usize, dst: &mut [u8]) -> Result<()> {
+        let local = self.dyn_local.borrow();
+        let r = local
+            .iter()
+            .find(|r| r.addr == addr)
+            .ok_or(FompiError::NotAttached { target: self.ep.rank(), addr })?;
+        r.seg.read(off_in, dst);
+        Ok(())
+    }
+
+    /// Write local data of an attached region.
+    pub fn region_write(&self, addr: u64, off_in: usize, src: &[u8]) -> Result<()> {
+        let local = self.dyn_local.borrow();
+        let r = local
+            .iter()
+            .find(|r| r.addr == addr)
+            .ok_or(FompiError::NotAttached { target: self.ep.rank(), addr })?;
+        r.seg.write(off_in, src);
+        Ok(())
+    }
+
+    /// Resolve `(target, addr, len)` against the cached remote region
+    /// table. Default protocol: check the remote id counter per access;
+    /// with `dyn_notify`, check only the local invalidation mailbox and
+    /// trust the cache otherwise (§2.2's optimised variant).
+    pub(crate) fn dyn_resolve(&self, target: u32, addr: u64, len: usize) -> Result<(SegKey, usize)> {
+        let mkey = self.meta_key(target);
+        if self.shared.cfg.dyn_notify {
+            // Drain the local mailbox: each entry names a target whose
+            // cached table is stale.
+            for stale in self.list_drain_local(off::INVAL_HEAD)? {
+                self.dyn_cache.borrow_mut().remove(&stale);
+            }
+            {
+                let cache = self.dyn_cache.borrow();
+                if let Some(c) = cache.get(&target) {
+                    return Self::find_region(c, target, addr, len);
+                }
+            }
+        }
+        let mut tries = 0;
+        loop {
+            let remote_id = self.ep.read_sync(mkey, off::DYN_ID)?;
+            if !self.shared.cfg.dyn_notify {
+                let cache = self.dyn_cache.borrow();
+                if let Some(c) = cache.get(&target) {
+                    if c.id == remote_id {
+                        return Self::find_region(c, target, addr, len);
+                    }
+                }
+            }
+            // Cache miss or stale: fetch count, then the table in one get.
+            let count = self.ep.read_sync(mkey, off::DYN_COUNT)? as usize;
+            let mut buf = vec![0u8; count * DYN_ENTRY_BYTES];
+            if count > 0 {
+                self.ep.get(mkey, self.shared.cfg.dyn_table_off(), &mut buf)?;
+            }
+            // Re-read the id: if it moved while we copied, retry.
+            let id_after = self.ep.read_sync(mkey, off::DYN_ID)?;
+            if id_after != remote_id {
+                tries += 1;
+                if tries > 1_000_000 {
+                    return Err(FompiError::NotAttached { target, addr });
+                }
+                continue;
+            }
+            let regions = (0..count)
+                .map(|i| {
+                    let b = &buf[i * DYN_ENTRY_BYTES..];
+                    (
+                        u64::from_le_bytes(b[0..8].try_into().unwrap()),
+                        u64::from_le_bytes(b[8..16].try_into().unwrap()),
+                        u64::from_le_bytes(b[16..24].try_into().unwrap()),
+                    )
+                })
+                .collect();
+            let entry = RemoteRegions { id: remote_id, regions };
+            let out = Self::find_region(&entry, target, addr, len);
+            self.dyn_cache.borrow_mut().insert(target, entry);
+            if self.shared.cfg.dyn_notify && target != self.ep.rank() {
+                // Register for detach notifications (first-time access or
+                // post-invalidation refresh).
+                let idx = self.list_acquire_slot(target)?;
+                self.list_push(target, off::READERS_HEAD, idx, self.ep.rank())?;
+            }
+            return out;
+        }
+    }
+
+    fn find_region(
+        c: &RemoteRegions,
+        target: u32,
+        addr: u64,
+        len: usize,
+    ) -> Result<(SegKey, usize)> {
+        for &(base, size, key_id) in &c.regions {
+            if addr >= base && addr + len as u64 <= base + size {
+                return Ok((SegKey { rank: target, id: key_id }, (addr - base) as usize));
+            }
+        }
+        Err(FompiError::NotAttached { target, addr })
+    }
+}

@@ -1,0 +1,571 @@
+//! # fompi — scalable MPI-3 One Sided over RDMA
+//!
+//! A Rust reproduction of **foMPI** ("fast one-sided MPI"), the MPI-3.0 RMA
+//! implementation of *Gerstenberger, Besta, Hoefler: Enabling
+//! Highly-Scalable Remote Memory Access Programming with MPI-3 One Sided*
+//! (SC'13). The library implements the paper's scalable, bufferless
+//! protocols — O(log p) time and space per process — on top of the
+//! simulated DMAPP/XPMEM fabric in `fompi-fabric`:
+//!
+//! * **window creation** (§2.2): traditional, allocated (symmetric heap),
+//!   dynamic (one-sided cached region tables) and shared-memory windows —
+//!   [`Win`];
+//! * **synchronisation** (§2.3): fence, general active target (PSCW) with
+//!   the remote free-storage matching protocol of Figure 2, the two-level
+//!   lock hierarchy of Figure 3, and the flush family;
+//! * **communication** (§2.4): put/get (implicit-nonblocking, bulk
+//!   completed), accumulates with hardware-AMO and lock-fallback paths,
+//!   fetch-and-op, compare-and-swap, request-based variants, and full MPI
+//!   derived-datatype support via the flattening engine in [`dtype`];
+//! * **performance models** (§3): the paper's closed-form cost functions in
+//!   [`perf`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fompi_runtime::Universe;
+//! use fompi::Win;
+//!
+//! // 4 ranks, 2 per node: ranks 0-1 talk over XPMEM, 0-2 over DMAPP.
+//! let sums = Universe::new(4).node_size(2).run(|ctx| {
+//!     let win = Win::allocate(ctx, 1024, 1).unwrap();
+//!     win.fence().unwrap();
+//!     // Everyone puts its rank (as one u64) into the right neighbour.
+//!     let next = (ctx.rank() + 1) % 4;
+//!     win.put(&(ctx.rank() as u64).to_le_bytes(), next, 0).unwrap();
+//!     win.fence().unwrap();
+//!     let mut got = [0u8; 8];
+//!     win.read_local(0, &mut got);
+//!     u64::from_le_bytes(got)
+//! });
+//! assert_eq!(sums, vec![3, 0, 1, 2]);
+//! ```
+
+pub mod comm;
+pub mod dtype;
+pub mod dynamic;
+pub mod error;
+pub mod meta;
+pub mod op;
+pub mod perf;
+pub mod request;
+pub mod sync;
+pub mod win;
+
+pub use dtype::DataType;
+pub use error::{FompiError, Result};
+pub use meta::WinConfig;
+pub use op::{MpiOp, NumKind};
+pub use perf::PaperModel;
+pub use request::{wait_all, Request};
+pub use sync::fence::{ASSERT_NOPRECEDE, ASSERT_NOPUT, ASSERT_NOSTORE, ASSERT_NOSUCCEED};
+pub use win::{LockType, SizeInfo, Win, WinKind};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fompi_runtime::{Group, Universe};
+
+    #[test]
+    fn fence_put_roundtrip() {
+        let got = Universe::new(4).node_size(2).run(|ctx| {
+            let win = Win::allocate(ctx, 64, 1).unwrap();
+            win.fence().unwrap();
+            let next = (ctx.rank() + 1) % 4;
+            win.put(&[ctx.rank() as u8 + 1; 8], next, 0).unwrap();
+            win.fence().unwrap();
+            let mut b = [0u8; 8];
+            win.read_local(0, &mut b);
+            b[0]
+        });
+        assert_eq!(got, vec![4, 1, 2, 3]);
+    }
+
+    #[test]
+    fn get_after_fence_reads_remote() {
+        let got = Universe::new(3).node_size(1).run(|ctx| {
+            let win = Win::allocate(ctx, 16, 1).unwrap();
+            win.write_local(0, &[ctx.rank() as u8 * 7; 16]);
+            win.fence().unwrap();
+            let mut b = [0u8; 16];
+            let prev = (ctx.rank() + 2) % 3;
+            win.get(&mut b, prev, 0).unwrap();
+            win.fence().unwrap();
+            b[5]
+        });
+        assert_eq!(got, vec![14, 0, 7]);
+    }
+
+    #[test]
+    fn lock_flush_put() {
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            let win = Win::allocate(ctx, 64, 8).unwrap();
+            if ctx.rank() == 0 {
+                win.lock(LockType::Exclusive, 1).unwrap();
+                win.put(&123u64.to_le_bytes(), 1, 2).unwrap(); // disp unit 8
+                win.flush(1).unwrap();
+                win.unlock(1).unwrap();
+            }
+            ctx.barrier();
+            let mut b = [0u8; 8];
+            win.read_local(16, &mut b);
+            u64::from_le_bytes(b)
+        });
+        assert_eq!(got[1], 123);
+    }
+
+    #[test]
+    fn pscw_ring() {
+        let p = 4;
+        let got = Universe::new(p).node_size(2).run(|ctx| {
+            let win = Win::allocate(ctx, 64, 1).unwrap();
+            let me = ctx.rank();
+            let left = (me + p as u32 - 1) % p as u32;
+            let right = (me + 1) % p as u32;
+            // Exposure to both neighbours; access to both neighbours.
+            win.post(&Group::new([left, right])).unwrap();
+            win.start(&Group::new([left, right])).unwrap();
+            win.put(&[me as u8 + 1; 4], right, 0).unwrap();
+            win.put(&[me as u8 + 101; 4], left, 4).unwrap();
+            win.complete().unwrap();
+            win.wait().unwrap();
+            let mut lo = [0u8; 4];
+            let mut hi = [0u8; 4];
+            win.read_local(0, &mut lo);
+            win.read_local(4, &mut hi);
+            (lo[0], hi[0])
+        });
+        for (r, &(lo, hi)) in got.iter().enumerate() {
+            let left = (r + p - 1) % p;
+            let right = (r + 1) % p;
+            assert_eq!(lo as usize, left + 1, "rank {r} left put");
+            assert_eq!(hi as usize, right + 101, "rank {r} right put");
+        }
+    }
+
+    #[test]
+    fn pscw_fast_ring_correct_and_reusable() {
+        let p = 6;
+        let cfg = WinConfig { pscw_fast: true, pscw_pool: 8, ..WinConfig::default() };
+        let got = Universe::new(p).node_size(3).run(move |ctx| {
+            let win = Win::allocate_cfg(ctx, 64, 1, cfg.clone()).unwrap();
+            let me = ctx.rank();
+            let pn = p as u32;
+            let g = Group::new([(me + pn - 1) % pn, (me + 1) % pn]);
+            let mut last = 0;
+            for round in 0..20u8 {
+                win.post(&g).unwrap();
+                win.start(&g).unwrap();
+                win.put(&[round + 1; 4], (me + 1) % pn, 0).unwrap();
+                win.complete().unwrap();
+                win.wait().unwrap();
+                let mut b = [0u8; 4];
+                win.read_local(0, &mut b);
+                last = b[0];
+            }
+            last
+        });
+        assert!(got.iter().all(|&v| v == 20));
+    }
+
+    #[test]
+    fn pscw_fast_is_much_cheaper() {
+        let cycle = |fast: bool| {
+            let cfg = WinConfig { pscw_fast: fast, ..WinConfig::default() };
+            let times = Universe::new(4).node_size(1).run(move |ctx| {
+                let win = Win::allocate_cfg(ctx, 64, 1, cfg.clone()).unwrap();
+                let me = ctx.rank();
+                let g = Group::new([(me + 3) % 4, (me + 1) % 4]);
+                ctx.barrier();
+                let t0 = ctx.now();
+                win.post(&g).unwrap();
+                win.start(&g).unwrap();
+                win.complete().unwrap();
+                win.wait().unwrap();
+                ctx.now() - t0
+            });
+            times.iter().cloned().fold(0.0, f64::max)
+        };
+        // Best of 3 (contention jitter), like the paper's medians.
+        let slow = (0..3).map(|_| cycle(false)).fold(f64::MAX, f64::min);
+        let fast = (0..3).map(|_| cycle(true)).fold(f64::MAX, f64::min);
+        assert!(
+            fast < slow * 0.5,
+            "fast PSCW ({fast} ns) should be at least 2x cheaper than the \
+             CAS-list protocol ({slow} ns)"
+        );
+    }
+
+    #[test]
+    fn accumulate_sum_hw_path() {
+        let got = Universe::new(4).node_size(2).run(|ctx| {
+            let win = Win::allocate(ctx, 32, 1).unwrap();
+            win.fence().unwrap();
+            // Everyone adds (rank+1) into rank 0's first element.
+            win.accumulate(
+                &(ctx.rank() as u64 + 1).to_le_bytes(),
+                NumKind::U64,
+                MpiOp::Sum,
+                0,
+                0,
+            )
+            .unwrap();
+            win.fence().unwrap();
+            let mut b = [0u8; 8];
+            win.read_local(0, &mut b);
+            u64::from_le_bytes(b)
+        });
+        assert_eq!(got[0], 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn accumulate_min_fallback_path() {
+        let got = Universe::new(4).node_size(4).run(|ctx| {
+            let win = Win::allocate(ctx, 32, 1).unwrap();
+            win.write_local(0, &i64::MAX.to_le_bytes());
+            win.fence().unwrap();
+            let v = (ctx.rank() as i64 + 1) * 10;
+            win.accumulate(&v.to_le_bytes(), NumKind::I64, MpiOp::Min, 0, 0).unwrap();
+            win.fence().unwrap();
+            let mut b = [0u8; 8];
+            win.read_local(0, &mut b);
+            i64::from_le_bytes(b)
+        });
+        assert_eq!(got[0], 10);
+    }
+
+    #[test]
+    fn fetch_and_op_counts_atomically() {
+        let got = Universe::new(8).node_size(4).run(|ctx| {
+            let win = Win::allocate(ctx, 16, 1).unwrap();
+            win.lock_all().unwrap();
+            let mut slots = Vec::new();
+            for _ in 0..4 {
+                let mut old = [0u8; 8];
+                win.fetch_and_op(&1u64.to_le_bytes(), &mut old, NumKind::U64, MpiOp::Sum, 0, 0)
+                    .unwrap();
+                slots.push(u64::from_le_bytes(old));
+            }
+            win.unlock_all().unwrap();
+            ctx.barrier();
+            let mut b = [0u8; 8];
+            win.read_local(0, &mut b);
+            (slots, u64::from_le_bytes(b))
+        });
+        // Every fetched value unique; final count = 32.
+        let mut seen: Vec<u64> = got.iter().flat_map(|(s, _)| s.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..32).collect::<Vec<_>>());
+        assert_eq!(got[0].1, 32);
+    }
+
+    #[test]
+    fn compare_and_swap_single_winner() {
+        let got = Universe::new(6).node_size(3).run(|ctx| {
+            let win = Win::allocate(ctx, 16, 1).unwrap();
+            win.lock_all().unwrap();
+            let old = win.compare_and_swap(ctx.rank() as u64 + 1, 0, 0, 0).unwrap();
+            win.unlock_all().unwrap();
+            ctx.barrier();
+            old
+        });
+        // Exactly one rank saw 0 (the winner).
+        assert_eq!(got.iter().filter(|&&o| o == 0).count(), 1);
+    }
+
+    #[test]
+    fn communication_without_epoch_fails() {
+        let errs = Universe::new(2).node_size(2).run(|ctx| {
+            let win = Win::allocate(ctx, 8, 1).unwrap();
+            let r = win.put(&[1u8; 4], (ctx.rank() + 1) % 2, 0);
+            ctx.barrier();
+            r.is_err()
+        });
+        assert!(errs.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn dynamic_window_attach_put_detach() {
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            let win = Win::create_dynamic(ctx).unwrap();
+            // Rank 1 attaches and publishes its address via allgather.
+            let addr = if ctx.rank() == 1 { win.attach(256).unwrap() } else { 0 };
+            let addrs = ctx.allgather(&addr.to_le_bytes());
+            let raddr = u64::from_le_bytes(addrs[1].as_slice().try_into().unwrap());
+            if ctx.rank() == 0 {
+                win.lock(LockType::Exclusive, 1).unwrap();
+                win.put(&[0xAB; 16], 1, raddr as usize).unwrap();
+                win.flush(1).unwrap();
+                win.unlock(1).unwrap();
+            }
+            ctx.barrier();
+            let out = if ctx.rank() == 1 {
+                let mut b = [0u8; 16];
+                win.region_read(raddr, 0, &mut b).unwrap();
+                b[7]
+            } else {
+                0
+            };
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                win.detach(raddr).unwrap();
+            }
+            ctx.barrier();
+            // After detach, access must fail (fresh resolve).
+            let err = if ctx.rank() == 0 {
+                win.lock(LockType::Shared, 1).unwrap();
+                let e = win.put(&[1u8; 4], 1, raddr as usize).is_err();
+                win.unlock(1).unwrap();
+                e
+            } else {
+                true
+            };
+            (out, err)
+        });
+        assert_eq!(got[1].0, 0xAB);
+        assert!(got[0].1);
+    }
+
+    #[test]
+    fn traditional_window_has_linear_metadata() {
+        let sizes = Universe::new(8).node_size(4).run(|ctx| {
+            let create = Win::create(ctx, 64, 1).unwrap();
+            let alloc = Win::allocate(ctx, 64, 1).unwrap();
+            (create.metadata_bytes(), alloc.metadata_bytes())
+        });
+        let (c, a) = sizes[0];
+        assert!(c > a, "traditional windows must store per-target descriptors");
+    }
+
+    #[test]
+    fn shared_window_direct_access() {
+        let got = Universe::new(4).node_size(4).run(|ctx| {
+            let win = Win::allocate_shared(ctx, 64, 1).unwrap();
+            win.fence().unwrap();
+            // Rank 0 writes into rank 3's memory with plain stores.
+            if ctx.rank() == 0 {
+                let view = win.shared_query(3).unwrap();
+                view.store_bytes(0, &[0x5A; 8]);
+            }
+            ctx.barrier();
+            let mut b = [0u8; 8];
+            win.read_local(0, &mut b);
+            b[0]
+        });
+        assert_eq!(got[3], 0x5A);
+    }
+
+    #[test]
+    fn shared_window_rejected_across_nodes() {
+        let errs = Universe::new(4).node_size(2).run(|ctx| {
+            matches!(Win::allocate_shared(ctx, 64, 1), Err(FompiError::NotShareable))
+        });
+        assert!(errs.iter().all(|&e| e));
+    }
+
+    #[test]
+    fn rput_request_completes() {
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            let win = Win::allocate(ctx, 32, 1).unwrap();
+            if ctx.rank() == 0 {
+                win.lock(LockType::Shared, 1).unwrap();
+                let mut req = win.rput(&[7u8; 8], 1, 0).unwrap();
+                req.wait();
+                win.unlock(1).unwrap();
+            }
+            ctx.barrier();
+            let mut b = [0u8; 8];
+            win.read_local(0, &mut b);
+            b[0]
+        });
+        assert_eq!(got[1], 7);
+    }
+
+    #[test]
+    fn typed_put_vector_to_contiguous() {
+        let got = Universe::new(2).node_size(2).run(|ctx| {
+            let win = Win::allocate(ctx, 64, 1).unwrap();
+            win.fence().unwrap();
+            if ctx.rank() == 0 {
+                // Origin: every second byte of 8; target: contiguous 4.
+                let src: Vec<u8> = (10..18).collect();
+                let oty = DataType::vector(4, 1, 2, DataType::byte());
+                let tty = DataType::contiguous(4, DataType::byte());
+                win.put_typed(&src, 1, &oty, 1, 0, 1, &tty).unwrap();
+            }
+            win.fence().unwrap();
+            let mut b = [0u8; 4];
+            win.read_local(0, &mut b);
+            b
+        });
+        assert_eq!(got[1], [10, 12, 14, 16]);
+    }
+
+    #[test]
+    fn lock_nocheck_is_free_and_functional() {
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            let win = Win::allocate(ctx, 32, 1).unwrap();
+            ctx.barrier();
+            let mut ops = 0;
+            if ctx.rank() == 0 {
+                let before = ctx.fabric().counters().snapshot();
+                win.lock_assert(LockType::Exclusive, 1, sync::lock::ASSERT_NOCHECK)
+                    .unwrap();
+                let after = ctx.fabric().counters().snapshot();
+                ops = after.since(&before).amos;
+                win.put(&[5u8; 8], 1, 0).unwrap();
+                win.flush(1).unwrap();
+                win.unlock(1).unwrap();
+            }
+            ctx.barrier();
+            let mut b = [0u8; 8];
+            win.read_local(0, &mut b);
+            (ops, b[0])
+        });
+        assert_eq!(got[0].0, 0, "NOCHECK lock must send zero protocol AMOs");
+        assert_eq!(got[1].1, 5);
+    }
+
+    #[test]
+    fn accumulate_typed_strided_sum() {
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            let win = Win::allocate(ctx, 64, 1).unwrap();
+            // Target holds 4 u64 = [10, 20, 30, 40].
+            for (i, v) in [10u64, 20, 30, 40].iter().enumerate() {
+                win.write_local(i * 8, &v.to_le_bytes());
+            }
+            win.fence().unwrap();
+            if ctx.rank() == 0 {
+                // Add [1, 2] into elements 0 and 2 of rank 1 (stride 2).
+                let src: Vec<u8> = [1u64, 2].iter().flat_map(|v| v.to_le_bytes()).collect();
+                let oty = DataType::contiguous(2, DataType::uint64());
+                let tty = DataType::vector(2, 1, 2, DataType::uint64());
+                win.accumulate_typed(&src, 1, &oty, NumKind::U64, MpiOp::Sum, 1, 0, 1, &tty)
+                    .unwrap();
+            }
+            win.fence().unwrap();
+            let mut out = [0u8; 32];
+            win.read_local(0, &mut out);
+            (0..4)
+                .map(|i| u64::from_le_bytes(out[i * 8..i * 8 + 8].try_into().unwrap()))
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(got[1], vec![11, 20, 32, 40]);
+    }
+
+    #[test]
+    fn dynamic_notify_protocol_invalidates_cache() {
+        let cfg = WinConfig { dyn_notify: true, ..WinConfig::default() };
+        let got = Universe::new(2).node_size(1).run(move |ctx| {
+            let win = Win::create_dynamic_cfg(ctx, cfg.clone()).unwrap();
+            let addr = if ctx.rank() == 1 { win.attach(64).unwrap() } else { 0 };
+            let addrs = ctx.allgather(&addr.to_le_bytes());
+            let raddr = u64::from_le_bytes(addrs[1].as_slice().try_into().unwrap());
+            if ctx.rank() == 0 {
+                // First access populates the cache and registers us.
+                win.lock(LockType::Shared, 1).unwrap();
+                win.put(&[7u8; 8], 1, raddr as usize).unwrap();
+                win.flush(1).unwrap();
+                // Second access must be resolvable purely from cache —
+                // count remote gets to prove no id check happened.
+                let before = ctx.fabric().counters().snapshot();
+                win.put(&[8u8; 8], 1, raddr as usize + 8).unwrap();
+                let gets = ctx.fabric().counters().snapshot().since(&before).gets;
+                win.flush(1).unwrap();
+                win.unlock(1).unwrap();
+                ctx.barrier(); // let rank 1 detach + notify
+                ctx.barrier();
+                // Cache must now be invalidated: access fails cleanly.
+                win.lock(LockType::Shared, 1).unwrap();
+                let err = win.put(&[9u8; 4], 1, raddr as usize).is_err();
+                win.unlock(1).unwrap();
+                (gets, err)
+            } else {
+                ctx.barrier();
+                win.detach(raddr).unwrap();
+                ctx.barrier();
+                (0, true)
+            }
+        });
+        assert_eq!(got[0].0, 0, "cached access must not re-read the remote id");
+        assert!(got[0].1, "detached access must fail after notify");
+    }
+
+    #[test]
+    fn raccumulate_and_rget_accumulate() {
+        let got = Universe::new(3).node_size(1).run(|ctx| {
+            let win = Win::allocate(ctx, 32, 1).unwrap();
+            win.lock_all().unwrap();
+            let mut req = win
+                .raccumulate(&(ctx.rank() as u64 + 1).to_le_bytes(), NumKind::U64, MpiOp::Sum, 0, 0)
+                .unwrap();
+            req.wait();
+            win.unlock_all().unwrap();
+            ctx.barrier();
+            let mut out = [0u8; 8];
+            if ctx.rank() == 1 {
+                win.lock(LockType::Shared, 0).unwrap();
+                let mut r = win
+                    .rget_accumulate(&[], &mut out, NumKind::U64, MpiOp::NoOp, 0, 0)
+                    .unwrap();
+                assert!(r.test(), "fallback path completes inline");
+                r.wait();
+                win.unlock(0).unwrap();
+            }
+            ctx.barrier();
+            u64::from_le_bytes(out)
+        });
+        assert_eq!(got[1], 1 + 2 + 3);
+    }
+
+    #[test]
+    fn traditional_window_per_rank_sizes_and_disp_units() {
+        // Each rank exposes a different size with a different displacement
+        // unit — the Ω(p) bookkeeping traditional windows exist for.
+        let got = Universe::new(3).node_size(1).run(|ctx| {
+            let me = ctx.rank() as usize;
+            let win = Win::create(ctx, 32 * (me + 1), me + 1).unwrap();
+            assert_eq!(win.disp_unit(0), 1);
+            assert_eq!(win.disp_unit(2), 3);
+            win.fence().unwrap();
+            // Write 4 bytes at element 4 of the next rank: byte offset
+            // 4 * that rank's disp unit.
+            let next = ((me + 1) % 3) as u32;
+            win.put(&[me as u8 + 1; 4], next, 4).unwrap();
+            win.fence().unwrap();
+            let mut b = [0u8; 4];
+            win.read_local(4 * (me + 1), &mut b);
+            // Out-of-bounds on the smallest rank's window must error.
+            let err = {
+                win.fence_assert(ASSERT_NOSUCCEED).unwrap();
+                win.lock(LockType::Shared, 0).unwrap();
+                let e = win.put(&[0u8; 8], 0, 30).is_err(); // 30*1+8 > 32
+                win.unlock(0).unwrap();
+                e
+            };
+            ctx.barrier();
+            (b[0], err)
+        });
+        for (r, (v, err)) in got.iter().enumerate() {
+            let prev = (r + 2) % 3;
+            assert_eq!(*v as usize, prev + 1, "rank {r}");
+            assert!(err, "rank {r} bounds check");
+        }
+    }
+
+    #[test]
+    fn get_accumulate_noop_is_atomic_read() {
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            let win = Win::allocate(ctx, 16, 1).unwrap();
+            win.write_local(0, &99u64.to_le_bytes());
+            win.fence().unwrap();
+            let mut out = [0u8; 8];
+            let other = (ctx.rank() + 1) % 2;
+            win.get_accumulate(&[], &mut out, NumKind::U64, MpiOp::NoOp, other, 0)
+                .unwrap();
+            win.fence().unwrap();
+            u64::from_le_bytes(out)
+        });
+        assert_eq!(got, vec![99, 99]);
+    }
+}

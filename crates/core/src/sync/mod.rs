@@ -1,0 +1,36 @@
+//! Synchronisation protocols (§2.3): fence, general active target (PSCW),
+//! passive-target locks, and the flush family.
+
+pub mod fence;
+pub mod flush;
+pub mod listops;
+pub mod lock;
+pub mod mcs;
+pub mod notify;
+pub mod pscw;
+
+use fompi_fabric::Endpoint;
+
+/// Exponential backoff for remote retry loops ("all waits/retries can be
+/// performed with exponential back off to avoid congestion", §2.3).
+/// Charges virtual time for the wait and yields the OS thread so peer rank
+/// threads can make real progress.
+pub(crate) fn backoff_spin(ep: &Endpoint, attempt: u64) {
+    let exp = attempt.min(8);
+    let ns = 100.0 * (1u64 << exp) as f64;
+    ep.charge(ns.min(25_000.0));
+    std::thread::yield_now();
+}
+
+/// Bound for protocol spin loops: generous enough for any legal schedule,
+/// small enough that a deadlocked test fails fast instead of hanging CI.
+pub(crate) const SPIN_LIMIT: u64 = 200_000_000;
+
+/// Panic with a protocol diagnosis when a spin loop exceeds [`SPIN_LIMIT`]
+/// — this indicates an illegal program (e.g. cyclic PSCW matching, which
+/// the MPI specification forbids).
+#[cold]
+pub(crate) fn spin_overflow(what: &str) -> ! {
+    panic!("foMPI protocol spin limit exceeded while waiting for {what}: \
+            the program is likely deadlocked (illegal matching or lock cycle)");
+}

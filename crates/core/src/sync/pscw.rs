@@ -1,0 +1,252 @@
+//! General Active Target Synchronisation (Post/Start/Complete/Wait).
+//!
+//! The paper's scalable matching protocol (§2.3, Figure 2): a poster
+//! announces itself by acquiring a free element in the *target's* matching
+//! list through a purely one-sided free-storage-management protocol
+//! (Figure 2c) and pushing it onto the target's match list; a starter spins
+//! on its *local* list until every member of its access group is present;
+//! `complete` commits all RMA operations and bumps a remote completion
+//! counter at each exposure peer; `wait` spins locally on that counter.
+//!
+//! Message complexity: O(k) remote AMOs for post and complete, **zero**
+//! remote operations for start and wait — the property Figure 6c measures
+//! (flat PSCW latency in p for a ring, k = 2).
+//!
+//! Both remote lists are Treiber stacks whose head words carry an ABA tag
+//! in the high 32 bits; elements live in a fixed pool sized by
+//! `WinConfig::pscw_pool`, giving the O(k) memory bound.
+
+use crate::error::{FompiError, Result};
+use crate::meta::{self, off};
+use crate::win::{AccessEpoch, ExposureEpoch, Win};
+use fompi_fabric::AmoOp;
+use fompi_runtime::Group;
+use std::collections::HashSet;
+
+impl Win {
+    /// MPI_Win_post: open an exposure epoch for `group`. Announces this
+    /// rank in every group member's matching list; never blocks on the
+    /// peers' progress (only on pool space).
+    pub fn post(&self, group: &Group) -> Result<()> {
+        {
+            let st = self.state.borrow();
+            if !matches!(st.exposure, ExposureEpoch::None) {
+                return Err(FompiError::InvalidEpoch("post during open exposure epoch"));
+            }
+        }
+        let me = self.ep.rank();
+        if self.shared.cfg.pscw_fast {
+            // Fast path: one FAA ticket + one put per neighbour. The ring
+            // cursor lives in the MATCH_HEAD word; slots hold origin+1 (0 =
+            // free). Bounded-outstanding assumption: ≤ pscw_pool posts in
+            // flight per target (the paper's k ∈ O(log p)).
+            let pool = self.shared.cfg.pscw_pool as u64;
+            for target in group.iter() {
+                let mkey = self.meta_key(target);
+                let (ticket, _) =
+                    self.ep.amo_sync(mkey, off::MATCH_HEAD, AmoOp::Add, 1, 0)?;
+                let slot = (ticket % pool) as u32;
+                let soff = self.shared.cfg.pool_off(slot);
+                // Wait for the slot to be free (only when lapped).
+                let mut spins = 0u64;
+                while self.ep.read_sync(mkey, soff)? != 0 {
+                    spins += 1;
+                    if spins > self.shared.cfg.pool_retry_limit {
+                        return Err(FompiError::PoolExhausted { target });
+                    }
+                    super::backoff_spin(&self.ep, spins.min(10));
+                }
+                self.ep.write_sync(mkey, soff, me as u64 + 1)?;
+            }
+        } else {
+            for target in group.iter() {
+                let idx = self.list_acquire_slot(target)?;
+                self.list_push(target, off::MATCH_HEAD, idx, me)?;
+            }
+        }
+        self.state.borrow_mut().exposure = ExposureEpoch::Pscw(group.clone());
+        Ok(())
+    }
+
+    /// MPI_Win_start: open an access epoch toward `group`. Blocks until
+    /// every member's post has arrived in the local matching list
+    /// (§2.5 (b)). Purely local spinning — zero remote operations.
+    pub fn start(&self, group: &Group) -> Result<()> {
+        {
+            let st = self.state.borrow();
+            if !matches!(st.access, AccessEpoch::None) {
+                return Err(FompiError::InvalidEpoch("start during open access epoch"));
+            }
+        }
+        let mut needed: HashSet<u32> = group.iter().collect();
+        let mut spins = 0u64;
+        while !needed.is_empty() {
+            if self.shared.cfg.pscw_fast {
+                self.reap_matches_fast(&mut needed)?;
+            } else {
+                self.reap_matches(&mut needed)?;
+            }
+            if !needed.is_empty() {
+                spins += 1;
+                if spins > super::SPIN_LIMIT {
+                    super::spin_overflow("matching MPI_Win_post calls");
+                }
+                std::thread::yield_now();
+            }
+        }
+        self.state.borrow_mut().access = AccessEpoch::Pscw(group.clone());
+        Ok(())
+    }
+
+    /// MPI_Win_complete: close the access epoch. Guarantees remote
+    /// visibility of all issued RMA operations, then increments the
+    /// completion counter at every group member (one remote AMO each).
+    pub fn complete(&self) -> Result<()> {
+        let group = {
+            let st = self.state.borrow();
+            match &st.access {
+                AccessEpoch::Pscw(g) => g.clone(),
+                _ => return Err(FompiError::InvalidEpoch("complete without start")),
+            }
+        };
+        self.ep.mfence();
+        self.ep.gsync();
+        for target in group.iter() {
+            // Non-fetching FAA: one injection per neighbour, latencies
+            // overlapped — Pcomplete = 350 ns · k (§3.2).
+            self.ep
+                .amo_sync_release(self.meta_key(target), off::COMPLETION, AmoOp::Add, 1)?;
+        }
+        self.state.borrow_mut().access = AccessEpoch::None;
+        Ok(())
+    }
+
+    /// MPI_Win_wait: close the exposure epoch; blocks until every member
+    /// of the exposure group has called complete (§2.5 (c)). Local
+    /// spinning on the completion counter — zero remote operations.
+    pub fn wait(&self) -> Result<()> {
+        let group = {
+            let st = self.state.borrow();
+            match &st.exposure {
+                ExposureEpoch::Pscw(g) => g.clone(),
+                _ => return Err(FompiError::InvalidEpoch("wait without post")),
+            }
+        };
+        let mkey = self.meta_key(self.ep.rank());
+        let want = group.len() as u64;
+        let mut spins = 0u64;
+        loop {
+            let v = self.ep.read_sync(mkey, off::COMPLETION)?;
+            if v >= want {
+                break;
+            }
+            spins += 1;
+            if spins > super::SPIN_LIMIT {
+                super::spin_overflow("matching MPI_Win_complete calls");
+            }
+            std::thread::yield_now();
+        }
+        // Consume the counter (epochs may repeat).
+        self.ep
+            .amo_sync(mkey, off::COMPLETION, AmoOp::Add, (want as i64).wrapping_neg() as u64, 0)?;
+        self.state.borrow_mut().exposure = ExposureEpoch::None;
+        Ok(())
+    }
+
+    /// MPI_Win_test: nonblocking [`Win::wait`]. Returns `true` (and closes
+    /// the exposure epoch) if all completes arrived.
+    pub fn test(&self) -> Result<bool> {
+        let group = {
+            let st = self.state.borrow();
+            match &st.exposure {
+                ExposureEpoch::Pscw(g) => g.clone(),
+                _ => return Err(FompiError::InvalidEpoch("test without post")),
+            }
+        };
+        let mkey = self.meta_key(self.ep.rank());
+        let want = group.len() as u64;
+        if self.ep.read_sync(mkey, off::COMPLETION)? < want {
+            return Ok(false);
+        }
+        self.ep
+            .amo_sync(mkey, off::COMPLETION, AmoOp::Add, (want as i64).wrapping_neg() as u64, 0)?;
+        self.state.borrow_mut().exposure = ExposureEpoch::None;
+        Ok(true)
+    }
+
+    // ---------------------------------------------------- protocol pieces
+
+    /// Fast-path scan: the pool is a slot array; consume announcements by
+    /// zeroing the slot (purely local operations).
+    fn reap_matches_fast(&self, needed: &mut HashSet<u32>) -> Result<()> {
+        let me = self.ep.rank();
+        let mkey = self.meta_key(me);
+        for slot in 0..self.shared.cfg.pscw_pool as u32 {
+            if needed.is_empty() {
+                break;
+            }
+            let soff = self.shared.cfg.pool_off(slot);
+            let v = self.ep.read_sync(mkey, soff)?;
+            if v != 0 {
+                let origin = (v - 1) as u32;
+                if needed.remove(&origin) {
+                    self.ep.write_sync(mkey, soff, 0)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Scan the local match list, unlinking and recycling every element
+    /// whose origin is still `needed`. Only the owner unlinks, so interior
+    /// updates are safe; head removal races only with new pushes and is
+    /// resolved by CAS.
+    fn reap_matches(&self, needed: &mut HashSet<u32>) -> Result<()> {
+        let me = self.ep.rank();
+        let mkey = self.meta_key(me);
+        let cfg = &self.shared.cfg;
+        'restart: loop {
+            let mh = self.ep.read_sync(mkey, off::MATCH_HEAD)?;
+            let (tag, head) = meta::unpack_head(mh);
+            let mut prev: Option<u32> = None;
+            let mut cur = head;
+            while cur != meta::NIL {
+                let ev = self.ep.read_sync(mkey, cfg.pool_off(cur))?;
+                let (origin, next) = meta::unpack_elem(ev);
+                if needed.contains(&origin) {
+                    match prev {
+                        Some(p) => {
+                            // Interior unlink: only we modify next links.
+                            let pv = self.ep.read_sync(mkey, cfg.pool_off(p))?;
+                            let (porigin, _) = meta::unpack_elem(pv);
+                            self.ep
+                                .write_sync(mkey, cfg.pool_off(p), meta::pack_elem(porigin, next))?;
+                            needed.remove(&origin);
+                            self.list_free_local(cur)?;
+                            cur = next;
+                        }
+                        None => {
+                            // Head unlink: CAS against concurrent pushes.
+                            let (old, _) = self.ep.amo_sync(
+                                mkey,
+                                off::MATCH_HEAD,
+                                AmoOp::Cas,
+                                meta::pack_head(tag.wrapping_add(1), next),
+                                mh,
+                            )?;
+                            if old == mh {
+                                needed.remove(&origin);
+                                self.list_free_local(cur)?;
+                            }
+                            continue 'restart;
+                        }
+                    }
+                } else {
+                    prev = Some(cur);
+                    cur = next;
+                }
+            }
+            return Ok(());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests for the datatype engine: flattening, packing and the
+//! block-zip transfer algorithm must satisfy the MPI typemap laws for
+//! arbitrary derived types.
+
+use fompi::dtype::{zip_blocks, DataType};
+use fompi::NumKind;
+use proptest::prelude::*;
+
+/// Random derived datatype of bounded depth/extent.
+fn dtype_strategy(depth: u32) -> BoxedStrategy<DataType> {
+    let leaf = prop_oneof![
+        Just(DataType::byte()),
+        Just(DataType::Named(NumKind::I32)),
+        Just(DataType::double()),
+        Just(DataType::int64()),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = dtype_strategy(depth - 1);
+    prop_oneof![
+        leaf,
+        (1usize..4, dtype_strategy(depth - 1))
+            .prop_map(|(count, inner)| DataType::contiguous(count, inner)),
+        (1usize..4, 1usize..3, 0usize..3, inner.clone()).prop_map(|(count, blocklen, extra, inner)| {
+            DataType::vector(count, blocklen, blocklen + extra, inner)
+        }),
+        proptest::collection::vec((1usize..3, 0usize..6), 1..4).prop_map(|blocks| {
+            // Make displacements non-overlapping and increasing.
+            let mut disp = 0usize;
+            let blocks: Vec<(usize, usize)> = blocks
+                .into_iter()
+                .map(|(len, gap)| {
+                    let d = disp + gap;
+                    disp = d + len;
+                    (len, d)
+                })
+                .collect();
+            DataType::indexed(blocks, DataType::byte())
+        }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// sum of run lengths == size(), runs are sorted, non-overlapping,
+    /// within extent, and maximally coalesced.
+    #[test]
+    fn flatten_invariants(ty in dtype_strategy(2), count in 1usize..4) {
+        let runs = ty.flatten(count);
+        let total: usize = runs.iter().map(|r| r.1).sum();
+        prop_assert_eq!(total, ty.size() * count, "size law");
+        let extent_span = if count == 0 { 0 } else { (count - 1) * ty.extent() + ty.extent() };
+        for w in runs.windows(2) {
+            prop_assert!(w[0].0 + w[0].1 < w[1].0 + 1, "sorted/non-overlapping");
+            prop_assert!(w[0].0 + w[0].1 != w[1].0, "coalesced: {:?}", runs);
+        }
+        if let Some(last) = runs.last() {
+            prop_assert!(last.0 + last.1 <= extent_span, "within extent");
+        }
+    }
+
+    /// pack → unpack is the identity on the typemap's bytes and leaves
+    /// gap bytes untouched.
+    #[test]
+    fn pack_unpack_roundtrip(ty in dtype_strategy(2), count in 1usize..4) {
+        let span = ty.extent() * count;
+        let src: Vec<u8> = (0..span).map(|i| (i % 251) as u8).collect();
+        let packed = ty.pack(count, &src);
+        prop_assert_eq!(packed.len(), ty.size() * count);
+        let mut dst = vec![0xEEu8; span];
+        ty.unpack(count, &packed, &mut dst);
+        // Typemap bytes match the source; gaps keep the sentinel.
+        let runs = ty.flatten(count);
+        let mut in_map = vec![false; span];
+        for (off, len) in &runs {
+            for i in *off..*off + *len {
+                in_map[i] = true;
+            }
+        }
+        for i in 0..span {
+            if in_map[i] {
+                prop_assert_eq!(dst[i], src[i], "mapped byte {}", i);
+            } else {
+                prop_assert_eq!(dst[i], 0xEE, "gap byte {} must be untouched", i);
+            }
+        }
+    }
+
+    /// zip_blocks conserves bytes: the triples cover exactly the origin
+    /// and target streams, in order.
+    #[test]
+    fn zip_blocks_conserves(
+        a in dtype_strategy(2),
+        b in dtype_strategy(2),
+        count_a in 1usize..3,
+    ) {
+        // Choose count_b so the totals match, if possible.
+        let bytes_a = a.size() * count_a;
+        if b.size() == 0 || bytes_a % b.size() != 0 {
+            return Ok(());
+        }
+        let count_b = bytes_a / b.size();
+        if count_b == 0 || count_b > 64 {
+            return Ok(());
+        }
+        let ra = a.flatten(count_a);
+        let rb = b.flatten(count_b);
+        let triples = zip_blocks(&ra, &rb).unwrap();
+        let total: usize = triples.iter().map(|t| t.2).sum();
+        prop_assert_eq!(total, bytes_a);
+        // Origin offsets advance monotonically through the origin runs.
+        let mut covered_a = Vec::new();
+        for (o, _, l) in &triples {
+            covered_a.push((*o, *l));
+        }
+        let mut merged = covered_a.clone();
+        merged.sort_unstable();
+        prop_assert_eq!(&covered_a, &merged, "origin stream in order");
+    }
+
+    /// A contiguous type always flattens to one run.
+    #[test]
+    fn contiguous_is_one_run(count in 1usize..64, elems in 1usize..16) {
+        let ty = DataType::contiguous(elems, DataType::double());
+        prop_assert!(ty.is_contiguous());
+        let runs = ty.flatten(count);
+        prop_assert_eq!(runs.len(), 1);
+        prop_assert_eq!(runs[0], (0, count * elems * 8));
+    }
+
+    /// extent ≥ size always.
+    #[test]
+    fn extent_dominates_size(ty in dtype_strategy(3)) {
+        prop_assert!(ty.extent() >= ty.size());
+    }
+}

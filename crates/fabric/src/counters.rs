@@ -1,0 +1,93 @@
+//! Global operation counters.
+//!
+//! Used by tests and benchmarks to assert the *message complexity* claims of
+//! the paper (e.g. PSCW issues O(k) messages in post/complete and zero in
+//! start/wait; fence is O(p log p) total; locks cost one or two AMOs).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters of fabric activity.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Number of put operations issued.
+    pub puts: AtomicU64,
+    /// Number of get operations issued.
+    pub gets: AtomicU64,
+    /// Number of AMOs issued.
+    pub amos: AtomicU64,
+    /// Total bytes moved by puts.
+    pub bytes_put: AtomicU64,
+    /// Total bytes moved by gets.
+    pub bytes_get: AtomicU64,
+    /// Number of gsync (bulk completion) calls.
+    pub gsyncs: AtomicU64,
+}
+
+/// A point-in-time copy of [`Counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Puts issued.
+    pub puts: u64,
+    /// Gets issued.
+    pub gets: u64,
+    /// AMOs issued.
+    pub amos: u64,
+    /// Bytes moved by puts.
+    pub bytes_put: u64,
+    /// Bytes moved by gets.
+    pub bytes_get: u64,
+    /// gsync calls.
+    pub gsyncs: u64,
+}
+
+impl Counters {
+    /// Take a snapshot.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            puts: self.puts.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            amos: self.amos.load(Ordering::Relaxed),
+            bytes_put: self.bytes_put.load(Ordering::Relaxed),
+            bytes_get: self.bytes_get.load(Ordering::Relaxed),
+            gsyncs: self.gsyncs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl CounterSnapshot {
+    /// Difference `self - earlier`, field-wise.
+    pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            puts: self.puts - earlier.puts,
+            gets: self.gets - earlier.gets,
+            amos: self.amos - earlier.amos,
+            bytes_put: self.bytes_put - earlier.bytes_put,
+            bytes_get: self.bytes_get - earlier.bytes_get,
+            gsyncs: self.gsyncs - earlier.gsyncs,
+        }
+    }
+
+    /// Total one-sided operations (puts + gets + amos).
+    pub fn total_ops(&self) -> u64 {
+        self.puts + self.gets + self.amos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_diff() {
+        let c = Counters::default();
+        c.puts.fetch_add(3, Ordering::Relaxed);
+        c.bytes_put.fetch_add(24, Ordering::Relaxed);
+        let a = c.snapshot();
+        c.gets.fetch_add(2, Ordering::Relaxed);
+        let b = c.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.puts, 0);
+        assert_eq!(d.gets, 2);
+        assert_eq!(b.total_ops(), 5);
+    }
+}

@@ -1,0 +1,515 @@
+//! Per-rank communication endpoint — the DMAPP-like API surface.
+//!
+//! Every operation comes in the three DMAPP completion flavours (§2.1):
+//!
+//! * **blocking** — returns when remotely complete (clock joined with the
+//!   completion time);
+//! * **explicit nonblocking** (`*_nb`) — returns an [`NbHandle`] that
+//!   [`Endpoint::wait`] completes individually;
+//! * **implicit nonblocking** (`*_implicit`) — completed only in bulk by
+//!   [`Endpoint::gsync`] (or per-target by [`Endpoint::flush_target`],
+//!   which Gemini exposes as completion queues per endpoint).
+//!
+//! Data always moves immediately (the simulation is sequentially consistent
+//! at the memory level); the flavours differ in how *virtual time* is
+//! accounted, which is what the paper's figures measure.
+//!
+//! ## Stamped sync variables
+//!
+//! Protocol words that other ranks block on (completion counters, lock
+//! words, matching-list heads) are 16-byte cells: a value word followed by a
+//! timestamp word. The `*_sync` operations update/read both so that causal
+//! virtual time flows through synchronisation.
+
+use crate::amo::AmoOp;
+use crate::clock::{bits_to_stamp, stamp_to_bits, Clock};
+use crate::cost::Transport;
+use crate::error::FabricError;
+use crate::segment::SegKey;
+use crate::Fabric;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Completion handle for an explicit-nonblocking operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NbHandle {
+    /// Virtual time at which the operation is remotely complete.
+    pub t_complete: f64,
+}
+
+/// Per-rank endpoint. Owns the rank's virtual [`Clock`]; deliberately not
+/// `Send`: it lives on its rank's thread.
+pub struct Endpoint {
+    fabric: Arc<Fabric>,
+    rank: u32,
+    clock: Clock,
+    pending_all: Cell<f64>,
+    pending_per: RefCell<HashMap<u32, f64>>,
+}
+
+impl Endpoint {
+    /// Create the endpoint for `rank` on `fabric`.
+    pub fn new(fabric: Arc<Fabric>, rank: u32) -> Self {
+        Self {
+            fabric,
+            rank,
+            clock: Clock::new(),
+            pending_all: Cell::new(0.0),
+            pending_per: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The owning rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// The shared fabric.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// This rank's virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Charge `ns` of CPU time (software overhead, compute, ...).
+    pub fn charge(&self, ns: f64) {
+        self.clock.advance(ns);
+    }
+
+    /// Charge `n` floating-point operations of compute.
+    pub fn charge_flops(&self, n: f64) {
+        self.clock.advance(n * self.fabric.model().ns_per_flop);
+    }
+
+    /// Transport used to reach `target`.
+    pub fn transport_to(&self, target: u32) -> Transport {
+        self.fabric.transport(self.rank, target)
+    }
+
+    fn bounds(&self, key: SegKey, off: usize, len: usize) -> Result<Arc<crate::Segment>, FabricError> {
+        let seg = self.fabric.resolve(key)?;
+        if !seg.check(off, len) {
+            return Err(FabricError::OutOfBounds { key, offset: off, len, seg_len: seg.len() });
+        }
+        Ok(seg)
+    }
+
+    fn note_pending(&self, target: u32, t: f64) {
+        if t > self.pending_all.get() {
+            self.pending_all.set(t);
+        }
+        let mut per = self.pending_per.borrow_mut();
+        let e = per.entry(target).or_insert(0.0);
+        if t > *e {
+            *e = t;
+        }
+    }
+
+    // ----------------------------------------------------------------- put
+
+    fn put_raw(&self, key: SegKey, off: usize, src: &[u8]) -> Result<f64, FabricError> {
+        let seg = self.bounds(key, off, src.len())?;
+        let t = self.transport_to(key.rank);
+        let m = self.fabric.model();
+        self.clock.advance(m.inject(t));
+        let t_complete = self.clock.now() + m.put_latency(t, src.len());
+        seg.write(off, src);
+        let c = self.fabric.counters();
+        c.puts.fetch_add(1, Ordering::Relaxed);
+        c.bytes_put.fetch_add(src.len() as u64, Ordering::Relaxed);
+        Ok(t_complete)
+    }
+
+    /// Blocking put: returns when remotely complete.
+    pub fn put(&self, key: SegKey, off: usize, src: &[u8]) -> Result<(), FabricError> {
+        let t = self.put_raw(key, off, src)?;
+        self.clock.join(t);
+        Ok(())
+    }
+
+    /// Explicit-nonblocking put.
+    pub fn put_nb(&self, key: SegKey, off: usize, src: &[u8]) -> Result<NbHandle, FabricError> {
+        let t = self.put_raw(key, off, src)?;
+        Ok(NbHandle { t_complete: t })
+    }
+
+    /// Implicit-nonblocking put, completed by [`Endpoint::gsync`].
+    pub fn put_implicit(&self, key: SegKey, off: usize, src: &[u8]) -> Result<(), FabricError> {
+        let t = self.put_raw(key, off, src)?;
+        self.note_pending(key.rank, t);
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------- get
+
+    fn get_raw(&self, key: SegKey, off: usize, dst: &mut [u8]) -> Result<f64, FabricError> {
+        let seg = self.bounds(key, off, dst.len())?;
+        let t = self.transport_to(key.rank);
+        let m = self.fabric.model();
+        self.clock.advance(m.inject(t));
+        let t_complete = self.clock.now() + m.get_latency(t, dst.len());
+        seg.read(off, dst);
+        let c = self.fabric.counters();
+        c.gets.fetch_add(1, Ordering::Relaxed);
+        c.bytes_get.fetch_add(dst.len() as u64, Ordering::Relaxed);
+        Ok(t_complete)
+    }
+
+    /// Blocking get.
+    pub fn get(&self, key: SegKey, off: usize, dst: &mut [u8]) -> Result<(), FabricError> {
+        let t = self.get_raw(key, off, dst)?;
+        self.clock.join(t);
+        Ok(())
+    }
+
+    /// Explicit-nonblocking get. The destination holds valid data once
+    /// [`Endpoint::wait`] returns.
+    pub fn get_nb(&self, key: SegKey, off: usize, dst: &mut [u8]) -> Result<NbHandle, FabricError> {
+        let t = self.get_raw(key, off, dst)?;
+        Ok(NbHandle { t_complete: t })
+    }
+
+    /// Implicit-nonblocking get, completed by [`Endpoint::gsync`].
+    pub fn get_implicit(&self, key: SegKey, off: usize, dst: &mut [u8]) -> Result<(), FabricError> {
+        let t = self.get_raw(key, off, dst)?;
+        self.note_pending(key.rank, t);
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------- amo
+
+    /// Blocking 8-byte AMO at aligned offset `off`; returns the old value.
+    pub fn amo(
+        &self,
+        key: SegKey,
+        off: usize,
+        op: AmoOp,
+        operand: u64,
+        compare: u64,
+    ) -> Result<u64, FabricError> {
+        let seg = self.bounds(key, off, 8)?;
+        let t = self.transport_to(key.rank);
+        let m = self.fabric.model();
+        self.clock.advance(m.inject(t));
+        let old = seg.amo(off, op, operand, compare);
+        self.clock.advance(m.amo_latency(t));
+        self.fabric.counters().amos.fetch_add(1, Ordering::Relaxed);
+        Ok(old)
+    }
+
+    /// Implicit-nonblocking AMO (result discarded), completed by gsync —
+    /// DMAPP's non-fetching AMO flavour.
+    pub fn amo_implicit(
+        &self,
+        key: SegKey,
+        off: usize,
+        op: AmoOp,
+        operand: u64,
+    ) -> Result<(), FabricError> {
+        let seg = self.bounds(key, off, 8)?;
+        let t = self.transport_to(key.rank);
+        let m = self.fabric.model();
+        self.clock.advance(m.inject(t));
+        let t_complete = self.clock.now() + m.amo_latency(t);
+        seg.amo(off, op, operand, 0);
+        self.note_pending(key.rank, t_complete);
+        self.fabric.counters().amos.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // ----------------------------------------------- stamped sync variables
+
+    /// AMO on a 16-byte sync variable (`[value][stamp]`): performs the AMO
+    /// on the value word, then raises the stamp to this op's completion
+    /// time, so a peer observing the new value inherits our causal time.
+    /// Returns `(old value, old stamp)`.
+    pub fn amo_sync(
+        &self,
+        key: SegKey,
+        off: usize,
+        op: AmoOp,
+        operand: u64,
+        compare: u64,
+    ) -> Result<(u64, f64), FabricError> {
+        let seg = self.bounds(key, off, 16)?;
+        let t = self.transport_to(key.rank);
+        let m = self.fabric.model();
+        self.clock.advance(m.inject(t));
+        let t_complete = self.clock.now() + m.amo_latency(t);
+        let old = seg.amo(off, op, operand, compare);
+        let old_stamp = seg
+            .word(off + 8)
+            .fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
+        self.clock.join(t_complete);
+        self.fabric.counters().amos.fetch_add(1, Ordering::Relaxed);
+        Ok((old, bits_to_stamp(old_stamp)))
+    }
+
+    /// Fire-and-forget AMO on a sync variable: like [`Endpoint::amo_sync`]
+    /// but non-fetching — the origin pays only the injection overhead and
+    /// the AMO completes in the background (tracked for gsync/flush). This
+    /// is DMAPP's non-fetching AMO, the primitive behind the paper's cheap
+    /// release operations (Punlock = 0.4 µs) and completion notifications
+    /// (Pcomplete = 350 ns · k).
+    pub fn amo_sync_release(
+        &self,
+        key: SegKey,
+        off: usize,
+        op: AmoOp,
+        operand: u64,
+    ) -> Result<(), FabricError> {
+        let seg = self.bounds(key, off, 16)?;
+        let t = self.transport_to(key.rank);
+        let m = self.fabric.model();
+        self.clock.advance(m.inject(t));
+        let t_complete = self.clock.now() + m.amo_latency(t);
+        seg.amo(off, op, operand, 0);
+        seg.word(off + 8)
+            .fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
+        self.note_pending(key.rank, t_complete);
+        self.fabric.counters().amos.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Like [`Endpoint::amo_sync_release`], but the notification is
+    /// *ordered after* all implicit operations already issued to the same
+    /// target (NIC fencing): the published stamp is the max of the AMO's
+    /// own completion and the target's pending-operation horizon. The
+    /// origin still pays only the injection overhead. This is the
+    /// primitive behind notified access (put + notification in one call).
+    pub fn amo_sync_release_ordered(
+        &self,
+        key: SegKey,
+        off: usize,
+        op: AmoOp,
+        operand: u64,
+    ) -> Result<(), FabricError> {
+        let seg = self.bounds(key, off, 16)?;
+        let t = self.transport_to(key.rank);
+        let m = self.fabric.model();
+        self.clock.advance(m.inject(t));
+        let pending = self
+            .pending_per
+            .borrow()
+            .get(&key.rank)
+            .copied()
+            .unwrap_or(0.0);
+        let t_complete = (self.clock.now() + m.amo_latency(t)).max(pending);
+        seg.amo(off, op, operand, 0);
+        seg.word(off + 8)
+            .fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
+        self.note_pending(key.rank, t_complete);
+        self.fabric.counters().amos.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Read a 16-byte sync variable; joins the clock with `stamp +
+    /// latency` so waiting loops accrue honest time. Returns the value.
+    pub fn read_sync(&self, key: SegKey, off: usize) -> Result<u64, FabricError> {
+        let seg = self.bounds(key, off, 16)?;
+        let t = self.transport_to(key.rank);
+        let m = self.fabric.model();
+        let local = key.rank == self.rank;
+        let lat = if local { 0.0 } else { m.get_latency(t, 8) };
+        if !local {
+            self.clock.advance(m.inject(t));
+            self.fabric.counters().gets.fetch_add(1, Ordering::Relaxed);
+        }
+        let v = seg.word(off).load(Ordering::Acquire);
+        let s = bits_to_stamp(seg.word(off + 8).load(Ordering::Acquire));
+        self.clock.join(s + lat);
+        self.clock.join(self.clock.now() + lat);
+        Ok(v)
+    }
+
+    /// Write a 16-byte sync variable (value + stamp = our completion time).
+    pub fn write_sync(&self, key: SegKey, off: usize, value: u64) -> Result<(), FabricError> {
+        let seg = self.bounds(key, off, 16)?;
+        let t = self.transport_to(key.rank);
+        let m = self.fabric.model();
+        self.clock.advance(m.inject(t));
+        let t_complete = self.clock.now() + m.put_latency(t, 8);
+        seg.word(off).store(value, Ordering::Release);
+        seg.word(off + 8).fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
+        self.note_pending(key.rank, t_complete);
+        self.fabric.counters().puts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // ---------------------------------------------------------- completion
+
+    /// Wait for one explicit-nonblocking operation.
+    pub fn wait(&self, h: NbHandle) {
+        self.clock.join(h.t_complete);
+    }
+
+    /// Bulk-complete all implicit-nonblocking operations (DMAPP `gsync`).
+    pub fn gsync(&self) {
+        self.clock.join(self.pending_all.get());
+        self.fabric.counters().gsyncs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The completion horizon of implicit operations already issued to
+    /// `target` (what a flush would wait for) — used by request-based
+    /// wrappers to build completion handles.
+    pub fn pending_for(&self, target: u32) -> f64 {
+        self.pending_per.borrow().get(&target).copied().unwrap_or(0.0)
+    }
+
+    /// Complete all implicit operations targeted at `target` (per-target
+    /// remote completion, the substrate of `MPI_Win_flush(target)`).
+    pub fn flush_target(&self, target: u32) {
+        if let Some(&t) = self.pending_per.borrow().get(&target) {
+            self.clock.join(t);
+        }
+    }
+
+    /// Local memory fence (x86 `mfence` analogue, charged per the model).
+    pub fn mfence(&self) {
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.clock.advance(self.fabric.model().mfence_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::segment::Segment;
+
+    fn setup() -> (Arc<Fabric>, Endpoint, Endpoint, SegKey) {
+        // Ranks 0 and 1 on different nodes → DMAPP path.
+        let f = Fabric::new(2, 1, CostModel::default());
+        let ep0 = Endpoint::new(f.clone(), 0);
+        let ep1 = Endpoint::new(f.clone(), 1);
+        let seg = Segment::new(4096);
+        let key = f.register(1, seg);
+        (f, ep0, ep1, key)
+    }
+
+    #[test]
+    fn blocking_put_costs_model_latency() {
+        let (f, ep0, _ep1, key) = setup();
+        let m = f.model().clone();
+        ep0.put(key, 0, &[1u8; 8]).unwrap();
+        let expect = m.inject(Transport::Dmapp) + m.put_latency(Transport::Dmapp, 8);
+        assert!((ep0.clock().now() - expect).abs() < 1e-9);
+        let mut out = [0u8; 8];
+        ep0.get(key, 0, &mut out).unwrap();
+        assert_eq!(out, [1u8; 8]);
+    }
+
+    #[test]
+    fn implicit_ops_cost_only_injection_until_gsync() {
+        let (f, ep0, _ep1, key) = setup();
+        let m = f.model().clone();
+        for i in 0..10 {
+            ep0.put_implicit(key, i * 8, &[i as u8; 8]).unwrap();
+        }
+        let inject_only = 10.0 * m.inject(Transport::Dmapp);
+        assert!((ep0.clock().now() - inject_only).abs() < 1e-9);
+        ep0.gsync();
+        // After gsync we must have paid at least one full latency.
+        assert!(ep0.clock().now() >= inject_only + m.put_latency(Transport::Dmapp, 8));
+    }
+
+    #[test]
+    fn nb_handle_waits() {
+        let (_f, ep0, _ep1, key) = setup();
+        let h = ep0.put_nb(key, 0, &[9u8; 16]).unwrap();
+        let before = ep0.clock().now();
+        assert!(h.t_complete > before);
+        ep0.wait(h);
+        assert_eq!(ep0.clock().now(), h.t_complete);
+    }
+
+    #[test]
+    fn amo_roundtrip_and_cost() {
+        let (f, ep0, _ep1, key) = setup();
+        let old = ep0.amo(key, 0, AmoOp::Add, 42, 0).unwrap();
+        assert_eq!(old, 0);
+        let old = ep0.amo(key, 0, AmoOp::Add, 1, 0).unwrap();
+        assert_eq!(old, 42);
+        let m = f.model();
+        let per = m.inject(Transport::Dmapp) + m.amo_latency(Transport::Dmapp);
+        assert!((ep0.clock().now() - 2.0 * per).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_var_carries_time() {
+        let (_f, ep0, ep1, key) = setup();
+        // Rank 0 does expensive work then signals.
+        ep0.charge(1_000_000.0);
+        ep0.amo_sync(key, 0, AmoOp::Add, 1, 0).unwrap();
+        // Rank 1 reads the flag; its clock must jump past rank 0's signal.
+        let v = ep1.read_sync(key, 0).unwrap();
+        assert_eq!(v, 1);
+        assert!(ep1.clock().now() > 1_000_000.0);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let (_f, ep0, _ep1, key) = setup();
+        assert!(matches!(
+            ep0.put(key, 4090, &[0u8; 16]),
+            Err(FabricError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn per_target_flush() {
+        let f = Fabric::new(3, 1, CostModel::default());
+        let ep0 = Endpoint::new(f.clone(), 0);
+        let k1 = f.register(1, Segment::new(64));
+        let k2 = f.register(2, Segment::new(8192));
+        ep0.put_implicit(k1, 0, &[1u8; 8]).unwrap();
+        ep0.put_implicit(k2, 0, &[2u8; 4096]).unwrap();
+        let t_before = ep0.clock().now();
+        ep0.flush_target(1); // cheap target only
+        let after_1 = ep0.clock().now();
+        ep0.flush_target(2); // expensive 4 KiB put
+        let after_2 = ep0.clock().now();
+        assert!(after_1 >= t_before);
+        assert!(after_2 > after_1);
+    }
+
+    #[test]
+    fn ordered_release_trails_pending_data() {
+        let (f, ep0, ep1, key) = setup();
+        let m = f.model().clone();
+        // A large implicit put followed by an ordered notification: the
+        // notification stamp must not be visible before the data horizon.
+        ep0.put_implicit(key, 16, &[7u8; 2048]).unwrap();
+        let t_data = ep0.clock().now() + m.put_latency(Transport::Dmapp, 2048);
+        ep0.amo_sync_release_ordered(key, 0, AmoOp::Add, 1).unwrap();
+        // The reader joins the stamp: its clock lands at/after the data.
+        let v = ep1.read_sync(key, 0).unwrap();
+        assert_eq!(v, 1);
+        assert!(
+            ep1.clock().now() >= t_data,
+            "notification visible before the data it orders: {} < {}",
+            ep1.clock().now(),
+            t_data
+        );
+        // The origin itself did not block.
+        assert!(ep0.clock().now() < t_data);
+    }
+
+    #[test]
+    fn counters_track_ops() {
+        let (f, ep0, _ep1, key) = setup();
+        let before = f.counters().snapshot();
+        ep0.put(key, 0, &[0u8; 100]).unwrap();
+        let mut buf = [0u8; 50];
+        ep0.get(key, 0, &mut buf).unwrap();
+        ep0.amo(key, 0, AmoOp::Add, 1, 0).unwrap();
+        let d = f.counters().snapshot().since(&before);
+        assert_eq!((d.puts, d.gets, d.amos), (1, 1, 1));
+        assert_eq!((d.bytes_put, d.bytes_get), (100, 50));
+    }
+}

@@ -1,0 +1,54 @@
+//! Fabric error type.
+
+use crate::segment::SegKey;
+
+/// Errors surfaced by the fabric layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// The key does not name a registered segment (stale descriptor —
+    /// e.g. a detached dynamic-window region).
+    UnknownKey(SegKey),
+    /// Symmetric registration id already in use on this rank.
+    KeyTaken(SegKey),
+    /// Access outside the registered region.
+    OutOfBounds {
+        /// Offending key.
+        key: SegKey,
+        /// Requested offset.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// Segment length.
+        seg_len: usize,
+    },
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::UnknownKey(k) => write!(f, "unknown segment key {k:?}"),
+            FabricError::KeyTaken(k) => write!(f, "segment key already registered: {k:?}"),
+            FabricError::OutOfBounds { key, offset, len, seg_len } => write!(
+                f,
+                "access [{offset}, {}) out of bounds of segment {key:?} (len {seg_len})",
+                offset + len
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let k = SegKey { rank: 3, id: 7 };
+        let e = FabricError::OutOfBounds { key: k, offset: 8, len: 16, seg_len: 10 };
+        let s = e.to_string();
+        assert!(s.contains("out of bounds"));
+        assert!(s.contains("len 10"));
+    }
+}

@@ -1,0 +1,208 @@
+//! # fompi-fabric — a software RDMA fabric
+//!
+//! This crate is the hardware substitute for the foMPI paper's two low-level
+//! transports:
+//!
+//! * **DMAPP** (Cray Gemini/Aries user-level RDMA): remote put/get and a
+//!   small set of 8-byte atomic memory operations (AMOs), each available in
+//!   *blocking*, *explicit nonblocking* (returns a [`NbHandle`]) and
+//!   *implicit nonblocking* (completed in bulk by [`Endpoint::gsync`])
+//!   flavours — exactly the DMAPP completion taxonomy described in §2.1 of
+//!   the paper.
+//! * **XPMEM** (Linux kernel module mapping remote process memory): ranks in
+//!   this simulation are threads of one address space, so an "attached"
+//!   segment is simply a direct view ([`xpmem::MappedView`]) on which loads,
+//!   stores and CPU atomics operate.
+//!
+//! Data movement is **real** — a put genuinely deposits bytes into the
+//! target's registered segment, AMOs use genuine CPU atomics, so all
+//! protocol code built on top is exercised for correctness. Time, however,
+//! is **virtual**: every operation advances the origin rank's
+//! [`clock::Clock`] according to a calibrated LogGP-style
+//! [`cost::CostModel`] whose default constants come from the
+//! paper's measured performance functions (Pput = 0.16 ns/B + 1 µs, etc.).
+//! Synchronisation words carry companion timestamps ([`clock::StampCell`])
+//! so that a rank blocking on a remote event observes
+//! `max(own clock, writer clock + latency)` — a conservative Lamport scheme
+//! that preserves the *shape* of the paper's latency figures without the
+//! actual Cray.
+//!
+//! ## Memory safety
+//!
+//! Registered segments are concurrently read and written by many threads
+//! with no locks, as RDMA hardware would. [`segment::Segment`] therefore
+//! stores bytes in atomic cells (see its module docs for the exact aliasing
+//! rules); races yield nondeterministic *values* — an application-level MPI
+//! error — but never undefined behaviour.
+
+pub mod amo;
+pub mod clock;
+pub mod cost;
+pub mod counters;
+pub mod endpoint;
+pub mod error;
+pub mod segment;
+pub mod topology;
+pub mod xpmem;
+
+pub use amo::AmoOp;
+pub use clock::{Clock, StampCell};
+pub use cost::{CostModel, Transport};
+pub use counters::{CounterSnapshot, Counters};
+pub use endpoint::{Endpoint, NbHandle};
+pub use error::FabricError;
+pub use segment::{SegKey, Segment};
+pub use topology::Topology;
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The fabric: the shared "network + NIC registry" that all ranks attach to.
+///
+/// Holds the table of registered memory segments (the RDMA *memory
+/// registration* state), the cost model, the node topology and global
+/// operation counters. One `Fabric` is shared (via `Arc`) by every rank of a
+/// job; per-rank state lives in [`Endpoint`].
+pub struct Fabric {
+    model: CostModel,
+    topo: Topology,
+    segs: RwLock<HashMap<SegKey, Arc<Segment>>>,
+    next_id: AtomicU64,
+    counters: Counters,
+}
+
+impl Fabric {
+    /// Create a fabric for `p` ranks grouped `node_size` per node with the
+    /// given cost model.
+    pub fn new(p: usize, node_size: usize, model: CostModel) -> Arc<Self> {
+        Arc::new(Self {
+            model,
+            topo: Topology::new(p, node_size),
+            segs: RwLock::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+            counters: Counters::default(),
+        })
+    }
+
+    /// The cost model in force.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Node topology (rank → node mapping).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Global operation counters (for scalability assertions in tests).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Register `seg` for remote access by rank `rank`. Returns the key
+    /// remote peers use to address it — the analogue of the DMAPP
+    /// registration descriptor.
+    pub fn register(&self, rank: u32, seg: Arc<Segment>) -> SegKey {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let key = SegKey { rank, id };
+        self.segs.write().insert(key, seg);
+        key
+    }
+
+    /// Register `seg` under a caller-chosen id (the *symmetric heap*
+    /// protocol of §2.2: all ranks of a window agree on one id so remote
+    /// descriptors need O(1) storage). Fails if the id is taken on this
+    /// rank, mirroring the paper's mmap-retry loop.
+    pub fn register_symmetric(
+        &self,
+        rank: u32,
+        id: u64,
+        seg: Arc<Segment>,
+    ) -> Result<SegKey, FabricError> {
+        let key = SegKey { rank, id };
+        let mut segs = self.segs.write();
+        if segs.contains_key(&key) {
+            return Err(FabricError::KeyTaken(key));
+        }
+        segs.insert(key, seg);
+        Ok(key)
+    }
+
+    /// Draw a fresh id from the global id space (used as the "random
+    /// address" proposed by the symmetric-allocation leader).
+    pub fn propose_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Deregister a segment. Remote accesses after this fail.
+    pub fn deregister(&self, key: SegKey) {
+        self.segs.write().remove(&key);
+    }
+
+    /// Resolve a key to its segment (what the NIC does on every request).
+    pub fn resolve(&self, key: SegKey) -> Result<Arc<Segment>, FabricError> {
+        self.segs
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(FabricError::UnknownKey(key))
+    }
+
+    /// Number of ranks in the job.
+    pub fn num_ranks(&self) -> usize {
+        self.topo.num_ranks()
+    }
+
+    /// Which transport connects `a` and `b`.
+    pub fn transport(&self, a: u32, b: u32) -> Transport {
+        if self.topo.same_node(a, b) {
+            Transport::Xpmem
+        } else {
+            Transport::Dmapp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_resolve_roundtrip() {
+        let f = Fabric::new(4, 2, CostModel::default());
+        let seg = Segment::new(128);
+        let key = f.register(0, seg.clone());
+        assert_eq!(key.rank, 0);
+        let got = f.resolve(key).unwrap();
+        assert!(Arc::ptr_eq(&seg, &got));
+    }
+
+    #[test]
+    fn deregister_invalidates() {
+        let f = Fabric::new(2, 1, CostModel::default());
+        let key = f.register(1, Segment::new(8));
+        f.deregister(key);
+        assert!(matches!(f.resolve(key), Err(FabricError::UnknownKey(_))));
+    }
+
+    #[test]
+    fn symmetric_registration_conflicts() {
+        let f = Fabric::new(2, 2, CostModel::default());
+        let id = f.propose_id();
+        assert!(f.register_symmetric(0, id, Segment::new(8)).is_ok());
+        // Same id on the same rank collides (forces the retry loop)...
+        assert!(f.register_symmetric(0, id, Segment::new(8)).is_err());
+        // ...but the same id on a different rank is the whole point.
+        assert!(f.register_symmetric(1, id, Segment::new(8)).is_ok());
+    }
+
+    #[test]
+    fn transport_selection_follows_nodes() {
+        let f = Fabric::new(8, 4, CostModel::default());
+        assert_eq!(f.transport(0, 3), Transport::Xpmem);
+        assert_eq!(f.transport(0, 4), Transport::Dmapp);
+        assert_eq!(f.transport(5, 7), Transport::Xpmem);
+    }
+}

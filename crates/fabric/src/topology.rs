@@ -1,0 +1,90 @@
+//! Rank → node mapping.
+//!
+//! Blue Waters packs 32 ranks per XE6 node; whether a peer is on the same
+//! node decides the transport (XPMEM vs DMAPP) and therefore every
+//! intra-/inter-node crossover in the paper's figures. Ranks are laid out
+//! block-wise (ranks `[i*node_size, (i+1)*node_size)` share node `i`), the
+//! default MPICH mapping.
+
+/// Block-wise rank-to-node topology.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    p: usize,
+    node_size: usize,
+}
+
+impl Topology {
+    /// `p` ranks, `node_size` ranks per node (the last node may be ragged).
+    pub fn new(p: usize, node_size: usize) -> Self {
+        assert!(node_size > 0, "node_size must be positive");
+        Self { p, node_size }
+    }
+
+    /// Total ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.p
+    }
+
+    /// Ranks per node.
+    pub fn node_size(&self) -> usize {
+        self.node_size
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.p.div_ceil(self.node_size)
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: u32) -> u32 {
+        (rank as usize / self.node_size) as u32
+    }
+
+    /// Whether two ranks share a node.
+    pub fn same_node(&self, a: u32, b: u32) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Ranks co-located with `rank` (including itself).
+    pub fn node_ranks(&self, rank: u32) -> std::ops::Range<u32> {
+        let node = rank as usize / self.node_size;
+        let lo = node * self.node_size;
+        let hi = ((node + 1) * self.node_size).min(self.p);
+        lo as u32..hi as u32
+    }
+
+    /// True if all ranks fit on one node (job is XPMEM-only).
+    pub fn single_node(&self) -> bool {
+        self.p <= self.node_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping() {
+        let t = Topology::new(10, 4);
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(t.node_of(9), 2);
+        assert!(t.same_node(4, 7));
+        assert!(!t.same_node(3, 4));
+    }
+
+    #[test]
+    fn node_ranks_ragged_tail() {
+        let t = Topology::new(10, 4);
+        assert_eq!(t.node_ranks(9), 8..10);
+        assert_eq!(t.node_ranks(1), 0..4);
+    }
+
+    #[test]
+    fn single_node_detection() {
+        assert!(Topology::new(4, 8).single_node());
+        assert!(!Topology::new(9, 8).single_node());
+    }
+}

@@ -1,0 +1,111 @@
+//! XPMEM-style intra-node direct mappings.
+//!
+//! XPMEM is a Linux kernel module that maps one process's memory into
+//! another's virtual address space; all accesses then happen with plain
+//! loads/stores and CPU atomics (§2.1). Our ranks are threads, so an
+//! "attach" simply hands out a shared view of the target's [`Segment`].
+//! This is the substrate for MPI-3 *shared memory windows* and for the fast
+//! intra-node path of every communication call.
+
+use crate::error::FabricError;
+use crate::segment::{SegKey, Segment};
+use crate::Fabric;
+use std::sync::Arc;
+
+/// A direct mapping of a peer's registered segment.
+#[derive(Clone)]
+pub struct MappedView {
+    seg: Arc<Segment>,
+    key: SegKey,
+}
+
+impl MappedView {
+    /// Attach to a peer segment. Fails if `key`'s owner is not on the same
+    /// node as `my_rank` (XPMEM cannot cross node boundaries).
+    pub fn attach(fabric: &Fabric, my_rank: u32, key: SegKey) -> Result<Self, FabricError> {
+        assert!(
+            fabric.topology().same_node(my_rank, key.rank),
+            "XPMEM attach requires co-located ranks ({} vs {})",
+            my_rank,
+            key.rank
+        );
+        let seg = fabric.resolve(key)?;
+        Ok(Self { seg, key })
+    }
+
+    /// The mapped segment's key.
+    pub fn key(&self) -> SegKey {
+        self.key
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.seg.len()
+    }
+
+    /// True if the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.seg.is_empty()
+    }
+
+    /// Direct store (load/store semantics — no NIC involved).
+    pub fn store_bytes(&self, off: usize, src: &[u8]) {
+        self.seg.write(off, src);
+    }
+
+    /// Direct load.
+    pub fn load_bytes(&self, off: usize, dst: &mut [u8]) {
+        self.seg.read(off, dst);
+    }
+
+    /// CPU atomic on the mapped memory (x86 `lock` prefix analogue).
+    pub fn atomic(&self, off: usize, op: crate::amo::AmoOp, operand: u64, compare: u64) -> u64 {
+        self.seg.amo(off, op, operand, compare)
+    }
+
+    /// Load one u64.
+    pub fn load_u64(&self, off: usize) -> u64 {
+        self.seg.read_u64(off)
+    }
+
+    /// Store one u64.
+    pub fn store_u64(&self, off: usize, v: u64) {
+        self.seg.write_u64(off, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn attach_and_direct_access() {
+        let f = Fabric::new(4, 4, CostModel::default());
+        let key = f.register(2, Segment::new(256));
+        let view = MappedView::attach(&f, 0, key).unwrap();
+        view.store_bytes(16, b"hello");
+        let mut out = [0u8; 5];
+        view.load_bytes(16, &mut out);
+        assert_eq!(&out, b"hello");
+        assert_eq!(view.len(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "co-located")]
+    fn cross_node_attach_panics() {
+        let f = Fabric::new(4, 2, CostModel::default());
+        let key = f.register(3, Segment::new(8));
+        let _ = MappedView::attach(&f, 0, key);
+    }
+
+    #[test]
+    fn atomics_visible_across_views() {
+        let f = Fabric::new(2, 2, CostModel::default());
+        let key = f.register(1, Segment::new(64));
+        let a = MappedView::attach(&f, 0, key).unwrap();
+        let b = MappedView::attach(&f, 1, key).unwrap();
+        a.atomic(8, crate::amo::AmoOp::Add, 7, 0);
+        assert_eq!(b.load_u64(8), 7);
+    }
+}

@@ -1,0 +1,264 @@
+//! Matching engine: posted-receive and unexpected-message queues.
+//!
+//! The sending rank's thread plays the role of the NIC/firmware: it locks
+//! the destination's queue pair, attempts the tag match, and either
+//! delivers in place (receive already posted — the zero-copy fast path) or
+//! enqueues the message as *unexpected*, buffering eager payloads at the
+//! receiver — the memory cost the paper's RMA protocols eliminate.
+
+use fompi_fabric::SegKey;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Wildcard source.
+pub const ANY_SOURCE: u32 = u32::MAX;
+/// Wildcard tag.
+pub const ANY_TAG: u32 = u32::MAX;
+
+/// Destination buffer of a posted receive. The receiver guarantees the
+/// buffer outlives the matching delivery (it blocks in `recv`, or holds a
+/// `RecvRequest` borrowing the buffer).
+pub(crate) struct RecvSlot {
+    ptr: *mut u8,
+    cap: usize,
+}
+
+// SAFETY: the slot is only dereferenced by the (single) matching sender
+// while holding the destination queue lock, and the receiver keeps the
+// buffer alive until the completion cell fires — enforced by the
+// `RecvRequest` borrow or by blocking in `recv`.
+unsafe impl Send for RecvSlot {}
+
+impl RecvSlot {
+    pub fn new(buf: &mut [u8]) -> Self {
+        Self { ptr: buf.as_mut_ptr(), cap: buf.len() }
+    }
+
+    #[allow(dead_code)]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Deliver `data` into the posted buffer.
+    ///
+    /// # Safety
+    /// Caller must be the matching sender; the receiver's buffer is alive
+    /// per the type-level contract above.
+    pub unsafe fn write(&self, data: &[u8]) {
+        assert!(data.len() <= self.cap, "message longer than posted receive buffer");
+        std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr, data.len());
+    }
+}
+
+/// What a message carries.
+pub(crate) enum Payload {
+    /// Eager: the payload itself (buffered when unexpected).
+    Eager(Vec<u8>),
+    /// Rendezvous RTS: a descriptor for the source buffer plus the
+    /// sender's FIN cell.
+    Rndv { key: SegKey, len: usize, fin: Arc<Completion> },
+}
+
+impl Payload {
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Eager(d) => d.len(),
+            Payload::Rndv { len, .. } => *len,
+        }
+    }
+}
+
+/// A message that arrived before its receive was posted.
+pub(crate) struct Unexpected {
+    pub src: u32,
+    pub tag: u32,
+    /// Virtual arrival time at the receiver.
+    pub t_arrival: f64,
+    pub payload: Payload,
+}
+
+/// A receive posted before its message arrived.
+pub(crate) struct Posted {
+    pub src: u32,
+    pub tag: u32,
+    pub slot: RecvSlot,
+    pub cell: Arc<Completion>,
+}
+
+pub(crate) fn tag_match(want_src: u32, want_tag: u32, src: u32, tag: u32) -> bool {
+    (want_src == ANY_SOURCE || want_src == src) && (want_tag == ANY_TAG || want_tag == tag)
+}
+
+/// Per-rank queue pair.
+pub(crate) struct RankQueues {
+    pub inner: Mutex<QInner>,
+    pub cv: Condvar,
+}
+
+#[derive(Default)]
+pub(crate) struct QInner {
+    pub posted: VecDeque<Posted>,
+    pub unexpected: VecDeque<Unexpected>,
+}
+
+impl RankQueues {
+    fn new() -> Self {
+        Self { inner: Mutex::new(QInner::default()), cv: Condvar::new() }
+    }
+}
+
+/// Completion cell: how the matching side wakes a blocked peer and hands
+/// over the causal timestamp (and, for rendezvous, the pull descriptor).
+pub(crate) struct Completion {
+    state: Mutex<CompletionState>,
+    cv: Condvar,
+}
+
+#[derive(Clone)]
+pub(crate) struct CompletionState {
+    pub done: bool,
+    pub stamp: f64,
+    pub src: u32,
+    pub tag: u32,
+    pub len: usize,
+    /// Present when the receiver must pull the payload itself (rendezvous
+    /// matched against a posted receive).
+    pub pull: Option<PullInfo>,
+}
+
+#[derive(Clone)]
+pub(crate) struct PullInfo {
+    pub key: SegKey,
+    pub len: usize,
+    pub fin: Arc<Completion>,
+}
+
+impl Completion {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(CompletionState {
+                done: false,
+                stamp: 0.0,
+                src: 0,
+                tag: 0,
+                len: 0,
+                pull: None,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Mark complete and wake waiters.
+    pub fn signal(&self, stamp: f64, src: u32, tag: u32, len: usize, pull: Option<PullInfo>) {
+        let mut st = self.state.lock();
+        st.done = true;
+        st.stamp = st.stamp.max(stamp);
+        st.src = src;
+        st.tag = tag;
+        st.len = len;
+        st.pull = pull;
+        self.cv.notify_all();
+    }
+
+    /// Block until signalled; returns the final state.
+    pub fn wait(&self) -> CompletionState {
+        let mut st = self.state.lock();
+        while !st.done {
+            self.cv.wait(&mut st);
+        }
+        st.clone()
+    }
+
+    /// Nonblocking check.
+    pub fn poll(&self) -> Option<CompletionState> {
+        let st = self.state.lock();
+        st.done.then(|| st.clone())
+    }
+}
+
+/// Shared messaging state for a universe: one queue pair per rank plus the
+/// receiver-buffering accountant.
+pub struct MsgEngine {
+    ranks: Box<[RankQueues]>,
+    buffered: AtomicU64,
+    buffered_hw: AtomicU64,
+}
+
+impl MsgEngine {
+    /// Engine for `p` ranks.
+    pub fn new(p: usize) -> Arc<Self> {
+        Arc::new(Self {
+            ranks: (0..p).map(|_| RankQueues::new()).collect(),
+            buffered: AtomicU64::new(0),
+            buffered_hw: AtomicU64::new(0),
+        })
+    }
+
+    /// Rank count the engine was built for.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    pub(crate) fn q(&self, rank: u32) -> &RankQueues {
+        &self.ranks[rank as usize]
+    }
+
+    pub(crate) fn buffer_add(&self, n: usize) {
+        let cur = self.buffered.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
+        self.buffered_hw.fetch_max(cur, Ordering::Relaxed);
+    }
+
+    pub(crate) fn buffer_sub(&self, n: usize) {
+        self.buffered.fetch_sub(n as u64, Ordering::Relaxed);
+    }
+
+    /// Peak bytes of receiver-side eager buffering — the "space" cost of
+    /// message passing the paper's §1 calls out.
+    pub fn buffered_high_water(&self) -> u64 {
+        self.buffered_hw.load(Ordering::Relaxed)
+    }
+
+    /// Currently buffered unexpected-eager bytes.
+    pub fn buffered_now(&self) -> u64 {
+        self.buffered.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_matching_rules() {
+        assert!(tag_match(ANY_SOURCE, ANY_TAG, 5, 9));
+        assert!(tag_match(5, ANY_TAG, 5, 9));
+        assert!(!tag_match(4, ANY_TAG, 5, 9));
+        assert!(tag_match(5, 9, 5, 9));
+        assert!(!tag_match(5, 8, 5, 9));
+    }
+
+    #[test]
+    fn buffering_accounting() {
+        let e = MsgEngine::new(2);
+        e.buffer_add(100);
+        e.buffer_add(50);
+        e.buffer_sub(100);
+        assert_eq!(e.buffered_now(), 50);
+        assert_eq!(e.buffered_high_water(), 150);
+    }
+
+    #[test]
+    fn completion_signal_wait() {
+        let c = Completion::new();
+        let c2 = c.clone();
+        let h = std::thread::spawn(move || c2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(c.poll().is_none());
+        c.signal(42.0, 1, 2, 3, None);
+        let st = h.join().unwrap();
+        assert_eq!((st.stamp, st.src, st.tag, st.len), (42.0, 1, 2, 3));
+        assert!(c.poll().is_some());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the message-passing layer: collectives and matching
+//! must be correct for arbitrary sizes, rank counts and payloads.
+
+use fompi_fabric::CostModel;
+use fompi_msg::{Comm, MsgEngine};
+use fompi_runtime::Universe;
+use proptest::prelude::*;
+
+fn run_msg<T: Send>(p: usize, f: impl Fn(&Comm) -> T + Send + Sync) -> Vec<T> {
+    let engine = MsgEngine::new(p);
+    Universe::new(p)
+        .node_size(2)
+        .model(CostModel::free())
+        .run(move |ctx| f(&Comm::attach(ctx, &engine)))
+}
+
+proptest! {
+    // Thread-spawning tests: keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any payload size crosses the eager/rendezvous boundary intact.
+    #[test]
+    fn send_recv_any_size(len in 0usize..40_000, seed in any::<u64>()) {
+        let data: Vec<u8> = (0..len).map(|i| ((seed as usize + i) % 251) as u8).collect();
+        let d2 = data.clone();
+        let got = run_msg(2, move |c| {
+            if c.rank() == 0 {
+                c.send(&d2, 1, 3).unwrap();
+                Vec::new()
+            } else {
+                let mut buf = vec![0u8; d2.len()];
+                c.recv(&mut buf, 0, 3).unwrap();
+                buf
+            }
+        });
+        prop_assert_eq!(&got[1], &data);
+    }
+
+    /// alltoall is a permutation: every (src, dst) block arrives exactly
+    /// once with the right contents.
+    #[test]
+    fn alltoall_permutation(p in 2usize..6, block in 1usize..40) {
+        let got = run_msg(p, move |c| {
+            let me = c.rank() as usize;
+            let send: Vec<u8> = (0..p)
+                .flat_map(|d| vec![(me * 31 + d * 7) as u8; block])
+                .collect();
+            let mut recv = vec![0u8; p * block];
+            c.alltoall(&send, &mut recv, block);
+            recv
+        });
+        for (dst, recv) in got.iter().enumerate() {
+            for src in 0..p {
+                let expect = (src * 31 + dst * 7) as u8;
+                prop_assert!(recv[src * block..(src + 1) * block].iter().all(|&b| b == expect));
+            }
+        }
+    }
+
+    /// reduce_scatter_u64 computes exact block sums for any p/block size.
+    #[test]
+    fn reduce_scatter_sums(p in 2usize..6, block in 1usize..8, seed in any::<u32>()) {
+        let got = run_msg(p, move |c| {
+            let me = c.rank() as u64;
+            let send: Vec<u64> = (0..p * block)
+                .map(|i| me * 1000 + i as u64 + seed as u64 % 17)
+                .collect();
+            let mut out = vec![0u64; block];
+            c.reduce_scatter_u64(&send, &mut out);
+            out
+        });
+        for (r, out) in got.iter().enumerate() {
+            for j in 0..block {
+                let idx = r * block + j;
+                let expect: u64 = (0..p as u64)
+                    .map(|s| s * 1000 + idx as u64 + seed as u64 % 17)
+                    .sum();
+                prop_assert_eq!(out[j], expect, "rank {} elem {}", r, j);
+            }
+        }
+    }
+
+    /// allreduce_f64 sum equals the serial sum for any rank count.
+    #[test]
+    fn allreduce_matches_serial(p in 2usize..8, vals in proptest::collection::vec(-1e6f64..1e6, 1..5)) {
+        let v2 = vals.clone();
+        let got = run_msg(p, move |c| {
+            let mut mine: Vec<f64> = v2.iter().map(|v| v + c.rank() as f64).collect();
+            c.allreduce_f64(&mut mine, |a, b| a + b);
+            mine
+        });
+        // All ranks agree.
+        for other in &got[1..] {
+            prop_assert_eq!(other, &got[0]);
+        }
+        // And the total is a permutation-sum of the inputs (tolerant).
+        for (i, &v) in got[0].iter().enumerate() {
+            let expect: f64 = (0..p).map(|r| vals[i] + r as f64).sum();
+            prop_assert!((v - expect).abs() < 1e-6 * expect.abs().max(1.0));
+        }
+    }
+
+    /// Messages with distinct tags never cross-match.
+    #[test]
+    fn tags_isolate_flows(n in 1usize..20) {
+        let got = run_msg(2, move |c| {
+            if c.rank() == 0 {
+                // Interleave two tag flows.
+                for i in 0..n {
+                    c.send(&[i as u8], 1, 100).unwrap();
+                    c.send(&[i as u8 | 0x80], 1, 200).unwrap();
+                }
+                (Vec::new(), Vec::new())
+            } else {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                for _ in 0..n {
+                    let mut buf = [0u8; 1];
+                    c.recv(&mut buf, 0, 200).unwrap();
+                    b.push(buf[0]);
+                    c.recv(&mut buf, 0, 100).unwrap();
+                    a.push(buf[0]);
+                }
+                (a, b)
+            }
+        });
+        let (a, b) = &got[1];
+        prop_assert_eq!(a, &(0..n as u8).collect::<Vec<_>>());
+        prop_assert_eq!(b, &(0..n as u8).map(|i| i | 0x80).collect::<Vec<_>>());
+    }
+}

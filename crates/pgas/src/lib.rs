@@ -1,0 +1,43 @@
+//! # fompi-pgas — the compiled-PGAS baseline (Cray UPC / Fortran Coarrays)
+//!
+//! §3 of the paper benchmarks foMPI against Cray's UPC and Fortran 2008
+//! coarray compilers, both of which drive the same DMAPP hardware but
+//! through heavier compiler-generated software paths ("foMPI has more than
+//! 50% lower latency than other PGAS models", §3.1). This crate provides
+//! that comparison surface:
+//!
+//! * [`SharedArray`] — a UPC-style blocked shared array with
+//!   `upc_memput`/`upc_memget`, `upc_fence`, `upc_barrier` and the
+//!   Cray-specific atomic extensions (`aadd`, `cas`) used by the hashtable
+//!   study (§4.1);
+//! * [`Coarray`] — a Fortran-coarray-style object with remote assignment
+//!   (`buf(1:n)[img] = ...`), `sync_all` and `sync_memory`;
+//! * [`PgasCosts`] — the per-call software overheads of the two compilers,
+//!   calibrated so the paper's latency ordering (foMPI < UPC < CAF)
+//!   emerges from the shared fabric model.
+
+pub mod coarray;
+pub mod shared;
+
+pub use coarray::Coarray;
+pub use shared::SharedArray;
+
+/// Software overheads of the compiled-PGAS runtimes (ns per call).
+/// Calibrated to Figure 4a's inset: at 8 bytes foMPI ≈ 1.0–1.2 µs,
+/// Cray UPC ≈ 2 µs, Cray CAF ≈ 2.5–3 µs over the same ≈1 µs DMAPP put.
+#[derive(Debug, Clone, Copy)]
+pub struct PgasCosts {
+    /// Per-operation overhead of the Cray UPC runtime.
+    pub upc_op_ns: f64,
+    /// Per-operation overhead of the Cray CAF runtime.
+    pub caf_op_ns: f64,
+    /// Extra cost of `upc_barrier`/`sync all` over a raw dissemination
+    /// barrier round (their implementations synchronise memory on the way).
+    pub barrier_extra_ns: f64,
+}
+
+impl Default for PgasCosts {
+    fn default() -> Self {
+        Self { upc_op_ns: 900.0, caf_op_ns: 1_500.0, barrier_extra_ns: 800.0 }
+    }
+}

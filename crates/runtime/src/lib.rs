@@ -1,0 +1,274 @@
+//! # fompi-runtime — ranks, nodes and internal collectives
+//!
+//! MPI processes are simulated as threads of one OS process sharing a
+//! [`fompi_fabric::Fabric`]. A [`Universe`] describes the job (rank count,
+//! ranks per node, cost model); [`Universe::run`] spawns one thread per rank
+//! and hands each a [`RankCtx`] — the per-rank execution context holding the
+//! rank id, its fabric [`Endpoint`] and the collective engine.
+//!
+//! The collectives here are the *internal* ones an MPI-RMA implementation
+//! itself needs (window creation uses two allgathers, allocated windows use
+//! an allreduce-driven retry loop, fence needs a barrier — §2.2/§2.3 of the
+//! paper). They are implemented with shared-memory exchange for
+//! correctness, and charged virtual time according to the scalable
+//! algorithms the paper assumes: dissemination barrier, Bruck allgather,
+//! binomial broadcast, recursive-doubling allreduce — all `O(log p)` rounds.
+
+pub mod coll;
+pub mod group;
+
+pub use coll::CollEngine;
+pub use group::Group;
+
+use fompi_fabric::{CostModel, Endpoint, Fabric};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A parallel job description: `p` ranks, `node_size` ranks per simulated
+/// node, and the fabric cost model.
+pub struct Universe {
+    p: usize,
+    node_size: usize,
+    model: CostModel,
+}
+
+impl Universe {
+    /// A job of `p` ranks, 32 per node (the Blue Waters XE6 layout).
+    pub fn new(p: usize) -> Self {
+        Self { p, node_size: 32, model: CostModel::default() }
+    }
+
+    /// Override ranks per node.
+    pub fn node_size(mut self, node_size: usize) -> Self {
+        assert!(node_size > 0);
+        self.node_size = node_size;
+        self
+    }
+
+    /// Override the cost model.
+    pub fn model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.p
+    }
+
+    /// Spawn one thread per rank, run `f` on each, and return the per-rank
+    /// results in rank order together with the fabric (for counter
+    /// inspection).
+    pub fn launch<T, F>(&self, f: F) -> (Vec<T>, Arc<Fabric>)
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Send + Sync,
+    {
+        let fabric = Fabric::new(self.p, self.node_size, self.model.clone());
+        let coll = Arc::new(CollEngine::new(self.p, fabric.clone()));
+        let mut results: Vec<Option<T>> = (0..self.p).map(|_| None).collect();
+        let fref = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = results
+                .iter_mut()
+                .enumerate()
+                .map(|(rank, slot)| {
+                    let fabric = fabric.clone();
+                    let coll = coll.clone();
+                    std::thread::Builder::new()
+                        .name(format!("rank-{rank}"))
+                        .stack_size(8 << 20)
+                        .spawn_scoped(s, move || {
+                            let mut ctx = RankCtx::new(rank as u32, fabric, coll);
+                            *slot = Some(fref(&mut ctx));
+                        })
+                        .expect("failed to spawn rank thread")
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("rank thread panicked");
+            }
+        });
+        (results.into_iter().map(|r| r.unwrap()).collect(), fabric)
+    }
+
+    /// [`Universe::launch`] discarding the fabric.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Send + Sync,
+    {
+        self.launch(f).0
+    }
+}
+
+/// Per-rank execution context. One per rank thread; not `Send`.
+pub struct RankCtx {
+    rank: u32,
+    size: usize,
+    ep: Rc<Endpoint>,
+    coll: Arc<CollEngine>,
+}
+
+impl RankCtx {
+    /// Build the context for `rank`.
+    pub fn new(rank: u32, fabric: Arc<Fabric>, coll: Arc<CollEngine>) -> Self {
+        let size = fabric.num_ranks();
+        let ep = Rc::new(Endpoint::new(fabric, rank));
+        Self { rank, size, ep, coll }
+    }
+
+    /// This rank's id.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Job size (number of ranks).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The fabric endpoint.
+    pub fn ep(&self) -> &Endpoint {
+        &self.ep
+    }
+
+    /// A shareable handle to the endpoint (windows keep one).
+    pub fn ep_rc(&self) -> Rc<Endpoint> {
+        self.ep.clone()
+    }
+
+    /// The shared fabric.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        self.ep.fabric()
+    }
+
+    /// Current virtual time (ns).
+    pub fn now(&self) -> f64 {
+        self.ep.clock().now()
+    }
+
+    /// The collective engine.
+    pub fn coll(&self) -> &CollEngine {
+        &self.coll
+    }
+
+    /// Shared handle to the collective engine (windows keep one for fence).
+    pub fn coll_arc(&self) -> Arc<CollEngine> {
+        self.coll.clone()
+    }
+
+    /// Dissemination barrier over all ranks (virtual-time `O(log p)`).
+    pub fn barrier(&self) {
+        self.coll.barrier(&self.ep);
+    }
+
+    /// Allgather: contribute `bytes`, receive every rank's contribution in
+    /// rank order. All contributions must have equal length.
+    pub fn allgather(&self, bytes: &[u8]) -> Vec<Vec<u8>> {
+        self.coll.allgather(&self.ep, bytes)
+    }
+
+    /// Allreduce a u64 with a commutative-associative `op`.
+    pub fn allreduce_u64(&self, v: u64, op: impl Fn(u64, u64) -> u64 + Copy) -> u64 {
+        self.coll.allreduce_u64(&self.ep, v, op)
+    }
+
+    /// Broadcast from `root`: root's `bytes` are returned on every rank.
+    pub fn bcast(&self, root: u32, bytes: &[u8]) -> Vec<u8> {
+        self.coll.bcast(&self.ep, root, bytes)
+    }
+
+    /// The group of all ranks.
+    pub fn world(&self) -> Group {
+        Group::world(self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_get_distinct_ids() {
+        let ranks = Universe::new(6).node_size(2).run(|ctx| ctx.rank());
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn barrier_equalises_clocks() {
+        let times = Universe::new(4).node_size(2).run(|ctx| {
+            // Skewed work before the barrier.
+            ctx.ep().charge(1000.0 * ctx.rank() as f64);
+            ctx.barrier();
+            ctx.now()
+        });
+        let t0 = times[0];
+        assert!(times.iter().all(|&t| (t - t0).abs() < 1e-6), "{times:?}");
+        // Everyone ends past the slowest rank's pre-barrier time.
+        assert!(t0 > 3000.0);
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let out = Universe::new(5).node_size(8).run(|ctx| {
+            let mine = [ctx.rank() as u8 * 10; 4];
+            ctx.allgather(&mine)
+        });
+        for per_rank in out {
+            for (r, v) in per_rank.iter().enumerate() {
+                assert_eq!(v, &vec![r as u8 * 10; 4]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_sums() {
+        let out = Universe::new(8)
+            .node_size(4)
+            .run(|ctx| ctx.allreduce_u64(ctx.rank() as u64 + 1, |a, b| a + b));
+        assert!(out.iter().all(|&v| v == 36));
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let out = Universe::new(4).node_size(4).run(|ctx| {
+            let data = if ctx.rank() == 2 { vec![7u8, 8, 9] } else { vec![] };
+            ctx.bcast(2, &data)
+        });
+        assert!(out.iter().all(|v| v == &[7, 8, 9]));
+    }
+
+    #[test]
+    fn repeated_barriers_preserve_clock_monotonicity() {
+        let times = Universe::new(3).node_size(1).run(|ctx| {
+            let mut prev = ctx.now();
+            for _ in 0..10 {
+                ctx.barrier();
+                let t = ctx.now();
+                assert!(t >= prev);
+                prev = t;
+            }
+            prev
+        });
+        let t0 = times[0];
+        assert!(times.iter().all(|&t| (t - t0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn barrier_cost_scales_logarithmically() {
+        let cost_at = |p: usize| {
+            let times = Universe::new(p).node_size(1).run(|ctx| {
+                ctx.barrier(); // warm-up alignment
+                let t0 = ctx.now();
+                ctx.barrier();
+                ctx.now() - t0
+            });
+            times[0]
+        };
+        let c2 = cost_at(2);
+        let c16 = cost_at(16);
+        // log2(16)/log2(2) = 4 → cost ratio ≈ 4.
+        assert!((c16 / c2 - 4.0).abs() < 0.2, "c2={c2} c16={c16}");
+    }
+}

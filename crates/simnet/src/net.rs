@@ -1,0 +1,273 @@
+//! Network cost models for the simulators.
+//!
+//! [`LogGP`] carries the Gemini constants (the same defaults as the live
+//! fabric's `CostModel`); [`Torus3D`] adds dimension-ordered routing with
+//! per-link occupancy, the congestion source behind the hashtable spikes
+//! the paper attributes to "different job layouts in the Gemini torus".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// LogGP-flavoured parameters (ns / ns-per-byte).
+#[derive(Debug, Clone)]
+pub struct LogGP {
+    /// CPU injection overhead per message (o).
+    pub o: f64,
+    /// Base network latency (L) of a put.
+    pub l_put: f64,
+    /// Base network latency of a get (round trip).
+    pub l_get: f64,
+    /// Per-byte cost (G).
+    pub g: f64,
+    /// Remote-AMO latency.
+    pub amo: f64,
+    /// Intra-node injection overhead.
+    pub o_intra: f64,
+    /// Intra-node latency.
+    pub l_intra: f64,
+    /// Software layer overhead for foMPI calls.
+    pub sw_fompi: f64,
+    /// Software layer overhead for Cray UPC calls.
+    pub sw_upc: f64,
+    /// Software layer overhead for Cray CAF calls.
+    pub sw_caf: f64,
+    /// Per-message matching/software cost of Cray MPI-1.
+    pub sw_mpi1: f64,
+    /// Per-op software-agent cost of Cray MPI-2.2 one-sided.
+    pub sw_mpi22: f64,
+    /// Compute speed (ns/flop).
+    pub ns_per_flop: f64,
+}
+
+impl Default for LogGP {
+    fn default() -> Self {
+        Self {
+            o: 416.0,
+            l_put: 1_000.0,
+            l_get: 1_900.0,
+            g: 0.16,
+            amo: 2_400.0,
+            o_intra: 80.0,
+            l_intra: 250.0,
+            sw_fompi: 75.0,
+            sw_upc: 900.0,
+            sw_caf: 1_500.0,
+            sw_mpi1: 700.0,
+            sw_mpi22: 7_000.0,
+            ns_per_flop: 0.11,
+        }
+    }
+}
+
+impl LogGP {
+    /// One-way put time for `bytes`.
+    pub fn put(&self, bytes: usize) -> f64 {
+        self.l_put + self.g * bytes as f64
+    }
+
+    /// Remote get (round trip) for `bytes`.
+    pub fn get(&self, bytes: usize) -> f64 {
+        self.l_get + 0.17 * bytes as f64
+    }
+
+    /// One dissemination-barrier round (inject + 8-byte put + poll pickup).
+    pub fn barrier_round(&self) -> f64 {
+        self.o + self.put(8)
+    }
+
+    /// An MPI-1 small-message half-round-trip (send → matched receive).
+    pub fn mpi1_msg(&self, bytes: usize) -> f64 {
+        self.o + self.sw_mpi1 + self.put(bytes + 32)
+    }
+}
+
+/// A 3-D torus with per-link occupancy (wormhole-ish approximation:
+/// a message claims each link on its dimension-ordered path in turn; the
+/// arrival time accumulates waiting at busy links).
+pub struct Torus3D {
+    dims: [usize; 3],
+    /// busy-until time for each directed link: node × 6 directions.
+    busy: Vec<f64>,
+    /// Per-hop router latency.
+    pub hop_ns: f64,
+    /// Link serialisation cost per byte.
+    pub byte_ns: f64,
+}
+
+impl Torus3D {
+    /// A near-cubic torus hosting `nodes` nodes.
+    pub fn new(nodes: usize) -> Torus3D {
+        let mut dx = (nodes as f64).cbrt().round() as usize;
+        dx = dx.max(1);
+        while nodes % dx != 0 {
+            dx -= 1;
+        }
+        let rest = nodes / dx;
+        let mut dy = (rest as f64).sqrt().round() as usize;
+        dy = dy.max(1);
+        while rest % dy != 0 {
+            dy -= 1;
+        }
+        let dz = rest / dy;
+        let dims = [dx, dy, dz];
+        Torus3D {
+            dims,
+            busy: vec![0.0; nodes * 6],
+            hop_ns: 105.0,  // Gemini per-hop
+            byte_ns: 0.19,  // ~5.2 GB/s per link
+        }
+    }
+
+    /// The torus dimensions.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    fn coords(&self, node: usize) -> [usize; 3] {
+        let [dx, dy, _] = self.dims;
+        [node % dx, (node / dx) % dy, node / (dx * dy)]
+    }
+
+    fn node(&self, c: [usize; 3]) -> usize {
+        let [dx, dy, _] = self.dims;
+        c[0] + dx * (c[1] + dy * c[2])
+    }
+
+    /// Hop count of the dimension-ordered shortest path.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let ca = self.coords(a);
+        let cb = self.coords(b);
+        (0..3)
+            .map(|d| {
+                let n = self.dims[d];
+                let diff = ca[d].abs_diff(cb[d]);
+                diff.min(n - diff)
+            })
+            .sum()
+    }
+
+    /// Route a message of `bytes` from node `a` to node `b`, departing at
+    /// `t`; returns the arrival time and updates link occupancy.
+    pub fn route(&mut self, a: usize, b: usize, bytes: usize, t: f64) -> f64 {
+        let mut cur = self.coords(a);
+        let target = self.coords(b);
+        let ser = self.byte_ns * bytes as f64;
+        let mut time = t;
+        for d in 0..3 {
+            while cur[d] != target[d] {
+                let n = self.dims[d];
+                let fwd = (target[d] + n - cur[d]) % n;
+                let go_up = fwd <= n - fwd;
+                let dir = 2 * d + usize::from(!go_up);
+                let link = self.node(cur) * 6 + dir;
+                // Wait for the link, then occupy it for the serialisation
+                // time and hop onward.
+                time = time.max(self.busy[link]) + self.hop_ns;
+                self.busy[link] = time + ser;
+                cur[d] = if go_up { (cur[d] + 1) % n } else { (cur[d] + n - 1) % n };
+            }
+        }
+        time + ser
+    }
+
+    /// Reset occupancy between experiments.
+    pub fn reset(&mut self) {
+        self.busy.iter_mut().for_each(|b| *b = 0.0);
+    }
+}
+
+/// Per-rank OS-noise generator: occasional detours of `amp_ns` with
+/// probability `prob` per operation — the source of the jitter the paper's
+/// Figure 6c shows beyond ~1000 processes (cf. Petrini's "missing
+/// supercomputer performance").
+pub struct Noise {
+    rng: StdRng,
+    /// Perturbation probability per sample.
+    pub prob: f64,
+    /// Perturbation amplitude (ns).
+    pub amp_ns: f64,
+}
+
+impl Noise {
+    /// Deterministic noise source.
+    pub fn new(seed: u64, prob: f64, amp_ns: f64) -> Noise {
+        Noise { rng: StdRng::seed_from_u64(seed), prob, amp_ns }
+    }
+
+    /// Disabled noise.
+    pub fn off() -> Noise {
+        Noise::new(0, 0.0, 0.0)
+    }
+
+    /// Sample one perturbation.
+    pub fn sample(&mut self) -> f64 {
+        if self.prob > 0.0 && self.rng.random::<f64>() < self.prob {
+            self.amp_ns * self.rng.random::<f64>()
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_dims_cover_nodes() {
+        for n in [1, 8, 27, 64, 100, 1000, 1024] {
+            let t = Torus3D::new(n);
+            let [a, b, c] = t.dims();
+            assert_eq!(a * b * c, n, "n={n} dims={:?}", t.dims());
+        }
+    }
+
+    #[test]
+    fn hops_symmetric_and_wrapping() {
+        let t = Torus3D::new(64); // 4x4x4
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 1), 1);
+        // Wrap-around: distance 3 becomes 1.
+        assert_eq!(t.hops(0, 3), 1);
+        for (a, b) in [(0, 13), (5, 62), (7, 7)] {
+            assert_eq!(t.hops(a, b), t.hops(b, a));
+        }
+    }
+
+    #[test]
+    fn congestion_delays_messages() {
+        let mut t = Torus3D::new(8);
+        let big = 1 << 20;
+        let first = t.route(0, 1, big, 0.0);
+        // Same link immediately after: must wait out the serialisation.
+        let second = t.route(0, 1, big, 0.0);
+        assert!(second > first, "{second} vs {first}");
+        t.reset();
+        let fresh = t.route(0, 1, big, 0.0);
+        assert_eq!(fresh, first);
+    }
+
+    #[test]
+    fn loggp_sanity() {
+        let m = LogGP::default();
+        assert!(m.put(8) < m.get(8));
+        assert!(m.barrier_round() > 1_000.0);
+    }
+
+    #[test]
+    fn noise_off_is_zero() {
+        let mut n = Noise::off();
+        for _ in 0..100 {
+            assert_eq!(n.sample(), 0.0);
+        }
+    }
+
+    #[test]
+    fn noise_on_is_bounded() {
+        let mut n = Noise::new(7, 1.0, 500.0);
+        for _ in 0..100 {
+            let s = n.sample();
+            assert!((0.0..=500.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! 3-D FFT with communication/computation overlap (§4.3 / Figure 7c).
+//!
+//! ```text
+//! cargo run --release --example fft3d [ranks] [grid_edge]
+//! ```
+//!
+//! Transforms an n³ complex grid with a z-slab decomposition, comparing the
+//! blocking MPI-1 exchange against the overlapped RMA and UPC slab
+//! pipelines, and verifies all three against a serial FFT.
+
+use fompi_apps::fft::{self, FftConfig};
+use fompi_msg::{Comm, MsgEngine};
+use fompi_runtime::Universe;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let p: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
+    assert!(n.is_power_of_two() && n % p == 0, "need power-of-two n divisible by p");
+    let cfg = FftConfig { n, seed: 2026 };
+    println!("== 3-D FFT: {n}^3 grid on {p} ranks ==\n");
+
+    let engine = MsgEngine::new(p);
+    let mpi = Universe::new(p).node_size(4).run(move |ctx| {
+        let c = Comm::attach(ctx, &engine);
+        fft::run_mpi1(ctx, &c, &cfg, false)
+    });
+    let rma = Universe::new(p).node_size(4).run(move |ctx| fft::run_rma(ctx, &cfg));
+    let upc = Universe::new(p).node_size(4).run(move |ctx| fft::run_upc(ctx, &cfg));
+
+    // Verify the distributed results against each other (all variants do
+    // identical arithmetic) and spot-check against the serial reference.
+    let reference = fft::fft3d_serial(&cfg);
+    let nxl = n / p;
+    for (rank, res) in rma.iter().enumerate() {
+        for (i, &got) in res.local_out.iter().enumerate().step_by(97) {
+            let z = i / (n * nxl);
+            let y = (i / nxl) % n;
+            let xl = i % nxl;
+            let want = reference[(z * n + y) * n + rank * nxl + xl];
+            assert!(
+                (got.re - want.re).abs() < 1e-6 && (got.im - want.im).abs() < 1e-6,
+                "RMA result mismatch at rank {rank} index {i}"
+            );
+        }
+        assert_eq!(res.local_out, mpi[rank].local_out, "MPI-1 differs at rank {rank}");
+        assert_eq!(res.local_out, upc[rank].local_out, "UPC differs at rank {rank}");
+    }
+
+    let gf = |rs: &[fft::FftResult]| {
+        let t = rs.iter().map(|r| r.time_ns).fold(0.0, f64::max);
+        (fft::fft_flops(n * n * n) / t, t / 1e3)
+    };
+    let (g_mpi, t_mpi) = gf(&mpi);
+    let (g_rma, t_rma) = gf(&rma);
+    let (g_upc, t_upc) = gf(&upc);
+    println!("MPI-1 (bulk exchange) : {g_mpi:>8.3} GFlop/s  ({t_mpi:.1} us)");
+    println!("UPC   (overlap slabs) : {g_upc:>8.3} GFlop/s  ({t_upc:.1} us)");
+    println!("foMPI (overlap slabs) : {g_rma:>8.3} GFlop/s  ({t_rma:.1} us)");
+    println!("\nfoMPI speedup over MPI-1: {:+.1}%", (g_rma / g_mpi - 1.0) * 100.0);
+    println!("results verified against serial FFT — OK");
+}

@@ -1,0 +1,26 @@
+//! # fompi-repro — umbrella crate
+//!
+//! Re-exports the whole reproduction workspace of *Enabling
+//! Highly-Scalable Remote Memory Access Programming with MPI-3 One Sided*
+//! (Gerstenberger, Besta, Hoefler; SC'13) under one roof, for the examples
+//! and the cross-crate integration tests.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`fabric`]  | `fompi-fabric`  | simulated DMAPP/XPMEM RDMA fabric |
+//! | [`runtime`] | `fompi-runtime` | rank threads, nodes, internal collectives |
+//! | [`fompi`]   | `fompi`         | the MPI-3 RMA implementation (the paper's contribution) |
+//! | [`msg`]     | `fompi-msg`     | MPI-1/2.2 message-passing baseline |
+//! | [`pgas`]    | `fompi-pgas`    | UPC / Fortran-coarray baseline |
+//! | [`simnet`]  | `fompi-simnet`  | large-scale discrete-event simulation |
+//! | [`apps`]    | `fompi-apps`    | hashtable, DSDE, 3-D FFT, MILC proxy |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use fompi;
+pub use fompi_apps as apps;
+pub use fompi_fabric as fabric;
+pub use fompi_msg as msg;
+pub use fompi_pgas as pgas;
+pub use fompi_runtime as runtime;
+pub use fompi_simnet as simnet;

@@ -1,0 +1,259 @@
+//! Epoch state-machine misuse matrix: every illegal transition must return
+//! a typed error (MPI would abort; we assert the detection) and leave the
+//! window usable.
+
+use fompi::{FompiError, LockType, Win};
+use fompi_fabric::CostModel;
+use fompi_runtime::{Group, Universe};
+
+fn two_ranks<T: Send>(f: impl Fn(&fompi_runtime::RankCtx, &Win) -> T + Send + Sync) -> Vec<T> {
+    Universe::new(2)
+        .node_size(1)
+        .model(CostModel::free())
+        .run(move |ctx| {
+            let win = Win::allocate(ctx, 64, 1).unwrap();
+            let out = f(ctx, &win);
+            ctx.barrier();
+            out
+        })
+}
+
+#[test]
+fn put_without_epoch_is_rejected() {
+    let got = two_ranks(|ctx, win| {
+        let other = (ctx.rank() + 1) % 2;
+        matches!(
+            win.put(&[1u8; 4], other, 0),
+            Err(FompiError::NoAccessEpoch { .. })
+        )
+    });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn pscw_put_outside_group_is_rejected() {
+    let got = Universe::new(3)
+        .node_size(1)
+        .model(CostModel::free())
+        .run(|ctx| {
+            let win = Win::allocate(ctx, 64, 1).unwrap();
+            let mut bad = true;
+            match ctx.rank() {
+                0 => {
+                    win.start(&Group::new([1])).unwrap();
+                    // Rank 2 is not in the access group.
+                    bad = matches!(
+                        win.put(&[1u8; 4], 2, 0),
+                        Err(FompiError::NoAccessEpoch { target: 2 })
+                    );
+                    win.put(&[1u8; 4], 1, 0).unwrap(); // in-group is fine
+                    win.complete().unwrap();
+                }
+                1 => {
+                    win.post(&Group::new([0])).unwrap();
+                    win.wait().unwrap();
+                }
+                _ => {}
+            }
+            ctx.barrier();
+            bad
+        });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn complete_without_start_and_wait_without_post() {
+    let got = two_ranks(|_ctx, win| {
+        let a = matches!(win.complete(), Err(FompiError::InvalidEpoch(_)));
+        let b = matches!(win.wait(), Err(FompiError::InvalidEpoch(_)));
+        let c = matches!(win.test(), Err(FompiError::InvalidEpoch(_)));
+        a && b && c
+    });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn unlock_without_lock_is_rejected() {
+    let got = two_ranks(|ctx, win| {
+        let other = (ctx.rank() + 1) % 2;
+        matches!(win.unlock(other), Err(FompiError::InvalidEpoch(_)))
+    });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn double_lock_same_target_is_rejected() {
+    let got = two_ranks(|ctx, win| {
+        let other = (ctx.rank() + 1) % 2;
+        win.lock(LockType::Shared, other).unwrap();
+        let bad = matches!(
+            win.lock(LockType::Shared, other),
+            Err(FompiError::InvalidEpoch(_))
+        );
+        win.unlock(other).unwrap();
+        bad
+    });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn fence_during_lock_epoch_is_rejected() {
+    let got = two_ranks(|ctx, win| {
+        let other = (ctx.rank() + 1) % 2;
+        win.lock(LockType::Shared, other).unwrap();
+        let bad = matches!(win.fence(), Err(FompiError::InvalidEpoch(_)));
+        win.unlock(other).unwrap();
+        bad
+    });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn lock_all_during_lock_epoch_is_rejected() {
+    let got = two_ranks(|ctx, win| {
+        let other = (ctx.rank() + 1) % 2;
+        win.lock(LockType::Shared, other).unwrap();
+        let bad = matches!(win.lock_all(), Err(FompiError::InvalidEpoch(_)));
+        win.unlock(other).unwrap();
+        bad
+    });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn flush_outside_passive_epoch_is_rejected() {
+    let got = two_ranks(|ctx, win| {
+        let other = (ctx.rank() + 1) % 2;
+        let a = matches!(win.flush(other), Err(FompiError::InvalidEpoch(_)));
+        let b = matches!(win.flush_all(), Err(FompiError::InvalidEpoch(_)));
+        a && b
+    });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn flush_wrong_target_is_rejected() {
+    let got = two_ranks(|ctx, win| {
+        let other = (ctx.rank() + 1) % 2;
+        win.lock(LockType::Shared, other).unwrap();
+        // Own rank is not locked.
+        let bad = matches!(win.flush(ctx.rank()), Err(FompiError::InvalidEpoch(_)));
+        win.unlock(other).unwrap();
+        bad
+    });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn out_of_bounds_put_is_rejected_and_window_survives() {
+    let got = two_ranks(|ctx, win| {
+        let other = (ctx.rank() + 1) % 2;
+        win.lock(LockType::Shared, other).unwrap();
+        let bad = matches!(
+            win.put(&[0u8; 128], other, 0),
+            Err(FompiError::OutOfBounds { .. })
+        );
+        // The window remains usable after the error.
+        win.put(&[7u8; 8], other, 0).unwrap();
+        win.flush(other).unwrap();
+        win.unlock(other).unwrap();
+        ctx.barrier();
+        let mut b = [0u8; 8];
+        win.read_local(0, &mut b);
+        bad && b[0] == 7
+    });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn attach_on_static_window_is_rejected() {
+    let got = two_ranks(|_ctx, win| {
+        let a = win.attach(64).is_err();
+        let b = win.detach(0x1000_0000).is_err();
+        a && b
+    });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn shared_query_on_non_shared_window_is_rejected() {
+    let got = two_ranks(|_ctx, win| win.shared_query(0).is_err());
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn double_post_without_wait_is_rejected() {
+    let got = Universe::new(2)
+        .node_size(1)
+        .model(CostModel::free())
+        .run(|ctx| {
+            let win = Win::allocate(ctx, 8, 1).unwrap();
+            let mut bad = true;
+            if ctx.rank() == 1 {
+                win.post(&Group::new([0])).unwrap();
+                bad = matches!(win.post(&Group::new([0])), Err(FompiError::InvalidEpoch(_)));
+                // Clean up the matching so rank 0 can finish.
+            }
+            if ctx.rank() == 0 {
+                win.start(&Group::new([1])).unwrap();
+                win.complete().unwrap();
+            } else {
+                win.wait().unwrap();
+            }
+            ctx.barrier();
+            bad
+        });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn mcs_unlock_without_lock_is_rejected() {
+    let got = two_ranks(|_ctx, win| matches!(win.mcs_unlock(), Err(FompiError::InvalidEpoch(_))));
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn bad_accumulate_inputs_rejected() {
+    use fompi::{MpiOp, NumKind};
+    let got = two_ranks(|ctx, win| {
+        let other = (ctx.rank() + 1) % 2;
+        win.lock(LockType::Shared, other).unwrap();
+        // 5 bytes is not a whole number of u64 elements.
+        let a = matches!(
+            win.accumulate(&[0u8; 5], NumKind::U64, MpiOp::Sum, other, 0),
+            Err(FompiError::BadAccumulate(_))
+        );
+        // fetch_and_op with a result buffer of the wrong size.
+        let mut small = [0u8; 4];
+        let b = matches!(
+            win.fetch_and_op(&1u64.to_le_bytes(), &mut small, NumKind::U64, MpiOp::Sum, other, 0),
+            Err(FompiError::BadAccumulate(_))
+        );
+        // CAS on an unaligned displacement.
+        let c = matches!(
+            win.compare_and_swap(1, 0, other, 3),
+            Err(FompiError::BadAccumulate(_))
+        );
+        win.unlock(other).unwrap();
+        a && b && c
+    });
+    assert!(got.iter().all(|&b| b));
+}
+
+#[test]
+fn window_free_deregisters_segments() {
+    Universe::new(2)
+        .node_size(1)
+        .model(CostModel::free())
+        .run(|ctx| {
+            let win = Win::allocate(ctx, 64, 1).unwrap();
+            win.fence().unwrap();
+            win.put(&[1u8; 8], (ctx.rank() + 1) % 2, 0).unwrap();
+            win.fence().unwrap();
+            win.free(ctx);
+            // A second window after freeing the first works fine.
+            let win2 = Win::allocate(ctx, 64, 1).unwrap();
+            win2.fence().unwrap();
+            win2.fence().unwrap();
+        });
+}

@@ -1,0 +1,146 @@
+//! Workspace-level property tests: the RMA layer against randomized
+//! workloads, and cross-backend agreement of the application motifs.
+
+use fompi::{DataType, LockType, MpiOp, NumKind, Win};
+use fompi_apps::fft::{self, FftConfig};
+use fompi_apps::hashtable::{self, HtConfig};
+use fompi_fabric::CostModel;
+use fompi_runtime::Universe;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random put/get scripts against one target behave like a local
+    /// byte-array model.
+    #[test]
+    fn put_get_script_matches_model(
+        script in proptest::collection::vec((0usize..240, proptest::collection::vec(any::<u8>(), 1..16)), 1..25)
+    ) {
+        let script2 = script.clone();
+        let got = Universe::new(2).node_size(1).model(CostModel::free()).run(move |ctx| {
+            let win = Win::allocate(ctx, 256, 1).unwrap();
+            let mut model = vec![0u8; 256];
+            if ctx.rank() == 0 {
+                win.lock(LockType::Exclusive, 1).unwrap();
+                for (off, data) in &script2 {
+                    let off = (*off).min(256 - data.len());
+                    win.put(data, 1, off).unwrap();
+                    model[off..off + data.len()].copy_from_slice(data);
+                }
+                win.flush(1).unwrap();
+                let mut out = vec![0u8; 256];
+                win.get(&mut out, 1, 0).unwrap();
+                win.flush(1).unwrap();
+                win.unlock(1).unwrap();
+                ctx.barrier();
+                (out, model)
+            } else {
+                ctx.barrier();
+                (Vec::new(), Vec::new())
+            }
+        });
+        let (out, model) = &got[0];
+        prop_assert_eq!(out, model);
+    }
+
+    /// Accumulate(SUM) over random element streams totals exactly,
+    /// regardless of how elements are batched (atomicity property).
+    #[test]
+    fn accumulate_batches_commute(batches in proptest::collection::vec(1usize..8, 1..6)) {
+        let b2 = batches.clone();
+        let got = Universe::new(4).node_size(2).model(CostModel::free()).run(move |ctx| {
+            let win = Win::allocate(ctx, 64, 1).unwrap();
+            win.fence().unwrap();
+            for &n in &b2 {
+                let buf: Vec<u8> = (0..n).flat_map(|_| 1u64.to_le_bytes()).collect();
+                win.accumulate(&buf, NumKind::U64, MpiOp::Sum, 0, 0).unwrap();
+            }
+            win.fence().unwrap();
+            let mut out = [0u8; 8];
+            win.read_local(0, &mut out);
+            u64::from_le_bytes(out)
+        });
+        // Each batch of n elements adds 1 to elements 0..n; element 0 gets
+        // one increment per batch per rank.
+        prop_assert_eq!(got[0], 4 * batches.len() as u64);
+    }
+
+    /// Typed put through arbitrary strided views delivers exactly the
+    /// flattened bytes.
+    #[test]
+    fn typed_put_strided(count in 1usize..5, blocklen in 1usize..4, gap in 0usize..4) {
+        let stride = blocklen + gap;
+        let got = Universe::new(2).node_size(1).model(CostModel::free()).run(move |ctx| {
+            let ty = DataType::vector(count, blocklen, stride, DataType::byte());
+            let span = ty.extent();
+            let win = Win::allocate(ctx, 256, 1).unwrap();
+            win.fence().unwrap();
+            let mut expect = Vec::new();
+            if ctx.rank() == 0 {
+                let src: Vec<u8> = (0..span as u8).map(|i| i.wrapping_add(5)).collect();
+                let dense = DataType::contiguous(ty.size(), DataType::byte());
+                win.put_typed(&src, 1, &ty, 1, 0, 1, &dense).unwrap();
+                expect = ty.pack(1, &src);
+            }
+            win.fence().unwrap();
+            let mut out = vec![0u8; count * blocklen];
+            win.read_local(0, &mut out);
+            ctx.barrier();
+            (out, expect)
+        });
+        let (out, expect) = &got[0];
+        // Rank 1 holds the packed bytes; rank 0 computed the expectation.
+        let got1 = &got[1].0;
+        prop_assert_eq!(got1, expect);
+        let _ = out;
+    }
+
+    /// The hashtable conserves elements for arbitrary geometry.
+    #[test]
+    fn hashtable_conserves_elements(
+        p in 2usize..5,
+        inserts in 1usize..80,
+        slots_exp in 2u32..8,
+        seed in any::<u64>(),
+    ) {
+        let cfg = HtConfig {
+            inserts_per_rank: inserts,
+            table_slots: 1 << slots_exp,
+            heap_cells: p * inserts + 8,
+            seed,
+        };
+        let got = Universe::new(p)
+            .node_size(2)
+            .model(CostModel::free())
+            .run(move |ctx| hashtable::run_rma(ctx, &cfg));
+        let total: usize = got.iter().map(|r| r.local_elements).sum();
+        prop_assert_eq!(total, p * inserts);
+    }
+
+    /// Distributed FFT equals the serial FFT for random seeds and sizes.
+    #[test]
+    fn fft_matches_serial_randomized(pexp in 1u32..3, nexp in 3u32..5, seed in any::<u64>()) {
+        let p = 1usize << pexp;
+        let n = 1usize << nexp;
+        if n % p != 0 { return Ok(()); }
+        let cfg = FftConfig { n, seed };
+        let got = Universe::new(p)
+            .node_size(2)
+            .model(CostModel::free())
+            .run(move |ctx| fft::run_rma(ctx, &cfg));
+        let reference = fft::fft3d_serial(&cfg);
+        let nxl = n / p;
+        for (rank, res) in got.iter().enumerate() {
+            for z in 0..n {
+                for y in 0..n {
+                    for xl in 0..nxl {
+                        let a = res.local_out[(z * n + y) * nxl + xl];
+                        let b = reference[(z * n + y) * n + rank * nxl + xl];
+                        prop_assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -131,7 +131,9 @@ pub fn run_nbx(ctx: &RankCtx, comm: &Comm, k: usize, seed: u64, epoch: u32) -> D
     // Issue all synchronous sends (nonblocking: completion = matched).
     let mut reqs: Vec<_> = targets
         .iter()
-        .map(|&t| comm.issend(&payload(me, t).to_le_bytes(), t, DSDE_TAG + 1 + epoch).expect("issend"))
+        .map(|&t| {
+            comm.issend(&payload(me, t).to_le_bytes(), t, DSDE_TAG + 1 + epoch).expect("issend")
+        })
         .collect();
     let mut received = Vec::new();
     let mut barrier: Option<IBarrier> = None;

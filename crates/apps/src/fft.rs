@@ -38,24 +38,30 @@ impl C64 {
         C64 { re, im }
     }
 
-    /// Complex multiply.
-    pub fn mul(self, o: C64) -> C64 {
-        C64::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
-    }
-
-    /// Complex add.
-    pub fn add(self, o: C64) -> C64 {
-        C64::new(self.re + o.re, self.im + o.im)
-    }
-
-    /// Complex subtract.
-    pub fn sub(self, o: C64) -> C64 {
-        C64::new(self.re - o.re, self.im - o.im)
-    }
-
     /// Squared magnitude.
     pub fn norm2(self) -> f64 {
         self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Mul for C64 {
+    type Output = C64;
+    fn mul(self, o: C64) -> C64 {
+        C64::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+
+impl std::ops::Add for C64 {
+    type Output = C64;
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl std::ops::Sub for C64 {
+    type Output = C64;
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
     }
 }
 
@@ -82,10 +88,10 @@ pub fn fft_1d(data: &mut [C64], inverse: bool) {
             let mut w = C64::new(1.0, 0.0);
             for k in 0..len / 2 {
                 let u = data[start + k];
-                let v = data[start + k + len / 2].mul(w);
-                data[start + k] = u.add(v);
-                data[start + k + len / 2] = u.sub(v);
-                w = w.mul(wlen);
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
             }
         }
         len <<= 1;
@@ -107,7 +113,7 @@ pub fn dft_naive(data: &[C64]) -> Vec<C64> {
             let mut acc = C64::default();
             for (j, &x) in data.iter().enumerate() {
                 let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
-                acc = acc.add(x.mul(C64::new(ang.cos(), ang.sin())));
+                acc = acc + x * C64::new(ang.cos(), ang.sin());
             }
             acc
         })
@@ -148,9 +154,7 @@ impl FftResult {
 
 /// Deterministic input value at global coordinates.
 pub fn input_at(cfg: &FftConfig, x: usize, y: usize, z: usize) -> C64 {
-    let h = crate::splitmix64(
-        cfg.seed ^ ((x as u64) << 40) ^ ((y as u64) << 20) ^ z as u64,
-    );
+    let h = crate::splitmix64(cfg.seed ^ ((x as u64) << 40) ^ ((y as u64) << 20) ^ z as u64);
     let re = ((h >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
     let im = ((crate::splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
     C64::new(re, im)
@@ -216,7 +220,7 @@ impl Slab {
     fn new(ctx: &RankCtx, cfg: &FftConfig) -> Slab {
         let n = cfg.n;
         let p = ctx.size();
-        assert!(n % p == 0, "n must be divisible by p");
+        assert!(n.is_multiple_of(p), "n must be divisible by p");
         Slab { n, p, nzl: n / p, nxl: n / p, me: ctx.rank() as usize }
     }
 
@@ -477,9 +481,8 @@ mod tests {
 
     #[test]
     fn fft1d_matches_naive_dft() {
-        let data: Vec<C64> = (0..16)
-            .map(|i| C64::new((i as f64).sin(), (i as f64 * 0.3).cos()))
-            .collect();
+        let data: Vec<C64> =
+            (0..16).map(|i| C64::new((i as f64).sin(), (i as f64 * 0.3).cos())).collect();
         let mut fast = data.clone();
         fft_1d(&mut fast, false);
         let slow = dft_naive(&data);

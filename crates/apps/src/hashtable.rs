@@ -76,8 +76,7 @@ fn win_bytes(cfg: &HtConfig) -> usize {
 
 /// The key stream for `rank`: unique, nonzero, uniformly scattered.
 pub fn keys_for(rank: u32, cfg: &HtConfig) -> impl Iterator<Item = u64> + '_ {
-    (0..cfg.inserts_per_rank)
-        .map(move |i| splitmix64(((rank as u64) << 32) | (i as u64 + 1)) | 1)
+    (0..cfg.inserts_per_rank).map(move |i| splitmix64(((rank as u64) << 32) | (i as u64 + 1)) | 1)
 }
 
 fn owner_of(key: u64, p: usize) -> u32 {
@@ -124,9 +123,7 @@ pub fn run_rma_keep_window(ctx: &RankCtx, cfg: &HtConfig) -> (HtResult, Win) {
         let owner = owner_of(key, p);
         let slot = slot_of(key, cfg);
         // Fast path: claim the direct slot.
-        let old = win
-            .compare_and_swap(key, 0, owner, slot_off(slot))
-            .expect("slot CAS");
+        let old = win.compare_and_swap(key, 0, owner, slot_off(slot)).expect("slot CAS");
         if old == 0 {
             continue;
         }
@@ -147,8 +144,7 @@ pub fn run_rma_keep_window(ctx: &RankCtx, cfg: &HtConfig) -> (HtResult, Win) {
             win.get(&mut cur, owner, slot_off(slot) + 8).expect("chain read");
             win.flush(owner).expect("chain read flush");
             let head = u64::from_le_bytes(cur);
-            win.put(&head.to_le_bytes(), owner, heap_off(cfg, h) + 8)
-                .expect("cell next put");
+            win.put(&head.to_le_bytes(), owner, heap_off(cfg, h) + 8).expect("cell next put");
             win.flush(owner).expect("flush before CAS");
             let old = win
                 .compare_and_swap(h as u64 | (1 << 63), head, owner, slot_off(slot) + 8)
@@ -258,11 +254,7 @@ const DONE_TAG: u32 = 0x47_FFFF;
 
 /// MPI-1 backend: active messages to the owner; the owner inserts locally.
 /// Termination: every rank notifies every other of local completion (§4.1).
-pub fn run_mpi1(
-    ctx: &RankCtx,
-    comm: &Comm,
-    cfg: &HtConfig,
-) -> HtResult {
+pub fn run_mpi1(ctx: &RankCtx, comm: &Comm, cfg: &HtConfig) -> HtResult {
     let p = ctx.size();
     let me = ctx.rank();
     // Local volume as plain memory (no remote access).
@@ -273,9 +265,9 @@ pub fn run_mpi1(
     ctx.barrier();
     let t0 = ctx.now();
     let apply = |key: u64,
-                     table: &mut Vec<(u64, u64)>,
-                     heap: &mut Vec<(u64, u64)>,
-                     next_free: &mut usize| {
+                 table: &mut Vec<(u64, u64)>,
+                 heap: &mut Vec<(u64, u64)>,
+                 next_free: &mut usize| {
         let slot = slot_of(key, cfg);
         if table[slot].0 == 0 {
             table[slot].0 = key;
@@ -339,8 +331,7 @@ pub fn run_mpi1(
         apply(u64::from_le_bytes(b), &mut table, &mut heap, &mut next_free);
     }
     ctx.barrier();
-    let local =
-        table.iter().filter(|(k, _)| *k != 0).count() + next_free;
+    let local = table.iter().filter(|(k, _)| *k != 0).count() + next_free;
     HtResult { time_ns, local_elements: local }
 }
 

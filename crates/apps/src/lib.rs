@@ -29,13 +29,9 @@ pub fn max_time(times: &[f64]) -> f64 {
     times.iter().cloned().fold(0.0, f64::max)
 }
 
-/// splitmix64 — the hash used to scatter keys across ranks and slots.
-pub fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
+/// splitmix64 — the hash used to scatter keys across ranks and slots
+/// (re-exported from the fabric's in-repo PRNG module).
+pub use fompi_fabric::rng::splitmix64;
 
 #[cfg(test)]
 mod tests {

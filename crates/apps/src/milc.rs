@@ -25,6 +25,11 @@
 //! bitwise, while MPI-1 reduces in tree order (equal up to FP
 //! reassociation).
 
+// Lattice code indexes parallel per-dimension arrays (halo faces, face
+// buffers, neighbour ranks) by the dimension number d ∈ 0..4; iterator
+// rewrites hide that symmetry.
+#![allow(clippy::needless_range_loop)]
+
 use fompi::{MpiOp, NumKind, Win};
 use fompi_msg::Comm;
 use fompi_pgas::SharedArray;
@@ -72,7 +77,7 @@ pub fn grid_dims(p: usize) -> [usize; 4] {
     let mut f = 2;
     let mut factors = Vec::new();
     while rest > 1 {
-        while rest % f == 0 {
+        while rest.is_multiple_of(f) {
             factors.push(f);
             rest /= f;
         }
@@ -178,10 +183,7 @@ impl Lattice {
 
     /// Decode a received face buffer.
     pub fn decode_face(bytes: &[u8]) -> Vec<f64> {
-        bytes
-            .chunks_exact(8)
-            .map(|b| f64::from_le_bytes(b.try_into().unwrap()))
-            .collect()
+        bytes.chunks_exact(8).map(|b| f64::from_le_bytes(b.try_into().unwrap())).collect()
     }
 
     /// Apply the SPD stencil: `out = (8+m²)·x − Σ neighbours`, using `halo[d][side]`
@@ -253,8 +255,13 @@ impl Lattice {
 /// stencil (side 0 = from down neighbour, 1 = from up neighbour).
 pub trait HaloExchange {
     /// Exchange all 8 faces of `field` for iteration `iter`.
-    fn exchange(&mut self, ctx: &RankCtx, lat: &Lattice, field: &[f64], iter: usize)
-        -> [[Vec<f64>; 2]; 4];
+    fn exchange(
+        &mut self,
+        ctx: &RankCtx,
+        lat: &Lattice,
+        field: &[f64],
+        iter: usize,
+    ) -> [[Vec<f64>; 2]; 4];
 }
 
 /// MPI-1 backend: 8 isend/irecv pairs + waitall.
@@ -384,7 +391,14 @@ impl HaloExchange for RmaHalo {
                 loop {
                     let mut cur = [0u8; 8];
                     self.win
-                        .fetch_and_op(&[], &mut cur, NumKind::U64, MpiOp::NoOp, ctx.rank(), (2 * d + side) * 8)
+                        .fetch_and_op(
+                            &[],
+                            &mut cur,
+                            NumKind::U64,
+                            MpiOp::NoOp,
+                            ctx.rank(),
+                            (2 * d + side) * 8,
+                        )
                         .expect("flag read");
                     if u64::from_le_bytes(cur) >= want {
                         break;
@@ -453,8 +467,8 @@ impl HaloExchange for UpcHalo {
         for d in 0..4 {
             let up = lat.neighbor(d, true) as u32;
             let down = lat.neighbor(d, false) as u32;
-            self.arr.aadd(up, (2 * d) as usize * 8, 1);
-            self.arr.aadd(down, (2 * d + 1) as usize * 8, 1);
+            self.arr.aadd(up, (2 * d) * 8, 1);
+            self.arr.aadd(down, (2 * d + 1) * 8, 1);
         }
         // Wait + pull.
         let mut halo: [[Vec<f64>; 2]; 4] = std::array::from_fn(|_| [Vec::new(), Vec::new()]);
@@ -594,7 +608,14 @@ impl HaloExchange for RmaTypedHalo {
                 loop {
                     let mut cur = [0u8; 8];
                     self.win
-                        .fetch_and_op(&[], &mut cur, NumKind::U64, MpiOp::NoOp, ctx.rank(), (2 * d + side) * 8)
+                        .fetch_and_op(
+                            &[],
+                            &mut cur,
+                            NumKind::U64,
+                            MpiOp::NoOp,
+                            ctx.rank(),
+                            (2 * d + side) * 8,
+                        )
                         .expect("flag read");
                     if u64::from_le_bytes(cur) >= want {
                         break;
@@ -679,9 +700,7 @@ impl HaloExchange for NotifyHalo {
             ctx.ep().charge(memcpy * (hi_face.len() + lo_face.len()) as f64);
             // One fused call per face: data + notification (slot 2d for
             // the lo zone, 2d+1 for the hi zone, like RmaHalo's flags).
-            self.win
-                .put_notify(&hi_face, up, self.zone_off(d, 0), 2 * d)
-                .expect("notify halo put");
+            self.win.put_notify(&hi_face, up, self.zone_off(d, 0), 2 * d).expect("notify halo put");
             self.win
                 .put_notify(&lo_face, down, self.zone_off(d, 1), 2 * d + 1)
                 .expect("notify halo put");
@@ -961,9 +980,6 @@ mod tests {
         let rma = Universe::new(p).node_size(2).run(move |ctx| run_rma(ctx, &cfg));
         let t_mpi = crate::max_time(&mpi.iter().map(|r| r.time_ns).collect::<Vec<_>>());
         let t_rma = crate::max_time(&rma.iter().map(|r| r.time_ns).collect::<Vec<_>>());
-        assert!(
-            t_rma < t_mpi * 1.02,
-            "RMA halo ({t_rma}) should not lose to MPI-1 ({t_mpi})"
-        );
+        assert!(t_rma < t_mpi * 1.02, "RMA halo ({t_rma}) should not lose to MPI-1 ({t_mpi})");
     }
 }

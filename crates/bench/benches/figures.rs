@@ -1,9 +1,11 @@
-//! Criterion benchmarks — real wall-clock cost of the hot paths behind
-//! each figure. These complement the virtual-time harness: the paper's
-//! overhead story (173 instructions per put, 78 per flush) is about CPU
-//! cost, which criterion measures directly on this machine.
+//! Wall-clock microbenchmarks — real CPU cost of the hot paths behind each
+//! figure, measured with a hand-rolled harness (`std::time::Instant`; no
+//! external bench framework, so `cargo bench --offline` works anywhere).
+//! These complement the virtual-time harness: the paper's overhead story
+//! (173 instructions per put, 78 per flush) is about CPU cost, which this
+//! file measures directly on this machine.
 //!
-//! One group per figure/table:
+//! One section per figure/table:
 //!   fig4_put_path      — MPI_Put + flush critical path (per size)
 //!   fig5_injection     — put injection only (message-rate numerator)
 //!   fig6a_atomics      — accumulate paths (HW AMO vs lock fallback)
@@ -11,187 +13,184 @@
 //!   fig6c_pscw         — full PSCW cycle at small p
 //!   locks              — lock/unlock constants
 //!   dtype              — datatype flattening engine
-//!   apps               — hashtable insert batch, FFT plane, MILC stencil
+//!   apps               — hashtable insert batch, FFT plane
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fompi::{DataType, LockType, MpiOp, NumKind, Win};
 use fompi_apps::{fft, hashtable};
 use fompi_runtime::{Group, Universe};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_put_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_put_path");
-    for size in [8usize, 4096, 65536] {
-        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
-            b.iter(|| {
-                let t = Universe::new(2).node_size(1).run(|ctx| {
-                    let win = Win::allocate(ctx, size.max(8), 1).unwrap();
-                    let mut out = 0.0;
-                    if ctx.rank() == 0 {
-                        win.lock(LockType::Exclusive, 1).unwrap();
-                        let buf = vec![1u8; size];
-                        for _ in 0..16 {
-                            win.put(&buf, 1, 0).unwrap();
-                            win.flush(1).unwrap();
-                        }
-                        out = ctx.now();
-                        win.unlock(1).unwrap();
-                    }
-                    ctx.barrier();
-                    out
-                });
-                black_box(t)
-            })
-        });
+/// Run `f` repeatedly for a fixed wall-clock budget and report mean
+/// time/iteration. Two warm-up iterations, then batches until ~200 ms.
+fn bench(name: &str, mut f: impl FnMut()) {
+    for _ in 0..2 {
+        f();
     }
-    g.finish();
+    let budget = std::time::Duration::from_millis(200);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        f();
+        iters += 1;
+    }
+    let per = start.elapsed().as_nanos() as f64 / iters as f64;
+    let (val, unit) = if per >= 1e6 {
+        (per / 1e6, "ms")
+    } else if per >= 1e3 {
+        (per / 1e3, "µs")
+    } else {
+        (per, "ns")
+    };
+    println!("{name:<40} {val:>10.2} {unit}/iter  ({iters} iters)");
 }
 
-fn bench_injection(c: &mut Criterion) {
-    c.bench_function("fig5_injection_1000_puts", |b| {
-        b.iter(|| {
+fn bench_put_path() {
+    for size in [8usize, 4096, 65536] {
+        bench(&format!("fig4_put_path/{size}"), || {
             let t = Universe::new(2).node_size(1).run(|ctx| {
-                let win = Win::allocate(ctx, 8192, 1).unwrap();
+                let win = Win::allocate(ctx, size.max(8), 1).unwrap();
+                let mut out = 0.0;
                 if ctx.rank() == 0 {
-                    win.lock(LockType::Shared, 1).unwrap();
-                    let buf = [1u8; 8];
-                    for i in 0..1000 {
-                        win.put(&buf, 1, (i % 1024) * 8).unwrap();
+                    win.lock(LockType::Exclusive, 1).unwrap();
+                    let buf = vec![1u8; size];
+                    for _ in 0..16 {
+                        win.put(&buf, 1, 0).unwrap();
+                        win.flush(1).unwrap();
                     }
-                    win.flush(1).unwrap();
+                    out = ctx.now();
                     win.unlock(1).unwrap();
                 }
                 ctx.barrier();
-                ctx.now()
+                out
             });
-            black_box(t)
-        })
-    });
-}
-
-fn bench_atomics(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6a_atomics");
-    g.bench_function("hw_sum_64_elems", |b| {
-        b.iter(|| {
-            Universe::new(2).node_size(1).run(|ctx| {
-                let win = Win::allocate(ctx, 512, 1).unwrap();
-                win.fence().unwrap();
-                if ctx.rank() == 0 {
-                    let buf = [0u8; 512];
-                    win.accumulate(&buf, NumKind::U64, MpiOp::Sum, 1, 0).unwrap();
-                }
-                win.fence().unwrap();
-            })
-        })
-    });
-    g.bench_function("fallback_min_64_elems", |b| {
-        b.iter(|| {
-            Universe::new(2).node_size(1).run(|ctx| {
-                let win = Win::allocate(ctx, 512, 1).unwrap();
-                win.fence().unwrap();
-                if ctx.rank() == 0 {
-                    let buf = [0u8; 512];
-                    win.accumulate(&buf, NumKind::I64, MpiOp::Min, 1, 0).unwrap();
-                }
-                win.fence().unwrap();
-            })
-        })
-    });
-    g.finish();
-}
-
-fn bench_fence(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6b_fence");
-    for p in [2usize, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, &p| {
-            b.iter(|| {
-                Universe::new(p).node_size(4).run(|ctx| {
-                    let win = Win::allocate(ctx, 64, 1).unwrap();
-                    for _ in 0..8 {
-                        win.fence().unwrap();
-                    }
-                })
-            })
+            black_box(t);
         });
     }
-    g.finish();
 }
 
-fn bench_pscw(c: &mut Criterion) {
-    c.bench_function("fig6c_pscw_cycle_p4", |b| {
-        b.iter(|| {
-            Universe::new(4).node_size(2).run(|ctx| {
-                let win = Win::allocate(ctx, 64, 1).unwrap();
-                let p = 4u32;
-                let me = ctx.rank();
-                let g = Group::new([(me + p - 1) % p, (me + 1) % p]);
-                for _ in 0..4 {
-                    win.post(&g).unwrap();
-                    win.start(&g).unwrap();
-                    win.complete().unwrap();
-                    win.wait().unwrap();
+fn bench_injection() {
+    bench("fig5_injection_1000_puts", || {
+        let t = Universe::new(2).node_size(1).run(|ctx| {
+            let win = Win::allocate(ctx, 8192, 1).unwrap();
+            if ctx.rank() == 0 {
+                win.lock(LockType::Shared, 1).unwrap();
+                let buf = [1u8; 8];
+                for i in 0..1000 {
+                    win.put(&buf, 1, (i % 1024) * 8).unwrap();
                 }
-            })
-        })
+                win.flush(1).unwrap();
+                win.unlock(1).unwrap();
+            }
+            ctx.barrier();
+            ctx.now()
+        });
+        black_box(t);
     });
 }
 
-fn bench_locks(c: &mut Criterion) {
-    c.bench_function("locks_excl_roundtrip", |b| {
-        b.iter(|| {
-            Universe::new(2).node_size(1).run(|ctx| {
-                let win = Win::allocate(ctx, 64, 1).unwrap();
-                if ctx.rank() == 0 {
-                    for _ in 0..16 {
-                        win.lock(LockType::Exclusive, 1).unwrap();
-                        win.unlock(1).unwrap();
-                    }
-                }
-                ctx.barrier();
-            })
-        })
+fn bench_atomics() {
+    bench("fig6a_atomics/hw_sum_64_elems", || {
+        Universe::new(2).node_size(1).run(|ctx| {
+            let win = Win::allocate(ctx, 512, 1).unwrap();
+            win.fence().unwrap();
+            if ctx.rank() == 0 {
+                let buf = [0u8; 512];
+                win.accumulate(&buf, NumKind::U64, MpiOp::Sum, 1, 0).unwrap();
+            }
+            win.fence().unwrap();
+        });
+    });
+    bench("fig6a_atomics/fallback_min_64_elems", || {
+        Universe::new(2).node_size(1).run(|ctx| {
+            let win = Win::allocate(ctx, 512, 1).unwrap();
+            win.fence().unwrap();
+            if ctx.rank() == 0 {
+                let buf = [0u8; 512];
+                win.accumulate(&buf, NumKind::I64, MpiOp::Min, 1, 0).unwrap();
+            }
+            win.fence().unwrap();
+        });
     });
 }
 
-fn bench_dtype(c: &mut Criterion) {
+fn bench_fence() {
+    for p in [2usize, 8] {
+        bench(&format!("fig6b_fence/p{p}"), || {
+            Universe::new(p).node_size(4).run(|ctx| {
+                let win = Win::allocate(ctx, 64, 1).unwrap();
+                for _ in 0..8 {
+                    win.fence().unwrap();
+                }
+            });
+        });
+    }
+}
+
+fn bench_pscw() {
+    bench("fig6c_pscw_cycle_p4", || {
+        Universe::new(4).node_size(2).run(|ctx| {
+            let win = Win::allocate(ctx, 64, 1).unwrap();
+            let p = 4u32;
+            let me = ctx.rank();
+            let g = Group::new([(me + p - 1) % p, (me + 1) % p]);
+            for _ in 0..4 {
+                win.post(&g).unwrap();
+                win.start(&g).unwrap();
+                win.complete().unwrap();
+                win.wait().unwrap();
+            }
+        });
+    });
+}
+
+fn bench_locks() {
+    bench("locks_excl_roundtrip", || {
+        Universe::new(2).node_size(1).run(|ctx| {
+            let win = Win::allocate(ctx, 64, 1).unwrap();
+            if ctx.rank() == 0 {
+                for _ in 0..16 {
+                    win.lock(LockType::Exclusive, 1).unwrap();
+                    win.unlock(1).unwrap();
+                }
+            }
+            ctx.barrier();
+        });
+    });
+}
+
+fn bench_dtype() {
     let vector = DataType::vector(64, 4, 8, DataType::double());
-    c.bench_function("dtype_flatten_vector_64x4", |b| {
-        b.iter(|| black_box(vector.flatten(black_box(4))))
+    bench("dtype_flatten_vector_64x4", || {
+        black_box(vector.flatten(black_box(4)));
     });
     let src = vec![0u8; vector.extent() * 4];
-    c.bench_function("dtype_pack_vector_64x4", |b| {
-        b.iter(|| black_box(vector.pack(4, black_box(&src))))
+    bench("dtype_pack_vector_64x4", || {
+        black_box(vector.pack(4, black_box(&src)));
     });
 }
 
-fn bench_apps(c: &mut Criterion) {
-    let mut g = c.benchmark_group("apps");
-    g.sample_size(10);
-    let cfg = hashtable::HtConfig {
-        inserts_per_rank: 64,
-        table_slots: 1024,
-        heap_cells: 1024,
-        seed: 5,
-    };
-    g.bench_function("fig7a_hashtable_rma_p4", |b| {
-        b.iter(|| Universe::new(4).node_size(2).run(|ctx| hashtable::run_rma(ctx, &cfg)))
+fn bench_apps() {
+    let cfg =
+        hashtable::HtConfig { inserts_per_rank: 64, table_slots: 1024, heap_cells: 1024, seed: 5 };
+    bench("apps/fig7a_hashtable_rma_p4", || {
+        Universe::new(4).node_size(2).run(|ctx| hashtable::run_rma(ctx, &cfg));
     });
     let fcfg = fft::FftConfig { n: 16, seed: 6 };
-    g.bench_function("fig7c_fft_rma_p4", |b| {
-        b.iter(|| Universe::new(4).node_size(2).run(|ctx| fft::run_rma(ctx, &fcfg)))
+    bench("apps/fig7c_fft_rma_p4", || {
+        Universe::new(4).node_size(2).run(|ctx| fft::run_rma(ctx, &fcfg));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_put_path,
-    bench_injection,
-    bench_atomics,
-    bench_fence,
-    bench_pscw,
-    bench_locks,
-    bench_dtype,
-    bench_apps
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes harness flags (e.g. --bench); ignore them.
+    println!("wall-clock microbenchmarks (mean over ~200 ms per case)\n");
+    bench_put_path();
+    bench_injection();
+    bench_atomics();
+    bench_fence();
+    bench_pscw();
+    bench_locks();
+    bench_dtype();
+    bench_apps();
+}

@@ -26,6 +26,7 @@ fn main() {
     eager_threshold_ablation();
     milc_halo_ablation();
     pscw_pool_ablation();
+    drift_vs_scale_ablation();
 }
 
 /// 1. DMAPP-accelerated accumulates vs forcing the lock fallback.
@@ -44,8 +45,15 @@ fn hw_amo_ablation() {
                 let slot = (fompi_apps::splitmix64(i as u64 ^ ctx.rank() as u64) % 4096) as usize;
                 let owner = (fompi_apps::splitmix64(slot as u64) % 8) as u32;
                 let mut old = [0u8; 8];
-                win.fetch_and_op(&1u64.to_le_bytes(), &mut old, NumKind::U64, MpiOp::Sum, owner, slot * 8)
-                    .unwrap();
+                win.fetch_and_op(
+                    &1u64.to_le_bytes(),
+                    &mut old,
+                    NumKind::U64,
+                    MpiOp::Sum,
+                    owner,
+                    slot * 8,
+                )
+                .unwrap();
             }
             win.flush_all().unwrap();
             let dt = ctx.now() - t0;
@@ -178,8 +186,8 @@ fn milc_halo_ablation() {
 }
 
 /// 6. PSCW pool size: fan-in within capacity is flat; fan-in beyond
-/// capacity (with an order-dependent starter) is *detected* as
-/// PoolExhausted rather than deadlocking silently.
+///    capacity (with an order-dependent starter) is *detected* as
+///    PoolExhausted rather than deadlocking silently.
 fn pscw_pool_ablation() {
     println!("--- PSCW matching-pool: 7 posters fan in to rank 0 ---");
     for pool in [8usize, 32, 128] {
@@ -239,4 +247,19 @@ fn pscw_pool_ablation() {
     let n = got.iter().filter(|&&e| e).count();
     println!("  pool = 4, 7 concurrent posters: {n} posters detected PoolExhausted (expected 3)\n");
     assert_eq!(n, 3);
+}
+
+/// 7. Model drift vs job size: which op classes stay pinned to the §3
+///    closed forms as p grows, and which (fence, the log-p collective) pick
+///    up composition overhead.
+fn drift_vs_scale_ablation() {
+    println!("--- model drift vs job size: telemetry means vs §3 closed forms ---");
+    for p in [2usize, 4, 8] {
+        println!("  p = {p}:");
+        let rows = fompi_bench::drift::collect(p);
+        for line in fompi_bench::drift::render(&rows).lines() {
+            println!("    {line}");
+        }
+    }
+    println!();
 }

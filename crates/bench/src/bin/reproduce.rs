@@ -67,6 +67,9 @@ fn main() {
     if want("models") {
         models();
     }
+    if want("drift") {
+        drift();
+    }
     println!("\nCSV series written to results/");
 }
 
@@ -88,18 +91,13 @@ fn fig4(get: bool, intra: bool, id: &str, title: &str) {
     );
     let mut rows = Vec::new();
     for size in bench::size_sweep() {
-        let vals: Vec<f64> = layers
-            .iter()
-            .map(|&l| bench::fig4_latency(l, size, intra, get) / 1e3)
-            .collect();
+        let vals: Vec<f64> =
+            layers.iter().map(|&l| bench::fig4_latency(l, size, intra, get) / 1e3).collect();
         println!(
             "{:>9} {:>13.2} {:>13.2} {:>13.2} {:>13.2} {:>13.2}",
             size, vals[0], vals[1], vals[2], vals[3], vals[4]
         );
-        rows.push(format!(
-            "{size},{},{},{},{},{}",
-            vals[0], vals[1], vals[2], vals[3], vals[4]
-        ));
+        rows.push(format!("{size},{},{},{},{},{}", vals[0], vals[1], vals[2], vals[3], vals[4]));
     }
     write_csv(id, "size_bytes,fompi_us,upc_us,caf_us,mpi1_us,mpi22_us", &rows);
     println!();
@@ -129,18 +127,13 @@ fn fig5rate(intra: bool, id: &str, title: &str) {
     );
     let mut rows = Vec::new();
     for size in bench::size_sweep().into_iter().filter(|s| *s <= 1 << 15) {
-        let vals: Vec<f64> = layers
-            .iter()
-            .map(|&l| bench::fig5_message_rate(l, size, intra))
-            .collect();
+        let vals: Vec<f64> =
+            layers.iter().map(|&l| bench::fig5_message_rate(l, size, intra)).collect();
         println!(
             "{:>9} {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
             size, vals[0], vals[1], vals[2], vals[3], vals[4]
         );
-        rows.push(format!(
-            "{size},{},{},{},{},{}",
-            vals[0], vals[1], vals[2], vals[3], vals[4]
-        ));
+        rows.push(format!("{size},{},{},{},{},{}", vals[0], vals[1], vals[2], vals[3], vals[4]));
     }
     write_csv(id, "size_bytes,fompi,upc,caf,mpi1,mpi22", &rows);
     println!();
@@ -162,7 +155,11 @@ fn fig6a() {
         println!("{n:>9} {sum:>12.2} {min:>12.2} {cas:>12.2} {aadd:>12.2} {ucas:>12.2}");
         rows.push(format!("{n},{sum},{min},{cas},{aadd},{ucas}"));
     }
-    write_csv("fig6a", "elems,fompi_sum_us,fompi_min_us,fompi_cas_us,upc_aadd_us,upc_cas_us", &rows);
+    write_csv(
+        "fig6a",
+        "elems,fompi_sum_us,fompi_min_us,fompi_cas_us,upc_aadd_us,upc_cas_us",
+        &rows,
+    );
     println!();
 }
 
@@ -221,12 +218,7 @@ fn fig6c() {
     }
     write_csv("fig6c_real", "p,fompi_pscw_us", &rows);
     let ps: Vec<usize> = (1..=17).map(|e| 1usize << e).collect();
-    print_series(
-        "Figure 6c (simulated): PSCW ring latency [us]",
-        "fig6c",
-        "p",
-        &sim::fig6c(&ps),
-    );
+    print_series("Figure 6c (simulated): PSCW ring latency [us]", "fig6c", "p", &sim::fig6c(&ps));
 }
 
 fn fig7a() {
@@ -321,24 +313,21 @@ fn fig7c() {
             fft::fft_flops(cfg.n * cfg.n * cfg.n) / t
         };
         let (m, r, u) = (gf(&mpi), gf(&rma), gf(&upc));
-        println!("  p={p:<4} foMPI={r:>8.3}  UPC={u:>8.3}  MPI-1={m:>8.3}  (gain {:.1}%)",
-                 (r / m - 1.0) * 100.0);
+        println!(
+            "  p={p:<4} foMPI={r:>8.3}  UPC={u:>8.3}  MPI-1={m:>8.3}  (gain {:.1}%)",
+            (r / m - 1.0) * 100.0
+        );
         rows.push(format!("{p},{r},{u},{m}"));
     }
     write_csv("fig7c_real", "p,fompi_gflops,upc_gflops,mpi1_gflops", &rows);
     let ps: Vec<usize> = (10..=16).map(|e| 1usize << e).collect();
     let series = sim::fig7c(&ps);
-    print_series(
-        "Figure 7c (simulated): class-D FFT performance [GFlop/s]",
-        "fig7c",
-        "p",
-        &series,
-    );
+    print_series("Figure 7c (simulated): class-D FFT performance [GFlop/s]", "fig7c", "p", &series);
     println!("   improvement of foMPI over MPI-1 (paper annotations: 18.4% ... 101.8%):");
-    for i in 0..ps.len() {
+    for (i, &p) in ps.iter().enumerate() {
         let f = series[0].points[i].1;
         let m = series[2].points[i].1;
-        println!("     p={:<7} {:+.1}%", ps[i], (f / m - 1.0) * 100.0);
+        println!("     p={p:<7} {:+.1}%", (f / m - 1.0) * 100.0);
     }
     println!();
 }
@@ -355,9 +344,7 @@ fn fig8() {
         });
         let rma = Universe::new(p).node_size(4).run(move |ctx| milc::run_rma(ctx, &cfg));
         let upc = Universe::new(p).node_size(4).run(move |ctx| milc::run_upc(ctx, &cfg));
-        let mx = |rs: &[milc::MilcResult]| {
-            rs.iter().map(|r| r.time_ns).fold(0.0, f64::max) / 1e3
-        };
+        let mx = |rs: &[milc::MilcResult]| rs.iter().map(|r| r.time_ns).fold(0.0, f64::max) / 1e3;
         let (m, r, u) = (mx(&mpi), mx(&rma), mx(&upc));
         println!(
             "  p={p:<4} foMPI={r:>9.1}  UPC={u:>9.1}  MPI-1={m:>9.1}  (gain {:+.1}%)",
@@ -375,10 +362,10 @@ fn fig8() {
         &series,
     );
     println!("   improvement of foMPI over MPI-1 (paper annotations: 5.3% ... 15.2%):");
-    for i in 0..ps.len() {
+    for (i, &p) in ps.iter().enumerate() {
         let f = series[0].points[i].1;
         let m = series[2].points[i].1;
-        println!("     p={:<7} {:+.1}%", ps[i], (m / f - 1.0) * 100.0);
+        println!("     p={p:<7} {:+.1}%", (m / f - 1.0) * 100.0);
     }
     println!();
 }
@@ -388,10 +375,14 @@ fn models() {
     let paper = PaperModel::default();
     let (pb, pbyte) = bench::fit_models(false);
     let (gb, gbyte) = bench::fit_models(true);
-    println!("  Pput  : measured {pb:7.0} + {pbyte:.3} ns/B   (paper {:.0} + {:.2} ns/B)",
-             paper.put_base, paper.put_byte);
-    println!("  Pget  : measured {gb:7.0} + {gbyte:.3} ns/B   (paper {:.0} + {:.2} ns/B)",
-             paper.get_base, paper.get_byte);
+    println!(
+        "  Pput  : measured {pb:7.0} + {pbyte:.3} ns/B   (paper {:.0} + {:.2} ns/B)",
+        paper.put_base, paper.put_byte
+    );
+    println!(
+        "  Pget  : measured {gb:7.0} + {gbyte:.3} ns/B   (paper {:.0} + {:.2} ns/B)",
+        paper.get_base, paper.get_byte
+    );
     let (excl, shared, all, unlock, flush, sync) = bench::lock_constants();
     println!("  Plock,excl : measured {excl:7.0} ns   (paper {:.0} ns)", paper.lock_excl);
     println!("  Plock,shrd : measured {shared:7.0} ns   (paper {:.0} ns)", paper.lock_shared);
@@ -406,11 +397,12 @@ fn models() {
         cs.push(t / (p as f64).log2());
     }
     let c = cs.iter().sum::<f64>() / cs.len() as f64;
-    println!("  Pfence     : measured {c:7.0} ns * log2(p)   (paper {:.0} ns * log2(p))",
-             paper.fence_log);
+    println!(
+        "  Pfence     : measured {c:7.0} ns * log2(p)   (paper {:.0} ns * log2(p))",
+        paper.fence_log
+    );
     let p4 = bench::pscw_latency(4, 1);
-    println!("  PSCW cycle : measured {p4:7.0} ns (k=2)   (paper {:.0} ns)",
-             paper.pscw_round(2));
+    println!("  PSCW cycle : measured {p4:7.0} ns (k=2)   (paper {:.0} ns)", paper.pscw_round(2));
     let p4f = bench::pscw_latency_cfg(4, 1, true);
     println!("  PSCW cycle (pscw_fast FAA-ring variant): {p4f:7.0} ns (k=2)");
     write_csv(
@@ -431,5 +423,13 @@ fn models() {
             format!("pscw_k2_ns,{p4},{}", paper.pscw_round(2)),
         ],
     );
+    println!();
+}
+
+fn drift() {
+    println!("--- Model drift: telemetry-observed costs vs §3 closed forms (p=4) ---");
+    let rows = bench::drift::collect(4);
+    print!("{}", bench::drift::render(&rows));
+    write_csv("drift", bench::drift::csv_header(), &bench::drift::csv_rows(&rows));
     println!();
 }

@@ -1,0 +1,249 @@
+//! Model-drift reporting: per-op-class virtual-time costs observed by the
+//! fabric telemetry vs the paper's §3 closed-form performance models.
+//!
+//! The implementation *composes* its costs (software overheads plus
+//! injection, transport latency, completion waits), while the paper gives
+//! closed forms (Pput = 0.16 ns/B + 1 µs, Pfence = 2.9 µs · log2 p, ...).
+//! This module runs a calibration workload with telemetry enabled,
+//! aggregates every traced event by class, and reports how far the
+//! composed costs drift from the closed forms — the repo's continuous
+//! check that refactors do not silently bend the model.
+
+use fompi::{LockType, PaperModel, Win};
+use fompi_fabric::telemetry::EventKind;
+use fompi_runtime::{Group, Universe};
+
+/// One drift-table row: an op class with at least one observation.
+#[derive(Debug, Clone)]
+pub struct DriftRow {
+    /// Op class name (telemetry event-kind name).
+    pub class: &'static str,
+    /// Events observed.
+    pub ops: u64,
+    /// Mean message size over those events (0 for sync classes).
+    pub mean_bytes: f64,
+    /// Mean observed virtual-time span, ns.
+    pub observed_ns: f64,
+    /// Paper closed-form prediction, ns.
+    pub model_ns: f64,
+}
+
+impl DriftRow {
+    /// Relative drift of observed vs model, percent (positive = costlier
+    /// than the paper's form).
+    pub fn drift_pct(&self) -> f64 {
+        if self.model_ns == 0.0 {
+            0.0
+        } else {
+            (self.observed_ns / self.model_ns - 1.0) * 100.0
+        }
+    }
+}
+
+/// Number of neighbours used by the calibration PSCW ring.
+const PSCW_K: usize = 2;
+
+/// Run the calibration workload at `p` ranks with telemetry forced on and
+/// return one row per op class the workload exercises.
+///
+/// The workload keeps every class's model inputs unambiguous: all locks are
+/// exclusive (compare against Plock,excl), AMOs are CAS, the PSCW group is
+/// a ring (k = 2), and puts/gets stay below the 4 KiB protocol change.
+pub fn collect(p: usize) -> Vec<DriftRow> {
+    assert!(p >= 2, "drift calibration needs at least 2 ranks");
+    let (_, fabric) = Universe::new(p).node_size(1).trace(1 << 14).launch(|ctx| {
+        let win = Win::allocate(ctx, 1 << 16, 1).unwrap();
+        let me = ctx.rank();
+        let pn = ctx.size() as u32;
+        let right = (me + 1) % pn;
+        // Fences (Pfence): a few rounds so the mean settles; the last one
+        // closes the fence epoch so passive-target locking is legal.
+        for _ in 0..3 {
+            win.fence().unwrap();
+        }
+        win.fence_assert(fompi::ASSERT_NOSUCCEED).unwrap();
+        // Exclusive lock epoch (Plock,excl / Punlock) with puts and gets
+        // (Pput / Pget) completed one flush per batch (Pflush).
+        win.lock(LockType::Exclusive, right).unwrap();
+        let small = [1u8; 8];
+        let big = [2u8; 2048];
+        let mut dst = [0u8; 8];
+        for i in 0..8 {
+            win.put(&small, right, i * 8).unwrap();
+        }
+        win.put(&big, right, 4096).unwrap();
+        win.flush(right).unwrap();
+        for _ in 0..4 {
+            win.get(&mut dst, right, 0).unwrap();
+        }
+        win.flush(right).unwrap();
+        // A flush with nothing pending — the paper's measurement setup.
+        win.flush(right).unwrap();
+        win.flush_local(right).unwrap();
+        win.unlock(right).unwrap();
+        ctx.barrier();
+        // Hardware AMOs (PCAS).
+        win.lock(LockType::Exclusive, right).unwrap();
+        for _ in 0..8 {
+            win.compare_and_swap(me as u64, 0, right, 0).unwrap();
+        }
+        win.unlock(right).unwrap();
+        ctx.barrier();
+        // PSCW ring, k = 2 (Ppost/Pstart/Pcomplete/Pwait).
+        let g = Group::new([(me + pn - 1) % pn, right]);
+        for _ in 0..4 {
+            win.post(&g).unwrap();
+            win.start(&g).unwrap();
+            win.put(&small, right, 0).unwrap();
+            win.complete().unwrap();
+            win.wait().unwrap();
+        }
+        // lock_all (Plock,shrd) and window sync (Psync).
+        win.lock_all().unwrap();
+        win.put(&small, right, 0).unwrap();
+        win.unlock_all().unwrap();
+        for _ in 0..4 {
+            win.sync();
+        }
+        ctx.barrier();
+    });
+    let m = PaperModel::default();
+    let tel = fabric.telemetry();
+    let mut rows = Vec::new();
+    let mut push = |kind: EventKind, model_of: &dyn Fn(f64) -> f64| {
+        let st = tel.stats(kind);
+        let ops = st.count();
+        if ops == 0 {
+            return;
+        }
+        let mean_bytes = st.bytes() as f64 / ops as f64;
+        rows.push(DriftRow {
+            class: kind.name(),
+            ops,
+            mean_bytes,
+            observed_ns: st.mean_ns(),
+            model_ns: model_of(mean_bytes),
+        });
+    };
+    push(EventKind::Put, &|s| m.put(s as usize));
+    push(EventKind::Get, &|s| m.get(s as usize));
+    push(EventKind::Amo, &|_| m.cas);
+    push(EventKind::Fence, &|_| m.fence(p));
+    push(EventKind::Post, &|_| m.post(PSCW_K));
+    push(EventKind::Start, &|_| m.start);
+    push(EventKind::Complete, &|_| m.post(PSCW_K));
+    push(EventKind::WaitEpoch, &|_| m.wait);
+    push(EventKind::Lock, &|_| m.lock_excl);
+    push(EventKind::Unlock, &|_| m.unlock);
+    push(EventKind::LockAll, &|_| m.lock_shared);
+    push(EventKind::UnlockAll, &|_| m.unlock);
+    push(EventKind::Flush, &|_| m.flush);
+    push(EventKind::FlushLocal, &|_| m.flush);
+    push(EventKind::WinSync, &|_| m.sync);
+    rows
+}
+
+/// Render the drift table for terminal output.
+pub fn render(rows: &[DriftRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>7} {:>9} {:>13} {:>12} {:>9}\n",
+        "class", "ops", "mean B", "observed ns", "model ns", "drift"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>7} {:>9.0} {:>13.1} {:>12.1} {:>+8.1}%\n",
+            r.class,
+            r.ops,
+            r.mean_bytes,
+            r.observed_ns,
+            r.model_ns,
+            r.drift_pct()
+        ));
+    }
+    out
+}
+
+/// CSV rows (no header) matching `drift_csv_header`.
+pub fn csv_rows(rows: &[DriftRow]) -> Vec<String> {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "{},{},{},{},{},{}",
+                r.class,
+                r.ops,
+                r.mean_bytes,
+                r.observed_ns,
+                r.model_ns,
+                r.drift_pct()
+            )
+        })
+        .collect()
+}
+
+/// Header for [`csv_rows`].
+pub fn csv_header() -> &'static str {
+    "class,ops,mean_bytes,observed_ns,model_ns,drift_pct"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_covers_all_modeled_classes() {
+        let rows = collect(4);
+        let classes: Vec<&str> = rows.iter().map(|r| r.class).collect();
+        for want in [
+            "put",
+            "get",
+            "amo",
+            "fence",
+            "post",
+            "start",
+            "complete",
+            "wait",
+            "lock",
+            "unlock",
+            "lock_all",
+            "unlock_all",
+            "flush",
+            "flush_local",
+            "win_sync",
+        ] {
+            assert!(classes.contains(&want), "missing class {want} in {classes:?}");
+        }
+        for r in &rows {
+            assert!(r.ops > 0);
+            assert!(r.observed_ns >= 0.0, "{}: {}", r.class, r.observed_ns);
+            assert!(r.model_ns > 0.0, "{}: {}", r.class, r.model_ns);
+        }
+    }
+
+    #[test]
+    fn put_drift_is_moderate() {
+        // The fabric charges Blue Waters constants, so blocking put spans
+        // must land within 2x of the paper's closed form.
+        let rows = collect(2);
+        let put = rows.iter().find(|r| r.class == "put").unwrap();
+        assert!(
+            put.drift_pct().abs() < 100.0,
+            "put drift {}% (observed {} vs model {})",
+            put.drift_pct(),
+            put.observed_ns,
+            put.model_ns
+        );
+    }
+
+    #[test]
+    fn render_and_csv_agree_on_rows() {
+        let rows = collect(2);
+        let table = render(&rows);
+        let csv = csv_rows(&rows);
+        assert_eq!(csv.len(), rows.len());
+        for r in &rows {
+            assert!(table.contains(r.class));
+        }
+        assert!(csv_header().starts_with("class,"));
+    }
+}

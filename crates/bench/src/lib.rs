@@ -17,6 +17,8 @@
 //! * [`fit_models`] — linear fits of the measured series against the
 //!   paper's §3 performance functions.
 
+pub mod drift;
+
 use fompi::{LockType, MpiOp, NumKind, Win};
 use fompi_msg::{Comm, MsgEngine, Win22};
 use fompi_pgas::{Coarray, SharedArray};
@@ -611,9 +613,7 @@ mod tests {
     fn pscw_flat_in_p() {
         // Contended CAS retries vary with real thread scheduling; take the
         // best of three runs at each size (the paper reports medians).
-        let best = |p: usize| {
-            (0..3).map(|_| pscw_latency(p, 1)).fold(f64::MAX, f64::min)
-        };
+        let best = |p: usize| (0..3).map(|_| pscw_latency(p, 1)).fold(f64::MAX, f64::min);
         let t4 = best(4);
         let t16 = best(16);
         assert!(t16 < t4 * 3.0, "PSCW should be ~flat: {t4} vs {t16}");

@@ -68,6 +68,7 @@ impl Win {
     /// within `origin`, target as `target_count × target_ty` at
     /// `target_disp`. Split into the minimal number of contiguous blocks
     /// (§2.4, MPITypes) with one fabric op each.
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI datatype signature
     pub fn put_typed(
         &self,
         origin: &[u8],
@@ -91,6 +92,7 @@ impl Win {
     }
 
     /// Datatyped MPI_Get.
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI datatype signature
     pub fn get_typed(
         &self,
         dst: &mut [u8],
@@ -127,7 +129,7 @@ impl Win {
     ) -> Result<()> {
         self.check_access(target)?;
         let es = kind.size();
-        if origin.len() % es != 0 {
+        if !origin.len().is_multiple_of(es) {
             return Err(FompiError::BadAccumulate("origin not a whole number of elements"));
         }
         let (key, base) = self.target_span(target, target_disp, origin.len())?;
@@ -157,6 +159,7 @@ impl Win {
     /// origin and target typemaps (signatures must match in total
     /// elements). Always uses the lock-fallback path — the atomicity unit
     /// is the whole typed region, matching foMPI's fallback semantics.
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI datatype signature
     pub fn accumulate_typed(
         &self,
         origin: &[u8],
@@ -173,11 +176,9 @@ impl Win {
         let es = kind.size();
         let ob = origin_ty.flatten(origin_count);
         let tb = target_ty.flatten(target_count);
-        let packed: Vec<u8> = ob
-            .iter()
-            .flat_map(|&(o, l)| origin[o..o + l].iter().copied())
-            .collect();
-        if packed.len() % es != 0 {
+        let packed: Vec<u8> =
+            ob.iter().flat_map(|&(o, l)| origin[o..o + l].iter().copied()).collect();
+        if !packed.len().is_multiple_of(es) {
             return Err(FompiError::BadAccumulate("typemap not a whole number of elements"));
         }
         let span = target_ty.extent() * target_count;
@@ -217,7 +218,7 @@ impl Win {
     ) -> Result<()> {
         self.check_access(target)?;
         let es = kind.size();
-        if result.len() % es != 0 || (op != MpiOp::NoOp && origin.len() != result.len()) {
+        if !result.len().is_multiple_of(es) || (op != MpiOp::NoOp && origin.len() != result.len()) {
             return Err(FompiError::BadAccumulate("origin/result element mismatch"));
         }
         let (key, base) = self.target_span(target, target_disp, result.len())?;

@@ -121,13 +121,17 @@ impl DataType {
             DataType::Indexed { inner, .. } => inner.extent(),
             _ => unreachable!(),
         };
-        ty = DataType::structure(vec![(1, 0, ty), (0, sizes[nd - 1] * elem_size, DataType::byte())]);
+        ty =
+            DataType::structure(vec![(1, 0, ty), (0, sizes[nd - 1] * elem_size, DataType::byte())]);
         for d in (0..nd - 1).rev() {
             let row_extent = ty.extent();
             let inner = ty;
             // subsizes[d] rows starting at starts[d], stride = full dim.
             let sel = DataType::indexed(vec![(subsizes[d], starts[d])], inner);
-            ty = DataType::structure(vec![(1, 0, sel), (0, sizes[d] * row_extent, DataType::byte())]);
+            ty = DataType::structure(vec![
+                (1, 0, sel),
+                (0, sizes[d] * row_extent, DataType::byte()),
+            ]);
         }
         ty
     }
@@ -158,14 +162,14 @@ impl DataType {
                     ((count - 1) * stride + blocklen) * inner.extent()
                 }
             }
-            DataType::Indexed { blocks, inner } => blocks
-                .iter()
-                .map(|(b, d)| (d + b) * inner.extent())
-                .max()
-                .unwrap_or(0),
+            DataType::Indexed { blocks, inner } => {
+                blocks.iter().map(|(b, d)| (d + b) * inner.extent()).max().unwrap_or(0)
+            }
             DataType::Struct { fields } => fields
                 .iter()
-                .map(|(c, d, t)| d + if *c == 0 { 0 } else { (c - 1) * t.extent() + t.size_of_last() })
+                .map(|(c, d, t)| {
+                    d + if *c == 0 { 0 } else { (c - 1) * t.extent() + t.size_of_last() }
+                })
                 .max()
                 .unwrap_or(0),
         }
@@ -203,9 +207,7 @@ impl DataType {
                 }
                 true
             }
-            DataType::Struct { .. } => {
-                self.flatten_one().len() <= 1
-            }
+            DataType::Struct { .. } => self.flatten_one().len() <= 1,
         }
     }
 
@@ -418,17 +420,13 @@ mod tests {
     #[test]
     fn zip_blocks_merges_streams() {
         // origin: [0,8) [16,24); target: [100,116)
-        let triples =
-            zip_blocks(&[(0, 8), (16, 8)], &[(100, 16)]).unwrap();
+        let triples = zip_blocks(&[(0, 8), (16, 8)], &[(100, 16)]).unwrap();
         assert_eq!(triples, vec![(0, 100, 8), (16, 108, 8)]);
     }
 
     #[test]
     fn zip_blocks_rejects_mismatch() {
-        assert!(matches!(
-            zip_blocks(&[(0, 8)], &[(0, 4)]),
-            Err(FompiError::TypeMismatch { .. })
-        ));
+        assert!(matches!(zip_blocks(&[(0, 8)], &[(0, 4)]), Err(FompiError::TypeMismatch { .. })));
     }
 
     #[test]

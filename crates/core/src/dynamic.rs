@@ -50,8 +50,7 @@ impl Win {
         self.my_meta.write_u64(eoff + 8, size as u64);
         self.my_meta.write_u64(eoff + 16, key.id);
         self.ep.write_sync(ekey, off::DYN_COUNT, (idx + 1) as u64)?;
-        self.ep
-            .amo_sync(ekey, off::DYN_ID, fompi_fabric::AmoOp::Add, 1, 0)?;
+        self.ep.amo_sync(ekey, off::DYN_ID, fompi_fabric::AmoOp::Add, 1, 0)?;
         local.push(LocalRegion { addr, size, key, seg });
         Ok(addr)
     }
@@ -78,8 +77,7 @@ impl Win {
         }
         let ekey = self.meta_key(self.ep.rank());
         self.ep.write_sync(ekey, off::DYN_COUNT, local.len() as u64)?;
-        self.ep
-            .amo_sync(ekey, off::DYN_ID, fompi_fabric::AmoOp::Add, 1, 0)?;
+        self.ep.amo_sync(ekey, off::DYN_ID, fompi_fabric::AmoOp::Add, 1, 0)?;
         if self.shared.cfg.dyn_notify {
             // §2.2 optimised protocol: tell every registered reader to drop
             // its cached copy of our table, then forget the reader list.
@@ -121,7 +119,12 @@ impl Win {
     /// table. Default protocol: check the remote id counter per access;
     /// with `dyn_notify`, check only the local invalidation mailbox and
     /// trust the cache otherwise (§2.2's optimised variant).
-    pub(crate) fn dyn_resolve(&self, target: u32, addr: u64, len: usize) -> Result<(SegKey, usize)> {
+    pub(crate) fn dyn_resolve(
+        &self,
+        target: u32,
+        addr: u64,
+        len: usize,
+    ) -> Result<(SegKey, usize)> {
         let mkey = self.meta_key(target);
         if self.shared.cfg.dyn_notify {
             // Drain the local mailbox: each entry names a target whose

@@ -202,14 +202,8 @@ mod tests {
             let win = Win::allocate(ctx, 32, 1).unwrap();
             win.fence().unwrap();
             // Everyone adds (rank+1) into rank 0's first element.
-            win.accumulate(
-                &(ctx.rank() as u64 + 1).to_le_bytes(),
-                NumKind::U64,
-                MpiOp::Sum,
-                0,
-                0,
-            )
-            .unwrap();
+            win.accumulate(&(ctx.rank() as u64 + 1).to_le_bytes(), NumKind::U64, MpiOp::Sum, 0, 0)
+                .unwrap();
             win.fence().unwrap();
             let mut b = [0u8; 8];
             win.read_local(0, &mut b);
@@ -357,9 +351,9 @@ mod tests {
 
     #[test]
     fn shared_window_rejected_across_nodes() {
-        let errs = Universe::new(4).node_size(2).run(|ctx| {
-            matches!(Win::allocate_shared(ctx, 64, 1), Err(FompiError::NotShareable))
-        });
+        let errs = Universe::new(4)
+            .node_size(2)
+            .run(|ctx| matches!(Win::allocate_shared(ctx, 64, 1), Err(FompiError::NotShareable)));
         assert!(errs.iter().all(|&e| e));
     }
 
@@ -409,8 +403,7 @@ mod tests {
             let mut ops = 0;
             if ctx.rank() == 0 {
                 let before = ctx.fabric().counters().snapshot();
-                win.lock_assert(LockType::Exclusive, 1, sync::lock::ASSERT_NOCHECK)
-                    .unwrap();
+                win.lock_assert(LockType::Exclusive, 1, sync::lock::ASSERT_NOCHECK).unwrap();
                 let after = ctx.fabric().counters().snapshot();
                 ops = after.since(&before).amos;
                 win.put(&[5u8; 8], 1, 0).unwrap();
@@ -505,9 +498,8 @@ mod tests {
             let mut out = [0u8; 8];
             if ctx.rank() == 1 {
                 win.lock(LockType::Shared, 0).unwrap();
-                let mut r = win
-                    .rget_accumulate(&[], &mut out, NumKind::U64, MpiOp::NoOp, 0, 0)
-                    .unwrap();
+                let mut r =
+                    win.rget_accumulate(&[], &mut out, NumKind::U64, MpiOp::NoOp, 0, 0).unwrap();
                 assert!(r.test(), "fallback path completes inline");
                 r.wait();
                 win.unlock(0).unwrap();
@@ -561,8 +553,7 @@ mod tests {
             win.fence().unwrap();
             let mut out = [0u8; 8];
             let other = (ctx.rank() + 1) % 2;
-            win.get_accumulate(&[], &mut out, NumKind::U64, MpiOp::NoOp, other, 0)
-                .unwrap();
+            win.get_accumulate(&[], &mut out, NumKind::U64, MpiOp::NoOp, other, 0).unwrap();
             win.fence().unwrap();
             u64::from_le_bytes(out)
         });

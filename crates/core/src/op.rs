@@ -91,8 +91,20 @@ impl MpiOp {
                 let r: $t = match self {
                     MpiOp::Sum => a.wrapping_add_compat(b),
                     MpiOp::Prod => a.wrapping_mul_compat(b),
-                    MpiOp::Min => if b < a { b } else { a },
-                    MpiOp::Max => if b > a { b } else { a },
+                    MpiOp::Min => {
+                        if b < a {
+                            b
+                        } else {
+                            a
+                        }
+                    }
+                    MpiOp::Max => {
+                        if b > a {
+                            b
+                        } else {
+                            a
+                        }
+                    }
                     MpiOp::Band | MpiOp::Bor | MpiOp::Bxor => {
                         unreachable!("bitwise ops handled on integer path")
                     }

@@ -7,6 +7,8 @@
 
 use crate::error::{FompiError, Result};
 use crate::win::{AccessEpoch, ExposureEpoch, Win};
+use fompi_fabric::telemetry::{EventKind, NO_TARGET};
+use std::sync::atomic::Ordering;
 
 /// Fence assertion: no RMA epoch precedes this fence.
 pub const ASSERT_NOPRECEDE: u32 = 1;
@@ -30,8 +32,7 @@ impl Win {
     pub fn fence_assert(&self, assert: u32) -> Result<()> {
         {
             let st = self.state.borrow();
-            if matches!(st.access, AccessEpoch::Lock | AccessEpoch::LockAll)
-                || !st.locks.is_empty()
+            if matches!(st.access, AccessEpoch::Lock | AccessEpoch::LockAll) || !st.locks.is_empty()
             {
                 return Err(FompiError::InvalidEpoch("fence during passive-target epoch"));
             }
@@ -41,6 +42,8 @@ impl Win {
                 return Err(FompiError::InvalidEpoch("fence during PSCW epoch"));
             }
         }
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         if assert & ASSERT_NOPRECEDE == 0 {
             // Commit all outstanding one-sided operations.
             self.ep.mfence();
@@ -55,6 +58,9 @@ impl Win {
             st.access = AccessEpoch::Fence;
             st.exposure = ExposureEpoch::Fence;
         }
+        drop(st);
+        self.ep.fabric().counters().fences.fetch_add(1, Ordering::Relaxed);
+        self.ep.trace_sync(EventKind::Fence, NO_TARGET, t_start);
         Ok(())
     }
 }

@@ -9,6 +9,8 @@
 use crate::error::{FompiError, Result};
 use crate::perf::overhead;
 use crate::win::{AccessEpoch, Win};
+use fompi_fabric::telemetry::{EventKind, NO_TARGET};
+use std::sync::atomic::Ordering;
 
 impl Win {
     fn check_passive(&self, target: Option<u32>) -> Result<()> {
@@ -25,6 +27,9 @@ impl Win {
     /// at the target when this returns.
     pub fn flush(&self, target: u32) -> Result<()> {
         self.check_passive(Some(target))?;
+        // `flush_target` records the Flush telemetry event at the fabric
+        // layer; scope it to this window first.
+        self.trace_scope();
         self.ep.charge(overhead::flush_ns());
         self.ep.flush_target(target);
         self.ep.mfence();
@@ -34,9 +39,13 @@ impl Win {
     /// MPI_Win_flush_all: remote completion at every target.
     pub fn flush_all(&self) -> Result<()> {
         self.check_passive(None)?;
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         self.ep.charge(overhead::flush_ns());
         self.ep.gsync();
         self.ep.mfence();
+        self.ep.fabric().counters().flushes.fetch_add(1, Ordering::Relaxed);
+        self.ep.trace_sync(EventKind::Flush, NO_TARGET, t_start);
         Ok(())
     }
 
@@ -45,21 +54,32 @@ impl Win {
     /// exactly the cheap path the paper describes).
     pub fn flush_local(&self, target: u32) -> Result<()> {
         self.check_passive(Some(target))?;
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         self.ep.charge(overhead::flush_ns());
+        self.ep.fabric().counters().flushes.fetch_add(1, Ordering::Relaxed);
+        self.ep.trace_sync(EventKind::FlushLocal, target, t_start);
         Ok(())
     }
 
     /// MPI_Win_flush_local_all.
     pub fn flush_local_all(&self) -> Result<()> {
         self.check_passive(None)?;
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         self.ep.charge(overhead::flush_ns());
+        self.ep.fabric().counters().flushes.fetch_add(1, Ordering::Relaxed);
+        self.ep.trace_sync(EventKind::FlushLocal, NO_TARGET, t_start);
         Ok(())
     }
 
     /// MPI_Win_sync: memory barrier separating private and public window
     /// copies (a no-op data-wise in the unified model; Psync = 17 ns).
     pub fn sync(&self) {
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
         self.ep.charge(self.ep.fabric().model().sync_ns);
+        self.ep.trace_sync(EventKind::WinSync, NO_TARGET, t_start);
     }
 }

@@ -61,8 +61,7 @@ impl Win {
         loop {
             let mh = self.ep.read_sync(mkey, head_off)?;
             let (tag, head_idx) = meta::unpack_head(mh);
-            self.ep
-                .write_sync(mkey, cfg.pool_off(idx), meta::pack_elem(origin, head_idx))?;
+            self.ep.write_sync(mkey, cfg.pool_off(idx), meta::pack_elem(origin, head_idx))?;
             let (old, _) = self.ep.amo_sync(
                 mkey,
                 head_off,
@@ -86,8 +85,7 @@ impl Win {
         loop {
             let fh = self.ep.read_sync(mkey, off::FREE_HEAD)?;
             let (tag, head) = meta::unpack_head(fh);
-            self.ep
-                .write_sync(mkey, cfg.pool_off(idx), meta::pack_elem(0, head))?;
+            self.ep.write_sync(mkey, cfg.pool_off(idx), meta::pack_elem(0, head))?;
             let (old, _) = self.ep.amo_sync(
                 mkey,
                 off::FREE_HEAD,

@@ -18,7 +18,9 @@
 use crate::error::{FompiError, Result};
 use crate::meta::{off, split_global, GLOBAL_EXCL_ONE, WRITER_BIT};
 use crate::win::{AccessEpoch, LockType, Win};
+use fompi_fabric::telemetry::{EventKind, NO_TARGET};
 use fompi_fabric::AmoOp;
+use std::sync::atomic::Ordering;
 
 /// Lock assertion: the user guarantees no conflicting lock is held or
 /// attempted (MPI_MODE_NOCHECK) — the acquisition protocol is skipped
@@ -44,11 +46,16 @@ impl Win {
                 return Err(FompiError::InvalidEpoch("target already locked by this origin"));
             }
         }
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         if assert & ASSERT_NOCHECK != 0 {
             let mut st = self.state.borrow_mut();
             st.locks.insert(target, LockType::Shared); // unlock = 0 AMOs
             st.access = AccessEpoch::Lock;
             st.nocheck.insert(target);
+            drop(st);
+            self.ep.fabric().counters().locks.fetch_add(1, Ordering::Relaxed);
+            self.ep.trace_sync(EventKind::Lock, target, t_start);
             return Ok(());
         }
         match lock_type {
@@ -58,6 +65,9 @@ impl Win {
         let mut st = self.state.borrow_mut();
         st.locks.insert(target, lock_type);
         st.access = AccessEpoch::Lock;
+        drop(st);
+        self.ep.fabric().counters().locks.fetch_add(1, Ordering::Relaxed);
+        self.ep.trace_sync(EventKind::Lock, target, t_start);
         Ok(())
     }
 
@@ -68,6 +78,8 @@ impl Win {
             let st = self.state.borrow();
             *st.locks.get(&target).ok_or(FompiError::InvalidEpoch("unlock without lock"))?
         };
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         // Unlock must guarantee completion at the target.
         self.ep.mfence();
         self.ep.flush_target(target);
@@ -78,6 +90,9 @@ impl Win {
             if st.locks.is_empty() {
                 st.access = AccessEpoch::None;
             }
+            drop(st);
+            self.ep.fabric().counters().unlocks.fetch_add(1, Ordering::Relaxed);
+            self.ep.trace_sync(EventKind::Unlock, target, t_start);
             return Ok(());
         }
         let lkey = self.meta_key(target);
@@ -85,14 +100,18 @@ impl Win {
             LockType::Shared => {
                 // Releases are non-fetching AMOs: one injection, completion
                 // in the background (Punlock = 0.4 µs, §3.2).
-                self.ep
-                    .amo_sync_release(lkey, off::LOCAL_LOCK, AmoOp::Add, u64::MAX)?; // -1
+                self.ep.amo_sync_release(lkey, off::LOCAL_LOCK, AmoOp::Add, u64::MAX)?;
+                // -1
             }
             LockType::Exclusive => {
                 // fetch_sub(WRITER_BIT) preserves concurrent reader
                 // register/back-off deltas (a swap(0) would destroy them).
-                self.ep
-                    .amo_sync_release(lkey, off::LOCAL_LOCK, AmoOp::Add, WRITER_BIT.wrapping_neg())?;
+                self.ep.amo_sync_release(
+                    lkey,
+                    off::LOCAL_LOCK,
+                    AmoOp::Add,
+                    WRITER_BIT.wrapping_neg(),
+                )?;
                 let held = self.held_excl.get() - 1;
                 self.held_excl.set(held);
                 if held == 0 {
@@ -111,6 +130,9 @@ impl Win {
         if st.locks.is_empty() {
             st.access = AccessEpoch::None;
         }
+        drop(st);
+        self.ep.fabric().counters().unlocks.fetch_add(1, Ordering::Relaxed);
+        self.ep.trace_sync(EventKind::Unlock, target, t_start);
         Ok(())
     }
 
@@ -124,6 +146,8 @@ impl Win {
                 return Err(FompiError::InvalidEpoch("lock_all during open epoch"));
             }
         }
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         let gkey = self.meta_key(self.shared.master);
         let mut spins = 0u64;
         loop {
@@ -133,8 +157,7 @@ impl Win {
                 break;
             }
             // Back off: undo the registration and retry.
-            self.ep
-                .amo_sync(gkey, off::GLOBAL_LOCK, AmoOp::Add, u64::MAX, 0)?; // -1
+            self.ep.amo_sync(gkey, off::GLOBAL_LOCK, AmoOp::Add, u64::MAX, 0)?; // -1
             spins += 1;
             if spins > super::SPIN_LIMIT {
                 super::spin_overflow("global lock free of exclusive holders");
@@ -142,6 +165,8 @@ impl Win {
             super::backoff_spin(&self.ep, spins);
         }
         self.state.borrow_mut().access = AccessEpoch::LockAll;
+        self.ep.fabric().counters().locks.fetch_add(1, Ordering::Relaxed);
+        self.ep.trace_sync(EventKind::LockAll, NO_TARGET, t_start);
         Ok(())
     }
 
@@ -153,12 +178,15 @@ impl Win {
                 return Err(FompiError::InvalidEpoch("unlock_all without lock_all"));
             }
         }
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         self.ep.mfence();
         self.ep.gsync();
         let gkey = self.meta_key(self.shared.master);
-        self.ep
-            .amo_sync_release(gkey, off::GLOBAL_LOCK, AmoOp::Add, u64::MAX)?; // -1
+        self.ep.amo_sync_release(gkey, off::GLOBAL_LOCK, AmoOp::Add, u64::MAX)?; // -1
         self.state.borrow_mut().access = AccessEpoch::None;
+        self.ep.fabric().counters().unlocks.fetch_add(1, Ordering::Relaxed);
+        self.ep.trace_sync(EventKind::UnlockAll, NO_TARGET, t_start);
         Ok(())
     }
 
@@ -175,7 +203,7 @@ impl Win {
                 return Ok(());
             }
             self.ep.amo_sync(lkey, off::LOCAL_LOCK, AmoOp::Add, u64::MAX, 0)?; // -1
-            // Spin-read until the writer finishes.
+                                                                               // Spin-read until the writer finishes.
             loop {
                 spins += 1;
                 if spins > super::SPIN_LIMIT {
@@ -203,8 +231,7 @@ impl Win {
                 // Invariant 1: no lock_all holders.
                 loop {
                     let (old, _) =
-                        self.ep
-                            .amo_sync(gkey, off::GLOBAL_LOCK, AmoOp::Add, GLOBAL_EXCL_ONE, 0)?;
+                        self.ep.amo_sync(gkey, off::GLOBAL_LOCK, AmoOp::Add, GLOBAL_EXCL_ONE, 0)?;
                     let (_excl, shared) = split_global(old);
                     if shared == 0 {
                         break;
@@ -227,8 +254,7 @@ impl Win {
                 false
             };
             // Invariant 2: acquire the local writer bit.
-            let (old, _) =
-                self.ep.amo_sync(lkey, off::LOCAL_LOCK, AmoOp::Cas, WRITER_BIT, 0)?;
+            let (old, _) = self.ep.amo_sync(lkey, off::LOCAL_LOCK, AmoOp::Cas, WRITER_BIT, 0)?;
             if old == 0 {
                 self.held_excl.set(self.held_excl.get() + 1);
                 return Ok(());

@@ -36,14 +36,11 @@ impl Win {
         self.ep.write_sync(my, off::MCS_NEXT, 0)?;
         self.ep.mfence();
         let master = self.meta_key(self.shared.master);
-        let (old, _) = self
-            .ep
-            .amo_sync(master, off::MCS_TAIL, AmoOp::Swap, me as u64 + 1, 0)?;
+        let (old, _) = self.ep.amo_sync(master, off::MCS_TAIL, AmoOp::Swap, me as u64 + 1, 0)?;
         if old != 0 {
             // Link behind the predecessor, then spin locally.
             let prev = (old - 1) as u32;
-            self.ep
-                .write_sync(self.meta_key(prev), off::MCS_NEXT, me as u64 + 1)?;
+            self.ep.write_sync(self.meta_key(prev), off::MCS_NEXT, me as u64 + 1)?;
             let mut spins = 0u64;
             while self.ep.read_sync(my, off::MCS_FLAG)? == 0 {
                 spins += 1;
@@ -74,9 +71,7 @@ impl Win {
         let mut next = self.ep.read_sync(my, off::MCS_NEXT)?;
         if next == 0 {
             // Nobody visible behind us: try to clear the tail.
-            let (old, _) = self
-                .ep
-                .amo_sync(master, off::MCS_TAIL, AmoOp::Cas, 0, me as u64 + 1)?;
+            let (old, _) = self.ep.amo_sync(master, off::MCS_TAIL, AmoOp::Cas, 0, me as u64 + 1)?;
             if old == me as u64 + 1 {
                 self.state.borrow_mut().access = AccessEpoch::None;
                 return Ok(());
@@ -112,46 +107,41 @@ mod tests {
     fn mcs_mutual_exclusion_counter() {
         let p = 8;
         let iters = 25;
-        let got = Universe::new(p)
-            .node_size(4)
-            .model(CostModel::free())
-            .run(move |ctx| {
-                let win = Win::allocate(ctx, 16, 1).unwrap();
-                for _ in 0..iters {
-                    win.mcs_lock().unwrap();
-                    let mut cur = [0u8; 8];
-                    win.get(&mut cur, 0, 0).unwrap();
-                    win.flush(0).unwrap();
-                    let v = u64::from_le_bytes(cur) + 1;
-                    win.put(&v.to_le_bytes(), 0, 0).unwrap();
-                    win.mcs_unlock().unwrap();
-                }
-                ctx.barrier();
-                let mut b = [0u8; 8];
-                win.read_local(0, &mut b);
-                u64::from_le_bytes(b)
-            });
+        let got = Universe::new(p).node_size(4).model(CostModel::free()).run(move |ctx| {
+            let win = Win::allocate(ctx, 16, 1).unwrap();
+            for _ in 0..iters {
+                win.mcs_lock().unwrap();
+                let mut cur = [0u8; 8];
+                win.get(&mut cur, 0, 0).unwrap();
+                win.flush(0).unwrap();
+                let v = u64::from_le_bytes(cur) + 1;
+                win.put(&v.to_le_bytes(), 0, 0).unwrap();
+                win.mcs_unlock().unwrap();
+            }
+            ctx.barrier();
+            let mut b = [0u8; 8];
+            win.read_local(0, &mut b);
+            u64::from_le_bytes(b)
+        });
         assert_eq!(got[0], (p * iters) as u64);
     }
 
     #[test]
     fn mcs_uncontended_is_two_remote_ops() {
-        let (res, _fabric) = Universe::new(2)
-            .node_size(1)
-            .launch(|ctx| {
-                let win = Win::allocate(ctx, 16, 1).unwrap();
-                let mut ops = 0;
-                ctx.barrier();
-                if ctx.rank() == 1 {
-                    let before = ctx.fabric().counters().snapshot();
-                    win.mcs_lock().unwrap();
-                    win.mcs_unlock().unwrap();
-                    let after = ctx.fabric().counters().snapshot();
-                    ops = after.since(&before).total_ops();
-                }
-                ctx.barrier();
-                ops
-            });
+        let (res, _fabric) = Universe::new(2).node_size(1).launch(|ctx| {
+            let win = Win::allocate(ctx, 16, 1).unwrap();
+            let mut ops = 0;
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                let before = ctx.fabric().counters().snapshot();
+                win.mcs_lock().unwrap();
+                win.mcs_unlock().unwrap();
+                let after = ctx.fabric().counters().snapshot();
+                ops = after.since(&before).total_ops();
+            }
+            ctx.barrier();
+            ops
+        });
         // lock: 2 local node resets + 1 swap; unlock: 1 local read + 1 CAS.
         // Bounded small constant either way.
         assert!(res[1] <= 8, "uncontended MCS cost: {} ops", res[1]);
@@ -180,9 +170,6 @@ mod tests {
         };
         let mcs = contended_ops(true);
         let backoff = contended_ops(false);
-        assert!(
-            mcs < backoff,
-            "MCS should bound waiting traffic: {mcs} AMOs vs backoff {backoff}"
-        );
+        assert!(mcs < backoff, "MCS should bound waiting traffic: {mcs} AMOs vs backoff {backoff}");
     }
 }

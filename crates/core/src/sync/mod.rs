@@ -31,6 +31,8 @@ pub(crate) const SPIN_LIMIT: u64 = 200_000_000;
 /// the MPI specification forbids).
 #[cold]
 pub(crate) fn spin_overflow(what: &str) -> ! {
-    panic!("foMPI protocol spin limit exceeded while waiting for {what}: \
-            the program is likely deadlocked (illegal matching or lock cycle)");
+    panic!(
+        "foMPI protocol spin limit exceeded while waiting for {what}: \
+            the program is likely deadlocked (illegal matching or lock cycle)"
+    );
 }

@@ -37,8 +37,7 @@ impl Win {
         // The notification is NIC-ordered after the data (no origin-side
         // blocking): one non-fetching AMO whose visibility trails the put.
         let mkey = self.meta_key(target);
-        self.ep
-            .amo_sync_release_ordered(mkey, self.shared.cfg.notify_off(slot), AmoOp::Add, 1)?;
+        self.ep.amo_sync_release_ordered(mkey, self.shared.cfg.notify_off(slot), AmoOp::Add, 1)?;
         Ok(())
     }
 
@@ -142,8 +141,13 @@ mod tests {
             let win = Win::allocate(ctx, 64, 1).unwrap();
             if ctx.rank() != 0 {
                 win.lock(LockType::Shared, 0).unwrap();
-                win.put_notify(&[ctx.rank() as u8; 8], 0, ctx.rank() as usize * 8, ctx.rank() as usize)
-                    .unwrap();
+                win.put_notify(
+                    &[ctx.rank() as u8; 8],
+                    0,
+                    ctx.rank() as usize * 8,
+                    ctx.rank() as usize,
+                )
+                .unwrap();
                 win.unlock(0).unwrap();
                 ctx.barrier();
                 0

@@ -19,6 +19,7 @@
 use crate::error::{FompiError, Result};
 use crate::meta::{self, off};
 use crate::win::{AccessEpoch, ExposureEpoch, Win};
+use fompi_fabric::telemetry::{EventKind, NO_TARGET};
 use fompi_fabric::AmoOp;
 use fompi_runtime::Group;
 use std::collections::HashSet;
@@ -34,6 +35,8 @@ impl Win {
                 return Err(FompiError::InvalidEpoch("post during open exposure epoch"));
             }
         }
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         let me = self.ep.rank();
         if self.shared.cfg.pscw_fast {
             // Fast path: one FAA ticket + one put per neighbour. The ring
@@ -43,8 +46,7 @@ impl Win {
             let pool = self.shared.cfg.pscw_pool as u64;
             for target in group.iter() {
                 let mkey = self.meta_key(target);
-                let (ticket, _) =
-                    self.ep.amo_sync(mkey, off::MATCH_HEAD, AmoOp::Add, 1, 0)?;
+                let (ticket, _) = self.ep.amo_sync(mkey, off::MATCH_HEAD, AmoOp::Add, 1, 0)?;
                 let slot = (ticket % pool) as u32;
                 let soff = self.shared.cfg.pool_off(slot);
                 // Wait for the slot to be free (only when lapped).
@@ -65,6 +67,7 @@ impl Win {
             }
         }
         self.state.borrow_mut().exposure = ExposureEpoch::Pscw(group.clone());
+        self.ep.trace_sync(EventKind::Post, NO_TARGET, t_start);
         Ok(())
     }
 
@@ -78,6 +81,8 @@ impl Win {
                 return Err(FompiError::InvalidEpoch("start during open access epoch"));
             }
         }
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         let mut needed: HashSet<u32> = group.iter().collect();
         let mut spins = 0u64;
         while !needed.is_empty() {
@@ -95,6 +100,7 @@ impl Win {
             }
         }
         self.state.borrow_mut().access = AccessEpoch::Pscw(group.clone());
+        self.ep.trace_sync(EventKind::Start, NO_TARGET, t_start);
         Ok(())
     }
 
@@ -109,15 +115,17 @@ impl Win {
                 _ => return Err(FompiError::InvalidEpoch("complete without start")),
             }
         };
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         self.ep.mfence();
         self.ep.gsync();
         for target in group.iter() {
             // Non-fetching FAA: one injection per neighbour, latencies
             // overlapped — Pcomplete = 350 ns · k (§3.2).
-            self.ep
-                .amo_sync_release(self.meta_key(target), off::COMPLETION, AmoOp::Add, 1)?;
+            self.ep.amo_sync_release(self.meta_key(target), off::COMPLETION, AmoOp::Add, 1)?;
         }
         self.state.borrow_mut().access = AccessEpoch::None;
+        self.ep.trace_sync(EventKind::Complete, NO_TARGET, t_start);
         Ok(())
     }
 
@@ -132,6 +140,8 @@ impl Win {
                 _ => return Err(FompiError::InvalidEpoch("wait without post")),
             }
         };
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         let mkey = self.meta_key(self.ep.rank());
         let want = group.len() as u64;
         let mut spins = 0u64;
@@ -147,9 +157,15 @@ impl Win {
             std::thread::yield_now();
         }
         // Consume the counter (epochs may repeat).
-        self.ep
-            .amo_sync(mkey, off::COMPLETION, AmoOp::Add, (want as i64).wrapping_neg() as u64, 0)?;
+        self.ep.amo_sync(
+            mkey,
+            off::COMPLETION,
+            AmoOp::Add,
+            (want as i64).wrapping_neg() as u64,
+            0,
+        )?;
         self.state.borrow_mut().exposure = ExposureEpoch::None;
+        self.ep.trace_sync(EventKind::WaitEpoch, NO_TARGET, t_start);
         Ok(())
     }
 
@@ -163,14 +179,22 @@ impl Win {
                 _ => return Err(FompiError::InvalidEpoch("test without post")),
             }
         };
+        self.trace_scope();
+        let t_start = self.ep.clock().now();
         let mkey = self.meta_key(self.ep.rank());
         let want = group.len() as u64;
         if self.ep.read_sync(mkey, off::COMPLETION)? < want {
             return Ok(false);
         }
-        self.ep
-            .amo_sync(mkey, off::COMPLETION, AmoOp::Add, (want as i64).wrapping_neg() as u64, 0)?;
+        self.ep.amo_sync(
+            mkey,
+            off::COMPLETION,
+            AmoOp::Add,
+            (want as i64).wrapping_neg() as u64,
+            0,
+        )?;
         self.state.borrow_mut().exposure = ExposureEpoch::None;
+        self.ep.trace_sync(EventKind::WaitEpoch, NO_TARGET, t_start);
         Ok(true)
     }
 
@@ -219,8 +243,11 @@ impl Win {
                             // Interior unlink: only we modify next links.
                             let pv = self.ep.read_sync(mkey, cfg.pool_off(p))?;
                             let (porigin, _) = meta::unpack_elem(pv);
-                            self.ep
-                                .write_sync(mkey, cfg.pool_off(p), meta::pack_elem(porigin, next))?;
+                            self.ep.write_sync(
+                                mkey,
+                                cfg.pool_off(p),
+                                meta::pack_elem(porigin, next),
+                            )?;
                             needed.remove(&origin);
                             self.list_free_local(cur)?;
                             cur = next;

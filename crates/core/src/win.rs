@@ -237,12 +237,7 @@ impl Win {
     }
 
     /// [`Win::create`] with explicit tuning knobs.
-    pub fn create_cfg(
-        ctx: &RankCtx,
-        size: usize,
-        disp_unit: usize,
-        cfg: WinConfig,
-    ) -> Result<Win> {
+    pub fn create_cfg(ctx: &RankCtx, size: usize, disp_unit: usize, cfg: WinConfig) -> Result<Win> {
         let seg = Segment::new(size.max(8));
         let key = ctx.fabric().register(ctx.rank(), seg.clone());
         // First allgather: DMAPP descriptors of every rank (the XPMEM
@@ -324,10 +319,7 @@ impl Win {
                 vec![0u8; 8]
             };
             let id = u64::from_le_bytes(ctx.bcast(0, &proposal).try_into().unwrap());
-            let ok = ctx
-                .fabric()
-                .register_symmetric(ctx.rank(), id, seg.clone())
-                .is_ok();
+            let ok = ctx.fabric().register_symmetric(ctx.rank(), id, seg.clone()).is_ok();
             let all_ok = ctx.allreduce_u64(ok as u64, |a, b| a & b);
             if all_ok == 1 {
                 return Ok(id);
@@ -359,10 +351,7 @@ impl Win {
                 vec![0u8; 8]
             };
             let id = u64::from_le_bytes(ctx.bcast(0, &proposal).try_into().unwrap());
-            let ok = ctx
-                .fabric()
-                .register_symmetric(ctx.rank(), id, meta.clone())
-                .is_ok();
+            let ok = ctx.fabric().register_symmetric(ctx.rank(), id, meta.clone()).is_ok();
             if ctx.allreduce_u64(ok as u64, |a, b| a & b) == 1 {
                 meta_id = id;
                 break;
@@ -372,16 +361,8 @@ impl Win {
             }
         }
         ctx.ep().charge(ctx.fabric().model().register_ns);
-        let shared = Arc::new(WinShared {
-            kind,
-            cfg,
-            keys,
-            meta_id,
-            disp,
-            sizes,
-            master: 0,
-            p: ctx.size(),
-        });
+        let shared =
+            Arc::new(WinShared { kind, cfg, keys, meta_id, disp, sizes, master: 0, p: ctx.size() });
         let win = Win {
             ep: ctx.ep_rc(),
             coll: ctx.coll_arc(),
@@ -432,9 +413,9 @@ impl Win {
         match &self.shared.keys {
             KeyTable::Sym(id) => Ok(SegKey { rank: target, id: *id }),
             KeyTable::Table(t) => Ok(t[target as usize]),
-            KeyTable::None => Err(FompiError::InvalidEpoch(
-                "dynamic windows address memory by attached address",
-            )),
+            KeyTable::None => {
+                Err(FompiError::InvalidEpoch("dynamic windows address memory by attached address"))
+            }
         }
     }
 
@@ -489,18 +470,12 @@ impl Win {
     /// Read the local window memory (what a load from the window buffer
     /// would return). Public model: the window owns its memory.
     pub fn read_local(&self, off: usize, dst: &mut [u8]) {
-        self.my_data
-            .as_ref()
-            .expect("window has no static local memory")
-            .read(off, dst);
+        self.my_data.as_ref().expect("window has no static local memory").read(off, dst);
     }
 
     /// Write the local window memory (a local store).
     pub fn write_local(&self, off: usize, src: &[u8]) {
-        self.my_data
-            .as_ref()
-            .expect("window has no static local memory")
-            .write(off, src);
+        self.my_data.as_ref().expect("window has no static local memory").write(off, src);
     }
 
     /// Direct load/store view of `rank`'s shared-window segment
@@ -510,11 +485,7 @@ impl Win {
             return Err(FompiError::InvalidEpoch("shared_query needs a shared window"));
         }
         let key = self.data_key(rank)?;
-        Ok(fompi_fabric::xpmem::MappedView::attach(
-            self.ep.fabric(),
-            self.ep.rank(),
-            key,
-        )?)
+        Ok(fompi_fabric::xpmem::MappedView::attach(self.ep.fabric(), self.ep.rank(), key)?)
     }
 
     /// This window's displacement unit toward `target`.
@@ -563,15 +534,30 @@ impl Win {
         for r in self.dyn_local.borrow().iter() {
             ctx.fabric().deregister(r.key);
         }
-        ctx.fabric()
-            .deregister(SegKey { rank: self.rank(), id: self.shared.meta_id });
+        ctx.fabric().deregister(SegKey { rank: self.rank(), id: self.shared.meta_id });
         ctx.barrier();
+    }
+
+    // ----------------------------------------------------------- telemetry
+
+    /// Attribute subsequent endpoint telemetry events to this window (the
+    /// meta-segment id doubles as a process-unique window id). A plain
+    /// `Cell` store — cheap enough to run unconditionally.
+    #[inline]
+    pub(crate) fn trace_scope(&self) {
+        self.ep.set_trace_win(self.shared.meta_id);
+    }
+
+    /// This window's id as it appears in telemetry reports and traces.
+    pub fn telemetry_id(&self) -> u64 {
+        self.shared.meta_id
     }
 
     // -------------------------------------------------------- epoch checks
 
     /// Verify an access epoch covering `target` is open.
     pub(crate) fn check_access(&self, target: u32) -> Result<()> {
+        self.trace_scope();
         let st = self.state.borrow();
         match &st.access {
             AccessEpoch::Fence | AccessEpoch::LockAll => Ok(()),

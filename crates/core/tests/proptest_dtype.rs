@@ -1,139 +1,162 @@
-//! Property tests for the datatype engine: flattening, packing and the
-//! block-zip transfer algorithm must satisfy the MPI typemap laws for
-//! arbitrary derived types.
+//! Randomized tests for the datatype engine (seeded in-repo PRNG):
+//! flattening, packing and the block-zip transfer algorithm must satisfy
+//! the MPI typemap laws for arbitrary derived types.
 
 use fompi::dtype::{zip_blocks, DataType};
 use fompi::NumKind;
-use proptest::prelude::*;
+use fompi_fabric::rng::Rng;
+
+fn random_leaf(rng: &mut Rng) -> DataType {
+    match rng.next_below(4) {
+        0 => DataType::byte(),
+        1 => DataType::Named(NumKind::I32),
+        2 => DataType::double(),
+        _ => DataType::int64(),
+    }
+}
 
 /// Random derived datatype of bounded depth/extent.
-fn dtype_strategy(depth: u32) -> BoxedStrategy<DataType> {
-    let leaf = prop_oneof![
-        Just(DataType::byte()),
-        Just(DataType::Named(NumKind::I32)),
-        Just(DataType::double()),
-        Just(DataType::int64()),
-    ];
+fn random_dtype(rng: &mut Rng, depth: u32) -> DataType {
     if depth == 0 {
-        return leaf.boxed();
+        return random_leaf(rng);
     }
-    let inner = dtype_strategy(depth - 1);
-    prop_oneof![
-        leaf,
-        (1usize..4, dtype_strategy(depth - 1))
-            .prop_map(|(count, inner)| DataType::contiguous(count, inner)),
-        (1usize..4, 1usize..3, 0usize..3, inner.clone()).prop_map(|(count, blocklen, extra, inner)| {
-            DataType::vector(count, blocklen, blocklen + extra, inner)
-        }),
-        proptest::collection::vec((1usize..3, 0usize..6), 1..4).prop_map(|blocks| {
-            // Make displacements non-overlapping and increasing.
+    match rng.next_below(4) {
+        0 => random_leaf(rng),
+        1 => {
+            let count = rng.range(1, 4);
+            DataType::contiguous(count, random_dtype(rng, depth - 1))
+        }
+        2 => {
+            let count = rng.range(1, 4);
+            let blocklen = rng.range(1, 3);
+            let extra = rng.range(0, 3);
+            DataType::vector(count, blocklen, blocklen + extra, random_dtype(rng, depth - 1))
+        }
+        _ => {
+            // Indexed with non-overlapping, increasing displacements.
+            let n = rng.range(1, 4);
             let mut disp = 0usize;
-            let blocks: Vec<(usize, usize)> = blocks
-                .into_iter()
-                .map(|(len, gap)| {
+            let blocks: Vec<(usize, usize)> = (0..n)
+                .map(|_| {
+                    let len = rng.range(1, 3);
+                    let gap = rng.range(0, 6);
                     let d = disp + gap;
                     disp = d + len;
                     (len, d)
                 })
                 .collect();
             DataType::indexed(blocks, DataType::byte())
-        }),
-    ]
-    .boxed()
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// sum of run lengths == size(), runs are sorted, non-overlapping,
-    /// within extent, and maximally coalesced.
-    #[test]
-    fn flatten_invariants(ty in dtype_strategy(2), count in 1usize..4) {
-        let runs = ty.flatten(count);
-        let total: usize = runs.iter().map(|r| r.1).sum();
-        prop_assert_eq!(total, ty.size() * count, "size law");
-        let extent_span = if count == 0 { 0 } else { (count - 1) * ty.extent() + ty.extent() };
-        for w in runs.windows(2) {
-            prop_assert!(w[0].0 + w[0].1 < w[1].0 + 1, "sorted/non-overlapping");
-            prop_assert!(w[0].0 + w[0].1 != w[1].0, "coalesced: {:?}", runs);
-        }
-        if let Some(last) = runs.last() {
-            prop_assert!(last.0 + last.1 <= extent_span, "within extent");
         }
     }
+}
 
-    /// pack → unpack is the identity on the typemap's bytes and leaves
-    /// gap bytes untouched.
-    #[test]
-    fn pack_unpack_roundtrip(ty in dtype_strategy(2), count in 1usize..4) {
+/// sum of run lengths == size(), runs are sorted, non-overlapping, within
+/// extent, and maximally coalesced.
+#[test]
+fn flatten_invariants() {
+    for case in 0..512u64 {
+        let mut rng = Rng::seed_from_u64(0xF1A7_0000 + case);
+        let ty = random_dtype(&mut rng, 2);
+        let count = rng.range(1, 4);
+        let runs = ty.flatten(count);
+        let total: usize = runs.iter().map(|r| r.1).sum();
+        assert_eq!(total, ty.size() * count, "size law, case {case}");
+        let extent_span = (count - 1) * ty.extent() + ty.extent();
+        for w in runs.windows(2) {
+            assert!(w[0].0 + w[0].1 < w[1].0 + 1, "sorted/non-overlapping, case {case}");
+            assert!(w[0].0 + w[0].1 != w[1].0, "coalesced, case {case}: {runs:?}");
+        }
+        if let Some(last) = runs.last() {
+            assert!(last.0 + last.1 <= extent_span, "within extent, case {case}");
+        }
+    }
+}
+
+/// pack → unpack is the identity on the typemap's bytes and leaves gap
+/// bytes untouched.
+#[test]
+fn pack_unpack_roundtrip() {
+    for case in 0..512u64 {
+        let mut rng = Rng::seed_from_u64(0x9AC4_0000 + case);
+        let ty = random_dtype(&mut rng, 2);
+        let count = rng.range(1, 4);
         let span = ty.extent() * count;
         let src: Vec<u8> = (0..span).map(|i| (i % 251) as u8).collect();
         let packed = ty.pack(count, &src);
-        prop_assert_eq!(packed.len(), ty.size() * count);
+        assert_eq!(packed.len(), ty.size() * count, "case {case}");
         let mut dst = vec![0xEEu8; span];
         ty.unpack(count, &packed, &mut dst);
         // Typemap bytes match the source; gaps keep the sentinel.
         let runs = ty.flatten(count);
         let mut in_map = vec![false; span];
         for (off, len) in &runs {
-            for i in *off..*off + *len {
-                in_map[i] = true;
-            }
+            in_map[*off..*off + *len].fill(true);
         }
         for i in 0..span {
             if in_map[i] {
-                prop_assert_eq!(dst[i], src[i], "mapped byte {}", i);
+                assert_eq!(dst[i], src[i], "mapped byte {i}, case {case}");
             } else {
-                prop_assert_eq!(dst[i], 0xEE, "gap byte {} must be untouched", i);
+                assert_eq!(dst[i], 0xEE, "gap byte {i} must be untouched, case {case}");
             }
         }
     }
+}
 
-    /// zip_blocks conserves bytes: the triples cover exactly the origin
-    /// and target streams, in order.
-    #[test]
-    fn zip_blocks_conserves(
-        a in dtype_strategy(2),
-        b in dtype_strategy(2),
-        count_a in 1usize..3,
-    ) {
+/// zip_blocks conserves bytes: the triples cover exactly the origin and
+/// target streams, in order.
+#[test]
+fn zip_blocks_conserves() {
+    let mut tested = 0u32;
+    for case in 0..512u64 {
+        let mut rng = Rng::seed_from_u64(0x21B0_0000 + case);
+        let a = random_dtype(&mut rng, 2);
+        let b = random_dtype(&mut rng, 2);
+        let count_a = rng.range(1, 3);
         // Choose count_b so the totals match, if possible.
         let bytes_a = a.size() * count_a;
-        if b.size() == 0 || bytes_a % b.size() != 0 {
-            return Ok(());
+        if b.size() == 0 || !bytes_a.is_multiple_of(b.size()) {
+            continue;
         }
         let count_b = bytes_a / b.size();
         if count_b == 0 || count_b > 64 {
-            return Ok(());
+            continue;
         }
+        tested += 1;
         let ra = a.flatten(count_a);
         let rb = b.flatten(count_b);
         let triples = zip_blocks(&ra, &rb).unwrap();
         let total: usize = triples.iter().map(|t| t.2).sum();
-        prop_assert_eq!(total, bytes_a);
+        assert_eq!(total, bytes_a, "case {case}");
         // Origin offsets advance monotonically through the origin runs.
-        let mut covered_a = Vec::new();
-        for (o, _, l) in &triples {
-            covered_a.push((*o, *l));
-        }
+        let covered_a: Vec<(usize, usize)> = triples.iter().map(|(o, _, l)| (*o, *l)).collect();
         let mut merged = covered_a.clone();
         merged.sort_unstable();
-        prop_assert_eq!(&covered_a, &merged, "origin stream in order");
+        assert_eq!(covered_a, merged, "origin stream in order, case {case}");
     }
+    assert!(tested > 50, "too few compatible type pairs exercised: {tested}");
+}
 
-    /// A contiguous type always flattens to one run.
-    #[test]
-    fn contiguous_is_one_run(count in 1usize..64, elems in 1usize..16) {
+/// A contiguous type always flattens to one run.
+#[test]
+fn contiguous_is_one_run() {
+    for case in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(0xC047_0000 + case);
+        let count = rng.range(1, 64);
+        let elems = rng.range(1, 16);
         let ty = DataType::contiguous(elems, DataType::double());
-        prop_assert!(ty.is_contiguous());
+        assert!(ty.is_contiguous());
         let runs = ty.flatten(count);
-        prop_assert_eq!(runs.len(), 1);
-        prop_assert_eq!(runs[0], (0, count * elems * 8));
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0], (0, count * elems * 8));
     }
+}
 
-    /// extent ≥ size always.
-    #[test]
-    fn extent_dominates_size(ty in dtype_strategy(3)) {
-        prop_assert!(ty.extent() >= ty.size());
+/// extent ≥ size always.
+#[test]
+fn extent_dominates_size() {
+    for case in 0..512u64 {
+        let mut rng = Rng::seed_from_u64(0xE47E_0000 + case);
+        let ty = random_dtype(&mut rng, 3);
+        assert!(ty.extent() >= ty.size(), "case {case}");
     }
 }

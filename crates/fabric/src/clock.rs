@@ -139,6 +139,38 @@ mod tests {
     }
 
     #[test]
+    fn stamp_never_observed_decreasing() {
+        // fetch_max on the bit pattern means a concurrent reader can only
+        // ever see the stamp go up, never down.
+        let s = Arc::new(StampCell::new());
+        let writers: Vec<_> = (0..4)
+            .map(|i| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for k in 0..2000 {
+                        s.raise((k * 4 + i) as f64 * 0.25);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let s = s.clone();
+            std::thread::spawn(move || {
+                let mut prev = 0.0;
+                for _ in 0..20000 {
+                    let t = s.get();
+                    assert!(t >= prev, "stamp went backwards: {t} < {prev}");
+                    prev = t;
+                }
+            })
+        };
+        for h in writers {
+            h.join().unwrap();
+        }
+        reader.join().unwrap();
+    }
+
+    #[test]
     fn bit_roundtrip() {
         for t in [0.0, 1.5, 1e12, 123.456] {
             assert_eq!(bits_to_stamp(stamp_to_bits(t)), t);

@@ -16,10 +16,8 @@
 //! charged *by the respective layer crates*, not here; the fabric charges
 //! only what the "hardware" costs.
 
-use serde::{Deserialize, Serialize};
-
 /// Which physical path an operation takes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Transport {
     /// Inter-node RDMA through the (simulated) Gemini NIC.
     Dmapp,
@@ -28,7 +26,7 @@ pub enum Transport {
 }
 
 /// LogGP-style cost parameters, all in nanoseconds (or ns/byte).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostModel {
     /// Base (zero-byte) latency of an inter-node put.
     pub dmapp_put_base_ns: f64,

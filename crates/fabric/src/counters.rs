@@ -19,8 +19,19 @@ pub struct Counters {
     pub bytes_put: AtomicU64,
     /// Total bytes moved by gets.
     pub bytes_get: AtomicU64,
+    /// Total bytes moved by AMOs (8 per operation).
+    pub bytes_amo: AtomicU64,
     /// Number of gsync (bulk completion) calls.
     pub gsyncs: AtomicU64,
+    /// Number of per-target flushes (`flush_target` at the fabric layer —
+    /// the substrate of `MPI_Win_flush`).
+    pub flushes: AtomicU64,
+    /// Number of `MPI_Win_fence` epochs entered (counted by the sync layer).
+    pub fences: AtomicU64,
+    /// Number of lock acquisitions (`MPI_Win_lock` / `lock_all`).
+    pub locks: AtomicU64,
+    /// Number of lock releases (`MPI_Win_unlock` / `unlock_all`).
+    pub unlocks: AtomicU64,
 }
 
 /// A point-in-time copy of [`Counters`].
@@ -36,8 +47,18 @@ pub struct CounterSnapshot {
     pub bytes_put: u64,
     /// Bytes moved by gets.
     pub bytes_get: u64,
+    /// Bytes moved by AMOs.
+    pub bytes_amo: u64,
     /// gsync calls.
     pub gsyncs: u64,
+    /// Per-target flushes.
+    pub flushes: u64,
+    /// Fence epochs.
+    pub fences: u64,
+    /// Lock acquisitions.
+    pub locks: u64,
+    /// Lock releases.
+    pub unlocks: u64,
 }
 
 impl Counters {
@@ -49,27 +70,43 @@ impl Counters {
             amos: self.amos.load(Ordering::Relaxed),
             bytes_put: self.bytes_put.load(Ordering::Relaxed),
             bytes_get: self.bytes_get.load(Ordering::Relaxed),
+            bytes_amo: self.bytes_amo.load(Ordering::Relaxed),
             gsyncs: self.gsyncs.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+            locks: self.locks.load(Ordering::Relaxed),
+            unlocks: self.unlocks.load(Ordering::Relaxed),
         }
     }
 }
 
 impl CounterSnapshot {
-    /// Difference `self - earlier`, field-wise.
+    /// Difference `self - earlier`, field-wise. Saturating: unordered
+    /// snapshots (taken while other ranks are mid-flight) never underflow.
     pub fn since(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
         CounterSnapshot {
-            puts: self.puts - earlier.puts,
-            gets: self.gets - earlier.gets,
-            amos: self.amos - earlier.amos,
-            bytes_put: self.bytes_put - earlier.bytes_put,
-            bytes_get: self.bytes_get - earlier.bytes_get,
-            gsyncs: self.gsyncs - earlier.gsyncs,
+            puts: self.puts.saturating_sub(earlier.puts),
+            gets: self.gets.saturating_sub(earlier.gets),
+            amos: self.amos.saturating_sub(earlier.amos),
+            bytes_put: self.bytes_put.saturating_sub(earlier.bytes_put),
+            bytes_get: self.bytes_get.saturating_sub(earlier.bytes_get),
+            bytes_amo: self.bytes_amo.saturating_sub(earlier.bytes_amo),
+            gsyncs: self.gsyncs.saturating_sub(earlier.gsyncs),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            fences: self.fences.saturating_sub(earlier.fences),
+            locks: self.locks.saturating_sub(earlier.locks),
+            unlocks: self.unlocks.saturating_sub(earlier.unlocks),
         }
     }
 
     /// Total one-sided operations (puts + gets + amos).
     pub fn total_ops(&self) -> u64 {
         self.puts + self.gets + self.amos
+    }
+
+    /// Total bytes moved by one-sided operations.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_put + self.bytes_get + self.bytes_amo
     }
 }
 
@@ -89,5 +126,31 @@ mod tests {
         assert_eq!(d.puts, 0);
         assert_eq!(d.gets, 2);
         assert_eq!(b.total_ops(), 5);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        let c = Counters::default();
+        c.amos.fetch_add(5, Ordering::Relaxed);
+        let later = c.snapshot();
+        c.amos.fetch_add(1, Ordering::Relaxed);
+        let even_later = c.snapshot();
+        // Reversed order: "later - even_later" would underflow with plain
+        // subtraction; saturating gives 0.
+        let d = later.since(&even_later);
+        assert_eq!(d.amos, 0);
+    }
+
+    #[test]
+    fn sync_layer_counters_roundtrip() {
+        let c = Counters::default();
+        c.fences.fetch_add(2, Ordering::Relaxed);
+        c.locks.fetch_add(4, Ordering::Relaxed);
+        c.unlocks.fetch_add(4, Ordering::Relaxed);
+        c.flushes.fetch_add(1, Ordering::Relaxed);
+        c.bytes_amo.fetch_add(16, Ordering::Relaxed);
+        let s = c.snapshot();
+        assert_eq!((s.fences, s.locks, s.unlocks, s.flushes), (2, 4, 4, 1));
+        assert_eq!(s.total_bytes(), 16);
     }
 }

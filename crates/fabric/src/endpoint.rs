@@ -26,6 +26,7 @@ use crate::clock::{bits_to_stamp, stamp_to_bits, Clock};
 use crate::cost::Transport;
 use crate::error::FabricError;
 use crate::segment::SegKey;
+use crate::telemetry::{Event, EventKind, Flavor, NO_TARGET};
 use crate::Fabric;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
@@ -47,6 +48,9 @@ pub struct Endpoint {
     clock: Clock,
     pending_all: Cell<f64>,
     pending_per: RefCell<HashMap<u32, f64>>,
+    /// Telemetry window scope: the window id upper layers attribute
+    /// subsequent operations to (0 = none). See [`Endpoint::set_trace_win`].
+    trace_win: Cell<u64>,
 }
 
 impl Endpoint {
@@ -58,6 +62,7 @@ impl Endpoint {
             clock: Clock::new(),
             pending_all: Cell::new(0.0),
             pending_per: RefCell::new(HashMap::new()),
+            trace_win: Cell::new(0),
         }
     }
 
@@ -91,7 +96,83 @@ impl Endpoint {
         self.fabric.transport(self.rank, target)
     }
 
-    fn bounds(&self, key: SegKey, off: usize, len: usize) -> Result<Arc<crate::Segment>, FabricError> {
+    // ----------------------------------------------------------- telemetry
+
+    /// Set the telemetry window scope: RMA/sync events recorded after this
+    /// call are attributed to window `win` (the window layer passes its
+    /// symmetric meta id; 0 clears the scope). Returns the previous scope so
+    /// nested callers can restore it. A few-instruction no-op cost.
+    #[inline]
+    pub fn set_trace_win(&self, win: u64) -> u64 {
+        self.trace_win.replace(win)
+    }
+
+    /// Current telemetry window scope.
+    #[inline]
+    pub fn trace_win(&self) -> u64 {
+        self.trace_win.get()
+    }
+
+    /// Record an RMA data operation (called by the op implementations).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    fn trace_op(
+        &self,
+        kind: EventKind,
+        flavor: Flavor,
+        transport: Transport,
+        target: u32,
+        bytes: u64,
+        t_start: f64,
+        t_end: f64,
+    ) {
+        let tel = self.fabric.telemetry();
+        if !tel.enabled() {
+            return;
+        }
+        tel.record(Event {
+            kind,
+            flavor,
+            transport: Some(transport),
+            origin: self.rank,
+            target,
+            win: self.trace_win.get(),
+            bytes,
+            t_start,
+            t_end,
+        });
+    }
+
+    /// Record a synchronisation event spanning `t_start..now` against the
+    /// current window scope. `target` is the peer involved, or
+    /// [`NO_TARGET`] for collective/epoch-wide actions. Upper layers (fence,
+    /// PSCW, lock, flush) call this at epoch entry/exit; the disabled path
+    /// is one atomic load and a branch.
+    #[inline]
+    pub fn trace_sync(&self, kind: EventKind, target: u32, t_start: f64) {
+        let tel = self.fabric.telemetry();
+        if !tel.enabled() {
+            return;
+        }
+        tel.record(Event {
+            kind,
+            flavor: Flavor::NotApplicable,
+            transport: (target != NO_TARGET).then(|| self.transport_to(target)),
+            origin: self.rank,
+            target,
+            win: self.trace_win.get(),
+            bytes: 0,
+            t_start,
+            t_end: self.clock.now(),
+        });
+    }
+
+    fn bounds(
+        &self,
+        key: SegKey,
+        off: usize,
+        len: usize,
+    ) -> Result<Arc<crate::Segment>, FabricError> {
         let seg = self.fabric.resolve(key)?;
         if !seg.check(off, len) {
             return Err(FabricError::OutOfBounds { key, offset: off, len, seg_len: seg.len() });
@@ -112,57 +193,73 @@ impl Endpoint {
 
     // ----------------------------------------------------------------- put
 
-    fn put_raw(&self, key: SegKey, off: usize, src: &[u8]) -> Result<f64, FabricError> {
+    fn put_raw(
+        &self,
+        key: SegKey,
+        off: usize,
+        src: &[u8],
+        flavor: Flavor,
+    ) -> Result<f64, FabricError> {
         let seg = self.bounds(key, off, src.len())?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
+        let t_start = self.clock.now();
         self.clock.advance(m.inject(t));
         let t_complete = self.clock.now() + m.put_latency(t, src.len());
         seg.write(off, src);
         let c = self.fabric.counters();
         c.puts.fetch_add(1, Ordering::Relaxed);
         c.bytes_put.fetch_add(src.len() as u64, Ordering::Relaxed);
+        self.trace_op(EventKind::Put, flavor, t, key.rank, src.len() as u64, t_start, t_complete);
         Ok(t_complete)
     }
 
     /// Blocking put: returns when remotely complete.
     pub fn put(&self, key: SegKey, off: usize, src: &[u8]) -> Result<(), FabricError> {
-        let t = self.put_raw(key, off, src)?;
+        let t = self.put_raw(key, off, src, Flavor::Blocking)?;
         self.clock.join(t);
         Ok(())
     }
 
     /// Explicit-nonblocking put.
     pub fn put_nb(&self, key: SegKey, off: usize, src: &[u8]) -> Result<NbHandle, FabricError> {
-        let t = self.put_raw(key, off, src)?;
+        let t = self.put_raw(key, off, src, Flavor::Nonblocking)?;
         Ok(NbHandle { t_complete: t })
     }
 
     /// Implicit-nonblocking put, completed by [`Endpoint::gsync`].
     pub fn put_implicit(&self, key: SegKey, off: usize, src: &[u8]) -> Result<(), FabricError> {
-        let t = self.put_raw(key, off, src)?;
+        let t = self.put_raw(key, off, src, Flavor::Implicit)?;
         self.note_pending(key.rank, t);
         Ok(())
     }
 
     // ----------------------------------------------------------------- get
 
-    fn get_raw(&self, key: SegKey, off: usize, dst: &mut [u8]) -> Result<f64, FabricError> {
+    fn get_raw(
+        &self,
+        key: SegKey,
+        off: usize,
+        dst: &mut [u8],
+        flavor: Flavor,
+    ) -> Result<f64, FabricError> {
         let seg = self.bounds(key, off, dst.len())?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
+        let t_start = self.clock.now();
         self.clock.advance(m.inject(t));
         let t_complete = self.clock.now() + m.get_latency(t, dst.len());
         seg.read(off, dst);
         let c = self.fabric.counters();
         c.gets.fetch_add(1, Ordering::Relaxed);
         c.bytes_get.fetch_add(dst.len() as u64, Ordering::Relaxed);
+        self.trace_op(EventKind::Get, flavor, t, key.rank, dst.len() as u64, t_start, t_complete);
         Ok(t_complete)
     }
 
     /// Blocking get.
     pub fn get(&self, key: SegKey, off: usize, dst: &mut [u8]) -> Result<(), FabricError> {
-        let t = self.get_raw(key, off, dst)?;
+        let t = self.get_raw(key, off, dst, Flavor::Blocking)?;
         self.clock.join(t);
         Ok(())
     }
@@ -170,13 +267,13 @@ impl Endpoint {
     /// Explicit-nonblocking get. The destination holds valid data once
     /// [`Endpoint::wait`] returns.
     pub fn get_nb(&self, key: SegKey, off: usize, dst: &mut [u8]) -> Result<NbHandle, FabricError> {
-        let t = self.get_raw(key, off, dst)?;
+        let t = self.get_raw(key, off, dst, Flavor::Nonblocking)?;
         Ok(NbHandle { t_complete: t })
     }
 
     /// Implicit-nonblocking get, completed by [`Endpoint::gsync`].
     pub fn get_implicit(&self, key: SegKey, off: usize, dst: &mut [u8]) -> Result<(), FabricError> {
-        let t = self.get_raw(key, off, dst)?;
+        let t = self.get_raw(key, off, dst, Flavor::Implicit)?;
         self.note_pending(key.rank, t);
         Ok(())
     }
@@ -195,10 +292,14 @@ impl Endpoint {
         let seg = self.bounds(key, off, 8)?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
+        let t_start = self.clock.now();
         self.clock.advance(m.inject(t));
         let old = seg.amo(off, op, operand, compare);
         self.clock.advance(m.amo_latency(t));
-        self.fabric.counters().amos.fetch_add(1, Ordering::Relaxed);
+        let c = self.fabric.counters();
+        c.amos.fetch_add(1, Ordering::Relaxed);
+        c.bytes_amo.fetch_add(8, Ordering::Relaxed);
+        self.trace_op(EventKind::Amo, Flavor::Blocking, t, key.rank, 8, t_start, self.clock.now());
         Ok(old)
     }
 
@@ -214,11 +315,15 @@ impl Endpoint {
         let seg = self.bounds(key, off, 8)?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
+        let t_start = self.clock.now();
         self.clock.advance(m.inject(t));
         let t_complete = self.clock.now() + m.amo_latency(t);
         seg.amo(off, op, operand, 0);
         self.note_pending(key.rank, t_complete);
-        self.fabric.counters().amos.fetch_add(1, Ordering::Relaxed);
+        let c = self.fabric.counters();
+        c.amos.fetch_add(1, Ordering::Relaxed);
+        c.bytes_amo.fetch_add(8, Ordering::Relaxed);
+        self.trace_op(EventKind::Amo, Flavor::Implicit, t, key.rank, 8, t_start, t_complete);
         Ok(())
     }
 
@@ -242,11 +347,11 @@ impl Endpoint {
         self.clock.advance(m.inject(t));
         let t_complete = self.clock.now() + m.amo_latency(t);
         let old = seg.amo(off, op, operand, compare);
-        let old_stamp = seg
-            .word(off + 8)
-            .fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
+        let old_stamp = seg.word(off + 8).fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
         self.clock.join(t_complete);
-        self.fabric.counters().amos.fetch_add(1, Ordering::Relaxed);
+        let c = self.fabric.counters();
+        c.amos.fetch_add(1, Ordering::Relaxed);
+        c.bytes_amo.fetch_add(8, Ordering::Relaxed);
         Ok((old, bits_to_stamp(old_stamp)))
     }
 
@@ -269,10 +374,11 @@ impl Endpoint {
         self.clock.advance(m.inject(t));
         let t_complete = self.clock.now() + m.amo_latency(t);
         seg.amo(off, op, operand, 0);
-        seg.word(off + 8)
-            .fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
+        seg.word(off + 8).fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
         self.note_pending(key.rank, t_complete);
-        self.fabric.counters().amos.fetch_add(1, Ordering::Relaxed);
+        let c = self.fabric.counters();
+        c.amos.fetch_add(1, Ordering::Relaxed);
+        c.bytes_amo.fetch_add(8, Ordering::Relaxed);
         Ok(())
     }
 
@@ -293,18 +399,14 @@ impl Endpoint {
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
         self.clock.advance(m.inject(t));
-        let pending = self
-            .pending_per
-            .borrow()
-            .get(&key.rank)
-            .copied()
-            .unwrap_or(0.0);
+        let pending = self.pending_per.borrow().get(&key.rank).copied().unwrap_or(0.0);
         let t_complete = (self.clock.now() + m.amo_latency(t)).max(pending);
         seg.amo(off, op, operand, 0);
-        seg.word(off + 8)
-            .fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
+        seg.word(off + 8).fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
         self.note_pending(key.rank, t_complete);
-        self.fabric.counters().amos.fetch_add(1, Ordering::Relaxed);
+        let c = self.fabric.counters();
+        c.amos.fetch_add(1, Ordering::Relaxed);
+        c.bytes_amo.fetch_add(8, Ordering::Relaxed);
         Ok(())
     }
 
@@ -350,8 +452,10 @@ impl Endpoint {
 
     /// Bulk-complete all implicit-nonblocking operations (DMAPP `gsync`).
     pub fn gsync(&self) {
+        let t_start = self.clock.now();
         self.clock.join(self.pending_all.get());
         self.fabric.counters().gsyncs.fetch_add(1, Ordering::Relaxed);
+        self.trace_sync(EventKind::Gsync, NO_TARGET, t_start);
     }
 
     /// The completion horizon of implicit operations already issued to
@@ -364,9 +468,12 @@ impl Endpoint {
     /// Complete all implicit operations targeted at `target` (per-target
     /// remote completion, the substrate of `MPI_Win_flush(target)`).
     pub fn flush_target(&self, target: u32) {
+        let t_start = self.clock.now();
         if let Some(&t) = self.pending_per.borrow().get(&target) {
             self.clock.join(t);
         }
+        self.fabric.counters().flushes.fetch_add(1, Ordering::Relaxed);
+        self.trace_sync(EventKind::Flush, target, t_start);
     }
 
     /// Local memory fence (x86 `mfence` analogue, charged per the model).
@@ -455,10 +562,7 @@ mod tests {
     #[test]
     fn out_of_bounds_rejected() {
         let (_f, ep0, _ep1, key) = setup();
-        assert!(matches!(
-            ep0.put(key, 4090, &[0u8; 16]),
-            Err(FabricError::OutOfBounds { .. })
-        ));
+        assert!(matches!(ep0.put(key, 4090, &[0u8; 16]), Err(FabricError::OutOfBounds { .. })));
     }
 
     #[test]

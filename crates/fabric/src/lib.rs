@@ -41,7 +41,10 @@ pub mod cost;
 pub mod counters;
 pub mod endpoint;
 pub mod error;
+pub mod rng;
 pub mod segment;
+pub mod shim;
+pub mod telemetry;
 pub mod topology;
 pub mod xpmem;
 
@@ -52,9 +55,10 @@ pub use counters::{CounterSnapshot, Counters};
 pub use endpoint::{Endpoint, NbHandle};
 pub use error::FabricError;
 pub use segment::{SegKey, Segment};
+pub use telemetry::Telemetry;
 pub use topology::Topology;
 
-use parking_lot::RwLock;
+use shim::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -71,18 +75,31 @@ pub struct Fabric {
     segs: RwLock<HashMap<SegKey, Arc<Segment>>>,
     next_id: AtomicU64,
     counters: Counters,
+    telemetry: Telemetry,
 }
 
 impl Fabric {
     /// Create a fabric for `p` ranks grouped `node_size` per node with the
-    /// given cost model.
+    /// given cost model. Telemetry is configured from the environment
+    /// (`FOMPI_TELEMETRY`, off by default — see [`telemetry`]).
     pub fn new(p: usize, node_size: usize, model: CostModel) -> Arc<Self> {
+        Self::build(p, node_size, model, Telemetry::from_env(p))
+    }
+
+    /// Like [`Fabric::new`], but with tracing telemetry enabled
+    /// programmatically: `ring_cap` events retained per rank.
+    pub fn new_traced(p: usize, node_size: usize, model: CostModel, ring_cap: usize) -> Arc<Self> {
+        Self::build(p, node_size, model, Telemetry::with_capacity(p, true, ring_cap))
+    }
+
+    fn build(p: usize, node_size: usize, model: CostModel, telemetry: Telemetry) -> Arc<Self> {
         Arc::new(Self {
             model,
             topo: Topology::new(p, node_size),
             segs: RwLock::new(HashMap::new()),
             next_id: AtomicU64::new(1),
             counters: Counters::default(),
+            telemetry,
         })
     }
 
@@ -99,6 +116,11 @@ impl Fabric {
     /// Global operation counters (for scalability assertions in tests).
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// The telemetry hub (tracing, histograms, attribution).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Register `seg` for remote access by rank `rank`. Returns the key
@@ -143,11 +165,7 @@ impl Fabric {
 
     /// Resolve a key to its segment (what the NIC does on every request).
     pub fn resolve(&self, key: SegKey) -> Result<Arc<Segment>, FabricError> {
-        self.segs
-            .read()
-            .get(&key)
-            .cloned()
-            .ok_or(FabricError::UnknownKey(key))
+        self.segs.read().get(&key).cloned().ok_or(FabricError::UnknownKey(key))
     }
 
     /// Number of ranks in the job.

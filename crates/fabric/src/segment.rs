@@ -83,7 +83,7 @@ impl Segment {
         let mut o = off;
         let mut s = src;
         // Ragged head.
-        while o % 8 != 0 && !s.is_empty() {
+        while !o.is_multiple_of(8) && !s.is_empty() {
             self.byte(o).store(s[0], Ordering::Relaxed);
             o += 1;
             s = &s[1..];
@@ -107,7 +107,7 @@ impl Segment {
         assert!(self.check(off, dst.len()), "segment read out of bounds");
         let mut o = off;
         let mut d = &mut dst[..];
-        while o % 8 != 0 && !d.is_empty() {
+        while !o.is_multiple_of(8) && !d.is_empty() {
             d[0] = self.byte(o).load(Ordering::Relaxed);
             o += 1;
             d = &mut d[1..];
@@ -136,7 +136,7 @@ impl Segment {
     /// 8-aligned and in bounds). This is the AMO target view.
     #[inline]
     pub fn word(&self, off: usize) -> &AtomicU64 {
-        assert!(off % 8 == 0, "AMO offset must be 8-byte aligned");
+        assert!(off.is_multiple_of(8), "AMO offset must be 8-byte aligned");
         assert!(self.check(off, 8), "AMO out of bounds");
         &self.words[off / 8]
     }
@@ -152,10 +152,12 @@ impl Segment {
             AmoOp::Or => w.fetch_or(operand, Ordering::AcqRel),
             AmoOp::Xor => w.fetch_xor(operand, Ordering::AcqRel),
             AmoOp::Swap => w.swap(operand, Ordering::AcqRel),
-            AmoOp::Cas => match w.compare_exchange(compare, operand, Ordering::AcqRel, Ordering::Acquire) {
-                Ok(old) => old,
-                Err(old) => old,
-            },
+            AmoOp::Cas => {
+                match w.compare_exchange(compare, operand, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(old) => old,
+                    Err(old) => old,
+                }
+            }
             AmoOp::Fetch => w.load(Ordering::Acquire),
         }
     }
@@ -163,7 +165,7 @@ impl Segment {
     /// Convenience: read one u64 (little-endian) at arbitrary (possibly
     /// unaligned) byte offset. Not atomic as a unit unless aligned.
     pub fn read_u64(&self, off: usize) -> u64 {
-        if off % 8 == 0 && self.check(off, 8) {
+        if off.is_multiple_of(8) && self.check(off, 8) {
             return self.words[off / 8].load(Ordering::Acquire);
         }
         let mut b = [0u8; 8];
@@ -173,7 +175,7 @@ impl Segment {
 
     /// Convenience: write one u64 (little-endian) at byte offset `off`.
     pub fn write_u64(&self, off: usize, v: u64) {
-        if off % 8 == 0 && self.check(off, 8) {
+        if off.is_multiple_of(8) && self.check(off, 8) {
             self.words[off / 8].store(v, Ordering::Release);
             return;
         }

@@ -1,0 +1,227 @@
+//! Trace event vocabulary.
+//!
+//! One [`Event`] is recorded per RMA operation (put/get/AMO, §2.1's DMAPP
+//! completion flavours) and per synchronisation action (fence, PSCW
+//! post/start/complete/wait, lock/unlock, flush/gsync — the §2.3 epoch
+//! operations). Events are `Copy` and fixed-size so the recording path never
+//! allocates; timestamps are *virtual* nanoseconds from the origin rank's
+//! [`crate::clock::Clock`].
+
+use crate::cost::Transport;
+
+/// Sentinel target for events with no single peer (fence, lock_all, gsync).
+pub const NO_TARGET: u32 = u32::MAX;
+
+/// Sentinel window id for operations outside any window scope.
+pub const NO_WIN: u64 = 0;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Remote put (data movement).
+    Put,
+    /// Remote get (data movement).
+    Get,
+    /// Remote atomic memory operation.
+    Amo,
+    /// `MPI_Win_fence` (collective epoch boundary).
+    Fence,
+    /// `MPI_Win_post` (PSCW exposure epoch open).
+    Post,
+    /// `MPI_Win_start` (PSCW access epoch open).
+    Start,
+    /// `MPI_Win_complete` (PSCW access epoch close).
+    Complete,
+    /// `MPI_Win_wait` / successful `MPI_Win_test` (exposure epoch close).
+    WaitEpoch,
+    /// `MPI_Win_lock` (passive-target epoch open).
+    Lock,
+    /// `MPI_Win_unlock` (passive-target epoch close).
+    Unlock,
+    /// `MPI_Win_lock_all`.
+    LockAll,
+    /// `MPI_Win_unlock_all`.
+    UnlockAll,
+    /// `MPI_Win_flush` / `flush_all` (remote completion inside an epoch).
+    Flush,
+    /// `MPI_Win_flush_local` / `flush_local_all`.
+    FlushLocal,
+    /// DMAPP bulk completion (`gsync`) at the fabric layer.
+    Gsync,
+    /// `MPI_Win_sync` (memory-barrier only).
+    WinSync,
+}
+
+impl EventKind {
+    /// Number of distinct kinds (size of per-class stat arrays).
+    pub const COUNT: usize = 16;
+
+    /// All kinds, in `index` order.
+    pub const ALL: [EventKind; EventKind::COUNT] = [
+        EventKind::Put,
+        EventKind::Get,
+        EventKind::Amo,
+        EventKind::Fence,
+        EventKind::Post,
+        EventKind::Start,
+        EventKind::Complete,
+        EventKind::WaitEpoch,
+        EventKind::Lock,
+        EventKind::Unlock,
+        EventKind::LockAll,
+        EventKind::UnlockAll,
+        EventKind::Flush,
+        EventKind::FlushLocal,
+        EventKind::Gsync,
+        EventKind::WinSync,
+    ];
+
+    /// Dense index for per-class stat arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lower-case name (used in reports and trace JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Put => "put",
+            EventKind::Get => "get",
+            EventKind::Amo => "amo",
+            EventKind::Fence => "fence",
+            EventKind::Post => "post",
+            EventKind::Start => "start",
+            EventKind::Complete => "complete",
+            EventKind::WaitEpoch => "wait",
+            EventKind::Lock => "lock",
+            EventKind::Unlock => "unlock",
+            EventKind::LockAll => "lock_all",
+            EventKind::UnlockAll => "unlock_all",
+            EventKind::Flush => "flush",
+            EventKind::FlushLocal => "flush_local",
+            EventKind::Gsync => "gsync",
+            EventKind::WinSync => "win_sync",
+        }
+    }
+
+    /// Is this a data-movement operation (vs a synchronisation action)?
+    #[inline]
+    pub fn is_rma(self) -> bool {
+        matches!(self, EventKind::Put | EventKind::Get | EventKind::Amo)
+    }
+}
+
+/// DMAPP completion flavour of an RMA operation (§2.1). Sync events carry
+/// [`Flavor::NotApplicable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Flavor {
+    /// Returned only when remotely complete.
+    Blocking,
+    /// Explicit nonblocking (`*_nb`, completed by `wait`).
+    Nonblocking,
+    /// Implicit nonblocking (completed in bulk by `gsync`/`flush`).
+    Implicit,
+    /// Synchronisation events have no completion flavour.
+    NotApplicable,
+}
+
+impl Flavor {
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Flavor::Blocking => "blocking",
+            Flavor::Nonblocking => "nonblocking",
+            Flavor::Implicit => "implicit",
+            Flavor::NotApplicable => "-",
+        }
+    }
+}
+
+/// One recorded operation. `t_start`/`t_end` are virtual ns on the origin's
+/// clock; for nonblocking flavours `t_end` is the *remote completion* time
+/// (the op's latency horizon), not the local return time.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// What happened.
+    pub kind: EventKind,
+    /// Completion flavour (RMA ops only).
+    pub flavor: Flavor,
+    /// Physical path, when a single peer is involved.
+    pub transport: Option<Transport>,
+    /// Issuing rank.
+    pub origin: u32,
+    /// Peer rank, or [`NO_TARGET`].
+    pub target: u32,
+    /// Window id ([`crate::Fabric`]-symmetric meta id), or [`NO_WIN`].
+    pub win: u64,
+    /// Payload bytes (0 for pure sync events; 8 for AMOs).
+    pub bytes: u64,
+    /// Virtual start time (ns).
+    pub t_start: f64,
+    /// Virtual completion time (ns).
+    pub t_end: f64,
+}
+
+impl Event {
+    /// Latency in virtual ns (clamped non-negative).
+    #[inline]
+    pub fn latency_ns(&self) -> f64 {
+        (self.t_end - self.t_start).max(0.0)
+    }
+
+    /// Transport name for reports ("dmapp" / "xpmem" / "-").
+    pub fn transport_name(&self) -> &'static str {
+        match self.transport {
+            Some(Transport::Dmapp) => "dmapp",
+            Some(Transport::Xpmem) => "xpmem",
+            None => "-",
+        }
+    }
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Event {
+            kind: EventKind::Put,
+            flavor: Flavor::NotApplicable,
+            transport: None,
+            origin: 0,
+            target: NO_TARGET,
+            win: NO_WIN,
+            bytes: 0,
+            t_start: 0.0,
+            t_end: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_match_all() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(EventKind::ALL.len(), EventKind::COUNT);
+    }
+
+    #[test]
+    fn latency_clamps_negative() {
+        let ev = Event { t_start: 10.0, t_end: 5.0, ..Event::default() };
+        assert_eq!(ev.latency_ns(), 0.0);
+        let ev = Event { t_start: 5.0, t_end: 15.0, ..Event::default() };
+        assert_eq!(ev.latency_ns(), 10.0);
+    }
+
+    #[test]
+    fn rma_classification() {
+        assert!(EventKind::Put.is_rma());
+        assert!(EventKind::Amo.is_rma());
+        assert!(!EventKind::Fence.is_rma());
+        assert!(!EventKind::Flush.is_rma());
+    }
+}

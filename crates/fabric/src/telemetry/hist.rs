@@ -1,0 +1,203 @@
+//! Lock-free log2-bucketed histograms.
+//!
+//! Bucket 0 holds the value 0; bucket `i ≥ 1` holds values in
+//! `[2^(i-1), 2^i)`. With 65 buckets the full `u64` range is covered, which
+//! comfortably spans both message sizes (1 B … GiBs) and virtual latencies
+//! (sub-ns … seconds). Recording is one relaxed `fetch_add`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: value 0 plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+pub fn bucket_hi(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A concurrent log2 histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count in bucket `i`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.buckets[i].load(Ordering::Relaxed)
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Point-in-time copy of all bucket counts.
+    pub fn counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Smallest bucket upper bound such that at least `q` (0..=1) of the
+    /// samples fall at or below it — a log2-resolution quantile. Returns 0
+    /// on an empty histogram.
+    pub fn quantile_hi(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let want = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.count(i);
+            if seen >= want {
+                return bucket_hi(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// One-line sparkline-style rendering of the non-empty range, for
+    /// text reports: `[lo..hi) count` per populated bucket.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for i in 0..BUCKETS {
+            let n = self.count(i);
+            if n > 0 {
+                if !out.is_empty() {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("[{}..{}]:{}", bucket_lo(i), bucket_hi(i), n));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(empty)");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_one_byte() {
+        // 1 B lands in bucket 1 = [1, 1]; 0 stays in bucket 0.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_lo(1), 1);
+        assert_eq!(bucket_hi(1), 1);
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+    }
+
+    #[test]
+    fn boundaries_protocol_change_4k() {
+        // The DMAPP protocol change at 4096 B: 4095 and 4096 must land in
+        // different buckets, so the size histogram separates the two
+        // protocol regimes.
+        let below = bucket_index(4095);
+        let at = bucket_index(4096);
+        assert_eq!(below, 12, "4095 in [2048, 4095]");
+        assert_eq!(at, 13, "4096 in [4096, 8191]");
+        assert_eq!(bucket_lo(13), 4096);
+        assert_eq!(bucket_hi(12), 4095);
+    }
+
+    #[test]
+    fn boundaries_max_bucket() {
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        assert_eq!(bucket_index((1u64 << 63) - 1), 63);
+        assert_eq!(bucket_hi(64), u64::MAX);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(64), 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn every_boundary_is_exact() {
+        for i in 1..64usize {
+            let lo = bucket_lo(i);
+            assert_eq!(bucket_index(lo), i, "lo of {i}");
+            assert_eq!(bucket_index(lo - 1), i - 1, "below lo of {i}");
+            assert_eq!(bucket_index(bucket_hi(i)), i, "hi of {i}");
+        }
+    }
+
+    #[test]
+    fn quantile_walks_buckets() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 2, 4, 4, 4, 4, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_hi(0.1), 1);
+        // 8 samples: cum counts are 1 (≤1), 3 (≤3), 8 (≤7). The median
+        // (4th sample) lands in the [4, 7] bucket → hi = 7.
+        assert_eq!(h.quantile_hi(0.5), 7);
+        assert_eq!(h.quantile_hi(0.3), 3);
+        assert_eq!(h.quantile_hi(1.0), 7);
+        assert_eq!(Histogram::new().quantile_hi(0.5), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for v in 0..1000u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.total(), 4000);
+        assert_eq!(h.count(0), 4); // four zeros
+    }
+}

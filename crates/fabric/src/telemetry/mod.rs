@@ -1,0 +1,515 @@
+//! # Virtual-time telemetry
+//!
+//! Observability for the simulated fabric: every RMA operation and every
+//! synchronisation action can be recorded as a fixed-size [`Event`] carrying
+//! its virtual start/completion times, transport, DMAPP completion flavour,
+//! peer and window. On top of the raw event stream the subsystem keeps
+//!
+//! * per-op-class aggregates (count, bytes, total virtual ns),
+//! * log2-bucketed latency and message-size [`Histogram`]s per class,
+//! * per-peer traffic attribution (ops/bytes each origin sent each target),
+//! * per-window attribution (ops/bytes/busy-time per window id).
+//!
+//! ## Cost discipline
+//!
+//! Telemetry is **off by default**. The disabled hot path is a single
+//! relaxed atomic load and a branch — no allocation, no locks. When enabled,
+//! recording is wait-free: atomic adds into the class aggregates plus a
+//! single-producer ring/array write into the origin rank's private area
+//! (ranks are threads, so "my rank's area" is single-writer by
+//! construction; see [`ring`] for the exact contract).
+//!
+//! ## Enabling
+//!
+//! * environment: `FOMPI_TELEMETRY=1` (ring size via
+//!   `FOMPI_TELEMETRY_RING`, default 65536 events/rank), read at
+//!   [`crate::Fabric::new`];
+//! * programmatic: [`crate::Fabric::new_traced`], or
+//!   [`Telemetry::set_enabled`] on a fabric built with ring capacity.
+//!
+//! Aggregates work whenever `enabled` is set; retaining the raw event
+//! stream additionally needs a non-zero ring capacity at construction.
+
+pub mod event;
+pub mod hist;
+pub mod perfetto;
+pub mod ring;
+
+pub use event::{Event, EventKind, Flavor, NO_TARGET, NO_WIN};
+pub use hist::{bucket_hi, bucket_index, bucket_lo, Histogram, BUCKETS};
+pub use ring::EventRing;
+
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Default per-rank ring capacity when tracing is enabled.
+pub const DEFAULT_RING_CAP: usize = 1 << 16;
+
+/// Aggregates for one [`EventKind`].
+#[derive(Debug, Default)]
+pub struct OpStats {
+    count: AtomicU64,
+    bytes: AtomicU64,
+    /// Total virtual latency, in integer ns.
+    ns: AtomicU64,
+    /// Latency distribution (virtual ns).
+    pub lat: Histogram,
+    /// Message-size distribution (bytes; RMA classes only).
+    pub size: Histogram,
+}
+
+impl OpStats {
+    /// Operations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Bytes moved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total virtual ns spent (sum of per-op latencies).
+    pub fn total_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in virtual ns (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_ns() as f64 / n as f64
+        }
+    }
+}
+
+/// Per-peer traffic cell (origin → target).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerStats {
+    /// RMA ops sent to this peer.
+    pub ops: u64,
+    /// Bytes sent to this peer.
+    pub bytes: u64,
+}
+
+/// Per-window aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowStats {
+    /// Puts targeting the window.
+    pub puts: u64,
+    /// Gets targeting the window.
+    pub gets: u64,
+    /// AMOs targeting the window.
+    pub amos: u64,
+    /// Synchronisation events scoped to the window.
+    pub syncs: u64,
+    /// Bytes moved through the window.
+    pub bytes: u64,
+    /// Total virtual ns spent in the window's operations.
+    pub busy_ns: f64,
+}
+
+impl WindowStats {
+    fn add(&mut self, ev: &Event) {
+        match ev.kind {
+            EventKind::Put => self.puts += 1,
+            EventKind::Get => self.gets += 1,
+            EventKind::Amo => self.amos += 1,
+            _ => self.syncs += 1,
+        }
+        self.bytes += ev.bytes;
+        self.busy_ns += ev.latency_ns();
+    }
+
+    fn merge(&mut self, other: &WindowStats) {
+        self.puts += other.puts;
+        self.gets += other.gets;
+        self.amos += other.amos;
+        self.syncs += other.syncs;
+        self.bytes += other.bytes;
+        self.busy_ns += other.busy_ns;
+    }
+
+    /// Total operations attributed to the window.
+    pub fn ops(&self) -> u64 {
+        self.puts + self.gets + self.amos + self.syncs
+    }
+}
+
+/// One line of [`Telemetry::class_summary`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClassSummary {
+    /// The op class.
+    pub kind: EventKind,
+    /// Operations recorded.
+    pub count: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Total virtual ns.
+    pub total_ns: u64,
+    /// Mean virtual ns per op.
+    pub mean_ns: f64,
+}
+
+/// The per-rank single-writer area: event ring plus non-atomic attribution
+/// maps (only the owning rank's thread touches them; drained at quiescent
+/// points — same contract as [`EventRing`]).
+struct RankLocal {
+    ring: EventRing,
+    wins: UnsafeCell<HashMap<u64, WindowStats>>,
+    peers: UnsafeCell<Box<[PeerStats]>>,
+}
+
+// SAFETY: see `ring` module docs — single producer per rank, readers only at
+// quiescent points (after the rank threads have been joined).
+unsafe impl Sync for RankLocal {}
+
+/// The telemetry hub: one per [`crate::Fabric`].
+pub struct Telemetry {
+    enabled: AtomicBool,
+    ranks: Box<[RankLocal]>,
+    stats: Box<[OpStats]>,
+}
+
+impl Telemetry {
+    /// Telemetry for `p` ranks with explicit state: `enabled` switches
+    /// aggregate recording on; `ring_cap` slots per rank retain the raw
+    /// event stream (0 = aggregates only).
+    pub fn with_capacity(p: usize, enabled: bool, ring_cap: usize) -> Self {
+        Telemetry {
+            enabled: AtomicBool::new(enabled),
+            ranks: (0..p)
+                .map(|_| RankLocal {
+                    ring: EventRing::new(ring_cap),
+                    wins: UnsafeCell::new(HashMap::new()),
+                    peers: UnsafeCell::new(vec![PeerStats::default(); p].into_boxed_slice()),
+                })
+                .collect(),
+            stats: (0..EventKind::COUNT).map(|_| OpStats::default()).collect(),
+        }
+    }
+
+    /// Telemetry configured from the environment: enabled iff
+    /// `FOMPI_TELEMETRY` is set to anything but `0`; ring capacity from
+    /// `FOMPI_TELEMETRY_RING` (default [`DEFAULT_RING_CAP`]).
+    pub fn from_env(p: usize) -> Self {
+        let enabled = std::env::var("FOMPI_TELEMETRY").map(|v| v != "0").unwrap_or(false);
+        let cap = if enabled {
+            std::env::var("FOMPI_TELEMETRY_RING")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(DEFAULT_RING_CAP)
+        } else {
+            0
+        };
+        Telemetry::with_capacity(p, enabled, cap)
+    }
+
+    /// Is recording on? This is the whole disabled hot path: one relaxed
+    /// load and a branch at every call site.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Toggle recording. Enabling on a fabric built without ring capacity
+    /// records aggregates only.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Rank count this hub was built for.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Record one event. Must be called on `ev.origin`'s thread (the rank's
+    /// private areas are single-writer). No-op when disabled.
+    #[inline]
+    pub fn record(&self, ev: Event) {
+        if !self.enabled() {
+            return;
+        }
+        self.record_enabled(ev);
+    }
+
+    #[inline(never)]
+    fn record_enabled(&self, ev: Event) {
+        let s = &self.stats[ev.kind.index()];
+        let ns = ev.latency_ns() as u64;
+        s.count.fetch_add(1, Ordering::Relaxed);
+        s.bytes.fetch_add(ev.bytes, Ordering::Relaxed);
+        s.ns.fetch_add(ns, Ordering::Relaxed);
+        s.lat.record(ns);
+        if ev.kind.is_rma() {
+            s.size.record(ev.bytes);
+        }
+        let Some(rl) = self.ranks.get(ev.origin as usize) else {
+            return;
+        };
+        rl.ring.push(ev);
+        // SAFETY: single-writer contract — we are on `ev.origin`'s thread.
+        unsafe {
+            if ev.kind.is_rma() && (ev.target as usize) < self.ranks.len() {
+                let peers = &mut *rl.peers.get();
+                let cell = &mut peers[ev.target as usize];
+                cell.ops += 1;
+                cell.bytes += ev.bytes;
+            }
+            if ev.win != NO_WIN {
+                (*rl.wins.get()).entry(ev.win).or_default().add(&ev);
+            }
+        }
+    }
+
+    /// Aggregates for one op class (live; safe to read anytime).
+    pub fn stats(&self, kind: EventKind) -> &OpStats {
+        &self.stats[kind.index()]
+    }
+
+    /// Summary rows for all classes with at least one event.
+    pub fn class_summary(&self) -> Vec<ClassSummary> {
+        EventKind::ALL
+            .iter()
+            .map(|&kind| {
+                let s = self.stats(kind);
+                ClassSummary {
+                    kind,
+                    count: s.count(),
+                    bytes: s.bytes(),
+                    total_ns: s.total_ns(),
+                    mean_ns: s.mean_ns(),
+                }
+            })
+            .filter(|c| c.count > 0)
+            .collect()
+    }
+
+    /// All retained events across ranks, sorted by start time.
+    ///
+    /// Quiescent-point only (after rank threads are joined) — see [`ring`].
+    pub fn events(&self) -> Vec<Event> {
+        let mut out: Vec<Event> = self.ranks.iter().flat_map(|r| r.ring.drain()).collect();
+        out.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
+        out
+    }
+
+    /// Events lost to ring overwriting, across all ranks.
+    pub fn dropped(&self) -> u64 {
+        self.ranks.iter().map(|r| r.ring.dropped()).sum()
+    }
+
+    /// Per-peer traffic matrix, row-major `[origin][target]`.
+    ///
+    /// Quiescent-point only.
+    pub fn peer_matrix(&self) -> Vec<Vec<PeerStats>> {
+        self.ranks
+            .iter()
+            .map(|r| {
+                // SAFETY: quiescent point — no producer running.
+                unsafe { (*r.peers.get()).to_vec() }
+            })
+            .collect()
+    }
+
+    /// Per-window aggregates merged across ranks, sorted by window id.
+    ///
+    /// Quiescent-point only.
+    pub fn window_summaries(&self) -> Vec<(u64, WindowStats)> {
+        let mut merged: HashMap<u64, WindowStats> = HashMap::new();
+        for r in &self.ranks {
+            // SAFETY: quiescent point — no producer running.
+            let wins = unsafe { &*r.wins.get() };
+            for (id, w) in wins {
+                merged.entry(*id).or_default().merge(w);
+            }
+        }
+        let mut out: Vec<_> = merged.into_iter().collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Human-readable multi-section report (op classes, windows, peers).
+    ///
+    /// Quiescent-point only.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== telemetry: op classes ==\n");
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>14} {:>14} {:>12}\n",
+            "class", "ops", "bytes", "total_ns", "mean_ns"
+        ));
+        for c in self.class_summary() {
+            out.push_str(&format!(
+                "{:<12} {:>10} {:>14} {:>14} {:>12.1}\n",
+                c.kind.name(),
+                c.count,
+                c.bytes,
+                c.total_ns,
+                c.mean_ns
+            ));
+        }
+        let wins = self.window_summaries();
+        if !wins.is_empty() {
+            out.push_str("== telemetry: windows ==\n");
+            out.push_str(&format!(
+                "{:<10} {:>8} {:>8} {:>8} {:>8} {:>14} {:>14}\n",
+                "window", "puts", "gets", "amos", "syncs", "bytes", "busy_ns"
+            ));
+            for (id, w) in wins {
+                out.push_str(&format!(
+                    "{:<10} {:>8} {:>8} {:>8} {:>8} {:>14} {:>14.0}\n",
+                    id, w.puts, w.gets, w.amos, w.syncs, w.bytes, w.busy_ns
+                ));
+            }
+        }
+        let peers = self.peer_matrix();
+        let traffic: u64 = peers.iter().flatten().map(|c| c.ops).sum();
+        if traffic > 0 {
+            out.push_str("== telemetry: peer traffic (origin -> target: ops/bytes) ==\n");
+            for (origin, row) in peers.iter().enumerate() {
+                for (target, cell) in row.iter().enumerate() {
+                    if cell.ops > 0 {
+                        out.push_str(&format!(
+                            "  {origin} -> {target}: {} ops, {} B\n",
+                            cell.ops, cell.bytes
+                        ));
+                    }
+                }
+            }
+        }
+        let dropped = self.dropped();
+        if dropped > 0 {
+            out.push_str(&format!("(ring overflow: {dropped} events dropped)\n"));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled())
+            .field("ranks", &self.ranks.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Transport;
+
+    fn put_ev(origin: u32, target: u32, win: u64, bytes: u64, t0: f64, t1: f64) -> Event {
+        Event {
+            kind: EventKind::Put,
+            flavor: Flavor::Blocking,
+            transport: Some(Transport::Dmapp),
+            origin,
+            target,
+            win,
+            bytes,
+            t_start: t0,
+            t_end: t1,
+        }
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Telemetry::with_capacity(2, false, 16);
+        t.record(put_ev(0, 1, 7, 100, 0.0, 50.0));
+        assert_eq!(t.stats(EventKind::Put).count(), 0);
+        assert!(t.events().is_empty());
+        assert!(t.class_summary().is_empty());
+    }
+
+    #[test]
+    fn aggregates_and_events_flow() {
+        let t = Telemetry::with_capacity(2, true, 16);
+        t.record(put_ev(0, 1, 7, 100, 0.0, 50.0));
+        t.record(put_ev(0, 1, 7, 300, 60.0, 160.0));
+        let s = t.stats(EventKind::Put);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.bytes(), 400);
+        assert_eq!(s.total_ns(), 150);
+        assert!((s.mean_ns() - 75.0).abs() < 1e-9);
+        assert_eq!(t.events().len(), 2);
+        let sum = t.class_summary();
+        assert_eq!(sum.len(), 1);
+        assert_eq!(sum[0].count, 2);
+    }
+
+    #[test]
+    fn window_and_peer_attribution() {
+        let t = Telemetry::with_capacity(3, true, 16);
+        t.record(put_ev(0, 1, 7, 100, 0.0, 10.0));
+        t.record(put_ev(0, 2, 7, 50, 10.0, 30.0));
+        t.record(put_ev(0, 1, 9, 8, 30.0, 31.0));
+        // A windowless event attributes to no window.
+        t.record(put_ev(0, 1, NO_WIN, 1, 31.0, 32.0));
+        let wins = t.window_summaries();
+        assert_eq!(wins.len(), 2);
+        assert_eq!(wins[0].0, 7);
+        assert_eq!(wins[0].1.puts, 2);
+        assert_eq!(wins[0].1.bytes, 150);
+        assert!((wins[0].1.busy_ns - 30.0).abs() < 1e-9);
+        assert_eq!(wins[1].0, 9);
+        let peers = t.peer_matrix();
+        assert_eq!(peers[0][1], PeerStats { ops: 3, bytes: 109 });
+        assert_eq!(peers[0][2], PeerStats { ops: 1, bytes: 50 });
+        assert_eq!(peers[1][0], PeerStats::default());
+    }
+
+    #[test]
+    fn sync_events_count_as_syncs() {
+        let t = Telemetry::with_capacity(1, true, 16);
+        t.record(Event {
+            kind: EventKind::Fence,
+            origin: 0,
+            win: 5,
+            t_start: 0.0,
+            t_end: 2900.0,
+            ..Event::default()
+        });
+        let wins = t.window_summaries();
+        assert_eq!(wins[0].1.syncs, 1);
+        assert_eq!(wins[0].1.puts, 0);
+        assert_eq!(t.stats(EventKind::Fence).count(), 1);
+    }
+
+    #[test]
+    fn multi_threaded_ranks_record_concurrently() {
+        let t = std::sync::Arc::new(Telemetry::with_capacity(4, true, 1024));
+        std::thread::scope(|s| {
+            for rank in 0..4u32 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        t.record(put_ev(rank, (rank + 1) % 4, 1, i, i as f64, i as f64 + 1.0));
+                    }
+                });
+            }
+        });
+        assert_eq!(t.stats(EventKind::Put).count(), 400);
+        assert_eq!(t.events().len(), 400);
+        assert_eq!(t.dropped(), 0);
+        let wins = t.window_summaries();
+        assert_eq!(wins[0].1.puts, 400);
+        let peers = t.peer_matrix();
+        assert_eq!(peers[2][3].ops, 100);
+    }
+
+    #[test]
+    fn report_is_renderable() {
+        let t = Telemetry::with_capacity(2, true, 16);
+        t.record(put_ev(0, 1, 7, 100, 0.0, 50.0));
+        let r = t.report();
+        assert!(r.contains("op classes"));
+        assert!(r.contains("put"));
+        assert!(r.contains("windows"));
+        assert!(r.contains("peer traffic"));
+    }
+}

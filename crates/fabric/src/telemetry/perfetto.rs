@@ -1,0 +1,275 @@
+//! Chrome `trace_event` / Perfetto JSON export.
+//!
+//! Serialises a drained event stream into the Trace Event Format's JSON
+//! array flavour, loadable by `ui.perfetto.dev` and `chrome://tracing`.
+//! Each rank becomes a named thread (`tid` = rank) of one process; every
+//! recorded operation becomes a complete-duration (`"ph":"X"`) slice whose
+//! `args` carry the peer, byte count, window, transport and completion
+//! flavour. Timestamps are virtual microseconds (the format's unit), so
+//! the timeline shows *virtual* time.
+//!
+//! The writer is hand-rolled: every emitted string is a fixed identifier or
+//! a number, so no JSON escaping is required.
+
+use super::event::{Event, NO_TARGET, NO_WIN};
+use super::Telemetry;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Serialise `events` (as produced by [`Telemetry::events`]) for `p` ranks
+/// into Trace Event Format JSON.
+pub fn write_trace<W: Write>(w: &mut W, events: &[Event], p: usize) -> io::Result<()> {
+    w.write_all(b"{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")?;
+    let mut first = true;
+    // Metadata: name the process and one thread per rank.
+    write_sep(w, &mut first)?;
+    w.write_all(
+        b"{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+          \"args\":{\"name\":\"fompi virtual time\"}}",
+    )?;
+    for rank in 0..p {
+        write_sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{rank},\
+             \"args\":{{\"name\":\"rank {rank}\"}}}}"
+        )?;
+    }
+    for ev in events {
+        write_sep(w, &mut first)?;
+        write_event(w, ev)?;
+    }
+    w.write_all(b"]}")?;
+    Ok(())
+}
+
+fn write_sep<W: Write>(w: &mut W, first: &mut bool) -> io::Result<()> {
+    if *first {
+        *first = false;
+        Ok(())
+    } else {
+        w.write_all(b",")
+    }
+}
+
+fn write_event<W: Write>(w: &mut W, ev: &Event) -> io::Result<()> {
+    // ts/dur are microseconds in the trace format; clocks are virtual ns.
+    let ts_us = ev.t_start / 1000.0;
+    let dur_us = ev.latency_ns() / 1000.0;
+    write!(
+        w,
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.4},\"dur\":{:.4},\
+         \"pid\":0,\"tid\":{},\"args\":{{",
+        ev.kind.name(),
+        if ev.kind.is_rma() { "rma" } else { "sync" },
+        ts_us,
+        dur_us,
+        ev.origin,
+    )?;
+    let mut first = true;
+    let mut field = |w: &mut W, key: &str, val: String| -> io::Result<()> {
+        if first {
+            first = false;
+        } else {
+            w.write_all(b",")?;
+        }
+        write!(w, "\"{key}\":{val}")
+    };
+    if ev.target != NO_TARGET {
+        field(w, "target", ev.target.to_string())?;
+    }
+    if ev.kind.is_rma() {
+        field(w, "bytes", ev.bytes.to_string())?;
+        field(w, "flavor", format!("\"{}\"", ev.flavor.name()))?;
+    }
+    if ev.win != NO_WIN {
+        field(w, "win", ev.win.to_string())?;
+    }
+    if ev.transport.is_some() {
+        field(w, "transport", format!("\"{}\"", ev.transport_name()))?;
+    }
+    w.write_all(b"}}")
+}
+
+/// Render the trace to a `String`.
+pub fn trace_json(events: &[Event], p: usize) -> String {
+    let mut buf = Vec::new();
+    write_trace(&mut buf, events, p).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("trace JSON is ASCII")
+}
+
+/// Drain `tel` and write the trace to `path` (quiescent-point only, like
+/// [`Telemetry::events`]). Creates parent directories as needed.
+pub fn export_trace(tel: &Telemetry, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let events = tel.events();
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_trace(&mut f, &events, tel.num_ranks())?;
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Transport;
+    use crate::telemetry::event::{EventKind, Flavor};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event {
+                kind: EventKind::Put,
+                flavor: Flavor::Implicit,
+                transport: Some(Transport::Dmapp),
+                origin: 0,
+                target: 1,
+                win: 7,
+                bytes: 4096,
+                t_start: 1000.0,
+                t_end: 2655.0,
+            },
+            Event {
+                kind: EventKind::Fence,
+                flavor: Flavor::NotApplicable,
+                transport: None,
+                origin: 1,
+                target: NO_TARGET,
+                win: 7,
+                bytes: 0,
+                t_start: 3000.0,
+                t_end: 5900.0,
+            },
+        ]
+    }
+
+    /// A JSON validator sufficient for our own output: objects, arrays,
+    /// strings without escapes, and plain numbers.
+    fn check_json(s: &str) {
+        fn skip_ws(b: &[u8], i: &mut usize) {
+            while *i < b.len() && b[*i].is_ascii_whitespace() {
+                *i += 1;
+            }
+        }
+        fn value(b: &[u8], i: &mut usize) {
+            skip_ws(b, i);
+            match b[*i] {
+                b'{' => {
+                    *i += 1;
+                    skip_ws(b, i);
+                    if b[*i] == b'}' {
+                        *i += 1;
+                        return;
+                    }
+                    loop {
+                        skip_ws(b, i);
+                        assert_eq!(b[*i], b'"', "key at {i}");
+                        string(b, i);
+                        skip_ws(b, i);
+                        assert_eq!(b[*i], b':', "colon at {i}");
+                        *i += 1;
+                        value(b, i);
+                        skip_ws(b, i);
+                        match b[*i] {
+                            b',' => *i += 1,
+                            b'}' => {
+                                *i += 1;
+                                return;
+                            }
+                            c => panic!("unexpected {:?} at {i}", c as char),
+                        }
+                    }
+                }
+                b'[' => {
+                    *i += 1;
+                    skip_ws(b, i);
+                    if b[*i] == b']' {
+                        *i += 1;
+                        return;
+                    }
+                    loop {
+                        value(b, i);
+                        skip_ws(b, i);
+                        match b[*i] {
+                            b',' => *i += 1,
+                            b']' => {
+                                *i += 1;
+                                return;
+                            }
+                            c => panic!("unexpected {:?} at {i}", c as char),
+                        }
+                    }
+                }
+                b'"' => string(b, i),
+                _ => {
+                    let start = *i;
+                    while *i < b.len() && !b",]}".contains(&b[*i]) && !b[*i].is_ascii_whitespace() {
+                        *i += 1;
+                    }
+                    let tok = std::str::from_utf8(&b[start..*i]).unwrap();
+                    assert!(
+                        tok.parse::<f64>().is_ok() || tok == "true" || tok == "false",
+                        "bad literal {tok:?}"
+                    );
+                }
+            }
+        }
+        fn string(b: &[u8], i: &mut usize) {
+            assert_eq!(b[*i], b'"');
+            *i += 1;
+            while b[*i] != b'"' {
+                assert_ne!(b[*i], b'\\', "no escapes expected");
+                *i += 1;
+            }
+            *i += 1;
+        }
+        let b = s.as_bytes();
+        let mut i = 0;
+        value(b, &mut i);
+        skip_ws(b, &mut i);
+        assert_eq!(i, b.len(), "trailing garbage");
+    }
+
+    #[test]
+    fn trace_is_valid_json_with_expected_fields() {
+        let json = trace_json(&sample_events(), 2);
+        check_json(&json);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"name\":\"put\""));
+        assert!(json.contains("\"cat\":\"rma\""));
+        assert!(json.contains("\"name\":\"fence\""));
+        assert!(json.contains("\"cat\":\"sync\""));
+        assert!(json.contains("\"transport\":\"dmapp\""));
+        assert!(json.contains("\"flavor\":\"implicit\""));
+        assert!(json.contains("\"win\":7"));
+        assert!(json.contains("\"name\":\"rank 1\""));
+        // put: ts = 1000 ns = 1 µs, dur = 1655 ns = 1.655 µs.
+        assert!(json.contains("\"ts\":1.0000"));
+        assert!(json.contains("\"dur\":1.6550"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let json = trace_json(&[], 0);
+        check_json(&json);
+        assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn export_writes_file() {
+        let dir = std::env::temp_dir().join("fompi-telemetry-test");
+        let path = dir.join("trace.json");
+        let tel = Telemetry::with_capacity(2, true, 16);
+        for ev in sample_events() {
+            tel.record(ev);
+        }
+        export_trace(&tel, &path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        check_json(&body);
+        assert!(body.contains("\"name\":\"put\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

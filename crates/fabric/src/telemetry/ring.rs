@@ -1,0 +1,154 @@
+//! Per-rank single-producer event rings.
+//!
+//! Each rank (= thread) owns one ring and is its only writer, so the hot
+//! path is: one relaxed index load, one plain slot store, one release index
+//! store — no CAS, no locks, no allocation. The ring keeps the most recent
+//! `capacity` events; older ones are overwritten (the `dropped` count says
+//! how many).
+//!
+//! ## Safety contract
+//!
+//! * [`EventRing::push`] may only be called from the owning rank's thread
+//!   (single producer).
+//! * [`EventRing::drain`] may only be called at a *quiescent point*: no
+//!   concurrent `push`. The runtime guarantees this by draining only after
+//!   all rank threads have been joined (`thread::join` establishes the
+//!   happens-before edge that makes the plain slot writes visible).
+
+use super::event::Event;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-capacity overwrite-oldest ring of [`Event`]s.
+#[derive(Debug)]
+pub struct EventRing {
+    slots: Box<[UnsafeCell<Event>]>,
+    /// Total events ever pushed (monotonic; slot = widx % capacity).
+    widx: AtomicU64,
+}
+
+// SAFETY: slots are written only by the single owning producer thread and
+// read only at quiescent points (see module docs); the release store on
+// `widx` publishes completed writes.
+unsafe impl Sync for EventRing {}
+
+impl EventRing {
+    /// Ring of `capacity` slots. Capacity 0 disables event retention
+    /// entirely (pushes become a no-op; aggregates elsewhere still count).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            slots: (0..capacity).map(|_| UnsafeCell::new(Event::default())).collect(),
+            widx: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Append an event, overwriting the oldest if full.
+    ///
+    /// Must only be called from the owning rank's thread.
+    #[inline]
+    pub fn push(&self, ev: Event) {
+        let cap = self.slots.len();
+        if cap == 0 {
+            return;
+        }
+        let w = self.widx.load(Ordering::Relaxed);
+        // SAFETY: single producer (module contract); readers are quiescent.
+        unsafe {
+            *self.slots[(w % cap as u64) as usize].get() = ev;
+        }
+        self.widx.store(w + 1, Ordering::Release);
+    }
+
+    /// Total events pushed over the ring's lifetime.
+    pub fn written(&self) -> u64 {
+        self.widx.load(Ordering::Acquire)
+    }
+
+    /// Events lost to overwriting.
+    pub fn dropped(&self) -> u64 {
+        self.written().saturating_sub(self.capacity() as u64)
+    }
+
+    /// Copy out the retained events, oldest first.
+    ///
+    /// Must only be called at a quiescent point (no concurrent `push`).
+    pub fn drain(&self) -> Vec<Event> {
+        let cap = self.slots.len() as u64;
+        let w = self.widx.load(Ordering::Acquire);
+        if cap == 0 || w == 0 {
+            return Vec::new();
+        }
+        let kept = w.min(cap);
+        let first = w - kept; // global index of the oldest retained event
+        (first..w)
+            .map(|i| {
+                // SAFETY: quiescent point (module contract) — no writer.
+                unsafe { *self.slots[(i % cap) as usize].get() }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::event::EventKind;
+
+    fn ev(bytes: u64) -> Event {
+        Event { kind: EventKind::Put, bytes, ..Event::default() }
+    }
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let r = EventRing::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        let out = r.drain();
+        assert_eq!(out.len(), 5);
+        assert_eq!(out.iter().map(|e| e.bytes).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let r = EventRing::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        let out = r.drain();
+        assert_eq!(out.iter().map(|e| e.bytes).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(r.written(), 10);
+        assert_eq!(r.dropped(), 6);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_noop() {
+        let r = EventRing::new(0);
+        for i in 0..100 {
+            r.push(ev(i));
+        }
+        assert!(r.drain().is_empty());
+        assert_eq!(r.written(), 0);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn drain_after_join_sees_all_writes() {
+        let r = std::sync::Arc::new(EventRing::new(1024));
+        let r2 = r.clone();
+        std::thread::spawn(move || {
+            for i in 0..100 {
+                r2.push(ev(i));
+            }
+        })
+        .join()
+        .unwrap();
+        assert_eq!(r.drain().len(), 100);
+    }
+}

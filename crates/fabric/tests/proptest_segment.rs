@@ -1,36 +1,10 @@
-//! Property tests for the segment memory model: arbitrary interleavings of
-//! reads/writes/AMOs must never corrupt neighbouring bytes, and the
-//! byte-level semantics must match a plain `Vec<u8>` model.
+//! Randomized property tests for the segment memory model (seeded in-repo
+//! PRNG; no external test deps): arbitrary interleavings of reads/writes/
+//! AMOs must never corrupt neighbouring bytes, and the byte-level semantics
+//! must match a plain `Vec<u8>` model.
 
+use fompi_fabric::rng::Rng;
 use fompi_fabric::{AmoOp, Segment};
-use proptest::prelude::*;
-
-#[derive(Debug, Clone)]
-enum Op {
-    Write { off: usize, data: Vec<u8> },
-    Fill { off: usize, len: usize, val: u8 },
-    WriteU64 { off: usize, v: u64 },
-    Amo { word: usize, op: u8, operand: u64, compare: u64 },
-}
-
-fn op_strategy(seg_len: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..seg_len, proptest::collection::vec(any::<u8>(), 0..64)).prop_map(move |(off, data)| {
-            let off = off.min(seg_len - 1);
-            let len = data.len().min(seg_len - off);
-            Op::Write { off, data: data[..len].to_vec() }
-        }),
-        (0..seg_len, 0..64usize, any::<u8>()).prop_map(move |(off, len, val)| {
-            let off = off.min(seg_len - 1);
-            Op::Fill { off, len: len.min(seg_len - off), val }
-        }),
-        (0..seg_len.saturating_sub(8), any::<u64>())
-            .prop_map(|(off, v)| Op::WriteU64 { off, v }),
-        (0..seg_len / 8, 0u8..7, any::<u64>(), any::<u64>()).prop_map(
-            |(word, op, operand, compare)| Op::Amo { word, op, operand, compare }
-        ),
-    ]
-}
 
 fn amo_of(tag: u8) -> AmoOp {
     match tag {
@@ -44,74 +18,105 @@ fn amo_of(tag: u8) -> AmoOp {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Sequential segment ops behave exactly like the same ops on a Vec.
-    #[test]
-    fn segment_matches_vec_model(ops in proptest::collection::vec(op_strategy(256), 1..50)) {
-        let seg = Segment::new(256);
-        let mut model = vec![0u8; 256];
-        for op in &ops {
-            match op {
-                Op::Write { off, data } => {
-                    seg.write(*off, data);
-                    model[*off..*off + data.len()].copy_from_slice(data);
+/// Sequential segment ops behave exactly like the same ops on a Vec.
+#[test]
+fn segment_matches_vec_model() {
+    const SEG_LEN: usize = 256;
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0x5E6_0000 + case);
+        let seg = Segment::new(SEG_LEN);
+        let mut model = vec![0u8; SEG_LEN];
+        let n_ops = rng.range(1, 50);
+        for _ in 0..n_ops {
+            match rng.next_below(4) {
+                0 => {
+                    let off = rng.range(0, SEG_LEN);
+                    let mut data = vec![0u8; rng.range(0, 64).min(SEG_LEN - off)];
+                    rng.fill_bytes(&mut data);
+                    seg.write(off, &data);
+                    model[off..off + data.len()].copy_from_slice(&data);
                 }
-                Op::Fill { off, len, val } => {
-                    seg.fill(*off, *len, *val);
-                    model[*off..*off + *len].iter_mut().for_each(|b| *b = *val);
+                1 => {
+                    let off = rng.range(0, SEG_LEN);
+                    let len = rng.range(0, 64).min(SEG_LEN - off);
+                    let val = rng.next_u64() as u8;
+                    seg.fill(off, len, val);
+                    model[off..off + len].iter_mut().for_each(|b| *b = val);
                 }
-                Op::WriteU64 { off, v } => {
-                    seg.write_u64(*off, *v);
-                    model[*off..*off + 8].copy_from_slice(&v.to_le_bytes());
+                2 => {
+                    let off = rng.range(0, SEG_LEN - 8);
+                    let v = rng.next_u64();
+                    seg.write_u64(off, v);
+                    model[off..off + 8].copy_from_slice(&v.to_le_bytes());
                 }
-                Op::Amo { word, op, operand, compare } => {
+                _ => {
+                    let word = rng.range(0, SEG_LEN / 8);
+                    let op = amo_of(rng.next_below(7) as u8);
+                    let operand = rng.next_u64();
+                    let compare = rng.next_u64();
                     let off = word * 8;
                     let old_model = u64::from_le_bytes(model[off..off + 8].try_into().unwrap());
-                    let old_seg = seg.amo(off, amo_of(*op), *operand, *compare);
-                    prop_assert_eq!(old_seg, old_model);
-                    let new = amo_of(*op).apply(old_model, *operand, *compare);
+                    let old_seg = seg.amo(off, op, operand, compare);
+                    assert_eq!(old_seg, old_model, "case {case}");
+                    let new = op.apply(old_model, operand, compare);
                     model[off..off + 8].copy_from_slice(&new.to_le_bytes());
                 }
             }
         }
-        let mut out = vec![0u8; 256];
+        let mut out = vec![0u8; SEG_LEN];
         seg.read(0, &mut out);
-        prop_assert_eq!(out, model);
+        assert_eq!(out, model, "case {case}");
     }
+}
 
-    /// Unaligned reads always reflect the latest writes, regardless of
-    /// alignment of either.
-    #[test]
-    fn unaligned_read_after_write(off in 0usize..200, data in proptest::collection::vec(any::<u8>(), 1..56)) {
+/// Unaligned reads always reflect the latest writes, regardless of the
+/// alignment of either.
+#[test]
+fn unaligned_read_after_write() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0xA11_6000 + case);
+        let off = rng.range(0, 200);
+        let mut data = vec![0u8; rng.range(1, 56)];
+        rng.fill_bytes(&mut data);
         let seg = Segment::new(256);
         seg.write(off, &data);
         let mut out = vec![0u8; data.len()];
         seg.read(off, &mut out);
-        prop_assert_eq!(out, data);
+        assert_eq!(out, data, "case {case} off {off}");
     }
+}
 
-    /// AMO application is a pure function consistent with two's-complement
-    /// arithmetic.
-    #[test]
-    fn amo_apply_is_pure(old in any::<u64>(), operand in any::<u64>(), compare in any::<u64>(), tag in 0u8..7) {
+/// AMO application is a pure function consistent with two's-complement
+/// arithmetic.
+#[test]
+fn amo_apply_is_pure() {
+    for case in 0..512u64 {
+        let mut rng = Rng::seed_from_u64(0xAB0_0000 + case);
+        let old = rng.next_u64();
+        let operand = rng.next_u64();
+        let compare = rng.next_u64();
+        let tag = rng.next_below(7) as u8;
         let op = amo_of(tag);
         let a = op.apply(old, operand, compare);
         let b = op.apply(old, operand, compare);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
         if tag == 0 {
-            prop_assert_eq!(a, old.wrapping_add(operand));
+            assert_eq!(a, old.wrapping_add(operand));
         }
         if tag == 5 && old != compare {
-            prop_assert_eq!(a, old); // failed CAS leaves the value alone
+            assert_eq!(a, old, "failed CAS must leave the value alone");
         }
     }
+}
 
-    /// Concurrent atomic adds from many threads always sum exactly,
-    /// whatever the thread/iteration split.
-    #[test]
-    fn concurrent_adds_sum_exactly(threads in 1usize..6, per in 1usize..200) {
+/// Concurrent atomic adds from many threads always sum exactly, whatever
+/// the thread/iteration split.
+#[test]
+fn concurrent_adds_sum_exactly() {
+    for case in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0xADD_5000 + case);
+        let threads = rng.range(1, 6);
+        let per = rng.range(1, 200);
         let seg = Segment::new(8);
         std::thread::scope(|s| {
             for _ in 0..threads {
@@ -122,6 +127,6 @@ proptest! {
                 });
             }
         });
-        prop_assert_eq!(seg.read_u64(0), (threads * per) as u64);
+        assert_eq!(seg.read_u64(0), (threads * per) as u64, "case {case}");
     }
 }

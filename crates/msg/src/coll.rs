@@ -73,8 +73,15 @@ impl Comm {
             let recv_idx = (me + p - s - 1) % p;
             let chunk = recv[send_idx * block..(send_idx + 1) * block].to_vec();
             let mut tmp = vec![0u8; block];
-            self.sendrecv(&chunk, right, COLL_TAG + 128 + s as u32, &mut tmp, left, COLL_TAG + 128 + s as u32)
-                .expect("allgather exchange failed");
+            self.sendrecv(
+                &chunk,
+                right,
+                COLL_TAG + 128 + s as u32,
+                &mut tmp,
+                left,
+                COLL_TAG + 128 + s as u32,
+            )
+            .expect("allgather exchange failed");
             recv[recv_idx * block..(recv_idx + 1) * block].copy_from_slice(&tmp);
         }
     }
@@ -87,7 +94,7 @@ impl Comm {
         // Reduce phase.
         let mut dist = 1;
         while dist < p {
-            if me % (2 * dist) == 0 {
+            if me.is_multiple_of(2 * dist) {
                 let src = me + dist;
                 if src < p {
                     let mut buf = vec![0u8; vals.len() * 8];
@@ -109,7 +116,7 @@ impl Comm {
         let rounds = 32 - (p - 1).leading_zeros();
         for r in (0..rounds).rev() {
             let dist = 1 << r;
-            if me % (2 * dist) == 0 {
+            if me.is_multiple_of(2 * dist) {
                 let dst = me + dist;
                 if dst < p {
                     let bytes: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
@@ -153,8 +160,15 @@ impl Comm {
             };
             let bytes: Vec<u8> = payload.iter().flat_map(|v| v.to_le_bytes()).collect();
             let mut buf = vec![0u8; block * 8];
-            self.sendrecv(&bytes, right, COLL_TAG + 512 + k as u32, &mut buf, left, COLL_TAG + 512 + k as u32)
-                .expect("reduce_scatter exchange failed");
+            self.sendrecv(
+                &bytes,
+                right,
+                COLL_TAG + 512 + k as u32,
+                &mut buf,
+                left,
+                COLL_TAG + 512 + k as u32,
+            )
+            .expect("reduce_scatter exchange failed");
             let b_recv = (me + 2 * p - 1 - k) % p;
             acc = (0..block)
                 .map(|i| {
@@ -179,7 +193,7 @@ impl Comm {
         let rounds = 32 - (p - 1).leading_zeros();
         for r in (0..rounds).rev() {
             let dist = 1 << r;
-            if vrank % (2 * dist) == 0 {
+            if vrank.is_multiple_of(2 * dist) {
                 let vdst = vrank + dist;
                 if vdst < p {
                     let dst = (vdst + root) % p;
@@ -203,7 +217,9 @@ impl Comm {
             for _ in 0..p - 1 {
                 let block = send.len();
                 let mut tmp = vec![0u8; block];
-                let st = self.recv(&mut tmp, crate::queue::ANY_SOURCE, COLL_TAG + 400).expect("gather recv");
+                let st = self
+                    .recv(&mut tmp, crate::queue::ANY_SOURCE, COLL_TAG + 400)
+                    .expect("gather recv");
                 recv[st.src as usize * block..(st.src as usize + 1) * block].copy_from_slice(&tmp);
             }
         } else {
@@ -276,17 +292,14 @@ impl IBarrier {
         while !self.done {
             if !self.sent {
                 let dst = (comm.rank() + self.dist) % p;
-                let req = comm
-                    .isend(&[1], dst, self.tag_base + self.round)
-                    .expect("ibarrier send");
+                let req = comm.isend(&[1], dst, self.tag_base + self.round).expect("ibarrier send");
                 self.pending_send.push(req);
                 self.sent = true;
             }
             let src = (comm.rank() + p - self.dist) % p;
             if comm.iprobe(src, self.tag_base + self.round).is_some() {
                 let mut token = [0u8; 1];
-                comm.recv(&mut token, src, self.tag_base + self.round)
-                    .expect("ibarrier recv");
+                comm.recv(&mut token, src, self.tag_base + self.round).expect("ibarrier recv");
                 self.round += 1;
                 self.dist *= 2;
                 self.sent = false;
@@ -342,7 +355,8 @@ mod tests {
     fn alltoall_permutes_blocks() {
         let got = run(4, |c| {
             let p = c.size();
-            let send: Vec<u8> = (0..p).flat_map(|d| vec![(c.rank() as u8) * 16 + d as u8; 2]).collect();
+            let send: Vec<u8> =
+                (0..p).flat_map(|d| vec![(c.rank() as u8) * 16 + d as u8; 2]).collect();
             let mut recv = vec![0u8; p * 2];
             c.alltoall(&send, &mut recv, 2);
             recv
@@ -396,9 +410,8 @@ mod tests {
         let got = run(4, |c| {
             let p = c.size();
             // Rank r contributes block j = [r + 10*j, r + 10*j] (len 2).
-            let send: Vec<u64> = (0..p)
-                .flat_map(|j| vec![c.rank() as u64 + 10 * j as u64; 2])
-                .collect();
+            let send: Vec<u64> =
+                (0..p).flat_map(|j| vec![c.rank() as u64 + 10 * j as u64; 2]).collect();
             let mut out = vec![0u64; 2];
             c.reduce_scatter_u64(&send, &mut out);
             out

@@ -118,11 +118,7 @@ mod tests {
     use super::*;
     use fompi_runtime::Universe;
 
-    fn run_msg<T: Send>(
-        p: usize,
-        node: usize,
-        f: impl Fn(&Comm) -> T + Send + Sync,
-    ) -> Vec<T> {
+    fn run_msg<T: Send>(p: usize, node: usize, f: impl Fn(&Comm) -> T + Send + Sync) -> Vec<T> {
         let engine = MsgEngine::new(p);
         Universe::new(p).node_size(node).run(move |ctx| {
             let comm = Comm::attach(ctx, &engine);

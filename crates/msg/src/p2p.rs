@@ -8,9 +8,7 @@
 //! implemented here over the same fabric foMPI uses, so every comparison in
 //! Figures 4–8 exercises real protocol differences.
 
-use crate::queue::{
-    tag_match, Completion, Payload, Posted, PullInfo, RecvSlot, Unexpected,
-};
+use crate::queue::{tag_match, Completion, Payload, Posted, PullInfo, RecvSlot, Unexpected};
 use crate::Comm;
 use fompi_fabric::{Endpoint, Segment};
 use std::marker::PhantomData;
@@ -145,10 +143,7 @@ impl Comm {
         let t_arr = self.arrival_time(dst, data.len());
         let q = self.engine.q(dst);
         let mut inner = q.inner.lock();
-        if let Some(pos) = inner
-            .posted
-            .iter()
-            .position(|p| tag_match(p.src, p.tag, self.rank, tag))
+        if let Some(pos) = inner.posted.iter().position(|p| tag_match(p.src, p.tag, self.rank, tag))
         {
             let posted = inner.posted.remove(pos).unwrap();
             // Zero-copy fast path: deliver straight into the user buffer.
@@ -179,10 +174,7 @@ impl Comm {
         let t_rts = self.arrival_time(dst, 0);
         let q = self.engine.q(dst);
         let mut inner = q.inner.lock();
-        if let Some(pos) = inner
-            .posted
-            .iter()
-            .position(|p| tag_match(p.src, p.tag, self.rank, tag))
+        if let Some(pos) = inner.posted.iter().position(|p| tag_match(p.src, p.tag, self.rank, tag))
         {
             let posted = inner.posted.remove(pos).unwrap();
             // Deliver the payload into the posted buffer now (we are the
@@ -224,10 +216,8 @@ impl Comm {
         {
             let q = self.engine.q(self.rank);
             let mut inner = q.inner.lock();
-            if let Some(pos) = inner
-                .unexpected
-                .iter()
-                .position(|u| tag_match(src, tag, u.src, u.tag))
+            if let Some(pos) =
+                inner.unexpected.iter().position(|u| tag_match(src, tag, u.src, u.tag))
             {
                 let u = inner.unexpected.remove(pos).unwrap();
                 drop(inner);
@@ -246,16 +236,17 @@ impl Comm {
     }
 
     /// MPI_Irecv. The returned request borrows `buf` until waited.
-    pub fn irecv<'b>(&self, buf: &'b mut [u8], src: u32, tag: u32) -> Result<RecvRequest<'b>, String> {
+    pub fn irecv<'b>(
+        &self,
+        buf: &'b mut [u8],
+        src: u32,
+        tag: u32,
+    ) -> Result<RecvRequest<'b>, String> {
         self.ep.charge(self.costs.sw_ns + self.costs.match_ns);
         let q = self.engine.q(self.rank);
         let mut inner = q.inner.lock();
         let cell = Completion::new();
-        if let Some(pos) = inner
-            .unexpected
-            .iter()
-            .position(|u| tag_match(src, tag, u.src, u.tag))
-        {
+        if let Some(pos) = inner.unexpected.iter().position(|u| tag_match(src, tag, u.src, u.tag)) {
             let u = inner.unexpected.remove(pos).unwrap();
             drop(inner);
             let st = self.consume_unexpected(u, buf);
@@ -287,9 +278,7 @@ impl Comm {
             Payload::Rndv { key, len, fin } => {
                 self.ep.clock().join(u.t_arrival);
                 let mut tmp = vec![0u8; len];
-                self.ep
-                    .get(key, 0, &mut tmp)
-                    .expect("rendezvous source vanished");
+                self.ep.get(key, 0, &mut tmp).expect("rendezvous source vanished");
                 buf[..len].copy_from_slice(&tmp);
                 let t = self.ep.transport_to(key.rank);
                 let t_fin = self.ep.clock().now() + m.put_latency(t, 8);
@@ -304,11 +293,11 @@ impl Comm {
         self.ep.charge(self.costs.match_ns);
         let q = self.engine.q(self.rank);
         let inner = q.inner.lock();
-        inner
-            .unexpected
-            .iter()
-            .find(|u| tag_match(src, tag, u.src, u.tag))
-            .map(|u| Status { src: u.src, tag: u.tag, len: u.payload.len() })
+        inner.unexpected.iter().find(|u| tag_match(src, tag, u.src, u.tag)).map(|u| Status {
+            src: u.src,
+            tag: u.tag,
+            len: u.payload.len(),
+        })
     }
 
     /// MPI_Sendrecv.

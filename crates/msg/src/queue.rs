@@ -6,8 +6,8 @@
 //! enqueues the message as *unexpected*, buffering eager payloads at the
 //! receiver — the memory cost the paper's RMA protocols eliminate.
 
+use fompi_fabric::shim::{Condvar, Mutex};
 use fompi_fabric::SegKey;
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

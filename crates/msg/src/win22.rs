@@ -61,17 +61,14 @@ impl Win22 {
     /// Software path of one emulated active-message RMA op: messaging
     /// overhead + matching + target-agent processing.
     fn charge_agent_path(&self) {
-        self.ep
-            .charge(self.costs.sw_ns + self.costs.match_ns + self.costs.agent_ns);
+        self.ep.charge(self.costs.sw_ns + self.costs.match_ns + self.costs.agent_ns);
     }
 
     /// One-sided put: header + payload through the messaging path, applied
     /// by the (emulated) target agent.
     pub fn put(&self, origin: &[u8], target: u32, offset: usize) {
         self.charge_agent_path();
-        self.ep
-            .put_implicit(self.key(target), offset, origin)
-            .expect("win22 put failed");
+        self.ep.put_implicit(self.key(target), offset, origin).expect("win22 put failed");
     }
 
     /// One-sided get: request message + reply through the agent.
@@ -80,9 +77,7 @@ impl Win22 {
         // The request/response round trip: one extra base latency.
         let t = self.ep.transport_to(target);
         self.ep.charge(self.ep.fabric().model().put_latency(t, 0));
-        self.ep
-            .get_implicit(self.key(target), offset, dst)
-            .expect("win22 get failed");
+        self.ep.get_implicit(self.key(target), offset, dst).expect("win22 get failed");
     }
 
     /// Accumulate (sum of u64 elements) through the agent.

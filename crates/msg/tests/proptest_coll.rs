@@ -1,10 +1,11 @@
-//! Property tests for the message-passing layer: collectives and matching
-//! must be correct for arbitrary sizes, rank counts and payloads.
+//! Randomized tests for the message-passing layer (seeded in-repo PRNG):
+//! collectives and matching must be correct for arbitrary sizes, rank
+//! counts and payloads.
 
+use fompi_fabric::rng::Rng;
 use fompi_fabric::CostModel;
 use fompi_msg::{Comm, MsgEngine};
 use fompi_runtime::Universe;
-use proptest::prelude::*;
 
 fn run_msg<T: Send>(p: usize, f: impl Fn(&Comm) -> T + Send + Sync) -> Vec<T> {
     let engine = MsgEngine::new(p);
@@ -14,13 +15,13 @@ fn run_msg<T: Send>(p: usize, f: impl Fn(&Comm) -> T + Send + Sync) -> Vec<T> {
         .run(move |ctx| f(&Comm::attach(ctx, &engine)))
 }
 
-proptest! {
-    // Thread-spawning tests: keep the case count moderate.
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Any payload size crosses the eager/rendezvous boundary intact.
-    #[test]
-    fn send_recv_any_size(len in 0usize..40_000, seed in any::<u64>()) {
+/// Any payload size crosses the eager/rendezvous boundary intact.
+#[test]
+fn send_recv_any_size() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0x5E4D_0000 + case);
+        let len = rng.range(0, 40_000);
+        let seed = rng.next_u64();
         let data: Vec<u8> = (0..len).map(|i| ((seed as usize + i) % 251) as u8).collect();
         let d2 = data.clone();
         let got = run_msg(2, move |c| {
@@ -33,18 +34,21 @@ proptest! {
                 buf
             }
         });
-        prop_assert_eq!(&got[1], &data);
+        assert_eq!(got[1], data, "case {case} len {len}");
     }
+}
 
-    /// alltoall is a permutation: every (src, dst) block arrives exactly
-    /// once with the right contents.
-    #[test]
-    fn alltoall_permutation(p in 2usize..6, block in 1usize..40) {
+/// alltoall is a permutation: every (src, dst) block arrives exactly once
+/// with the right contents.
+#[test]
+fn alltoall_permutation() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xA220_A110 + case);
+        let p = rng.range(2, 6);
+        let block = rng.range(1, 40);
         let got = run_msg(p, move |c| {
             let me = c.rank() as usize;
-            let send: Vec<u8> = (0..p)
-                .flat_map(|d| vec![(me * 31 + d * 7) as u8; block])
-                .collect();
+            let send: Vec<u8> = (0..p).flat_map(|d| vec![(me * 31 + d * 7) as u8; block]).collect();
             let mut recv = vec![0u8; p * block];
             c.alltoall(&send, &mut recv, block);
             recv
@@ -52,37 +56,49 @@ proptest! {
         for (dst, recv) in got.iter().enumerate() {
             for src in 0..p {
                 let expect = (src * 31 + dst * 7) as u8;
-                prop_assert!(recv[src * block..(src + 1) * block].iter().all(|&b| b == expect));
+                assert!(
+                    recv[src * block..(src + 1) * block].iter().all(|&b| b == expect),
+                    "case {case} src {src} dst {dst}"
+                );
             }
         }
     }
+}
 
-    /// reduce_scatter_u64 computes exact block sums for any p/block size.
-    #[test]
-    fn reduce_scatter_sums(p in 2usize..6, block in 1usize..8, seed in any::<u32>()) {
+/// reduce_scatter_u64 computes exact block sums for any p/block size.
+#[test]
+fn reduce_scatter_sums() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0x5CA7_7E00 + case);
+        let p = rng.range(2, 6);
+        let block = rng.range(1, 8);
+        let seed = rng.next_u64() as u32;
         let got = run_msg(p, move |c| {
             let me = c.rank() as u64;
-            let send: Vec<u64> = (0..p * block)
-                .map(|i| me * 1000 + i as u64 + seed as u64 % 17)
-                .collect();
+            let send: Vec<u64> =
+                (0..p * block).map(|i| me * 1000 + i as u64 + seed as u64 % 17).collect();
             let mut out = vec![0u64; block];
             c.reduce_scatter_u64(&send, &mut out);
             out
         });
         for (r, out) in got.iter().enumerate() {
-            for j in 0..block {
+            for (j, &v) in out.iter().enumerate().take(block) {
                 let idx = r * block + j;
-                let expect: u64 = (0..p as u64)
-                    .map(|s| s * 1000 + idx as u64 + seed as u64 % 17)
-                    .sum();
-                prop_assert_eq!(out[j], expect, "rank {} elem {}", r, j);
+                let expect: u64 =
+                    (0..p as u64).map(|s| s * 1000 + idx as u64 + seed as u64 % 17).sum();
+                assert_eq!(v, expect, "case {case} rank {r} elem {j}");
             }
         }
     }
+}
 
-    /// allreduce_f64 sum equals the serial sum for any rank count.
-    #[test]
-    fn allreduce_matches_serial(p in 2usize..8, vals in proptest::collection::vec(-1e6f64..1e6, 1..5)) {
+/// allreduce_f64 sum equals the serial sum for any rank count.
+#[test]
+fn allreduce_matches_serial() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xA11_4ED0 + case);
+        let p = rng.range(2, 8);
+        let vals: Vec<f64> = (0..rng.range(1, 5)).map(|_| (rng.next_f64() - 0.5) * 2e6).collect();
         let v2 = vals.clone();
         let got = run_msg(p, move |c| {
             let mut mine: Vec<f64> = v2.iter().map(|v| v + c.rank() as f64).collect();
@@ -91,18 +107,25 @@ proptest! {
         });
         // All ranks agree.
         for other in &got[1..] {
-            prop_assert_eq!(other, &got[0]);
+            assert_eq!(other, &got[0], "case {case}");
         }
         // And the total is a permutation-sum of the inputs (tolerant).
         for (i, &v) in got[0].iter().enumerate() {
             let expect: f64 = (0..p).map(|r| vals[i] + r as f64).sum();
-            prop_assert!((v - expect).abs() < 1e-6 * expect.abs().max(1.0));
+            assert!(
+                (v - expect).abs() < 1e-6 * expect.abs().max(1.0),
+                "case {case} elem {i}: {v} vs {expect}"
+            );
         }
     }
+}
 
-    /// Messages with distinct tags never cross-match.
-    #[test]
-    fn tags_isolate_flows(n in 1usize..20) {
+/// Messages with distinct tags never cross-match.
+#[test]
+fn tags_isolate_flows() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0x7A65_0000 + case);
+        let n = rng.range(1, 20);
         let got = run_msg(2, move |c| {
             if c.rank() == 0 {
                 // Interleave two tag flows.
@@ -125,7 +148,7 @@ proptest! {
             }
         });
         let (a, b) = &got[1];
-        prop_assert_eq!(a, &(0..n as u8).collect::<Vec<_>>());
-        prop_assert_eq!(b, &(0..n as u8).map(|i| i | 0x80).collect::<Vec<_>>());
+        assert_eq!(a, &(0..n as u8).collect::<Vec<_>>(), "case {case}");
+        assert_eq!(b, &(0..n as u8).map(|i| i | 0x80).collect::<Vec<_>>(), "case {case}");
     }
 }

@@ -67,18 +67,14 @@ impl Coarray {
     /// [`Coarray::sync_memory`]).
     pub fn put(&self, image: u32, off: usize, src: &[u8]) {
         self.ep.charge(self.costs.caf_op_ns);
-        self.ep
-            .put_implicit(self.key(image), off, src)
-            .expect("coarray put out of bounds");
+        self.ep.put_implicit(self.key(image), off, src).expect("coarray put out of bounds");
     }
 
     /// Remote read `dst = a(off:off+n)[image]` (blocking, like a coindexed
     /// RHS reference).
     pub fn get(&self, dst: &mut [u8], image: u32, off: usize) {
         self.ep.charge(self.costs.caf_op_ns);
-        self.ep
-            .get(self.key(image), off, dst)
-            .expect("coarray get out of bounds");
+        self.ep.get(self.key(image), off, dst).expect("coarray get out of bounds");
     }
 
     /// `sync memory`: completion of all outstanding coarray accesses.
@@ -97,20 +93,12 @@ impl Coarray {
 
     /// Local read.
     pub fn read_local(&self, off: usize, dst: &mut [u8]) {
-        self.ep
-            .fabric()
-            .resolve(self.key(self.ep.rank()))
-            .expect("own image")
-            .read(off, dst);
+        self.ep.fabric().resolve(self.key(self.ep.rank())).expect("own image").read(off, dst);
     }
 
     /// Local write.
     pub fn write_local(&self, off: usize, src: &[u8]) {
-        self.ep
-            .fabric()
-            .resolve(self.key(self.ep.rank()))
-            .expect("own image")
-            .write(off, src);
+        self.ep.fabric().resolve(self.key(self.ep.rank())).expect("own image").write(off, src);
     }
 }
 

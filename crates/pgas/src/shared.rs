@@ -68,17 +68,13 @@ impl SharedArray {
     /// [`SharedArray::fence`].
     pub fn memput(&self, thread: u32, off: usize, src: &[u8]) {
         self.ep.charge(self.costs.upc_op_ns);
-        self.ep
-            .put_implicit(self.key(thread), off, src)
-            .expect("upc_memput out of bounds");
+        self.ep.put_implicit(self.key(thread), off, src).expect("upc_memput out of bounds");
     }
 
     /// `upc_memget(dst, &a[thread][off], n)`.
     pub fn memget(&self, dst: &mut [u8], thread: u32, off: usize) {
         self.ep.charge(self.costs.upc_op_ns);
-        self.ep
-            .get_implicit(self.key(thread), off, dst)
-            .expect("upc_memget out of bounds");
+        self.ep.get_implicit(self.key(thread), off, dst).expect("upc_memget out of bounds");
         // Blocking semantics (no defer_sync): complete now.
         self.ep.gsync();
     }
@@ -87,9 +83,7 @@ impl SharedArray {
     /// [`SharedArray::fence`]. Used by the MILC UPC port (§4.4).
     pub fn memget_nb(&self, dst: &mut [u8], thread: u32, off: usize) {
         self.ep.charge(self.costs.upc_op_ns);
-        self.ep
-            .get_implicit(self.key(thread), off, dst)
-            .expect("upc_memget_nb out of bounds");
+        self.ep.get_implicit(self.key(thread), off, dst).expect("upc_memget_nb out of bounds");
     }
 
     /// `upc_fence`: remote completion of all outstanding relaxed accesses.
@@ -109,38 +103,26 @@ impl SharedArray {
     /// Cray UPC atomic fetch-and-add on an 8-byte slot (`_amo_afadd`).
     pub fn aadd(&self, thread: u32, off: usize, v: u64) -> u64 {
         self.ep.charge(self.costs.upc_op_ns);
-        self.ep
-            .amo(self.key(thread), off, AmoOp::Add, v, 0)
-            .expect("aadd out of bounds")
+        self.ep.amo(self.key(thread), off, AmoOp::Add, v, 0).expect("aadd out of bounds")
     }
 
     /// Cray UPC atomic compare-and-swap (`_amo_acswap`). Returns the old
     /// value.
     pub fn cas(&self, thread: u32, off: usize, desired: u64, compare: u64) -> u64 {
         self.ep.charge(self.costs.upc_op_ns);
-        self.ep
-            .amo(self.key(thread), off, AmoOp::Cas, desired, compare)
-            .expect("cas out of bounds")
+        self.ep.amo(self.key(thread), off, AmoOp::Cas, desired, compare).expect("cas out of bounds")
     }
 
     /// Local chunk read.
     pub fn read_local(&self, off: usize, dst: &mut [u8]) {
         let mut tmp = dst.to_vec();
-        self.ep
-            .fabric()
-            .resolve(self.key(self.ep.rank()))
-            .expect("own chunk")
-            .read(off, &mut tmp);
+        self.ep.fabric().resolve(self.key(self.ep.rank())).expect("own chunk").read(off, &mut tmp);
         dst.copy_from_slice(&tmp);
     }
 
     /// Local chunk write.
     pub fn write_local(&self, off: usize, src: &[u8]) {
-        self.ep
-            .fabric()
-            .resolve(self.key(self.ep.rank()))
-            .expect("own chunk")
-            .write(off, src);
+        self.ep.fabric().resolve(self.key(self.ep.rank())).expect("own chunk").write(off, src);
     }
 
     /// The endpoint (clock access for benchmarks).

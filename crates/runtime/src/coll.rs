@@ -16,8 +16,8 @@
 //! real algorithm yields.
 
 use fompi_fabric::cost::Transport;
+use fompi_fabric::shim::Mutex;
 use fompi_fabric::{Endpoint, Fabric, StampCell};
-use parking_lot::Mutex;
 use std::sync::Arc;
 use std::sync::Barrier;
 
@@ -229,9 +229,8 @@ mod tests {
 
     #[test]
     fn allreduce_min() {
-        let res = with_ranks(5, |ep, eng| {
-            eng.allreduce_u64(ep, 100 - ep.rank() as u64, |a, b| a.min(b))
-        });
+        let res =
+            with_ranks(5, |ep, eng| eng.allreduce_u64(ep, 100 - ep.rank() as u64, |a, b| a.min(b)));
         assert!(res.iter().all(|&v| v == 96));
     }
 

@@ -30,12 +30,13 @@ pub struct Universe {
     p: usize,
     node_size: usize,
     model: CostModel,
+    trace: Option<usize>,
 }
 
 impl Universe {
     /// A job of `p` ranks, 32 per node (the Blue Waters XE6 layout).
     pub fn new(p: usize) -> Self {
-        Self { p, node_size: 32, model: CostModel::default() }
+        Self { p, node_size: 32, model: CostModel::default(), trace: None }
     }
 
     /// Override ranks per node.
@@ -48,6 +49,15 @@ impl Universe {
     /// Override the cost model.
     pub fn model(mut self, model: CostModel) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Force telemetry on with a per-rank event ring of `ring_cap` slots,
+    /// regardless of `FOMPI_TELEMETRY`. Inspect via the fabric returned by
+    /// [`Universe::launch`] (e.g. `fabric.telemetry().report()` or the
+    /// Perfetto exporter).
+    pub fn trace(mut self, ring_cap: usize) -> Self {
+        self.trace = Some(ring_cap);
         self
     }
 
@@ -64,7 +74,10 @@ impl Universe {
         T: Send,
         F: Fn(&mut RankCtx) -> T + Send + Sync,
     {
-        let fabric = Fabric::new(self.p, self.node_size, self.model.clone());
+        let fabric = match self.trace {
+            Some(cap) => Fabric::new_traced(self.p, self.node_size, self.model.clone(), cap),
+            None => Fabric::new(self.p, self.node_size, self.model.clone()),
+        };
         let coll = Arc::new(CollEngine::new(self.p, fabric.clone()));
         let mut results: Vec<Option<T>> = (0..self.p).map(|_| None).collect();
         let fref = &f;

@@ -132,9 +132,9 @@ pub fn mpi1_hashtable_rate(p: usize, node_size: usize, inserts: usize, seed: u64
         (rng % p as u64) as u32
     };
     let service = m.sw_mpi1 + 100.0 + 2_000.0; // matching + update + polling
-    // The +2 us term models the owner’s polling granularity: requests are
-    // only serviced between the owner’s own blocking operations (the
-    // iprobe loop of the section-4.1 MPI-1 implementation).
+                                               // The +2 us term models the owner’s polling granularity: requests are
+                                               // only serviced between the owner’s own blocking operations (the
+                                               // iprobe loop of the section-4.1 MPI-1 implementation).
     let lat = |a: u32, b: u32| {
         if (a as usize) / node_size == (b as usize) / node_size {
             m.o_intra + m.l_intra
@@ -148,11 +148,11 @@ pub fn mpi1_hashtable_rate(p: usize, node_size: usize, inserts: usize, seed: u64
     };
     // Kick off: every rank issues its first insert.
     let issue = |r: usize,
-                     cpu: &mut Vec<f64>,
-                     remaining: &mut Vec<usize>,
-                     heap: &mut BinaryHeap<HtQ>,
-                     seq: &mut u64,
-                     next_key: &mut dyn FnMut(usize) -> u32| {
+                 cpu: &mut Vec<f64>,
+                 remaining: &mut Vec<usize>,
+                 heap: &mut BinaryHeap<HtQ>,
+                 seq: &mut u64,
+                 next_key: &mut dyn FnMut(usize) -> u32| {
         if remaining[r] == 0 {
             return;
         }
@@ -207,11 +207,8 @@ pub fn fig7a(ps: &[usize], node_size: usize, inserts: usize) -> Vec<Series> {
         // One-sided inserts are independent: the average cost mixes the
         // intra-node CAS with the inter-node CAS by the random-target
         // fractions.
-        let intra_frac = if p <= 1 {
-            1.0
-        } else {
-            ((node_size.min(p)) as f64 - 1.0) / (p as f64 - 1.0)
-        };
+        let intra_frac =
+            if p <= 1 { 1.0 } else { ((node_size.min(p)) as f64 - 1.0) / (p as f64 - 1.0) };
         let inter = m.o + m.amo;
         let intra = m.o_intra + 200.0;
         let per = |sw: f64| sw + intra_frac * intra + (1.0 - intra_frac) * inter;
@@ -251,8 +248,7 @@ pub fn fig7b(ps: &[usize], k: usize) -> Vec<Series> {
         nbx.points.push((pf, t_nbx / 1e3));
         // foMPI: k blocking FAAs + k implicit puts + closing fence.
         let mut n = Noise::off();
-        let fence =
-            patterns::max_of(&patterns::dissemination_barrier(&vec![0.0; p], &m, &mut n));
+        let fence = patterns::max_of(&patterns::dissemination_barrier(&vec![0.0; p], &m, &mut n));
         let t_rma = kf * (m.o + m.sw_fompi + m.amo) + kf * m.o + m.put(8) + fence;
         rma.points.push((pf, t_rma / 1e3));
         // Cray MPI-2.2 accumulates: the same structure through the
@@ -288,8 +284,7 @@ pub fn fig7c(ps: &[usize]) -> Vec<Series> {
         // or Bruck (log p rounds moving half the data each).
         let comm = |sw: f64| {
             let pairwise = (pf - 1.0) * (m.o + sw) + bytes_rank * m.g + m.put(0);
-            let bruck =
-                log2f(p) * (m.o + sw + m.put(0)) + log2f(p) * (bytes_rank / 2.0) * m.g;
+            let bruck = log2f(p) * (m.o + sw + m.put(0)) + log2f(p) * (bytes_rank / 2.0) * m.g;
             pairwise.min(bruck)
         };
         // MPI-1: compute then exchange (the NAS baseline barely overlaps).
@@ -340,7 +335,10 @@ pub fn fig8(ps: &[usize]) -> Vec<Series> {
         // latency), tuned allreduce.
         let t_fompi = t_comp + halo(m.sw_fompi, m.amo) + reduce(0.0) + noise;
         // UPC: same scheme, heavier per-op path, get-based pull.
-        let t_upc = t_comp + halo(m.sw_upc, m.amo + m.get(max_face) - m.put(max_face)) + reduce(0.0) + noise;
+        let t_upc = t_comp
+            + halo(m.sw_upc, m.amo + m.get(max_face) - m.put(max_face))
+            + reduce(0.0)
+            + noise;
         mpi1.points.push((pf, t_mpi1 * NOMINAL_ITERS / 1e9));
         fompi.points.push((pf, t_fompi * NOMINAL_ITERS / 1e9));
         upc.points.push((pf, t_upc * NOMINAL_ITERS / 1e9));

@@ -5,8 +5,7 @@
 //! per-link occupancy, the congestion source behind the hashtable spikes
 //! the paper attributes to "different job layouts in the Gemini torus".
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fompi_fabric::rng::Rng;
 
 /// LogGP-flavoured parameters (ns / ns-per-byte).
 #[derive(Debug, Clone)]
@@ -99,13 +98,13 @@ impl Torus3D {
     pub fn new(nodes: usize) -> Torus3D {
         let mut dx = (nodes as f64).cbrt().round() as usize;
         dx = dx.max(1);
-        while nodes % dx != 0 {
+        while !nodes.is_multiple_of(dx) {
             dx -= 1;
         }
         let rest = nodes / dx;
         let mut dy = (rest as f64).sqrt().round() as usize;
         dy = dy.max(1);
-        while rest % dy != 0 {
+        while !rest.is_multiple_of(dy) {
             dy -= 1;
         }
         let dz = rest / dy;
@@ -113,8 +112,8 @@ impl Torus3D {
         Torus3D {
             dims,
             busy: vec![0.0; nodes * 6],
-            hop_ns: 105.0,  // Gemini per-hop
-            byte_ns: 0.19,  // ~5.2 GB/s per link
+            hop_ns: 105.0, // Gemini per-hop
+            byte_ns: 0.19, // ~5.2 GB/s per link
         }
     }
 
@@ -181,7 +180,7 @@ impl Torus3D {
 /// Figure 6c shows beyond ~1000 processes (cf. Petrini's "missing
 /// supercomputer performance").
 pub struct Noise {
-    rng: StdRng,
+    rng: Rng,
     /// Perturbation probability per sample.
     pub prob: f64,
     /// Perturbation amplitude (ns).
@@ -191,7 +190,7 @@ pub struct Noise {
 impl Noise {
     /// Deterministic noise source.
     pub fn new(seed: u64, prob: f64, amp_ns: f64) -> Noise {
-        Noise { rng: StdRng::seed_from_u64(seed), prob, amp_ns }
+        Noise { rng: Rng::seed_from_u64(seed), prob, amp_ns }
     }
 
     /// Disabled noise.
@@ -201,8 +200,8 @@ impl Noise {
 
     /// Sample one perturbation.
     pub fn sample(&mut self) -> f64 {
-        if self.prob > 0.0 && self.rng.random::<f64>() < self.prob {
-            self.amp_ns * self.rng.random::<f64>()
+        if self.prob > 0.0 && self.rng.next_f64() < self.prob {
+            self.amp_ns * self.rng.next_f64()
         } else {
             0.0
         }

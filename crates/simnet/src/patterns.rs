@@ -49,9 +49,7 @@ pub fn pscw_ring(p: usize, m: &LogGP, noise: &mut Noise) -> Vec<f64> {
         return vec![2.0 * post_per_neighbor(m) + 2.0 * (m.o + m.amo)];
     }
     // Phase 1: post to both neighbours (sequential remote ops).
-    let post_done: Vec<f64> = (0..p)
-        .map(|_| 2.0 * post_per_neighbor(m) + noise.sample())
-        .collect();
+    let post_done: Vec<f64> = (0..p).map(|_| 2.0 * post_per_neighbor(m) + noise.sample()).collect();
     // Phase 2: start = my post done (program order) ∨ both neighbours'
     // announcements visible; the announcement lands partway through their
     // post, bounded by post_done.
@@ -63,9 +61,8 @@ pub fn pscw_ring(p: usize, m: &LogGP, noise: &mut Noise) -> Vec<f64> {
         })
         .collect();
     // Phase 3: complete = gsync + one AMO per neighbour.
-    let complete_done: Vec<f64> = (0..p)
-        .map(|i| start_done[i] + 2.0 * (m.o + m.amo) + noise.sample())
-        .collect();
+    let complete_done: Vec<f64> =
+        (0..p).map(|i| start_done[i] + 2.0 * (m.o + m.amo) + noise.sample()).collect();
     // Phase 4: wait = both neighbours' completes visible.
     (0..p)
         .map(|i| {

@@ -49,10 +49,7 @@ impl NbxActor {
     }
 
     fn try_advance_barrier(&mut self, api: &mut Api) {
-        while self.in_barrier
-            && self.round < self.rounds
-            && self.tokens[self.round as usize] > 0
-        {
+        while self.in_barrier && self.round < self.rounds && self.tokens[self.round as usize] > 0 {
             self.tokens[self.round as usize] -= 1;
             self.round += 1;
             if self.round < self.rounds {
@@ -131,7 +128,7 @@ impl Actor for NbxActor {
 /// Event-driven NBX exchange time (ns): max completion over ranks.
 pub fn nbx_time(p: usize, k: usize, seed: u64) -> f64 {
     let m = LogGP::default();
-    let rounds = if p <= 1 { 0 } else { (usize::BITS - (p - 1).leading_zeros()) as u32 };
+    let rounds = if p <= 1 { 0 } else { usize::BITS - (p - 1).leading_zeros() };
     let actors = (0..p)
         .map(|_| NbxActor {
             p,
@@ -271,12 +268,12 @@ pub fn hashtable_layout_rate(
         }
     };
     let issue = |r: usize,
-                     cpu: &mut Vec<f64>,
-                     remaining: &mut Vec<usize>,
-                     heap: &mut BinaryHeap<TQ>,
-                     seq: &mut u64,
-                     rng: &mut u64,
-                     torus: &RefCell<Torus3D>| {
+                 cpu: &mut Vec<f64>,
+                 remaining: &mut Vec<usize>,
+                 heap: &mut BinaryHeap<TQ>,
+                 seq: &mut u64,
+                 rng: &mut u64,
+                 torus: &RefCell<Torus3D>| {
         if remaining[r] == 0 {
             return;
         }
@@ -342,12 +339,7 @@ mod tests {
         // agree within a small factor (both model the same protocol).
         let des = nbx_time(1024, 6, 3) / 1e3;
         let series = crate::figures::fig7b(&[1024], 6);
-        let closed = series
-            .iter()
-            .find(|s| s.label.contains("NBX"))
-            .unwrap()
-            .points[0]
-            .1;
+        let closed = series.iter().find(|s| s.label.contains("NBX")).unwrap().points[0].1;
         let ratio = des / closed;
         assert!(
             (0.3..6.0).contains(&ratio),
@@ -361,10 +353,7 @@ mod tests {
         // link contention, reducing throughput.
         let block = hashtable_layout_rate(512, 32, 48, Layout::Block, 5);
         let scattered = hashtable_layout_rate(512, 32, 48, Layout::Scattered, 5);
-        assert!(
-            scattered < block,
-            "scattered {scattered} should be slower than block {block}"
-        );
+        assert!(scattered < block, "scattered {scattered} should be slower than block {block}");
     }
 
     #[test]

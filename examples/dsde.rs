@@ -34,11 +34,7 @@ fn main() {
         let r = dsde::run_alltoall(ctx, &c, k, 7);
         (r.time_ns, r.received.len())
     });
-    let t_a2a = check(
-        "alltoall",
-        res.iter().map(|r| r.0).collect(),
-        res.iter().map(|r| r.1).sum(),
-    );
+    let t_a2a = check("alltoall", res.iter().map(|r| r.0).collect(), res.iter().map(|r| r.1).sum());
 
     let e = engine.clone();
     let res = Universe::new(p).node_size(4).run(move |ctx| {

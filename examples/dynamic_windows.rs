@@ -23,9 +23,7 @@ fn demo(notify: bool) -> (f64, f64) {
         } else {
             (0, 0)
         };
-        let addrs = ctx.allgather(
-            &[a1.to_le_bytes(), a2.to_le_bytes()].concat(),
-        );
+        let addrs = ctx.allgather(&[a1.to_le_bytes(), a2.to_le_bytes()].concat());
         let r1 = u64::from_le_bytes(addrs[1][0..8].try_into().unwrap());
         let r2 = u64::from_le_bytes(addrs[1][8..16].try_into().unwrap());
         let mut per_access = 0.0;

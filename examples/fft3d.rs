@@ -16,7 +16,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let p: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(32);
-    assert!(n.is_power_of_two() && n % p == 0, "need power-of-two n divisible by p");
+    assert!(n.is_power_of_two() && n.is_multiple_of(p), "need power-of-two n divisible by p");
     let cfg = FftConfig { n, seed: 2026 };
     println!("== 3-D FFT: {n}^3 grid on {p} ranks ==\n");
 

@@ -37,8 +37,18 @@ fn main() {
         rate
     };
 
-    let rma = Universe::new(p).node_size(4).run(|ctx| run_rma(ctx, &cfg));
+    let (rma, fabric) = Universe::new(p).node_size(4).launch(|ctx| run_rma(ctx, &cfg));
     let r_rma = report("foMPI RMA (CAS/FAA)", &rma);
+
+    // With FOMPI_TELEMETRY=1, dump the RMA backend's event trace for
+    // Perfetto (ui.perfetto.dev) alongside the per-class summary.
+    let tel = fabric.telemetry();
+    if tel.enabled() {
+        println!("\n{}", tel.report());
+        let path = "results/hashtable_trace.json";
+        fompi_fabric::telemetry::perfetto::export_trace(tel, path).expect("write trace");
+        println!("Perfetto trace written to {path} (open in ui.perfetto.dev)");
+    }
 
     let upc = Universe::new(p).node_size(4).run(|ctx| run_upc(ctx, &cfg));
     let r_upc = report("UPC atomics", &upc);

@@ -18,10 +18,7 @@ fn main() {
     let p: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
     let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
     let cfg = MilcConfig { local: [4, 4, 4, 8], iters, seed: 11 };
-    println!(
-        "== MILC proxy: {p} ranks, local lattice {:?}, {iters} CG iterations ==",
-        cfg.local
-    );
+    println!("== MILC proxy: {p} ranks, local lattice {:?}, {iters} CG iterations ==", cfg.local);
     println!("   process grid: {:?}\n", milc::grid_dims(p));
 
     let engine = MsgEngine::new(p);

@@ -44,7 +44,7 @@ fn main() {
     );
 
     println!("\n== §6's example: pick Fence or PSCW ==");
-    println!("{:>9} {:>5}  {}", "p", "k", "recommendation");
+    println!("{:>9} {:>5}  recommendation", "p", "k");
     for (p, k) in [(64, 2), (1024, 2), (1024, 16), (65536, 4), (65536, 48)] {
         let pscw = m.prefer_pscw(p, k);
         println!(

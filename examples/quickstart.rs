@@ -30,9 +30,7 @@ fn main() {
         win.fence().expect("fence");
         let mut got = vec![0u8; 32];
         win.read_local(0, &mut got);
-        let from_left = String::from_utf8_lossy(&got)
-            .trim_end_matches('\0')
-            .to_string();
+        let from_left = String::from_utf8_lossy(&got).trim_end_matches('\0').to_string();
         // Close the active-target epoch before switching to passive mode
         // (MPI semantics: a fence without NOSUCCEED keeps the epoch open).
         win.fence_assert(fompi::ASSERT_NOSUCCEED).expect("closing fence");

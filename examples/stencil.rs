@@ -42,11 +42,11 @@ fn main() {
     let p: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
     let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(64);
     let steps: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
-    assert!(n % p == 0, "n must be divisible by p");
+    assert!(n.is_multiple_of(p), "n must be divisible by p");
     let rows = n / p;
     println!("== 2-D Jacobi stencil: {n}x{n} grid, {p} ranks x {rows} rows, {steps} steps ==\n");
 
-    let results = Universe::new(p).node_size(4).run(move |ctx| {
+    let (results, fabric) = Universe::new(p).node_size(4).launch(move |ctx| {
         let me = ctx.rank() as usize;
         // Window: [halo_top n][band rows*n][halo_bottom n] doubles.
         let win = Win::allocate(ctx, (rows + 2) * n * 8, 8).unwrap();
@@ -67,9 +67,8 @@ fn main() {
             // bottom row → down's top halo.
             win.post(&group).unwrap();
             win.start(&group).unwrap();
-            let row_bytes = |row: &[f64]| -> Vec<u8> {
-                row.iter().flat_map(|v| v.to_le_bytes()).collect()
-            };
+            let row_bytes =
+                |row: &[f64]| -> Vec<u8> { row.iter().flat_map(|v| v.to_le_bytes()).collect() };
             if let Some(u) = up {
                 win.put(&row_bytes(&cur[0..n]), u, (1 + rows) * n).unwrap();
             }
@@ -82,9 +81,7 @@ fn main() {
             let read_row = |off: usize| -> Vec<f64> {
                 let mut b = vec![0u8; n * 8];
                 win.read_local(off * 8, &mut b);
-                b.chunks_exact(8)
-                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-                    .collect()
+                b.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())).collect()
             };
             let halo_top = read_row(0);
             let halo_bot = read_row((1 + rows) * n);
@@ -133,4 +130,14 @@ fn main() {
     println!("max |error| vs serial: {max_err:e}");
     assert!(max_err < 1e-12, "distributed result diverged");
     println!("verified — OK");
+
+    // With FOMPI_TELEMETRY=1 the fabric records every RMA and sync event;
+    // dump the per-class summary and a Perfetto-loadable trace.
+    let tel = fabric.telemetry();
+    if tel.enabled() {
+        println!("\n{}", tel.report());
+        let path = "results/stencil_trace.json";
+        fompi_fabric::telemetry::perfetto::export_trace(tel, path).expect("write trace");
+        println!("Perfetto trace written to {path} (open in ui.perfetto.dev)");
+    }
 }

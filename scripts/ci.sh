@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, tests. Run from anywhere in the repo.
+#
+#   scripts/ci.sh            # the full gate
+#   scripts/ci.sh --fix      # apply rustfmt instead of checking
+#
+# The workspace is dependency-free by design, so everything runs --offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--fix" ]]; then
+    cargo fmt --all
+    exit 0
+fi
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, -D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test --offline --workspace -q
+
+echo "CI gate passed."

@@ -7,57 +7,48 @@ use fompi_fabric::CostModel;
 use fompi_runtime::{Group, Universe};
 
 fn two_ranks<T: Send>(f: impl Fn(&fompi_runtime::RankCtx, &Win) -> T + Send + Sync) -> Vec<T> {
-    Universe::new(2)
-        .node_size(1)
-        .model(CostModel::free())
-        .run(move |ctx| {
-            let win = Win::allocate(ctx, 64, 1).unwrap();
-            let out = f(ctx, &win);
-            ctx.barrier();
-            out
-        })
+    Universe::new(2).node_size(1).model(CostModel::free()).run(move |ctx| {
+        let win = Win::allocate(ctx, 64, 1).unwrap();
+        let out = f(ctx, &win);
+        ctx.barrier();
+        out
+    })
 }
 
 #[test]
 fn put_without_epoch_is_rejected() {
     let got = two_ranks(|ctx, win| {
         let other = (ctx.rank() + 1) % 2;
-        matches!(
-            win.put(&[1u8; 4], other, 0),
-            Err(FompiError::NoAccessEpoch { .. })
-        )
+        matches!(win.put(&[1u8; 4], other, 0), Err(FompiError::NoAccessEpoch { .. }))
     });
     assert!(got.iter().all(|&b| b));
 }
 
 #[test]
 fn pscw_put_outside_group_is_rejected() {
-    let got = Universe::new(3)
-        .node_size(1)
-        .model(CostModel::free())
-        .run(|ctx| {
-            let win = Win::allocate(ctx, 64, 1).unwrap();
-            let mut bad = true;
-            match ctx.rank() {
-                0 => {
-                    win.start(&Group::new([1])).unwrap();
-                    // Rank 2 is not in the access group.
-                    bad = matches!(
-                        win.put(&[1u8; 4], 2, 0),
-                        Err(FompiError::NoAccessEpoch { target: 2 })
-                    );
-                    win.put(&[1u8; 4], 1, 0).unwrap(); // in-group is fine
-                    win.complete().unwrap();
-                }
-                1 => {
-                    win.post(&Group::new([0])).unwrap();
-                    win.wait().unwrap();
-                }
-                _ => {}
+    let got = Universe::new(3).node_size(1).model(CostModel::free()).run(|ctx| {
+        let win = Win::allocate(ctx, 64, 1).unwrap();
+        let mut bad = true;
+        match ctx.rank() {
+            0 => {
+                win.start(&Group::new([1])).unwrap();
+                // Rank 2 is not in the access group.
+                bad = matches!(
+                    win.put(&[1u8; 4], 2, 0),
+                    Err(FompiError::NoAccessEpoch { target: 2 })
+                );
+                win.put(&[1u8; 4], 1, 0).unwrap(); // in-group is fine
+                win.complete().unwrap();
             }
-            ctx.barrier();
-            bad
-        });
+            1 => {
+                win.post(&Group::new([0])).unwrap();
+                win.wait().unwrap();
+            }
+            _ => {}
+        }
+        ctx.barrier();
+        bad
+    });
     assert!(got.iter().all(|&b| b));
 }
 
@@ -86,10 +77,7 @@ fn double_lock_same_target_is_rejected() {
     let got = two_ranks(|ctx, win| {
         let other = (ctx.rank() + 1) % 2;
         win.lock(LockType::Shared, other).unwrap();
-        let bad = matches!(
-            win.lock(LockType::Shared, other),
-            Err(FompiError::InvalidEpoch(_))
-        );
+        let bad = matches!(win.lock(LockType::Shared, other), Err(FompiError::InvalidEpoch(_)));
         win.unlock(other).unwrap();
         bad
     });
@@ -149,10 +137,7 @@ fn out_of_bounds_put_is_rejected_and_window_survives() {
     let got = two_ranks(|ctx, win| {
         let other = (ctx.rank() + 1) % 2;
         win.lock(LockType::Shared, other).unwrap();
-        let bad = matches!(
-            win.put(&[0u8; 128], other, 0),
-            Err(FompiError::OutOfBounds { .. })
-        );
+        let bad = matches!(win.put(&[0u8; 128], other, 0), Err(FompiError::OutOfBounds { .. }));
         // The window remains usable after the error.
         win.put(&[7u8; 8], other, 0).unwrap();
         win.flush(other).unwrap();
@@ -183,26 +168,23 @@ fn shared_query_on_non_shared_window_is_rejected() {
 
 #[test]
 fn double_post_without_wait_is_rejected() {
-    let got = Universe::new(2)
-        .node_size(1)
-        .model(CostModel::free())
-        .run(|ctx| {
-            let win = Win::allocate(ctx, 8, 1).unwrap();
-            let mut bad = true;
-            if ctx.rank() == 1 {
-                win.post(&Group::new([0])).unwrap();
-                bad = matches!(win.post(&Group::new([0])), Err(FompiError::InvalidEpoch(_)));
-                // Clean up the matching so rank 0 can finish.
-            }
-            if ctx.rank() == 0 {
-                win.start(&Group::new([1])).unwrap();
-                win.complete().unwrap();
-            } else {
-                win.wait().unwrap();
-            }
-            ctx.barrier();
-            bad
-        });
+    let got = Universe::new(2).node_size(1).model(CostModel::free()).run(|ctx| {
+        let win = Win::allocate(ctx, 8, 1).unwrap();
+        let mut bad = true;
+        if ctx.rank() == 1 {
+            win.post(&Group::new([0])).unwrap();
+            bad = matches!(win.post(&Group::new([0])), Err(FompiError::InvalidEpoch(_)));
+            // Clean up the matching so rank 0 can finish.
+        }
+        if ctx.rank() == 0 {
+            win.start(&Group::new([1])).unwrap();
+            win.complete().unwrap();
+        } else {
+            win.wait().unwrap();
+        }
+        ctx.barrier();
+        bad
+    });
     assert!(got.iter().all(|&b| b));
 }
 
@@ -230,10 +212,7 @@ fn bad_accumulate_inputs_rejected() {
             Err(FompiError::BadAccumulate(_))
         );
         // CAS on an unaligned displacement.
-        let c = matches!(
-            win.compare_and_swap(1, 0, other, 3),
-            Err(FompiError::BadAccumulate(_))
-        );
+        let c = matches!(win.compare_and_swap(1, 0, other, 3), Err(FompiError::BadAccumulate(_)));
         win.unlock(other).unwrap();
         a && b && c
     });
@@ -242,18 +221,15 @@ fn bad_accumulate_inputs_rejected() {
 
 #[test]
 fn window_free_deregisters_segments() {
-    Universe::new(2)
-        .node_size(1)
-        .model(CostModel::free())
-        .run(|ctx| {
-            let win = Win::allocate(ctx, 64, 1).unwrap();
-            win.fence().unwrap();
-            win.put(&[1u8; 8], (ctx.rank() + 1) % 2, 0).unwrap();
-            win.fence().unwrap();
-            win.free(ctx);
-            // A second window after freeing the first works fine.
-            let win2 = Win::allocate(ctx, 64, 1).unwrap();
-            win2.fence().unwrap();
-            win2.fence().unwrap();
-        });
+    Universe::new(2).node_size(1).model(CostModel::free()).run(|ctx| {
+        let win = Win::allocate(ctx, 64, 1).unwrap();
+        win.fence().unwrap();
+        win.put(&[1u8; 8], (ctx.rank() + 1) % 2, 0).unwrap();
+        win.fence().unwrap();
+        win.free(ctx);
+        // A second window after freeing the first works fine.
+        let win2 = Win::allocate(ctx, 64, 1).unwrap();
+        win2.fence().unwrap();
+        win2.fence().unwrap();
+    });
 }

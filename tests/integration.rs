@@ -89,7 +89,7 @@ fn pscw_disjoint_groups_match_correctly() {
                 win.put(&[30u8; 4], 3, 0).unwrap();
                 win.complete().unwrap();
             }
-            1 | 2 | 3 => {
+            1..=3 => {
                 win.post(&Group::new([0])).unwrap();
                 win.wait().unwrap();
             }
@@ -209,8 +209,7 @@ fn msg_and_rma_interoperate() {
         win.lock_all().unwrap();
         // RMA phase: everyone increments rank 0's counter.
         let mut old = [0u8; 8];
-        win.fetch_and_op(&1u64.to_le_bytes(), &mut old, NumKind::U64, MpiOp::Sum, 0, 0)
-            .unwrap();
+        win.fetch_and_op(&1u64.to_le_bytes(), &mut old, NumKind::U64, MpiOp::Sum, 0, 0).unwrap();
         win.flush(0).unwrap();
         win.unlock_all().unwrap();
         ctx.barrier();

@@ -1,10 +1,10 @@
-//! Property tests for the synchronisation protocols under randomized
-//! topologies and schedules.
+//! Randomized tests for the synchronisation protocols (seeded in-repo
+//! PRNG) under randomized topologies and schedules.
 
 use fompi::{LockType, Win};
+use fompi_fabric::rng::Rng;
 use fompi_fabric::CostModel;
 use fompi_runtime::{Group, Universe};
-use proptest::prelude::*;
 
 fn hash2(a: u64, b: u64) -> u64 {
     let mut x = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b;
@@ -13,164 +13,171 @@ fn hash2(a: u64, b: u64) -> u64 {
     x ^ (x >> 29)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// PSCW with a random communication digraph: every edge (i → j) means
-    /// i accesses j. Posts precede starts in program order, so any graph is
-    /// deadlock-free; every access must deliver exactly its payload.
-    #[test]
-    fn pscw_random_digraph_matches(p in 3usize..7, seed in any::<u64>(), density in 0.2f64..0.9) {
-        let got = Universe::new(p)
-            .node_size(2)
-            .model(CostModel::free())
-            .run(move |ctx| {
-                let me = ctx.rank();
-                let edge = |i: u32, j: u32| {
-                    i != j && (hash2(seed ^ i as u64, j as u64) % 1000) as f64 / 1000.0 < density
-                };
-                let access: Vec<u32> = (0..p as u32).filter(|&j| edge(me, j)).collect();
-                let exposure: Vec<u32> = (0..p as u32).filter(|&i| edge(i, me)).collect();
-                let win = Win::allocate(ctx, 8 * p, 1).unwrap();
-                win.post(&Group::new(exposure.clone())).unwrap();
-                win.start(&Group::new(access.clone())).unwrap();
-                for &j in &access {
-                    win.put(&(me as u64 + 1).to_le_bytes(), j, me as usize * 8).unwrap();
-                }
-                win.complete().unwrap();
-                win.wait().unwrap();
-                ctx.barrier();
-                let mut got = vec![0u64; p];
-                for i in 0..p {
-                    let mut b = [0u8; 8];
-                    win.read_local(i * 8, &mut b);
-                    got[i] = u64::from_le_bytes(b);
-                }
-                (exposure, got)
-            });
+/// PSCW with a random communication digraph: every edge (i → j) means
+/// i accesses j. Posts precede starts in program order, so any graph is
+/// deadlock-free; every access must deliver exactly its payload.
+#[test]
+fn pscw_random_digraph_matches() {
+    for case in 0..12u64 {
+        let mut rng = Rng::seed_from_u64(0x95C3_0000 + case);
+        let p = rng.range(3, 7);
+        let seed = rng.next_u64();
+        let density = 0.2 + 0.7 * rng.next_f64();
+        let got = Universe::new(p).node_size(2).model(CostModel::free()).run(move |ctx| {
+            let me = ctx.rank();
+            let edge = |i: u32, j: u32| {
+                i != j && (hash2(seed ^ i as u64, j as u64) % 1000) as f64 / 1000.0 < density
+            };
+            let access: Vec<u32> = (0..p as u32).filter(|&j| edge(me, j)).collect();
+            let exposure: Vec<u32> = (0..p as u32).filter(|&i| edge(i, me)).collect();
+            let win = Win::allocate(ctx, 8 * p, 1).unwrap();
+            win.post(&Group::new(exposure.clone())).unwrap();
+            win.start(&Group::new(access.clone())).unwrap();
+            for &j in &access {
+                win.put(&(me as u64 + 1).to_le_bytes(), j, me as usize * 8).unwrap();
+            }
+            win.complete().unwrap();
+            win.wait().unwrap();
+            ctx.barrier();
+            let mut got = vec![0u64; p];
+            for (i, g) in got.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                win.read_local(i * 8, &mut b);
+                *g = u64::from_le_bytes(b);
+            }
+            (exposure, got)
+        });
         for (me, (exposure, vals)) in got.iter().enumerate() {
             for i in 0..p as u32 {
                 let expect = if exposure.contains(&i) { i as u64 + 1 } else { 0 };
-                prop_assert_eq!(
+                assert_eq!(
                     vals[i as usize], expect,
-                    "rank {} slot {} (exposure {:?})", me, i, exposure
+                    "case {case} rank {me} slot {i} (exposure {exposure:?})"
                 );
             }
         }
     }
+}
 
-    /// Exclusive locks with random target/iteration mixes never lose
-    /// counter updates, whatever the interleaving.
-    #[test]
-    fn exclusive_lock_linearizable(p in 2usize..6, iters in 1usize..12, seed in any::<u64>()) {
-        let got = Universe::new(p)
-            .node_size(2)
-            .model(CostModel::free())
-            .run(move |ctx| {
-                let win = Win::allocate(ctx, 8 * p, 1).unwrap();
-                let me = ctx.rank() as u64;
-                let mut incs = vec![0u64; p];
-                for i in 0..iters {
-                    let target = (hash2(seed ^ me, i as u64) % p as u64) as u32;
-                    win.lock(LockType::Exclusive, target).unwrap();
-                    let mut cur = [0u8; 8];
-                    win.get(&mut cur, target, 0).unwrap();
-                    win.flush(target).unwrap();
-                    let v = u64::from_le_bytes(cur) + 1;
-                    win.put(&v.to_le_bytes(), target, 0).unwrap();
-                    win.unlock(target).unwrap();
-                    incs[target as usize] += 1;
-                }
-                ctx.barrier();
-                let mut b = [0u8; 8];
-                win.read_local(0, &mut b);
-                (incs, u64::from_le_bytes(b))
-            });
+/// Exclusive locks with random target/iteration mixes never lose counter
+/// updates, whatever the interleaving.
+#[test]
+fn exclusive_lock_linearizable() {
+    for case in 0..12u64 {
+        let mut rng = Rng::seed_from_u64(0x10C4_0000 + case);
+        let p = rng.range(2, 6);
+        let iters = rng.range(1, 12);
+        let seed = rng.next_u64();
+        let got = Universe::new(p).node_size(2).model(CostModel::free()).run(move |ctx| {
+            let win = Win::allocate(ctx, 8 * p, 1).unwrap();
+            let me = ctx.rank() as u64;
+            let mut incs = vec![0u64; p];
+            for i in 0..iters {
+                let target = (hash2(seed ^ me, i as u64) % p as u64) as u32;
+                win.lock(LockType::Exclusive, target).unwrap();
+                let mut cur = [0u8; 8];
+                win.get(&mut cur, target, 0).unwrap();
+                win.flush(target).unwrap();
+                let v = u64::from_le_bytes(cur) + 1;
+                win.put(&v.to_le_bytes(), target, 0).unwrap();
+                win.unlock(target).unwrap();
+                incs[target as usize] += 1;
+            }
+            ctx.barrier();
+            let mut b = [0u8; 8];
+            win.read_local(0, &mut b);
+            (incs, u64::from_le_bytes(b))
+        });
         // Sum increments per target across ranks; each target's counter
         // must equal the total aimed at it.
         for t in 0..p {
             let expect: u64 = got.iter().map(|(incs, _)| incs[t]).sum();
-            prop_assert_eq!(got[t].1, expect, "target {}", t);
+            assert_eq!(got[t].1, expect, "case {case} target {t}");
         }
     }
+}
 
-    /// Mixed shared/exclusive epochs: exclusive writers keep a two-cell
-    /// invariant that shared readers can never see broken.
-    #[test]
-    fn reader_writer_invariant(p in 2usize..6, seed in any::<u64>()) {
-        let got = Universe::new(p)
-            .node_size(2)
-            .model(CostModel::free())
-            .run(move |ctx| {
-                let win = Win::allocate(ctx, 32, 1).unwrap();
-                let me = ctx.rank() as u64;
-                let mut torn = false;
-                for i in 0..10u64 {
-                    if hash2(seed ^ me, i) % 2 == 0 {
-                        win.lock(LockType::Exclusive, 0).unwrap();
-                        let stamp = me * 1000 + i;
-                        win.put(&stamp.to_le_bytes(), 0, 0).unwrap();
-                        win.flush(0).unwrap();
-                        win.put(&stamp.to_le_bytes(), 0, 8).unwrap();
-                        win.unlock(0).unwrap();
-                    } else {
-                        win.lock(LockType::Shared, 0).unwrap();
-                        let mut a = [0u8; 8];
-                        let mut b = [0u8; 8];
-                        win.get(&mut a, 0, 0).unwrap();
-                        win.flush(0).unwrap();
-                        win.get(&mut b, 0, 8).unwrap();
-                        win.flush(0).unwrap();
-                        win.unlock(0).unwrap();
-                        torn |= a != b;
-                    }
+/// Mixed shared/exclusive epochs: exclusive writers keep a two-cell
+/// invariant that shared readers can never see broken.
+#[test]
+fn reader_writer_invariant() {
+    for case in 0..12u64 {
+        let mut rng = Rng::seed_from_u64(0x4EAD_0000 + case);
+        let p = rng.range(2, 6);
+        let seed = rng.next_u64();
+        let got = Universe::new(p).node_size(2).model(CostModel::free()).run(move |ctx| {
+            let win = Win::allocate(ctx, 32, 1).unwrap();
+            let me = ctx.rank() as u64;
+            let mut torn = false;
+            for i in 0..10u64 {
+                if hash2(seed ^ me, i).is_multiple_of(2) {
+                    win.lock(LockType::Exclusive, 0).unwrap();
+                    let stamp = me * 1000 + i;
+                    win.put(&stamp.to_le_bytes(), 0, 0).unwrap();
+                    win.flush(0).unwrap();
+                    win.put(&stamp.to_le_bytes(), 0, 8).unwrap();
+                    win.unlock(0).unwrap();
+                } else {
+                    win.lock(LockType::Shared, 0).unwrap();
+                    let mut a = [0u8; 8];
+                    let mut b = [0u8; 8];
+                    win.get(&mut a, 0, 0).unwrap();
+                    win.flush(0).unwrap();
+                    win.get(&mut b, 0, 8).unwrap();
+                    win.flush(0).unwrap();
+                    win.unlock(0).unwrap();
+                    torn |= a != b;
                 }
-                ctx.barrier();
-                torn
-            });
-        prop_assert!(got.iter().all(|&t| !t), "a reader saw a torn exclusive write");
+            }
+            ctx.barrier();
+            torn
+        });
+        assert!(got.iter().all(|&t| !t), "case {case}: a reader saw a torn exclusive write");
     }
+}
 
-    /// put_notify counters are exact for random message mixes.
-    #[test]
-    fn notify_counts_exact(p in 2usize..6, msgs in 1usize..10, seed in any::<u64>()) {
-        let got = Universe::new(p)
-            .node_size(2)
-            .model(CostModel::free())
-            .run(move |ctx| {
-                let win = Win::allocate(ctx, 8 * p * msgs + 8, 1).unwrap();
-                let me = ctx.rank() as u64;
-                win.lock_all().unwrap();
-                let mut sent = vec![0u64; p];
-                for i in 0..msgs {
-                    let t = (hash2(seed ^ me, i as u64) % p as u64) as u32;
-                    if t == ctx.rank() {
-                        continue;
-                    }
-                    win.put_notify(&me.to_le_bytes(), t, (i * p + t as usize) * 8, 0).unwrap();
-                    sent[t as usize] += 1;
+/// put_notify counters are exact for random message mixes.
+#[test]
+fn notify_counts_exact() {
+    for case in 0..12u64 {
+        let mut rng = Rng::seed_from_u64(0x4071_F000 + case);
+        let p = rng.range(2, 6);
+        let msgs = rng.range(1, 10);
+        let seed = rng.next_u64();
+        let got = Universe::new(p).node_size(2).model(CostModel::free()).run(move |ctx| {
+            let win = Win::allocate(ctx, 8 * p * msgs + 8, 1).unwrap();
+            let me = ctx.rank() as u64;
+            win.lock_all().unwrap();
+            let mut sent = vec![0u64; p];
+            for i in 0..msgs {
+                let t = (hash2(seed ^ me, i as u64) % p as u64) as u32;
+                if t == ctx.rank() {
+                    continue;
                 }
-                win.unlock_all().unwrap();
-                // Total notifications I should receive:
-                let sent_bytes: Vec<u8> = sent.iter().flat_map(|v| v.to_le_bytes()).collect();
-                let all = ctx.allgather(&sent_bytes);
-                let expect: u64 = all
-                    .iter()
-                    .map(|row| {
-                        u64::from_le_bytes(
-                            row[ctx.rank() as usize * 8..ctx.rank() as usize * 8 + 8]
-                                .try_into()
-                                .unwrap(),
-                        )
-                    })
-                    .sum();
-                win.notify_wait(0, expect).unwrap();
-                let n = win.notify_test(0).unwrap();
-                ctx.barrier();
-                (n, expect)
-            });
+                win.put_notify(&me.to_le_bytes(), t, (i * p + t as usize) * 8, 0).unwrap();
+                sent[t as usize] += 1;
+            }
+            win.unlock_all().unwrap();
+            // Total notifications I should receive:
+            let sent_bytes: Vec<u8> = sent.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let all = ctx.allgather(&sent_bytes);
+            let expect: u64 = all
+                .iter()
+                .map(|row| {
+                    u64::from_le_bytes(
+                        row[ctx.rank() as usize * 8..ctx.rank() as usize * 8 + 8]
+                            .try_into()
+                            .unwrap(),
+                    )
+                })
+                .sum();
+            win.notify_wait(0, expect).unwrap();
+            let n = win.notify_test(0).unwrap();
+            ctx.barrier();
+            (n, expect)
+        });
         for (n, expect) in got {
-            prop_assert_eq!(n, expect);
+            assert_eq!(n, expect, "case {case}");
         }
     }
 }

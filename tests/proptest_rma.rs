@@ -1,22 +1,28 @@
-//! Workspace-level property tests: the RMA layer against randomized
-//! workloads, and cross-backend agreement of the application motifs.
+//! Workspace-level randomized tests (seeded in-repo PRNG): the RMA layer
+//! against randomized workloads, and cross-backend agreement of the
+//! application motifs.
 
 use fompi::{DataType, LockType, MpiOp, NumKind, Win};
 use fompi_apps::fft::{self, FftConfig};
 use fompi_apps::hashtable::{self, HtConfig};
+use fompi_fabric::rng::Rng;
 use fompi_fabric::CostModel;
 use fompi_runtime::Universe;
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Random put/get scripts against one target behave like a local
-    /// byte-array model.
-    #[test]
-    fn put_get_script_matches_model(
-        script in proptest::collection::vec((0usize..240, proptest::collection::vec(any::<u8>(), 1..16)), 1..25)
-    ) {
+/// Random put/get scripts against one target behave like a local
+/// byte-array model.
+#[test]
+fn put_get_script_matches_model() {
+    for case in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0x9075_0000 + case);
+        let script: Vec<(usize, Vec<u8>)> = (0..rng.range(1, 25))
+            .map(|_| {
+                let off = rng.range(0, 240);
+                let mut data = vec![0u8; rng.range(1, 16)];
+                rng.fill_bytes(&mut data);
+                (off, data)
+            })
+            .collect();
         let script2 = script.clone();
         let got = Universe::new(2).node_size(1).model(CostModel::free()).run(move |ctx| {
             let win = Win::allocate(ctx, 256, 1).unwrap();
@@ -41,13 +47,17 @@ proptest! {
             }
         });
         let (out, model) = &got[0];
-        prop_assert_eq!(out, model);
+        assert_eq!(out, model, "case {case}");
     }
+}
 
-    /// Accumulate(SUM) over random element streams totals exactly,
-    /// regardless of how elements are batched (atomicity property).
-    #[test]
-    fn accumulate_batches_commute(batches in proptest::collection::vec(1usize..8, 1..6)) {
+/// Accumulate(SUM) over random element streams totals exactly, regardless
+/// of how elements are batched (atomicity property).
+#[test]
+fn accumulate_batches_commute() {
+    for case in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0xACC0_0000 + case);
+        let batches: Vec<usize> = (0..rng.range(1, 6)).map(|_| rng.range(1, 8)).collect();
         let b2 = batches.clone();
         let got = Universe::new(4).node_size(2).model(CostModel::free()).run(move |ctx| {
             let win = Win::allocate(ctx, 64, 1).unwrap();
@@ -63,13 +73,19 @@ proptest! {
         });
         // Each batch of n elements adds 1 to elements 0..n; element 0 gets
         // one increment per batch per rank.
-        prop_assert_eq!(got[0], 4 * batches.len() as u64);
+        assert_eq!(got[0], 4 * batches.len() as u64, "case {case}");
     }
+}
 
-    /// Typed put through arbitrary strided views delivers exactly the
-    /// flattened bytes.
-    #[test]
-    fn typed_put_strided(count in 1usize..5, blocklen in 1usize..4, gap in 0usize..4) {
+/// Typed put through arbitrary strided views delivers exactly the
+/// flattened bytes.
+#[test]
+fn typed_put_strided() {
+    for case in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0x7F9E_D000 + case);
+        let count = rng.range(1, 5);
+        let blocklen = rng.range(1, 4);
+        let gap = rng.range(0, 4);
         let stride = blocklen + gap;
         let got = Universe::new(2).node_size(1).model(CostModel::free()).run(move |ctx| {
             let ty = DataType::vector(count, blocklen, stride, DataType::byte());
@@ -89,21 +105,22 @@ proptest! {
             ctx.barrier();
             (out, expect)
         });
-        let (out, expect) = &got[0];
         // Rank 1 holds the packed bytes; rank 0 computed the expectation.
+        let expect = &got[0].1;
         let got1 = &got[1].0;
-        prop_assert_eq!(got1, expect);
-        let _ = out;
+        assert_eq!(got1, expect, "case {case}");
     }
+}
 
-    /// The hashtable conserves elements for arbitrary geometry.
-    #[test]
-    fn hashtable_conserves_elements(
-        p in 2usize..5,
-        inserts in 1usize..80,
-        slots_exp in 2u32..8,
-        seed in any::<u64>(),
-    ) {
+/// The hashtable conserves elements for arbitrary geometry.
+#[test]
+fn hashtable_conserves_elements() {
+    for case in 0..16u64 {
+        let mut rng = Rng::seed_from_u64(0x4A54_0000 + case);
+        let p = rng.range(2, 5);
+        let inserts = rng.range(1, 80);
+        let slots_exp = rng.range(2, 8) as u32;
+        let seed = rng.next_u64();
         let cfg = HtConfig {
             inserts_per_rank: inserts,
             table_slots: 1 << slots_exp,
@@ -115,15 +132,21 @@ proptest! {
             .model(CostModel::free())
             .run(move |ctx| hashtable::run_rma(ctx, &cfg));
         let total: usize = got.iter().map(|r| r.local_elements).sum();
-        prop_assert_eq!(total, p * inserts);
+        assert_eq!(total, p * inserts, "case {case}");
     }
+}
 
-    /// Distributed FFT equals the serial FFT for random seeds and sizes.
-    #[test]
-    fn fft_matches_serial_randomized(pexp in 1u32..3, nexp in 3u32..5, seed in any::<u64>()) {
-        let p = 1usize << pexp;
-        let n = 1usize << nexp;
-        if n % p != 0 { return Ok(()); }
+/// Distributed FFT equals the serial FFT for random seeds and sizes.
+#[test]
+fn fft_matches_serial_randomized() {
+    for case in 0..8u64 {
+        let mut rng = Rng::seed_from_u64(0xFF7_0000 + case);
+        let p = 1usize << rng.range(1, 3);
+        let n = 1usize << rng.range(3, 5);
+        if !n.is_multiple_of(p) {
+            continue;
+        }
+        let seed = rng.next_u64();
         let cfg = FftConfig { n, seed };
         let got = Universe::new(p)
             .node_size(2)
@@ -137,7 +160,10 @@ proptest! {
                     for xl in 0..nxl {
                         let a = res.local_out[(z * n + y) * nxl + xl];
                         let b = reference[(z * n + y) * n + rank * nxl + xl];
-                        prop_assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
+                        assert!(
+                            (a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6,
+                            "case {case} rank {rank}"
+                        );
                     }
                 }
             }

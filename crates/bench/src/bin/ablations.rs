@@ -15,8 +15,11 @@
 use fompi::{LockType, MpiOp, NumKind, Win, WinConfig};
 use fompi_apps::hashtable::HtConfig;
 use fompi_apps::milc::{self, MilcConfig};
+use fompi_fabric::FaultPlan;
 use fompi_msg::{Comm, MsgCosts, MsgEngine};
 use fompi_runtime::{Group, Universe};
+use fompi_simnet::net::{LogGP, Noise};
+use fompi_simnet::patterns::{dissemination_barrier, lock_costs, max_of, pscw_ring};
 
 fn main() {
     println!("== foMPI-rs ablation studies ==\n");
@@ -27,6 +30,7 @@ fn main() {
     milc_halo_ablation();
     pscw_pool_ablation();
     drift_vs_scale_ablation();
+    jitter_amplification_ablation();
 }
 
 /// 1. DMAPP-accelerated accumulates vs forcing the lock fallback.
@@ -247,6 +251,63 @@ fn pscw_pool_ablation() {
     let n = got.iter().filter(|&&e| e).count();
     println!("  pool = 4, 7 concurrent posters: {n} posters detected PoolExhausted (expected 3)\n");
     assert_eq!(n, 3);
+}
+
+/// 8. Fault-plan jitter vs the §3 closed forms at scale: how much do the
+///    light plan's perturbations amplify fence / PSCW / lock latency as p
+///    grows? Fence (a log-p dissemination barrier) takes the max over
+///    O(p log p) perturbed operations, so its tail amplification grows
+///    with p; PSCW's ring (k = 2) and the uncontended lock constants stay
+///    nearly flat — the same scalability argument the paper makes for the
+///    protocols themselves.
+fn jitter_amplification_ablation() {
+    println!("--- fault-plan jitter vs §3 closed forms (simnet, light plan) ---");
+    let m = LogGP::default();
+    let plan = FaultPlan::light(42);
+    let c = lock_costs(&m);
+    let mut fence_amp = Vec::new();
+    for p in [64usize, 1024, 16384] {
+        let t0 = vec![0.0; p];
+        let fence_model = (p as f64).log2().ceil() * m.barrier_round();
+        let fence_clean = max_of(&dissemination_barrier(&t0, &m, &mut Noise::off()));
+        let fence_noisy =
+            max_of(&dissemination_barrier(&t0, &m, &mut Noise::from_plan(&plan, p as u64)));
+        let pscw_clean = max_of(&pscw_ring(p, &m, &mut Noise::off()));
+        let pscw_noisy = max_of(&pscw_ring(p, &m, &mut Noise::from_plan(&plan, 1 + p as u64)));
+        // Uncontended exclusive lock: the closed form is p-independent;
+        // under noise the *worst rank's* acquire is what a barrier-synced
+        // phase would wait for.
+        let mut ln = Noise::from_plan(&plan, 2 + p as u64);
+        let lock_noisy =
+            (0..p).map(|_| c.lock_excl + ln.sample_op(c.lock_excl)).fold(0.0, f64::max);
+        println!("  p = {p:>5}:");
+        println!(
+            "    fence: model {:>8.1} us | clean {:>8.1} us | jitter {:>8.1} us ({:.2}x)",
+            fence_model / 1e3,
+            fence_clean / 1e3,
+            fence_noisy / 1e3,
+            fence_noisy / fence_clean
+        );
+        println!(
+            "    pscw : clean {:>8.1} us | jitter {:>8.1} us ({:.2}x)",
+            pscw_clean / 1e3,
+            pscw_noisy / 1e3,
+            pscw_noisy / pscw_clean
+        );
+        println!(
+            "    lock : model {:>8.1} us | worst-rank jitter {:>8.1} us ({:.2}x)",
+            c.lock_excl / 1e3,
+            lock_noisy / 1e3,
+            lock_noisy / c.lock_excl
+        );
+        assert!(fence_noisy >= fence_clean && pscw_noisy >= pscw_clean);
+        fence_amp.push(fence_noisy / fence_clean);
+    }
+    println!();
+    assert!(
+        fence_amp[2] > 1.0,
+        "a light plan must visibly perturb a 16k-rank fence: {fence_amp:?}"
+    );
 }
 
 /// 7. Model drift vs job size: which op classes stay pinned to the §3

@@ -1,0 +1,120 @@
+//! Protocol soak harness driver.
+//!
+//! ```text
+//! cargo run --release -p fompi-bench --bin soak              # bounded smoke
+//! cargo run --release -p fompi-bench --bin soak lock mcs     # subset
+//! SOAK_SECONDS=300 cargo run --release -p fompi-bench --bin soak   # long soak
+//! ```
+//!
+//! Every synchronisation protocol runs for many epochs under deterministic
+//! fault plans (alternating light/heavy), across several rank counts and
+//! seeds, with the window's protocol invariants checked after each run
+//! (see `fompi::soak`). Environment knobs:
+//!
+//! * `FOMPI_SEED`    — root seed; the whole campaign derives from it.
+//! * `SOAK_SEEDS`    — seeds per (protocol, p) cell (default 8).
+//! * `SOAK_SECONDS`  — long mode: keep drawing fresh seeds until the
+//!   wall-clock budget is spent (overrides `SOAK_SEEDS`).
+//! * `SOAK_P`        — comma-separated rank counts (default `4,6`).
+//! * `SOAK_EPOCHS`   — epochs per rank per run (default 6).
+//!
+//! Per-protocol pass counts land in `results/soak.csv`. Any violation
+//! prints the reproducing seed and the process exits nonzero.
+
+use fompi::soak::{run_case, seeds, Protocol};
+use fompi_fabric::rng::root_seed_from_env;
+use fompi_fabric::FaultPlan;
+use std::fmt::Write as _;
+use std::fs;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |p: Protocol| args.is_empty() || args.iter().any(|a| a == p.name());
+    let root = root_seed_from_env(0xDEFA_17AB1E);
+    let epochs = env_usize("SOAK_EPOCHS", 6);
+    let ranks: Vec<usize> = std::env::var("SOAK_P")
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_else(|_| vec![4, 6]);
+    let seconds: Option<u64> =
+        std::env::var("SOAK_SECONDS").ok().and_then(|v| v.parse().ok()).filter(|&s| s > 0);
+    let per_cell = env_usize("SOAK_SEEDS", 8);
+    let deadline = seconds.map(|s| Instant::now() + Duration::from_secs(s));
+
+    println!("== foMPI-rs protocol soak ==");
+    println!(
+        "   root seed {root:#x}, {epochs} epochs, p in {ranks:?}, {}",
+        match seconds {
+            Some(s) => format!("long mode: ~{s}s wall clock"),
+            None => format!("{per_cell} seeds per cell"),
+        }
+    );
+
+    let mut rows: Vec<String> = Vec::new();
+    let mut failed = false;
+    for proto in Protocol::ALL {
+        if !want(proto) {
+            continue;
+        }
+        for &p in &ranks {
+            let mut passes = 0usize;
+            let mut violations = 0usize;
+            let mut injected = 0u64;
+            let mut ran = 0usize;
+            // Cell-specific stream so adding protocols/rank counts never
+            // reshuffles another cell's seeds.
+            let cell_root = root ^ ((proto as u64 + 1) << 32) ^ (p as u64);
+            let mut batch = 0u64;
+            loop {
+                let batch_seeds = seeds(cell_root.wrapping_add(batch), per_cell);
+                for (i, &seed) in batch_seeds.iter().enumerate() {
+                    // Alternate plan severities; seed 0 defers to the root
+                    // seed, keeping one number sufficient for replay.
+                    let plan = if i % 2 == 0 { FaultPlan::light(0) } else { FaultPlan::heavy(0) };
+                    let out = run_case(proto, p, epochs, seed, plan);
+                    ran += 1;
+                    injected += out.injected;
+                    if out.passed() {
+                        passes += 1;
+                    } else {
+                        violations += out.violations.len();
+                        failed = true;
+                        for v in &out.violations {
+                            eprintln!("VIOLATION {v}");
+                        }
+                    }
+                }
+                match deadline {
+                    Some(d) if Instant::now() < d => batch += 1,
+                    _ => break,
+                }
+            }
+            println!(
+                "   {:<10} p={p}: {passes}/{ran} passed, {injected} faults injected",
+                proto.name()
+            );
+            rows.push(format!(
+                "{},{p},{ran},{epochs},{passes},{violations},{injected}",
+                proto.name()
+            ));
+        }
+    }
+
+    fs::create_dir_all("results").ok();
+    let mut csv = String::from("proto,p,seeds,epochs,passes,violations,injected\n");
+    for r in &rows {
+        let _ = writeln!(csv, "{r}");
+    }
+    if let Err(e) = fs::write("results/soak.csv", csv) {
+        eprintln!("failed to write results/soak.csv: {e}");
+    }
+    println!("   wrote results/soak.csv");
+    if failed {
+        eprintln!("soak FAILED — replay any violation with FOMPI_SEED=<seed>");
+        std::process::exit(1);
+    }
+}

@@ -46,22 +46,48 @@ impl Win {
     }
 
     /// Request-based put (MPI_Rput): returns a [`Request`] for fine-grained
-    /// completion.
+    /// completion. Injection-queue backpressure (a transient refusal under
+    /// an armed fault plan — nothing was issued) is retried here with the
+    /// hinted backoff: MPI semantics permit it because an unissued op has
+    /// no ordering footprint.
     pub fn rput(&self, origin: &[u8], target: u32, target_disp: usize) -> Result<Request> {
         self.check_access(target)?;
         self.ep.charge(overhead::put_get_ns());
         let (key, off) = self.target_span(target, target_disp, origin.len())?;
-        let h = self.ep.put_nb(key, off, origin)?;
+        let h = self.retry_backpressure(|| self.ep.put_nb(key, off, origin))?;
         Ok(Request::new(self.ep.clone(), h))
     }
 
-    /// Request-based get (MPI_Rget).
+    /// Request-based get (MPI_Rget). Backpressure is retried as in
+    /// [`Win::rput`].
     pub fn rget(&self, dst: &mut [u8], target: u32, target_disp: usize) -> Result<Request> {
         self.check_access(target)?;
         self.ep.charge(overhead::put_get_ns());
         let (key, off) = self.target_span(target, target_disp, dst.len())?;
-        let h = self.ep.get_nb(key, off, dst)?;
+        let h = self.retry_backpressure(|| self.ep.get_nb(key, off, &mut *dst))?;
         Ok(Request::new(self.ep.clone(), h))
+    }
+
+    /// Bounded retry around an explicit-nonblocking issue that may be
+    /// refused with [`fompi_fabric::FabricError::Backpressure`]. Each
+    /// retry charges the hinted backoff to virtual time.
+    fn retry_backpressure<T>(
+        &self,
+        mut issue: impl FnMut() -> std::result::Result<T, fompi_fabric::FabricError>,
+    ) -> Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match issue() {
+                Ok(v) => return Ok(v),
+                Err(fompi_fabric::FabricError::Backpressure { retry_after_ns })
+                    if attempt < crate::dynamic::ATTACH_RETRY_LIMIT =>
+                {
+                    attempt += 1;
+                    self.ep.charge(crate::dynamic::busy_backoff_ns(retry_after_ns, attempt));
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// Datatyped MPI_Put: origin laid out as `origin_count × origin_ty`

@@ -20,7 +20,21 @@
 use crate::error::{FompiError, Result};
 use crate::meta::{off, DYN_ENTRY_BYTES};
 use crate::win::{LocalRegion, RemoteRegions, Win, WinKind};
-use fompi_fabric::{SegKey, Segment};
+use fompi_fabric::telemetry::EventKind;
+use fompi_fabric::{FabricError, SegKey, Segment};
+
+/// How many transient `SegmentBusy` registration failures attach-side
+/// paths retry before surfacing the error. Under any plausible fault plan
+/// (busy probability < 1) the chance of this many consecutive failures is
+/// negligible, so hitting the limit means the plan is pathological — the
+/// error then carries the last retry hint.
+pub(crate) const ATTACH_RETRY_LIMIT: u32 = 64;
+
+/// Exponential backoff (charged to virtual time) for retry `attempt`
+/// after a transient registration failure with hint `retry_after_ns`.
+pub(crate) fn busy_backoff_ns(retry_after_ns: u64, attempt: u32) -> f64 {
+    retry_after_ns as f64 * (1u64 << attempt.min(6)) as f64 / 2.0
+}
 
 impl Win {
     /// MPI_Win_attach: expose `size` bytes (library-allocated — ranks are
@@ -35,7 +49,27 @@ impl Win {
             return Err(FompiError::RegionTableFull);
         }
         let seg = Segment::new(size.max(8));
-        let key = self.ep.fabric().register(self.ep.rank(), seg.clone());
+        // Registration may fail transiently (`SegmentBusy`) under an armed
+        // fault plan, as NIC registration resources can on real hardware.
+        // Retrying here is legal: the region is not yet visible to any
+        // peer, so no MPI ordering guarantee is in force — attach is
+        // local and non-collective (§2.2).
+        let mut attempt = 0u32;
+        let key = loop {
+            match self.ep.fabric().try_register(self.ep.rank(), seg.clone()) {
+                Ok(key) => break key,
+                Err(FabricError::SegmentBusy { retry_after_ns }) => {
+                    attempt += 1;
+                    if attempt > ATTACH_RETRY_LIMIT {
+                        return Err(FabricError::SegmentBusy { retry_after_ns }.into());
+                    }
+                    let t0 = self.ep.clock().now();
+                    self.ep.charge(busy_backoff_ns(retry_after_ns, attempt));
+                    self.ep.trace_sync(EventKind::FaultRetry, self.ep.rank(), t0);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         self.ep.charge(self.ep.fabric().model().register_ns);
         // Page-aligned bump allocation of the virtual RMA address space.
         let addr = self.dyn_next_addr.get();

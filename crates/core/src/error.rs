@@ -95,7 +95,22 @@ impl std::fmt::Display for FompiError {
     }
 }
 
-impl std::error::Error for FompiError {}
+impl FompiError {
+    /// May the caller retry after backing off? True only for wrapped
+    /// transient fabric conditions (`SegmentBusy`, `Backpressure`).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FompiError::Fabric(e) if e.is_transient())
+    }
+}
+
+impl std::error::Error for FompiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FompiError::Fabric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, FompiError>;
@@ -117,5 +132,17 @@ mod tests {
         let fe = FabricError::UnknownKey(fompi_fabric::SegKey { rank: 0, id: 9 });
         let e: FompiError = fe.clone().into();
         assert_eq!(e, FompiError::Fabric(fe));
+    }
+
+    #[test]
+    fn source_exposes_fabric_cause() {
+        use std::error::Error;
+        let fe = FabricError::Backpressure { retry_after_ns: 500 };
+        let e: FompiError = fe.clone().into();
+        let src = e.source().expect("wrapped fabric error must be the source");
+        assert_eq!(src.to_string(), fe.to_string());
+        assert!(e.is_transient());
+        assert!(FompiError::RegionTableFull.source().is_none());
+        assert!(!FompiError::RegionTableFull.is_transient());
     }
 }

@@ -49,6 +49,7 @@ pub mod meta;
 pub mod op;
 pub mod perf;
 pub mod request;
+pub mod soak;
 pub mod sync;
 pub mod win;
 

@@ -1,0 +1,536 @@
+//! Protocol soak harness: run every synchronisation protocol for many
+//! epochs under an armed fault plan and check the window's protocol
+//! invariants after the dust settles.
+//!
+//! The paper's protocols are *bufferless* — all transient state lives in
+//! the fixed window metadata words (§2.3, Figure 2/3). That makes
+//! quiescence checkable: after balanced epochs every counter, lock word
+//! and matching list must be back in its rest state, whatever latencies,
+//! delayed completions or transient registration failures the fault layer
+//! injected. Any residue is a protocol bug (a lost release, a leaked pool
+//! element, an unconsumed completion), and every violation string carries
+//! the root seed so the exact schedule replays with `FOMPI_SEED=<seed>`.
+//!
+//! Invariants checked after each workload (on every rank's own metadata):
+//!
+//! * `COMPLETION == 0` — `wait`/`test` consume exactly what `complete`
+//!   produced;
+//! * match list empty and the Figure-2c free list holds all `pscw_pool`
+//!   elements (default protocol), or every ring slot is consumed (fast
+//!   protocol, where `MATCH_HEAD` is the FAA cursor and may be nonzero);
+//! * `LOCAL_LOCK == 0` and, at the master, `GLOBAL_LOCK == 0` — the
+//!   two-level lock hierarchy fully released;
+//! * `MCS_TAIL == 0` — the MCS queue drained (`MCS_FLAG` may legally hold
+//!   a stale grant);
+//! * `ACC_LOCK == 0` — no accumulate fallback lock leaked;
+//! * workload payloads are correct (puts landed, counters conserved,
+//!   notifications exact).
+
+use crate::error::Result;
+use crate::meta::{self, off, WinConfig};
+use crate::op::{MpiOp, NumKind};
+use crate::win::{LockType, Win};
+use fompi_fabric::rng::splitmix64;
+use fompi_fabric::FaultPlan;
+use fompi_runtime::{Group, RankCtx, Universe};
+
+/// One synchronisation protocol exercised by the soak harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Fence epochs with a neighbour put per epoch.
+    Fence,
+    /// PSCW ring (Figure-2 matching-list protocol).
+    Pscw,
+    /// PSCW ring over the FAA-ring fast path.
+    PscwFast,
+    /// Exclusive per-target locks incrementing a counter (conservation).
+    Lock,
+    /// lock_all epochs with hardware-AMO accumulates (conservation).
+    LockAll,
+    /// MCS queue lock guarding a shared counter.
+    Mcs,
+    /// Notified access ring (counter exactness + payload).
+    Notify,
+    /// Passive target: put + flush, read-back verification per epoch.
+    Flush,
+}
+
+impl Protocol {
+    /// Every protocol, in soak order.
+    pub const ALL: [Protocol; 8] = [
+        Protocol::Fence,
+        Protocol::Pscw,
+        Protocol::PscwFast,
+        Protocol::Lock,
+        Protocol::LockAll,
+        Protocol::Mcs,
+        Protocol::Notify,
+        Protocol::Flush,
+    ];
+
+    /// Stable name (CSV column, violation messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Fence => "fence",
+            Protocol::Pscw => "pscw",
+            Protocol::PscwFast => "pscw_fast",
+            Protocol::Lock => "lock",
+            Protocol::LockAll => "lock_all",
+            Protocol::Mcs => "mcs",
+            Protocol::Notify => "notify",
+            Protocol::Flush => "flush",
+        }
+    }
+}
+
+/// Result of one soak case: a protocol soaked at one (p, seed) point.
+#[derive(Debug)]
+pub struct SoakOutcome {
+    /// Protocol exercised.
+    pub protocol: Protocol,
+    /// Rank count.
+    pub p: usize,
+    /// Epochs per rank.
+    pub epochs: usize,
+    /// Root seed (replay with `FOMPI_SEED=<seed>` and the same plan).
+    pub seed: u64,
+    /// Total faults the plan injected across all ranks.
+    pub injected: u64,
+    /// Per-rank final virtual clocks as raw `f64` bits: two runs of the
+    /// same (protocol, p, seed, plan) must agree bit-for-bit for the
+    /// contention-free workloads (fence, PSCW, notify, flush).
+    pub clocks: Vec<u64>,
+    /// Invariant violations (empty = pass). Each carries the seed.
+    pub violations: Vec<String>,
+}
+
+impl SoakOutcome {
+    /// Did every invariant hold?
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Derive `n` independent soak seeds from one root seed, so a whole
+/// campaign replays from a single `FOMPI_SEED`.
+pub fn seeds(root: u64, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| {
+            let s = splitmix64(root.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            if s == 0 {
+                1
+            } else {
+                s
+            }
+        })
+        .collect()
+}
+
+/// Run one soak case: `p` ranks soaking `proto` for `epochs` epochs under
+/// `plan`. A plan with `seed == 0` inherits a seed derived from `seed`
+/// (the root seed), so one number reproduces both workload and faults.
+pub fn run_case(
+    proto: Protocol,
+    p: usize,
+    epochs: usize,
+    seed: u64,
+    plan: FaultPlan,
+) -> SoakOutcome {
+    assert!(p >= 2, "soak workloads are ring-shaped; need p >= 2");
+    // Split ranks across two nodes so both the XPMEM and the DMAPP paths
+    // see faults.
+    let node_size = p.div_ceil(2);
+    let uni = Universe::new(p).node_size(node_size).seed(seed).faults(plan);
+    let (per_rank, fabric) = uni.launch(move |ctx| {
+        let mut v = Vec::new();
+        let r = match proto {
+            Protocol::Fence => fence_ring(ctx, p, epochs, seed, &mut v),
+            Protocol::Pscw => pscw_ring(ctx, p, epochs, seed, false, &mut v),
+            Protocol::PscwFast => pscw_ring(ctx, p, epochs, seed, true, &mut v),
+            Protocol::Lock => lock_counter(ctx, p, epochs, seed, &mut v),
+            Protocol::LockAll => lock_all_accumulate(ctx, p, epochs, seed, &mut v),
+            Protocol::Mcs => mcs_counter(ctx, p, epochs, seed, &mut v),
+            Protocol::Notify => notify_ring(ctx, p, epochs, seed, &mut v),
+            Protocol::Flush => flush_readback(ctx, p, epochs, seed, &mut v),
+        };
+        if let Err(e) = r {
+            v.push(violation(proto.name(), seed, ctx.rank(), format!("protocol error: {e}")));
+        }
+        (v, ctx.now().to_bits())
+    });
+    let (violations, clocks): (Vec<_>, Vec<_>) = per_rank.into_iter().unzip();
+    SoakOutcome {
+        protocol: proto,
+        p,
+        epochs,
+        seed,
+        injected: fabric.faults().total_injected(),
+        clocks,
+        violations: violations.into_iter().flatten().collect(),
+    }
+}
+
+// ------------------------------------------------------------- internals
+
+fn violation(proto: &str, seed: u64, rank: u32, msg: String) -> String {
+    format!("[{proto} seed={seed:#018x} rank={rank}] {msg} (replay: FOMPI_SEED={seed})")
+}
+
+/// Deterministic epoch payload, nonzero so "slot never written" is
+/// distinguishable from "wrong value written".
+fn payload(seed: u64, epoch: usize, rank: u32) -> u64 {
+    splitmix64(seed ^ ((epoch as u64) << 20) ^ (rank as u64 + 1)) | 1
+}
+
+/// Deterministic lock target for (epoch, rank): every rank can recompute
+/// everyone's picks, so counter conservation needs no extra collective.
+fn pick_target(seed: u64, epoch: usize, rank: u32, p: usize) -> u32 {
+    (splitmix64(seed ^ 0xC0FF_EE00 ^ ((epoch as u64) << 16) ^ (rank as u64)) % p as u64) as u32
+}
+
+fn neighbors(me: u32, p: usize) -> (u32, u32) {
+    let p = p as u32;
+    ((me + p - 1) % p, (me + 1) % p)
+}
+
+/// Post-workload rest-state check of this rank's metadata words (see the
+/// module docs for the invariant list). Must run after a barrier so every
+/// peer's releases have been issued.
+fn quiescence(win: &Win, proto: &'static str, seed: u64, me: u32, v: &mut Vec<String>) {
+    let seg = &win.my_meta;
+    let cfg = &win.shared.cfg;
+    let mut check = |word: &str, got: u64, want: u64| {
+        if got != want {
+            v.push(violation(
+                proto,
+                seed,
+                me,
+                format!("metadata word {word} not quiescent: {got:#x} != {want:#x}"),
+            ));
+        }
+    };
+    check("COMPLETION", seg.read_u64(off::COMPLETION), 0);
+    check("LOCAL_LOCK", seg.read_u64(off::LOCAL_LOCK), 0);
+    check("ACC_LOCK", seg.read_u64(off::ACC_LOCK), 0);
+    if me == win.shared.master {
+        check("GLOBAL_LOCK", seg.read_u64(off::GLOBAL_LOCK), 0);
+        check("MCS_TAIL", seg.read_u64(off::MCS_TAIL), 0);
+    }
+    if cfg.pscw_fast {
+        // Fast protocol: MATCH_HEAD is the FAA ticket cursor (monotonic);
+        // quiescence means every announcement slot was consumed.
+        for slot in 0..cfg.pscw_pool as u32 {
+            check("pool slot", seg.read_u64(cfg.pool_off(slot)), 0);
+        }
+    } else {
+        let (_, idx) = meta::unpack_head(seg.read_u64(off::MATCH_HEAD));
+        check("MATCH_HEAD index", idx as u64, meta::NIL as u64);
+        // Walk the Figure-2c free list: all pool elements must be home.
+        let (_, mut cur) = meta::unpack_head(seg.read_u64(off::FREE_HEAD));
+        let mut n = 0usize;
+        while cur != meta::NIL && n <= cfg.pscw_pool {
+            n += 1;
+            cur = meta::unpack_elem(seg.read_u64(cfg.pool_off(cur))).1;
+        }
+        check("free-list length", n as u64, cfg.pscw_pool as u64);
+    }
+}
+
+fn fence_ring(
+    ctx: &RankCtx,
+    p: usize,
+    epochs: usize,
+    seed: u64,
+    v: &mut Vec<String>,
+) -> Result<()> {
+    let win = Win::allocate(ctx, p * 8, 1)?;
+    let me = ctx.rank();
+    let (left, right) = neighbors(me, p);
+    win.fence()?;
+    for e in 0..epochs {
+        win.put(&payload(seed, e, me).to_le_bytes(), right, me as usize * 8)?;
+        win.fence()?;
+        let mut b = [0u8; 8];
+        win.read_local(left as usize * 8, &mut b);
+        let (got, want) = (u64::from_le_bytes(b), payload(seed, e, left));
+        if got != want {
+            v.push(violation(
+                "fence",
+                seed,
+                me,
+                format!("epoch {e}: slot from rank {left} = {got:#x}, want {want:#x}"),
+            ));
+        }
+        // Second fence: the local verification read above must not race
+        // with the left neighbour's next-epoch put into the same slot.
+        win.fence()?;
+    }
+    win.fence_assert(crate::sync::fence::ASSERT_NOSUCCEED)?;
+    ctx.barrier();
+    quiescence(&win, "fence", seed, me, v);
+    Ok(())
+}
+
+fn pscw_ring(
+    ctx: &RankCtx,
+    p: usize,
+    epochs: usize,
+    seed: u64,
+    fast: bool,
+    v: &mut Vec<String>,
+) -> Result<()> {
+    let cfg = WinConfig { pscw_fast: fast, ..WinConfig::default() };
+    let win = Win::allocate_cfg(ctx, p * 8, 1, cfg)?;
+    let me = ctx.rank();
+    let (left, right) = neighbors(me, p);
+    let proto = if fast { "pscw_fast" } else { "pscw" };
+    let exposure = Group::new([left]);
+    let access = Group::new([right]);
+    for e in 0..epochs {
+        win.post(&exposure)?;
+        win.start(&access)?;
+        win.put(&payload(seed, e, me).to_le_bytes(), right, me as usize * 8)?;
+        win.complete()?;
+        win.wait()?;
+        let mut b = [0u8; 8];
+        win.read_local(left as usize * 8, &mut b);
+        let (got, want) = (u64::from_le_bytes(b), payload(seed, e, left));
+        if got != want {
+            v.push(violation(
+                proto,
+                seed,
+                me,
+                format!("epoch {e}: slot from rank {left} = {got:#x}, want {want:#x}"),
+            ));
+        }
+    }
+    ctx.barrier();
+    quiescence(&win, if fast { "pscw_fast" } else { "pscw" }, seed, me, v);
+    Ok(())
+}
+
+fn lock_counter(
+    ctx: &RankCtx,
+    p: usize,
+    epochs: usize,
+    seed: u64,
+    v: &mut Vec<String>,
+) -> Result<()> {
+    let win = Win::allocate(ctx, 16, 1)?;
+    let me = ctx.rank();
+    ctx.barrier();
+    for e in 0..epochs {
+        let t = pick_target(seed, e, me, p);
+        win.lock(LockType::Exclusive, t)?;
+        let mut b = [0u8; 8];
+        win.get(&mut b, t, 0)?;
+        win.flush(t)?;
+        win.put(&(u64::from_le_bytes(b).wrapping_add(1)).to_le_bytes(), t, 0)?;
+        win.unlock(t)?;
+    }
+    ctx.barrier();
+    let want: u64 = (0..p as u32)
+        .map(|r| (0..epochs).filter(|&e| pick_target(seed, e, r, p) == me).count() as u64)
+        .sum();
+    let mut b = [0u8; 8];
+    win.read_local(0, &mut b);
+    let got = u64::from_le_bytes(b);
+    if got != want {
+        v.push(violation("lock", seed, me, format!("counter = {got}, want {want}")));
+    }
+    quiescence(&win, "lock", seed, me, v);
+    Ok(())
+}
+
+fn lock_all_accumulate(
+    ctx: &RankCtx,
+    p: usize,
+    epochs: usize,
+    seed: u64,
+    v: &mut Vec<String>,
+) -> Result<()> {
+    let win = Win::allocate(ctx, 16, 1)?;
+    let me = ctx.rank();
+    ctx.barrier();
+    for e in 0..epochs {
+        win.lock_all()?;
+        let t = pick_target(seed, e, me, p);
+        win.accumulate(&1u64.to_le_bytes(), NumKind::U64, MpiOp::Sum, t, 0)?;
+        win.flush_all()?;
+        win.unlock_all()?;
+    }
+    ctx.barrier();
+    let want: u64 = (0..p as u32)
+        .map(|r| (0..epochs).filter(|&e| pick_target(seed, e, r, p) == me).count() as u64)
+        .sum();
+    let mut b = [0u8; 8];
+    win.read_local(0, &mut b);
+    let got = u64::from_le_bytes(b);
+    if got != want {
+        v.push(violation("lock_all", seed, me, format!("counter = {got}, want {want}")));
+    }
+    quiescence(&win, "lock_all", seed, me, v);
+    Ok(())
+}
+
+fn mcs_counter(
+    ctx: &RankCtx,
+    p: usize,
+    epochs: usize,
+    seed: u64,
+    v: &mut Vec<String>,
+) -> Result<()> {
+    let win = Win::allocate(ctx, 16, 1)?;
+    let me = ctx.rank();
+    ctx.barrier();
+    for _ in 0..epochs {
+        win.mcs_lock()?;
+        let mut b = [0u8; 8];
+        win.get(&mut b, 0, 0)?;
+        win.flush(0)?;
+        win.put(&(u64::from_le_bytes(b).wrapping_add(1)).to_le_bytes(), 0, 0)?;
+        win.mcs_unlock()?;
+    }
+    ctx.barrier();
+    if me == 0 {
+        let mut b = [0u8; 8];
+        win.read_local(0, &mut b);
+        let (got, want) = (u64::from_le_bytes(b), (p * epochs) as u64);
+        if got != want {
+            v.push(violation("mcs", seed, me, format!("counter = {got}, want {want}")));
+        }
+    }
+    quiescence(&win, "mcs", seed, me, v);
+    Ok(())
+}
+
+fn notify_ring(
+    ctx: &RankCtx,
+    p: usize,
+    epochs: usize,
+    seed: u64,
+    v: &mut Vec<String>,
+) -> Result<()> {
+    let win = Win::allocate(ctx, p * epochs * 8, 1)?;
+    let me = ctx.rank();
+    let (left, right) = neighbors(me, p);
+    win.lock_all()?;
+    for e in 0..epochs {
+        let disp = (me as usize * epochs + e) * 8;
+        win.put_notify(&payload(seed, e, me).to_le_bytes(), right, disp, 0)?;
+    }
+    win.notify_wait(0, epochs as u64)?;
+    // Only the left neighbour targets slot 0 here, so the counter must be
+    // *exactly* its epoch count — a lost or duplicated notification is a
+    // violation even though notify_wait already returned.
+    let n = win.notify_test(0)?;
+    if n != epochs as u64 {
+        v.push(violation("notify", seed, me, format!("counter = {n}, want {epochs}")));
+    }
+    for e in 0..epochs {
+        let mut b = [0u8; 8];
+        win.read_local((left as usize * epochs + e) * 8, &mut b);
+        let (got, want) = (u64::from_le_bytes(b), payload(seed, e, left));
+        if got != want {
+            v.push(violation(
+                "notify",
+                seed,
+                me,
+                format!("epoch {e}: slot from rank {left} = {got:#x}, want {want:#x}"),
+            ));
+        }
+    }
+    win.unlock_all()?;
+    ctx.barrier();
+    quiescence(&win, "notify", seed, me, v);
+    Ok(())
+}
+
+fn flush_readback(
+    ctx: &RankCtx,
+    p: usize,
+    epochs: usize,
+    seed: u64,
+    v: &mut Vec<String>,
+) -> Result<()> {
+    let win = Win::allocate(ctx, p * 8, 1)?;
+    let me = ctx.rank();
+    let (_, right) = neighbors(me, p);
+    win.lock_all()?;
+    for e in 0..epochs {
+        let val = payload(seed, e, me);
+        let disp = me as usize * 8;
+        // Alternate the implicit and the request-based paths: rput/rget
+        // exercise the backpressure-rejection retry in `Win::rput`.
+        if e % 2 == 0 {
+            win.put(&val.to_le_bytes(), right, disp)?;
+        } else {
+            win.rput(&val.to_le_bytes(), right, disp)?.wait();
+        }
+        win.flush(right)?;
+        let mut b = [0u8; 8];
+        if e % 2 == 0 {
+            win.get(&mut b, right, disp)?;
+        } else {
+            win.rget(&mut b, right, disp)?.wait();
+        }
+        win.flush(right)?;
+        // We are the only writer of that slot and our put completed at the
+        // flush, so the read-back must match exactly.
+        let got = u64::from_le_bytes(b);
+        if got != val {
+            v.push(violation(
+                "flush",
+                seed,
+                me,
+                format!("epoch {e}: read-back = {got:#x}, want {val:#x}"),
+            ));
+        }
+    }
+    win.unlock_all()?;
+    ctx.barrier();
+    quiescence(&win, "flush", seed, me, v);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_protocols_pass_clean() {
+        for proto in Protocol::ALL {
+            let out = run_case(proto, 4, 4, 42, FaultPlan::disabled());
+            assert!(out.passed(), "{:?}: {:?}", proto, out.violations);
+            assert_eq!(out.injected, 0);
+        }
+    }
+
+    #[test]
+    fn all_protocols_survive_heavy_faults() {
+        for proto in Protocol::ALL {
+            let out = run_case(proto, 4, 4, 1234, FaultPlan::heavy(0));
+            assert!(out.passed(), "{:?}: {:?}", proto, out.violations);
+            assert!(out.injected > 0, "{proto:?} saw no faults under a heavy plan");
+        }
+    }
+
+    #[test]
+    fn seed_derivation_is_stable_and_nonzero() {
+        let a = seeds(7, 8);
+        let b = seeds(7, 8);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&s| s != 0));
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), a.len());
+    }
+
+    #[test]
+    fn violations_name_the_seed() {
+        let msg = violation("fence", 0xABC, 3, "boom".into());
+        assert!(msg.contains("FOMPI_SEED=2748"), "{msg}");
+        assert!(msg.contains("rank=3"), "{msg}");
+    }
+}

@@ -479,13 +479,34 @@ impl Win {
     }
 
     /// Direct load/store view of `rank`'s shared-window segment
-    /// (MPI_Win_shared_query).
+    /// (MPI_Win_shared_query). Transient XPMEM attach failures
+    /// (`SegmentBusy` under an armed fault plan) are retried with bounded
+    /// backoff — the attach is purely local, so no RMA ordering guarantee
+    /// constrains the retry.
     pub fn shared_query(&self, rank: u32) -> Result<fompi_fabric::xpmem::MappedView> {
         if self.shared.kind != WinKind::Shared {
             return Err(FompiError::InvalidEpoch("shared_query needs a shared window"));
         }
         let key = self.data_key(rank)?;
-        Ok(fompi_fabric::xpmem::MappedView::attach(self.ep.fabric(), self.ep.rank(), key)?)
+        let mut attempt = 0u32;
+        loop {
+            match fompi_fabric::xpmem::MappedView::attach(self.ep.fabric(), self.ep.rank(), key) {
+                Ok(view) => return Ok(view),
+                Err(fompi_fabric::FabricError::SegmentBusy { retry_after_ns })
+                    if attempt < crate::dynamic::ATTACH_RETRY_LIMIT =>
+                {
+                    attempt += 1;
+                    let t0 = self.ep.clock().now();
+                    self.ep.charge(crate::dynamic::busy_backoff_ns(retry_after_ns, attempt));
+                    self.ep.trace_sync(
+                        fompi_fabric::telemetry::EventKind::FaultRetry,
+                        self.ep.rank(),
+                        t0,
+                    );
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
 
     /// This window's displacement unit toward `target`.

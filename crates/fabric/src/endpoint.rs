@@ -167,6 +167,96 @@ impl Endpoint {
         });
     }
 
+    // -------------------------------------------------------------- faults
+    //
+    // Fault draws happen only at issue-side call sites executed a
+    // deterministic number of times (put/get/AMO issue, releases, gsync) —
+    // never inside polling primitives (`read_sync`, `amo_sync` retry
+    // loops), whose call counts depend on thread scheduling. See
+    // [`crate::faults`] for the determinism contract.
+
+    /// Record an injected perturbation against the current window scope.
+    #[inline]
+    fn trace_fault(&self, kind: EventKind, target: u32, t_start: f64, t_end: f64) {
+        let tel = self.fabric.telemetry();
+        if !tel.enabled() {
+            return;
+        }
+        tel.record(Event {
+            kind,
+            flavor: Flavor::NotApplicable,
+            transport: (target != NO_TARGET).then(|| self.transport_to(target)),
+            origin: self.rank,
+            target,
+            win: self.trace_win.get(),
+            bytes: 0,
+            t_start,
+            t_end,
+        });
+    }
+
+    /// Draw and apply issue-side faults for one operation toward `target`
+    /// whose unperturbed wire latency is `base_lat`. Rank pauses and
+    /// injection-queue stalls are charged to the clock here, at issue;
+    /// the return value is extra *completion* latency (jitter + spike,
+    /// plus a retirement delay when `delayable`) for the caller to fold
+    /// into the op's completion time. One relaxed load when disabled.
+    #[inline]
+    fn apply_faults(&self, target: u32, base_lat: f64, delayable: bool) -> f64 {
+        let faults = self.fabric.faults();
+        if !faults.active() {
+            return 0.0;
+        }
+        self.apply_faults_slow(faults, target, base_lat, delayable)
+    }
+
+    #[inline(never)]
+    fn apply_faults_slow(
+        &self,
+        faults: &crate::faults::Faults,
+        target: u32,
+        base_lat: f64,
+        delayable: bool,
+    ) -> f64 {
+        let d = faults.draw_op(self.rank, base_lat, delayable);
+        if d.pause_ns > 0.0 {
+            let t0 = self.clock.now();
+            self.clock.advance(d.pause_ns);
+            self.trace_fault(EventKind::FaultPause, target, t0, self.clock.now());
+        }
+        if d.stall_ns > 0.0 {
+            let t0 = self.clock.now();
+            self.clock.advance(d.stall_ns);
+            self.trace_fault(EventKind::FaultBackpressure, target, t0, self.clock.now());
+        }
+        if d.extra_ns > 0.0 {
+            let t0 = self.clock.now();
+            self.trace_fault(EventKind::FaultJitter, target, t0, t0 + d.extra_ns);
+        }
+        if d.delay_ns > 0.0 {
+            let t0 = self.clock.now();
+            self.trace_fault(EventKind::FaultDelay, target, t0, t0 + d.delay_ns);
+        }
+        d.extra_ns + d.delay_ns
+    }
+
+    /// Backpressure check for explicit-nonblocking issues: under an armed
+    /// plan the injection queue may refuse the op outright — nothing is
+    /// issued and the caller must retry after the hinted delay.
+    #[inline]
+    fn check_reject(&self, target: u32) -> Result<(), FabricError> {
+        let faults = self.fabric.faults();
+        if !faults.active() {
+            return Ok(());
+        }
+        if let Some(retry_after_ns) = faults.draw_reject(self.rank) {
+            let t0 = self.clock.now();
+            self.trace_fault(EventKind::FaultBackpressure, target, t0, t0);
+            return Err(FabricError::Backpressure { retry_after_ns });
+        }
+        Ok(())
+    }
+
     fn bounds(
         &self,
         key: SegKey,
@@ -203,9 +293,11 @@ impl Endpoint {
         let seg = self.bounds(key, off, src.len())?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
+        let extra =
+            self.apply_faults(key.rank, m.put_latency(t, src.len()), flavor != Flavor::Blocking);
         let t_start = self.clock.now();
         self.clock.advance(m.inject(t));
-        let t_complete = self.clock.now() + m.put_latency(t, src.len());
+        let t_complete = self.clock.now() + m.put_latency(t, src.len()) + extra;
         seg.write(off, src);
         let c = self.fabric.counters();
         c.puts.fetch_add(1, Ordering::Relaxed);
@@ -221,8 +313,11 @@ impl Endpoint {
         Ok(())
     }
 
-    /// Explicit-nonblocking put.
+    /// Explicit-nonblocking put. Under an armed fault plan the issue may
+    /// be rejected with [`FabricError::Backpressure`]; nothing was issued
+    /// and the caller may retry after the hinted delay.
     pub fn put_nb(&self, key: SegKey, off: usize, src: &[u8]) -> Result<NbHandle, FabricError> {
+        self.check_reject(key.rank)?;
         let t = self.put_raw(key, off, src, Flavor::Nonblocking)?;
         Ok(NbHandle { t_complete: t })
     }
@@ -246,9 +341,11 @@ impl Endpoint {
         let seg = self.bounds(key, off, dst.len())?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
+        let extra =
+            self.apply_faults(key.rank, m.get_latency(t, dst.len()), flavor != Flavor::Blocking);
         let t_start = self.clock.now();
         self.clock.advance(m.inject(t));
-        let t_complete = self.clock.now() + m.get_latency(t, dst.len());
+        let t_complete = self.clock.now() + m.get_latency(t, dst.len()) + extra;
         seg.read(off, dst);
         let c = self.fabric.counters();
         c.gets.fetch_add(1, Ordering::Relaxed);
@@ -265,8 +362,10 @@ impl Endpoint {
     }
 
     /// Explicit-nonblocking get. The destination holds valid data once
-    /// [`Endpoint::wait`] returns.
+    /// [`Endpoint::wait`] returns. Like [`Endpoint::put_nb`], the issue
+    /// may be rejected with [`FabricError::Backpressure`] under faults.
     pub fn get_nb(&self, key: SegKey, off: usize, dst: &mut [u8]) -> Result<NbHandle, FabricError> {
+        self.check_reject(key.rank)?;
         let t = self.get_raw(key, off, dst, Flavor::Nonblocking)?;
         Ok(NbHandle { t_complete: t })
     }
@@ -292,10 +391,11 @@ impl Endpoint {
         let seg = self.bounds(key, off, 8)?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
+        let extra = self.apply_faults(key.rank, m.amo_latency(t), false);
         let t_start = self.clock.now();
         self.clock.advance(m.inject(t));
         let old = seg.amo(off, op, operand, compare);
-        self.clock.advance(m.amo_latency(t));
+        self.clock.advance(m.amo_latency(t) + extra);
         let c = self.fabric.counters();
         c.amos.fetch_add(1, Ordering::Relaxed);
         c.bytes_amo.fetch_add(8, Ordering::Relaxed);
@@ -315,9 +415,10 @@ impl Endpoint {
         let seg = self.bounds(key, off, 8)?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
+        let extra = self.apply_faults(key.rank, m.amo_latency(t), true);
         let t_start = self.clock.now();
         self.clock.advance(m.inject(t));
-        let t_complete = self.clock.now() + m.amo_latency(t);
+        let t_complete = self.clock.now() + m.amo_latency(t) + extra;
         seg.amo(off, op, operand, 0);
         self.note_pending(key.rank, t_complete);
         let c = self.fabric.counters();
@@ -333,6 +434,11 @@ impl Endpoint {
     /// on the value word, then raises the stamp to this op's completion
     /// time, so a peer observing the new value inherits our causal time.
     /// Returns `(old value, old stamp)`.
+    ///
+    /// Deliberately exempt from fault injection: this is the fetching
+    /// acquire/poll primitive behind CAS retry loops, whose call count is
+    /// schedule-dependent — drawing faults here would break per-seed
+    /// determinism (see [`crate::faults`]).
     pub fn amo_sync(
         &self,
         key: SegKey,
@@ -371,8 +477,9 @@ impl Endpoint {
         let seg = self.bounds(key, off, 16)?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
+        let extra = self.apply_faults(key.rank, m.amo_latency(t), true);
         self.clock.advance(m.inject(t));
-        let t_complete = self.clock.now() + m.amo_latency(t);
+        let t_complete = self.clock.now() + m.amo_latency(t) + extra;
         seg.amo(off, op, operand, 0);
         seg.word(off + 8).fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
         self.note_pending(key.rank, t_complete);
@@ -388,6 +495,11 @@ impl Endpoint {
     /// own completion and the target's pending-operation horizon. The
     /// origin still pays only the injection overhead. This is the
     /// primitive behind notified access (put + notification in one call).
+    ///
+    /// Fault injection may delay this release's own completion, but the
+    /// `max` with the pending horizon (which already includes any delays
+    /// injected on the fenced data, and previous ordered releases) keeps
+    /// the DMAPP ordered class intact by construction.
     pub fn amo_sync_release_ordered(
         &self,
         key: SegKey,
@@ -398,9 +510,10 @@ impl Endpoint {
         let seg = self.bounds(key, off, 16)?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
+        let extra = self.apply_faults(key.rank, m.amo_latency(t), true);
         self.clock.advance(m.inject(t));
         let pending = self.pending_per.borrow().get(&key.rank).copied().unwrap_or(0.0);
-        let t_complete = (self.clock.now() + m.amo_latency(t)).max(pending);
+        let t_complete = (self.clock.now() + m.amo_latency(t) + extra).max(pending);
         seg.amo(off, op, operand, 0);
         seg.word(off + 8).fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
         self.note_pending(key.rank, t_complete);
@@ -434,8 +547,9 @@ impl Endpoint {
         let seg = self.bounds(key, off, 16)?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
+        let extra = self.apply_faults(key.rank, m.put_latency(t, 8), true);
         self.clock.advance(m.inject(t));
-        let t_complete = self.clock.now() + m.put_latency(t, 8);
+        let t_complete = self.clock.now() + m.put_latency(t, 8) + extra;
         seg.word(off).store(value, Ordering::Release);
         seg.word(off + 8).fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
         self.note_pending(key.rank, t_complete);
@@ -451,9 +565,16 @@ impl Endpoint {
     }
 
     /// Bulk-complete all implicit-nonblocking operations (DMAPP `gsync`).
+    /// Under an armed fault plan the drain itself may retire late (the
+    /// NIC's completion queue lags): the extra delay is charged after the
+    /// pending horizon is joined.
     pub fn gsync(&self) {
         let t_start = self.clock.now();
         self.clock.join(self.pending_all.get());
+        let extra = self.apply_faults(NO_TARGET, 0.0, true);
+        if extra > 0.0 {
+            self.clock.advance(extra);
+        }
         self.fabric.counters().gsyncs.fetch_add(1, Ordering::Relaxed);
         self.trace_sync(EventKind::Gsync, NO_TARGET, t_start);
     }
@@ -602,6 +723,73 @@ mod tests {
         );
         // The origin itself did not block.
         assert!(ep0.clock().now() < t_data);
+    }
+
+    #[test]
+    fn faults_perturb_latency_deterministically() {
+        use crate::faults::FaultPlan;
+        let mk = || {
+            let f =
+                Fabric::with_config(2, 1, CostModel::default(), None, Some(FaultPlan::heavy(77)));
+            let ep = Endpoint::new(f.clone(), 0);
+            let key = f.register(1, Segment::new(4096));
+            (f, ep, key)
+        };
+        let (fa, ea, ka) = mk();
+        let (fb, eb, kb) = mk();
+        for i in 0..50 {
+            ea.put(ka, 0, &[i as u8; 64]).unwrap();
+            eb.put(kb, 0, &[i as u8; 64]).unwrap();
+            assert_eq!(ea.clock().now().to_bits(), eb.clock().now().to_bits());
+        }
+        assert!(fa.faults().total_injected() > 0, "heavy plan must inject");
+        assert_eq!(fa.faults().total_injected(), fb.faults().total_injected());
+        // Jitter must actually cost time relative to the clean model.
+        let f0 = Fabric::new(2, 1, CostModel::default());
+        let e0 = Endpoint::new(f0.clone(), 0);
+        let k0 = f0.register(1, Segment::new(4096));
+        for i in 0..50 {
+            e0.put(k0, 0, &[i as u8; 64]).unwrap();
+        }
+        assert!(ea.clock().now() > e0.clock().now());
+    }
+
+    #[test]
+    fn rejected_nb_issue_moves_no_data() {
+        use crate::faults::FaultPlan;
+        let plan = FaultPlan { bp_reject_prob: 1.0, ..FaultPlan::heavy(5) };
+        let f = Fabric::with_config(2, 1, CostModel::default(), None, Some(plan));
+        let ep = Endpoint::new(f.clone(), 0);
+        let key = f.register(1, Segment::new(64));
+        match ep.put_nb(key, 0, &[9u8; 8]) {
+            Err(FabricError::Backpressure { retry_after_ns }) => assert!(retry_after_ns > 0),
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+        // Nothing was issued: the target bytes are untouched.
+        let mut buf = [1u8; 8];
+        ep.get(key, 0, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn ordered_release_stays_ordered_under_faults() {
+        use crate::faults::FaultPlan;
+        let f = Fabric::with_config(2, 1, CostModel::default(), None, Some(FaultPlan::heavy(31)));
+        let ep0 = Endpoint::new(f.clone(), 0);
+        let ep1 = Endpoint::new(f.clone(), 1);
+        let key = f.register(1, Segment::new(4096));
+        for round in 0..20u64 {
+            ep0.put_implicit(key, 16, &[7u8; 2048]).unwrap();
+            let horizon = ep0.pending_for(1);
+            ep0.amo_sync_release_ordered(key, 0, AmoOp::Add, 1).unwrap();
+            let v = ep1.read_sync(key, 0).unwrap();
+            assert_eq!(v, round + 1);
+            assert!(
+                ep1.clock().now() >= horizon,
+                "delayed release overtook its fenced data: {} < {horizon}",
+                ep1.clock().now()
+            );
+        }
     }
 
     #[test]

@@ -3,6 +3,11 @@
 use crate::segment::SegKey;
 
 /// Errors surfaced by the fabric layer.
+///
+/// [`FabricError::SegmentBusy`] and [`FabricError::Backpressure`] are
+/// *transient*: the operation was never issued, the caller may retry after
+/// the hinted delay (see [`FabricError::is_transient`]). The rest are
+/// permanent program or addressing errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FabricError {
     /// The key does not name a registered segment (stale descriptor —
@@ -21,6 +26,33 @@ pub enum FabricError {
         /// Segment length.
         seg_len: usize,
     },
+    /// Transient registration failure: the NIC's registration resources
+    /// are momentarily exhausted. Retry after the hinted delay.
+    SegmentBusy {
+        /// Suggested backoff before retrying (virtual ns).
+        retry_after_ns: u64,
+    },
+    /// The injection queue refused the operation (nothing was issued).
+    /// Retry after the hinted delay.
+    Backpressure {
+        /// Suggested backoff before retrying (virtual ns).
+        retry_after_ns: u64,
+    },
+    /// XPMEM attach across nodes: the segment owner is not co-located
+    /// with the attaching rank, so no shared mapping exists. Permanent.
+    CrossNodeAttach {
+        /// Attaching rank.
+        origin: u32,
+        /// Segment owner.
+        target: u32,
+    },
+}
+
+impl FabricError {
+    /// May the caller retry this operation after backing off?
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FabricError::SegmentBusy { .. } | FabricError::Backpressure { .. })
+    }
 }
 
 impl std::fmt::Display for FabricError {
@@ -33,11 +65,28 @@ impl std::fmt::Display for FabricError {
                 "access [{offset}, {}) out of bounds of segment {key:?} (len {seg_len})",
                 offset + len
             ),
+            FabricError::SegmentBusy { retry_after_ns } => {
+                write!(f, "segment registration transiently busy (retry after {retry_after_ns} ns)")
+            }
+            FabricError::Backpressure { retry_after_ns } => {
+                write!(f, "injection queue backpressure (retry after {retry_after_ns} ns)")
+            }
+            FabricError::CrossNodeAttach { origin, target } => {
+                write!(
+                    f,
+                    "XPMEM attach requires co-located ranks: {origin} and {target} share no node"
+                )
+            }
         }
     }
 }
 
-impl std::error::Error for FabricError {}
+impl std::error::Error for FabricError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        // Leaf errors: no underlying cause.
+        None
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -50,5 +99,19 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("out of bounds"));
         assert!(s.contains("len 10"));
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(FabricError::SegmentBusy { retry_after_ns: 10 }.is_transient());
+        assert!(FabricError::Backpressure { retry_after_ns: 10 }.is_transient());
+        assert!(!FabricError::UnknownKey(SegKey { rank: 0, id: 1 }).is_transient());
+        assert!(!FabricError::CrossNodeAttach { origin: 0, target: 5 }.is_transient());
+    }
+
+    #[test]
+    fn transient_display_carries_hint() {
+        let s = FabricError::Backpressure { retry_after_ns: 1234 }.to_string();
+        assert!(s.contains("1234"));
     }
 }

@@ -41,6 +41,7 @@ pub mod cost;
 pub mod counters;
 pub mod endpoint;
 pub mod error;
+pub mod faults;
 pub mod rng;
 pub mod segment;
 pub mod shim;
@@ -54,6 +55,7 @@ pub use cost::{CostModel, Transport};
 pub use counters::{CounterSnapshot, Counters};
 pub use endpoint::{Endpoint, NbHandle};
 pub use error::FabricError;
+pub use faults::{FaultKind, FaultPlan, Faults};
 pub use segment::{SegKey, Segment};
 pub use telemetry::Telemetry;
 pub use topology::Topology;
@@ -76,23 +78,58 @@ pub struct Fabric {
     next_id: AtomicU64,
     counters: Counters,
     telemetry: Telemetry,
+    faults: Faults,
 }
 
 impl Fabric {
     /// Create a fabric for `p` ranks grouped `node_size` per node with the
     /// given cost model. Telemetry is configured from the environment
-    /// (`FOMPI_TELEMETRY`, off by default — see [`telemetry`]).
+    /// (`FOMPI_TELEMETRY`, off by default — see [`telemetry`]); fault
+    /// injection likewise (`FOMPI_FAULTS`, off by default — see [`faults`]).
     pub fn new(p: usize, node_size: usize, model: CostModel) -> Arc<Self> {
-        Self::build(p, node_size, model, Telemetry::from_env(p))
+        Self::build(p, node_size, model, Telemetry::from_env(p), Faults::from_env(p))
     }
 
     /// Like [`Fabric::new`], but with tracing telemetry enabled
     /// programmatically: `ring_cap` events retained per rank.
     pub fn new_traced(p: usize, node_size: usize, model: CostModel, ring_cap: usize) -> Arc<Self> {
-        Self::build(p, node_size, model, Telemetry::with_capacity(p, true, ring_cap))
+        Self::build(
+            p,
+            node_size,
+            model,
+            Telemetry::with_capacity(p, true, ring_cap),
+            Faults::from_env(p),
+        )
     }
 
-    fn build(p: usize, node_size: usize, model: CostModel, telemetry: Telemetry) -> Arc<Self> {
+    /// Fully-configured constructor: programmatic fault plan, optional
+    /// tracing (`ring_cap` events per rank when `Some`). The runtime's
+    /// `Universe` builder funnels through here.
+    pub fn with_config(
+        p: usize,
+        node_size: usize,
+        model: CostModel,
+        ring_cap: Option<usize>,
+        plan: Option<FaultPlan>,
+    ) -> Arc<Self> {
+        let telemetry = match ring_cap {
+            Some(cap) => Telemetry::with_capacity(p, true, cap),
+            None => Telemetry::from_env(p),
+        };
+        let faults = match plan {
+            Some(plan) => Faults::new(p, plan),
+            None => Faults::from_env(p),
+        };
+        Self::build(p, node_size, model, telemetry, faults)
+    }
+
+    fn build(
+        p: usize,
+        node_size: usize,
+        model: CostModel,
+        telemetry: Telemetry,
+        faults: Faults,
+    ) -> Arc<Self> {
         Arc::new(Self {
             model,
             topo: Topology::new(p, node_size),
@@ -100,6 +137,7 @@ impl Fabric {
             next_id: AtomicU64::new(1),
             counters: Counters::default(),
             telemetry,
+            faults,
         })
     }
 
@@ -123,6 +161,11 @@ impl Fabric {
         &self.telemetry
     }
 
+    /// The fault-injection hub (inert unless a plan is armed).
+    pub fn faults(&self) -> &Faults {
+        &self.faults
+    }
+
     /// Register `seg` for remote access by rank `rank`. Returns the key
     /// remote peers use to address it — the analogue of the DMAPP
     /// registration descriptor.
@@ -131,6 +174,18 @@ impl Fabric {
         let key = SegKey { rank, id };
         self.segs.write().insert(key, seg);
         key
+    }
+
+    /// Fallible registration: like [`Fabric::register`] but subject to
+    /// transient [`FabricError::SegmentBusy`] failures under an armed
+    /// fault plan — the realistic NIC behaviour the dynamic-window attach
+    /// path must retry around (registration resources are finite on real
+    /// hardware). Infallible when faults are disabled.
+    pub fn try_register(&self, rank: u32, seg: Arc<Segment>) -> Result<SegKey, FabricError> {
+        if let Some(retry_after_ns) = self.faults.draw_busy(rank) {
+            return Err(FabricError::SegmentBusy { retry_after_ns });
+        }
+        Ok(self.register(rank, seg))
     }
 
     /// Register `seg` under a caller-chosen id (the *symmetric heap*
@@ -214,6 +269,24 @@ mod tests {
         assert!(f.register_symmetric(0, id, Segment::new(8)).is_err());
         // ...but the same id on a different rank is the whole point.
         assert!(f.register_symmetric(1, id, Segment::new(8)).is_ok());
+    }
+
+    #[test]
+    fn try_register_is_infallible_without_faults() {
+        let f = Fabric::new(2, 1, CostModel::default());
+        for _ in 0..100 {
+            assert!(f.try_register(0, Segment::new(8)).is_ok());
+        }
+    }
+
+    #[test]
+    fn try_register_surfaces_transient_busy() {
+        let plan = FaultPlan { busy_prob: 1.0, ..FaultPlan::heavy(13) };
+        let f = Fabric::with_config(2, 1, CostModel::default(), None, Some(plan));
+        match f.try_register(0, Segment::new(8)) {
+            Err(FabricError::SegmentBusy { retry_after_ns }) => assert!(retry_after_ns > 0),
+            other => panic!("expected SegmentBusy, got {other:?}"),
+        }
     }
 
     #[test]

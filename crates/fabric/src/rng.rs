@@ -16,6 +16,25 @@ pub fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Read the workspace root seed from `FOMPI_SEED` (decimal or
+/// `0x`-prefixed hex), falling back to `default`. Every randomized
+/// component (fault plans, soak, proptests) derives its streams from this
+/// one value so a failure log prints a single reproducing seed.
+pub fn root_seed_from_env(default: u64) -> u64 {
+    match std::env::var("FOMPI_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = if let Some(h) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                u64::from_str_radix(h, 16).ok()
+            } else {
+                s.parse().ok()
+            };
+            parsed.unwrap_or(default)
+        }
+        Err(_) => default,
+    }
+}
+
 /// Deterministic xorshift64* generator seeded through SplitMix64.
 #[derive(Debug, Clone)]
 pub struct Rng {

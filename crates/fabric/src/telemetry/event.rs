@@ -51,11 +51,24 @@ pub enum EventKind {
     Gsync,
     /// `MPI_Win_sync` (memory-barrier only).
     WinSync,
+    /// Injected latency jitter/spike ([`crate::faults`]); the span covers
+    /// the extra wire latency added to the op it hit.
+    FaultJitter,
+    /// Injected completion-retirement delay (nonblocking flavours only).
+    FaultDelay,
+    /// Injected injection-queue backpressure (issue stall or rejected
+    /// nonblocking issue).
+    FaultBackpressure,
+    /// Injected rank pause (simulated OS noise).
+    FaultPause,
+    /// A bounded retry after a transient fault (e.g. re-attempted
+    /// registration after `SegmentBusy`).
+    FaultRetry,
 }
 
 impl EventKind {
     /// Number of distinct kinds (size of per-class stat arrays).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 21;
 
     /// All kinds, in `index` order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -75,6 +88,11 @@ impl EventKind {
         EventKind::FlushLocal,
         EventKind::Gsync,
         EventKind::WinSync,
+        EventKind::FaultJitter,
+        EventKind::FaultDelay,
+        EventKind::FaultBackpressure,
+        EventKind::FaultPause,
+        EventKind::FaultRetry,
     ];
 
     /// Dense index for per-class stat arrays.
@@ -102,6 +120,11 @@ impl EventKind {
             EventKind::FlushLocal => "flush_local",
             EventKind::Gsync => "gsync",
             EventKind::WinSync => "win_sync",
+            EventKind::FaultJitter => "fault_jitter",
+            EventKind::FaultDelay => "fault_delay",
+            EventKind::FaultBackpressure => "fault_backpressure",
+            EventKind::FaultPause => "fault_pause",
+            EventKind::FaultRetry => "fault_retry",
         }
     }
 
@@ -109,6 +132,19 @@ impl EventKind {
     #[inline]
     pub fn is_rma(self) -> bool {
         matches!(self, EventKind::Put | EventKind::Get | EventKind::Amo)
+    }
+
+    /// Is this an injected perturbation ([`crate::faults`])?
+    #[inline]
+    pub fn is_fault(self) -> bool {
+        matches!(
+            self,
+            EventKind::FaultJitter
+                | EventKind::FaultDelay
+                | EventKind::FaultBackpressure
+                | EventKind::FaultPause
+                | EventKind::FaultRetry
+        )
     }
 }
 
@@ -223,5 +259,13 @@ mod tests {
         assert!(EventKind::Amo.is_rma());
         assert!(!EventKind::Fence.is_rma());
         assert!(!EventKind::Flush.is_rma());
+        assert!(!EventKind::FaultJitter.is_rma());
+    }
+
+    #[test]
+    fn fault_classification() {
+        for k in EventKind::ALL {
+            assert_eq!(k.is_fault(), k.name().starts_with("fault_"), "{k:?}");
+        }
     }
 }

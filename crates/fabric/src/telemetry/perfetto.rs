@@ -61,7 +61,13 @@ fn write_event<W: Write>(w: &mut W, ev: &Event) -> io::Result<()> {
         "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.4},\"dur\":{:.4},\
          \"pid\":0,\"tid\":{},\"args\":{{",
         ev.kind.name(),
-        if ev.kind.is_rma() { "rma" } else { "sync" },
+        if ev.kind.is_rma() {
+            "rma"
+        } else if ev.kind.is_fault() {
+            "fault"
+        } else {
+            "sync"
+        },
         ts_us,
         dur_us,
         ev.origin,

@@ -20,15 +20,19 @@ pub struct MappedView {
 }
 
 impl MappedView {
-    /// Attach to a peer segment. Fails if `key`'s owner is not on the same
-    /// node as `my_rank` (XPMEM cannot cross node boundaries).
+    /// Attach to a peer segment. Fails with
+    /// [`FabricError::CrossNodeAttach`] (permanent) if `key`'s owner is
+    /// not on the same node as `my_rank` — XPMEM cannot cross node
+    /// boundaries — and, under an armed fault plan, transiently with
+    /// [`FabricError::SegmentBusy`]: the kernel module's attach can fail
+    /// under memory pressure and callers are expected to retry.
     pub fn attach(fabric: &Fabric, my_rank: u32, key: SegKey) -> Result<Self, FabricError> {
-        assert!(
-            fabric.topology().same_node(my_rank, key.rank),
-            "XPMEM attach requires co-located ranks ({} vs {})",
-            my_rank,
-            key.rank
-        );
+        if !fabric.topology().same_node(my_rank, key.rank) {
+            return Err(FabricError::CrossNodeAttach { origin: my_rank, target: key.rank });
+        }
+        if let Some(retry_after_ns) = fabric.faults().draw_busy(my_rank) {
+            return Err(FabricError::SegmentBusy { retry_after_ns });
+        }
         let seg = fabric.resolve(key)?;
         Ok(Self { seg, key })
     }
@@ -92,11 +96,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "co-located")]
-    fn cross_node_attach_panics() {
+    fn cross_node_attach_is_a_typed_error() {
         let f = Fabric::new(4, 2, CostModel::default());
         let key = f.register(3, Segment::new(8));
-        let _ = MappedView::attach(&f, 0, key);
+        match MappedView::attach(&f, 0, key) {
+            Err(FabricError::CrossNodeAttach { origin: 0, target: 3 }) => {}
+            other => panic!("expected CrossNodeAttach, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn attach_surfaces_transient_busy_under_faults() {
+        use crate::faults::FaultPlan;
+        let plan = FaultPlan { busy_prob: 1.0, ..FaultPlan::heavy(3) };
+        let f = Fabric::with_config(2, 2, CostModel::default(), None, Some(plan));
+        let key = f.register(1, Segment::new(8));
+        match MappedView::attach(&f, 0, key) {
+            Err(e @ FabricError::SegmentBusy { .. }) => assert!(e.is_transient()),
+            other => panic!("expected SegmentBusy, got {:?}", other.err()),
+        }
     }
 
     #[test]

@@ -20,7 +20,8 @@ pub mod group;
 pub use coll::CollEngine;
 pub use group::Group;
 
-use fompi_fabric::{CostModel, Endpoint, Fabric};
+use fompi_fabric::rng::{root_seed_from_env, splitmix64};
+use fompi_fabric::{CostModel, Endpoint, Fabric, FaultPlan};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -31,12 +32,24 @@ pub struct Universe {
     node_size: usize,
     model: CostModel,
     trace: Option<usize>,
+    seed: u64,
+    faults: Option<FaultPlan>,
 }
 
 impl Universe {
-    /// A job of `p` ranks, 32 per node (the Blue Waters XE6 layout).
+    /// A job of `p` ranks, 32 per node (the Blue Waters XE6 layout). The
+    /// root seed defaults to `FOMPI_SEED` (or 1): one value that every
+    /// randomized component (fault plans, soak workloads) derives from,
+    /// so a failure log prints a single reproducing seed.
     pub fn new(p: usize) -> Self {
-        Self { p, node_size: 32, model: CostModel::default(), trace: None }
+        Self {
+            p,
+            node_size: 32,
+            model: CostModel::default(),
+            trace: None,
+            seed: root_seed_from_env(1),
+            faults: None,
+        }
     }
 
     /// Override ranks per node.
@@ -61,6 +74,25 @@ impl Universe {
         self
     }
 
+    /// Override the root seed (also the default seed of a fault plan
+    /// installed with a zero seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Arm a fault plan, overriding `FOMPI_FAULTS`. A plan with `seed == 0`
+    /// inherits a seed derived from the universe's root seed.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The root seed in force.
+    pub fn root_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Number of ranks.
     pub fn size(&self) -> usize {
         self.p
@@ -74,10 +106,16 @@ impl Universe {
         T: Send,
         F: Fn(&mut RankCtx) -> T + Send + Sync,
     {
-        let fabric = match self.trace {
-            Some(cap) => Fabric::new_traced(self.p, self.node_size, self.model.clone(), cap),
-            None => Fabric::new(self.p, self.node_size, self.model.clone()),
-        };
+        let plan = self.faults.clone().map(|plan| {
+            if plan.seed == 0 {
+                let seed = splitmix64(self.seed);
+                plan.with_seed(if seed == 0 { 1 } else { seed })
+            } else {
+                plan
+            }
+        });
+        let fabric =
+            Fabric::with_config(self.p, self.node_size, self.model.clone(), self.trace, plan);
         let coll = Arc::new(CollEngine::new(self.p, fabric.clone()));
         let mut results: Vec<Option<T>> = (0..self.p).map(|_| None).collect();
         let fref = &f;
@@ -266,6 +304,23 @@ mod tests {
         });
         let t0 = times[0];
         assert!(times.iter().all(|&t| (t - t0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn fault_plan_inherits_root_seed() {
+        let (_out, fabric) =
+            Universe::new(2).node_size(1).seed(99).faults(FaultPlan::heavy(0)).launch(|ctx| {
+                ctx.barrier();
+            });
+        let faults = fabric.faults();
+        assert!(faults.active());
+        assert_eq!(faults.plan().seed, splitmix64(99));
+        // An explicit plan seed wins over the root seed.
+        let (_out, fabric) =
+            Universe::new(2).node_size(1).seed(99).faults(FaultPlan::heavy(7)).launch(|ctx| {
+                ctx.barrier();
+            });
+        assert_eq!(fabric.faults().plan().seed, 7);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! per-link occupancy, the congestion source behind the hashtable spikes
 //! the paper attributes to "different job layouts in the Gemini torus".
 
-use fompi_fabric::rng::Rng;
+use fompi_fabric::rng::{splitmix64, Rng};
+use fompi_fabric::FaultPlan;
 
 /// LogGP-flavoured parameters (ns / ns-per-byte).
 #[derive(Debug, Clone)]
@@ -179,18 +180,25 @@ impl Torus3D {
 /// probability `prob` per operation — the source of the jitter the paper's
 /// Figure 6c shows beyond ~1000 processes (cf. Petrini's "missing
 /// supercomputer performance").
+///
+/// A source built with [`Noise::from_plan`] instead mirrors the live
+/// fabric's fault layer (`fompi_fabric::faults`): the same fault classes a
+/// soak run injects perturb the closed-form series, so large-p figures can
+/// be regenerated "under weather" comparable to a small-p soak.
 pub struct Noise {
     rng: Rng,
     /// Perturbation probability per sample.
     pub prob: f64,
     /// Perturbation amplitude (ns).
     pub amp_ns: f64,
+    /// Armed fault plan (plan-mirroring mode); `None` = legacy prob/amp.
+    plan: Option<FaultPlan>,
 }
 
 impl Noise {
     /// Deterministic noise source.
     pub fn new(seed: u64, prob: f64, amp_ns: f64) -> Noise {
-        Noise { rng: Rng::seed_from_u64(seed), prob, amp_ns }
+        Noise { rng: Rng::seed_from_u64(seed), prob, amp_ns, plan: None }
     }
 
     /// Disabled noise.
@@ -198,13 +206,56 @@ impl Noise {
         Noise::new(0, 0.0, 0.0)
     }
 
-    /// Sample one perturbation.
-    pub fn sample(&mut self) -> f64 {
-        if self.prob > 0.0 && self.rng.next_f64() < self.prob {
-            self.amp_ns * self.rng.next_f64()
-        } else {
-            0.0
+    /// Mirror a live fault plan into the simulations. Every class the
+    /// fault layer injects per issue — rank pauses, injection-queue
+    /// stalls, proportional jitter, heavy-tail spikes, delayed retirement
+    /// — collapses here to extra latency on the sampled operation.
+    /// `stream` decorrelates independent series drawn from one plan.
+    pub fn from_plan(plan: &FaultPlan, stream: u64) -> Noise {
+        Noise {
+            rng: Rng::seed_from_u64(splitmix64(
+                plan.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )),
+            prob: 0.0,
+            amp_ns: 0.0,
+            plan: plan.any().then(|| plan.clone()),
         }
+    }
+
+    /// Sample one perturbation with no base latency (legacy call sites;
+    /// in plan mode the proportional jitter term is zero).
+    pub fn sample(&mut self) -> f64 {
+        self.sample_op(0.0)
+    }
+
+    /// Sample the perturbation of one operation whose unperturbed latency
+    /// is `base_ns`. Mirrors `Faults::draw_op`'s draw structure.
+    pub fn sample_op(&mut self, base_ns: f64) -> f64 {
+        let Some(p) = self.plan.clone() else {
+            return if self.prob > 0.0 && self.rng.next_f64() < self.prob {
+                self.amp_ns * self.rng.next_f64()
+            } else {
+                0.0
+            };
+        };
+        let mut extra = 0.0;
+        if p.pause_prob > 0.0 && self.rng.next_f64() < p.pause_prob {
+            extra += p.pause_ns * (0.5 + self.rng.next_f64());
+        }
+        if p.bp_prob > 0.0 && self.rng.next_f64() < p.bp_prob {
+            extra += p.bp_ns * self.rng.next_f64();
+        }
+        if p.jitter_frac > 0.0 {
+            extra += base_ns * p.jitter_frac * self.rng.next_f64();
+        }
+        if p.spike_prob > 0.0 && self.rng.next_f64() < p.spike_prob {
+            let u = self.rng.next_f64().max(1e-9);
+            extra += (p.spike_ns / u.sqrt()).min(64.0 * p.spike_ns);
+        }
+        if p.delay_prob > 0.0 && self.rng.next_f64() < p.delay_prob {
+            extra += p.delay_ns * self.rng.next_f64();
+        }
+        extra
     }
 }
 
@@ -258,6 +309,31 @@ mod tests {
         let mut n = Noise::off();
         for _ in 0..100 {
             assert_eq!(n.sample(), 0.0);
+        }
+    }
+
+    #[test]
+    fn plan_noise_is_deterministic_and_scales_with_base() {
+        let plan = FaultPlan::heavy(77);
+        let mut a = Noise::from_plan(&plan, 0);
+        let mut b = Noise::from_plan(&plan, 0);
+        let mut any = false;
+        for _ in 0..200 {
+            let x = a.sample_op(1_000.0);
+            assert_eq!(x.to_bits(), b.sample_op(1_000.0).to_bits());
+            any |= x > 0.0;
+        }
+        assert!(any, "heavy plan must perturb the series");
+        // Distinct streams decorrelate.
+        let mut c = Noise::from_plan(&plan, 1);
+        let diverged = (0..50).any(|_| {
+            Noise::from_plan(&plan, 0).sample_op(500.0).to_bits() != c.sample_op(500.0).to_bits()
+        });
+        assert!(diverged);
+        // A disabled plan is inert even through from_plan.
+        let mut off = Noise::from_plan(&FaultPlan::disabled(), 0);
+        for _ in 0..50 {
+            assert_eq!(off.sample_op(1_000.0), 0.0);
         }
     }
 

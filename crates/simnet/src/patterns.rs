@@ -25,7 +25,7 @@ pub fn dissemination_barrier(t0: &[f64], m: &LogGP, noise: &mut Noise) -> Vec<f6
             // I send at prev[i] + o; I proceed once my own send is injected
             // and the token from src arrived.
             let my_send = prev[i] + m.o;
-            let arrival = prev[src] + m.o + m.put(8) + noise.sample();
+            let arrival = prev[src] + m.o + m.put(8) + noise.sample_op(m.put(8));
             t[i] = my_send.max(arrival);
         }
         dist *= 2;
@@ -49,7 +49,9 @@ pub fn pscw_ring(p: usize, m: &LogGP, noise: &mut Noise) -> Vec<f64> {
         return vec![2.0 * post_per_neighbor(m) + 2.0 * (m.o + m.amo)];
     }
     // Phase 1: post to both neighbours (sequential remote ops).
-    let post_done: Vec<f64> = (0..p).map(|_| 2.0 * post_per_neighbor(m) + noise.sample()).collect();
+    let post_done: Vec<f64> = (0..p)
+        .map(|_| 2.0 * post_per_neighbor(m) + noise.sample_op(2.0 * post_per_neighbor(m)))
+        .collect();
     // Phase 2: start = my post done (program order) ∨ both neighbours'
     // announcements visible; the announcement lands partway through their
     // post, bounded by post_done.
@@ -61,8 +63,9 @@ pub fn pscw_ring(p: usize, m: &LogGP, noise: &mut Noise) -> Vec<f64> {
         })
         .collect();
     // Phase 3: complete = gsync + one AMO per neighbour.
-    let complete_done: Vec<f64> =
-        (0..p).map(|i| start_done[i] + 2.0 * (m.o + m.amo) + noise.sample()).collect();
+    let complete_done: Vec<f64> = (0..p)
+        .map(|i| start_done[i] + 2.0 * (m.o + m.amo) + noise.sample_op(2.0 * (m.o + m.amo)))
+        .collect();
     // Phase 4: wait = both neighbours' completes visible.
     (0..p)
         .map(|i| {

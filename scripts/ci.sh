@@ -22,4 +22,17 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test --offline --workspace -q
 
+# Chaos soak: every protocol under seeded light/heavy fault plans, with
+# per-protocol pass counts written to results/soak.csv. A violation names
+# the reproducing seed and fails the gate. Default is a bounded smoke;
+# SOAK_SECONDS=900 scripts/ci.sh keeps feeding fresh seed batches until
+# the deadline instead (nightly/overnight soaks).
+if [[ -n "${SOAK_SECONDS:-}" ]]; then
+    echo "== soak long mode (${SOAK_SECONDS}s) =="
+    cargo run --offline --release -q -p fompi-bench --bin soak
+else
+    echo "== soak smoke (2 seeds, all protocols) =="
+    SOAK_SEEDS="${SOAK_SEEDS:-2}" cargo run --offline --release -q -p fompi-bench --bin soak
+fi
+
 echo "CI gate passed."

@@ -3,7 +3,7 @@
 //! window usable.
 
 use fompi::{FompiError, LockType, Win};
-use fompi_fabric::CostModel;
+use fompi_fabric::{CostModel, FaultKind, FaultPlan};
 use fompi_runtime::{Group, Universe};
 
 fn two_ranks<T: Send>(f: impl Fn(&fompi_runtime::RankCtx, &Win) -> T + Send + Sync) -> Vec<T> {
@@ -217,6 +217,135 @@ fn bad_accumulate_inputs_rejected() {
         a && b && c
     });
     assert!(got.iter().all(|&b| b));
+}
+
+/// Unlock with a delayed completion outstanding: the unlock path must
+/// fold the injected completion delay into its flush *before* the release
+/// AMO, so the next holder of the exclusive lock always observes the
+/// previous holder's writes. A plan that delays every eligible completion
+/// makes the ordering bug (release before drain) immediately visible as a
+/// lost update.
+#[test]
+fn unlock_with_delayed_completion_still_publishes() {
+    let plan = FaultPlan { delay_prob: 1.0, delay_ns: 50_000.0, ..FaultPlan::disabled() }
+        .with_seed(0x0DE1_A7ED);
+    let iters = 8u64;
+    let (got, fabric) =
+        Universe::new(2).node_size(1).model(CostModel::free()).faults(plan).launch(move |ctx| {
+            let win = Win::allocate(ctx, 16, 1).unwrap();
+            for _ in 0..iters {
+                win.lock(LockType::Exclusive, 0).unwrap();
+                let mut cur = [0u8; 8];
+                win.get(&mut cur, 0, 0).unwrap();
+                win.flush(0).unwrap();
+                let v = u64::from_le_bytes(cur) + 1;
+                win.put(&v.to_le_bytes(), 0, 0).unwrap();
+                // No explicit flush: the put's completion is what the
+                // delay targets, and unlock alone must drain it.
+                win.unlock(0).unwrap();
+            }
+            ctx.barrier();
+            let mut b = [0u8; 8];
+            win.read_local(0, &mut b);
+            u64::from_le_bytes(b)
+        });
+    assert_eq!(got[0], 2 * iters, "an update was lost across unlock");
+    assert!(
+        fabric.faults().injected(FaultKind::Delay) > 0,
+        "the plan never fired; the test proved nothing"
+    );
+}
+
+/// Detach on one rank racing retried attaches on the others: transient
+/// `SegmentBusy` injection forces the attach path through its bounded
+/// retry loop while neighbours concurrently grow and shrink the region
+/// table. Every attach must eventually succeed and every put must land in
+/// the right region.
+#[test]
+fn detach_races_retried_attach_under_busy_faults() {
+    let plan =
+        FaultPlan { busy_prob: 0.6, busy_ns: 1_000.0, ..FaultPlan::disabled() }.with_seed(0xB5_1D);
+    let (got, fabric) =
+        Universe::new(3).node_size(1).model(CostModel::free()).faults(plan).launch(|ctx| {
+            let win = Win::create_dynamic(ctx).unwrap();
+            let next = (ctx.rank() + 1) % 3;
+            let mut ok = true;
+            for round in 0..6u64 {
+                // Attach retries internally on injected SegmentBusy.
+                let addr = win.attach(64).unwrap();
+                let all = ctx.allgather(&addr.to_le_bytes());
+                let peer = u64::from_le_bytes(all[next as usize].as_slice().try_into().unwrap());
+                win.lock(LockType::Exclusive, next).unwrap();
+                win.put(&round.to_le_bytes(), next, peer as usize).unwrap();
+                win.unlock(next).unwrap();
+                ctx.barrier();
+                let mut b = [0u8; 8];
+                win.region_read(addr, 0, &mut b).unwrap();
+                ok &= u64::from_le_bytes(b) == round;
+                // Detach while the other ranks may still be mid-retry on
+                // their next attach.
+                win.detach(addr).unwrap();
+                ctx.barrier();
+            }
+            ok
+        });
+    assert!(got.iter().all(|&b| b), "a put landed in the wrong region");
+    assert!(
+        fabric.faults().injected(FaultKind::Busy) > 0,
+        "no SegmentBusy was injected; the retry loop was never exercised"
+    );
+}
+
+/// Two traced runs with the same fault-plan seed must produce identical
+/// telemetry streams, event for event — fault injection is part of the
+/// deterministic schedule, not noise on top of it.
+#[test]
+fn fault_telemetry_is_bit_deterministic_per_seed() {
+    type EventKey = (usize, u32, u32, u64, u64, u64, u64);
+    fn traced_run() -> Vec<Vec<EventKey>> {
+        let p = 4;
+        let (_out, fabric) = Universe::new(p)
+            .node_size(2)
+            .model(CostModel::free())
+            .faults(FaultPlan::heavy(0xFEED_FACE))
+            .trace(4096)
+            .launch(move |ctx| {
+                let win = Win::allocate(ctx, 8 * p, 1).unwrap();
+                let me = ctx.rank();
+                for e in 0..4u64 {
+                    win.fence().unwrap();
+                    let v = (me as u64 + 1) * 100 + e;
+                    win.put(&v.to_le_bytes(), (me + 1) % p as u32, me as usize * 8).unwrap();
+                    win.fence().unwrap();
+                }
+                ctx.barrier();
+            });
+        // Per-rank streams: cross-rank interleaving is schedule-dependent,
+        // but each origin's own event sequence must be reproducible.
+        let mut per_rank = vec![Vec::new(); p];
+        for ev in fabric.telemetry().events() {
+            per_rank[ev.origin as usize].push((
+                ev.kind.index(),
+                ev.origin,
+                ev.target,
+                ev.win,
+                ev.bytes,
+                ev.t_start.to_bits(),
+                ev.t_end.to_bits(),
+            ));
+        }
+        for stream in &mut per_rank {
+            stream.sort_unstable();
+        }
+        per_rank
+    }
+    let a = traced_run();
+    let b = traced_run();
+    assert!(a.iter().any(|s| !s.is_empty()), "tracing produced no events; nothing was compared");
+    for (rank, (ea, eb)) in a.iter().zip(&b).enumerate() {
+        assert_eq!(ea.len(), eb.len(), "rank {rank}: event counts diverged");
+        assert_eq!(ea, eb, "rank {rank}: telemetry streams diverged between identical runs");
+    }
 }
 
 #[test]

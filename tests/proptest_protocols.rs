@@ -2,9 +2,23 @@
 //! PRNG) under randomized topologies and schedules.
 
 use fompi::{LockType, Win};
-use fompi_fabric::rng::Rng;
+use fompi_fabric::rng::{root_seed_from_env, splitmix64, Rng};
 use fompi_fabric::CostModel;
 use fompi_runtime::{Group, Universe};
+
+/// Default campaign root; override with `FOMPI_SEED` to replay a failure
+/// (every assert below prints the root that reproduces it).
+const ROOT: u64 = 0x9201_7E57_C0DE;
+
+fn root() -> u64 {
+    root_seed_from_env(ROOT)
+}
+
+/// Per-test, per-case seed derived from the one root: `stream` keeps the
+/// four tests' draws independent.
+fn case_seed(stream: u64, case: u64) -> u64 {
+    splitmix64(root() ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (case << 40))
+}
 
 fn hash2(a: u64, b: u64) -> u64 {
     let mut x = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b;
@@ -19,7 +33,7 @@ fn hash2(a: u64, b: u64) -> u64 {
 #[test]
 fn pscw_random_digraph_matches() {
     for case in 0..12u64 {
-        let mut rng = Rng::seed_from_u64(0x95C3_0000 + case);
+        let mut rng = Rng::seed_from_u64(case_seed(1, case));
         let p = rng.range(3, 7);
         let seed = rng.next_u64();
         let density = 0.2 + 0.7 * rng.next_f64();
@@ -51,8 +65,10 @@ fn pscw_random_digraph_matches() {
             for i in 0..p as u32 {
                 let expect = if exposure.contains(&i) { i as u64 + 1 } else { 0 };
                 assert_eq!(
-                    vals[i as usize], expect,
-                    "case {case} rank {me} slot {i} (exposure {exposure:?})"
+                    vals[i as usize],
+                    expect,
+                    "case {case} rank {me} slot {i} (exposure {exposure:?}, replay: FOMPI_SEED={:#x})",
+                    root()
                 );
             }
         }
@@ -64,7 +80,7 @@ fn pscw_random_digraph_matches() {
 #[test]
 fn exclusive_lock_linearizable() {
     for case in 0..12u64 {
-        let mut rng = Rng::seed_from_u64(0x10C4_0000 + case);
+        let mut rng = Rng::seed_from_u64(case_seed(2, case));
         let p = rng.range(2, 6);
         let iters = rng.range(1, 12);
         let seed = rng.next_u64();
@@ -92,7 +108,12 @@ fn exclusive_lock_linearizable() {
         // must equal the total aimed at it.
         for t in 0..p {
             let expect: u64 = got.iter().map(|(incs, _)| incs[t]).sum();
-            assert_eq!(got[t].1, expect, "case {case} target {t}");
+            assert_eq!(
+                got[t].1,
+                expect,
+                "case {case} target {t} (replay: FOMPI_SEED={:#x})",
+                root()
+            );
         }
     }
 }
@@ -102,7 +123,7 @@ fn exclusive_lock_linearizable() {
 #[test]
 fn reader_writer_invariant() {
     for case in 0..12u64 {
-        let mut rng = Rng::seed_from_u64(0x4EAD_0000 + case);
+        let mut rng = Rng::seed_from_u64(case_seed(3, case));
         let p = rng.range(2, 6);
         let seed = rng.next_u64();
         let got = Universe::new(p).node_size(2).model(CostModel::free()).run(move |ctx| {
@@ -132,7 +153,11 @@ fn reader_writer_invariant() {
             ctx.barrier();
             torn
         });
-        assert!(got.iter().all(|&t| !t), "case {case}: a reader saw a torn exclusive write");
+        assert!(
+            got.iter().all(|&t| !t),
+            "case {case}: a reader saw a torn exclusive write (replay: FOMPI_SEED={:#x})",
+            root()
+        );
     }
 }
 
@@ -140,7 +165,7 @@ fn reader_writer_invariant() {
 #[test]
 fn notify_counts_exact() {
     for case in 0..12u64 {
-        let mut rng = Rng::seed_from_u64(0x4071_F000 + case);
+        let mut rng = Rng::seed_from_u64(case_seed(4, case));
         let p = rng.range(2, 6);
         let msgs = rng.range(1, 10);
         let seed = rng.next_u64();
@@ -177,7 +202,7 @@ fn notify_counts_exact() {
             (n, expect)
         });
         for (n, expect) in got {
-            assert_eq!(n, expect, "case {case}");
+            assert_eq!(n, expect, "case {case} (replay: FOMPI_SEED={:#x})", root());
         }
     }
 }

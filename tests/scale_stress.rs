@@ -5,13 +5,20 @@
 //! collisions across many windows.
 
 use fompi::{LockType, MpiOp, NumKind, Win, WinConfig};
+use fompi_fabric::rng::root_seed_from_env;
 use fompi_fabric::CostModel;
 use fompi_runtime::{Group, Universe};
+
+/// All stress universes derive their internal seeds from this one root
+/// (override with `FOMPI_SEED`), so a failing schedule is replayable.
+fn root() -> u64 {
+    root_seed_from_env(0x5CA1E_57E55)
+}
 
 #[test]
 fn fence_ring_at_64_ranks() {
     let p = 64;
-    let got = Universe::new(p).node_size(32).model(CostModel::free()).run(|ctx| {
+    let got = Universe::new(p).node_size(32).model(CostModel::free()).seed(root()).run(|ctx| {
         let win = Win::allocate(ctx, 64, 1).unwrap();
         let me = ctx.rank();
         win.fence().unwrap();
@@ -22,7 +29,7 @@ fn fence_ring_at_64_ranks() {
         u64::from_le_bytes(b)
     });
     for (r, &v) in got.iter().enumerate() {
-        assert_eq!(v, ((r + p - 1) % p) as u64 + 1, "rank {r}");
+        assert_eq!(v, ((r + p - 1) % p) as u64 + 1, "rank {r} (replay: FOMPI_SEED={:#x})", root());
     }
 }
 
@@ -31,37 +38,38 @@ fn pscw_all_to_one_fan_in_48() {
     // 47 posters against one exposure target stress the matching pool and
     // the Treiber push path far beyond the ring tests.
     let p = 48;
-    let got = Universe::new(p).node_size(16).model(CostModel::free()).run(move |ctx| {
-        let cfg = WinConfig { pscw_pool: 64, ..WinConfig::default() };
-        let win = Win::allocate_cfg(ctx, 8 * p, 1, cfg).unwrap();
-        if ctx.rank() == 0 {
-            let peers = Group::new(1..p as u32);
-            win.start(&peers).unwrap();
-            win.complete().unwrap();
-            // Everyone posted; now expose for their writes.
-            win.post(&peers).unwrap();
-            win.wait().unwrap();
-        } else {
-            win.post(&Group::new([0])).unwrap();
-            win.wait().unwrap();
-            win.start(&Group::new([0])).unwrap();
-            win.put(&(ctx.rank() as u64).to_le_bytes(), 0, ctx.rank() as usize * 8).unwrap();
-            win.complete().unwrap();
-        }
-        ctx.barrier();
-        if ctx.rank() == 0 {
-            let mut ok = true;
-            for r in 1..p {
-                let mut b = [0u8; 8];
-                win.read_local(r * 8, &mut b);
-                ok &= u64::from_le_bytes(b) == r as u64;
+    let got =
+        Universe::new(p).node_size(16).model(CostModel::free()).seed(root()).run(move |ctx| {
+            let cfg = WinConfig { pscw_pool: 64, ..WinConfig::default() };
+            let win = Win::allocate_cfg(ctx, 8 * p, 1, cfg).unwrap();
+            if ctx.rank() == 0 {
+                let peers = Group::new(1..p as u32);
+                win.start(&peers).unwrap();
+                win.complete().unwrap();
+                // Everyone posted; now expose for their writes.
+                win.post(&peers).unwrap();
+                win.wait().unwrap();
+            } else {
+                win.post(&Group::new([0])).unwrap();
+                win.wait().unwrap();
+                win.start(&Group::new([0])).unwrap();
+                win.put(&(ctx.rank() as u64).to_le_bytes(), 0, ctx.rank() as usize * 8).unwrap();
+                win.complete().unwrap();
             }
-            ok
-        } else {
-            true
-        }
-    });
-    assert!(got[0], "fan-in writes lost");
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                let mut ok = true;
+                for r in 1..p {
+                    let mut b = [0u8; 8];
+                    win.read_local(r * 8, &mut b);
+                    ok &= u64::from_le_bytes(b) == r as u64;
+                }
+                ok
+            } else {
+                true
+            }
+        });
+    assert!(got[0], "fan-in writes lost (replay: FOMPI_SEED={:#x})", root());
 }
 
 #[test]
@@ -70,7 +78,7 @@ fn global_lock_stampede_96() {
     // the two-level hierarchy must serialise cleanly with no lost updates
     // and no deadlock.
     let p = 96;
-    let got = Universe::new(p).node_size(32).model(CostModel::free()).run(|ctx| {
+    let got = Universe::new(p).node_size(32).model(CostModel::free()).seed(root()).run(|ctx| {
         let win = Win::allocate(ctx, 16, 1).unwrap();
         for i in 0..4 {
             if (ctx.rank() as usize + i).is_multiple_of(3) {
@@ -99,15 +107,15 @@ fn global_lock_stampede_96() {
     });
     let excl: usize = (0..p).map(|r| (0..4).filter(|i| (r + i) % 3 == 0).count()).sum();
     let shared = 4 * p - excl;
-    assert_eq!(got[0].0 as usize, excl, "exclusive counter");
-    assert_eq!(got[0].1 as usize, shared, "shared FAA counter");
+    assert_eq!(got[0].0 as usize, excl, "exclusive counter (replay: FOMPI_SEED={:#x})", root());
+    assert_eq!(got[0].1 as usize, shared, "shared FAA counter (replay: FOMPI_SEED={:#x})", root());
 }
 
 #[test]
 fn many_windows_symmetric_heap_no_collisions() {
     // Each rank creates 8 windows back to back; the symmetric-heap claim
     // loop must never hand two windows the same id.
-    let got = Universe::new(24).node_size(8).model(CostModel::free()).run(|ctx| {
+    let got = Universe::new(24).node_size(8).model(CostModel::free()).seed(root()).run(|ctx| {
         let wins: Vec<Win> = (0..8).map(|_| Win::allocate(ctx, 32, 1).unwrap()).collect();
         // Use each window once to prove the registrations are distinct.
         for (i, w) in wins.iter().enumerate() {
@@ -123,13 +131,13 @@ fn many_windows_symmetric_heap_no_collisions() {
         }
         ok
     });
-    assert!(got.iter().all(|&b| b));
+    assert!(got.iter().all(|&b| b), "window id collision (replay: FOMPI_SEED={:#x})", root());
 }
 
 #[test]
 fn mcs_lock_storm_64() {
     let p = 64;
-    let got = Universe::new(p).node_size(32).model(CostModel::free()).run(|ctx| {
+    let got = Universe::new(p).node_size(32).model(CostModel::free()).seed(root()).run(|ctx| {
         let win = Win::allocate(ctx, 16, 1).unwrap();
         for _ in 0..6 {
             win.mcs_lock().unwrap();
@@ -145,7 +153,7 @@ fn mcs_lock_storm_64() {
         win.read_local(0, &mut b);
         u64::from_le_bytes(b)
     });
-    assert_eq!(got[0], 6 * p as u64);
+    assert_eq!(got[0], 6 * p as u64, "MCS counter (replay: FOMPI_SEED={:#x})", root());
 }
 
 #[test]
@@ -154,33 +162,38 @@ fn notified_access_flood_32() {
     // every payload must land.
     let p = 32;
     let msgs = 16;
-    let got = Universe::new(p).node_size(16).model(CostModel::free()).run(move |ctx| {
-        let win = Win::allocate(ctx, p * msgs * 8, 1).unwrap();
-        win.lock_all().unwrap();
-        if ctx.rank() != 0 {
-            for i in 0..msgs {
-                let val = (ctx.rank() as u64) << 32 | i as u64;
-                win.put_notify(&val.to_le_bytes(), 0, (ctx.rank() as usize * msgs + i) * 8, 0)
-                    .unwrap();
-            }
-        }
-        win.unlock_all().unwrap();
-        if ctx.rank() == 0 {
-            win.notify_wait(0, ((p - 1) * msgs) as u64).unwrap();
-            let mut ok = true;
-            for r in 1..p {
+    let got =
+        Universe::new(p).node_size(16).model(CostModel::free()).seed(root()).run(move |ctx| {
+            let win = Win::allocate(ctx, p * msgs * 8, 1).unwrap();
+            win.lock_all().unwrap();
+            if ctx.rank() != 0 {
                 for i in 0..msgs {
-                    let mut b = [0u8; 8];
-                    win.read_local((r * msgs + i) * 8, &mut b);
-                    ok &= u64::from_le_bytes(b) == (r as u64) << 32 | i as u64;
+                    let val = (ctx.rank() as u64) << 32 | i as u64;
+                    win.put_notify(&val.to_le_bytes(), 0, (ctx.rank() as usize * msgs + i) * 8, 0)
+                        .unwrap();
                 }
             }
-            ctx.barrier();
-            ok
-        } else {
-            ctx.barrier();
-            true
-        }
-    });
-    assert!(got[0], "payload lost despite notification count reached");
+            win.unlock_all().unwrap();
+            if ctx.rank() == 0 {
+                win.notify_wait(0, ((p - 1) * msgs) as u64).unwrap();
+                let mut ok = true;
+                for r in 1..p {
+                    for i in 0..msgs {
+                        let mut b = [0u8; 8];
+                        win.read_local((r * msgs + i) * 8, &mut b);
+                        ok &= u64::from_le_bytes(b) == (r as u64) << 32 | i as u64;
+                    }
+                }
+                ctx.barrier();
+                ok
+            } else {
+                ctx.barrier();
+                true
+            }
+        });
+    assert!(
+        got[0],
+        "payload lost despite notification count reached (replay: FOMPI_SEED={:#x})",
+        root()
+    );
 }

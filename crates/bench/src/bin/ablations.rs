@@ -31,6 +31,7 @@ fn main() {
     pscw_pool_ablation();
     drift_vs_scale_ablation();
     jitter_amplification_ablation();
+    batching_ablation();
 }
 
 /// 1. DMAPP-accelerated accumulates vs forcing the lock fallback.
@@ -308,6 +309,56 @@ fn jitter_amplification_ablation() {
         fence_amp[2] > 1.0,
         "a light plan must visibly perturb a 16k-rank fence: {fence_amp:?}"
     );
+}
+
+/// 9. Issue-side batching: a lock epoch issuing bursts of contiguous
+///    8-byte puts, with and without the injection-queue coalescer.
+///    Batching replaces per-op injection (o = 416 ns DMAPP) and per-op wire
+///    latency with one injection + per-op issue gap (g = 50 ns) + one
+///    combined wire message — the LogGP g/G amortisation the fabric's
+///    `batch` module implements. Bursts of ≥ 8 ops must win measurably;
+///    the series lands in results/batch_ablation.csv.
+fn batching_ablation() {
+    println!("--- issue-side batching: n contiguous 8-byte puts per flush (p=2, inter-node) ---");
+    let epoch = |batch: bool, n: usize| {
+        let got = Universe::new(2).node_size(1).batch(batch).run(move |ctx| {
+            let win = Win::allocate(ctx, 1 << 12, 1).unwrap();
+            let chunk = [7u8; 8];
+            let mut dt = 0.0;
+            if ctx.rank() == 0 {
+                win.lock(LockType::Exclusive, 1).unwrap();
+                let t0 = ctx.now();
+                for rep in 0..4 {
+                    for i in 0..n {
+                        win.put(&chunk, 1, (rep * n + i) * 8).unwrap();
+                    }
+                    win.flush(1).unwrap();
+                }
+                dt = (ctx.now() - t0) / 4.0;
+                win.unlock(1).unwrap();
+            }
+            ctx.barrier();
+            dt
+        });
+        got[0]
+    };
+    let mut rows = vec!["n,unbatched_ns,batched_ns,speedup".to_string()];
+    for n in [1usize, 4, 8, 16, 32] {
+        let un = epoch(false, n);
+        let ba = epoch(true, n);
+        let speedup = un / ba;
+        println!("  n = {n:>3}: unbatched {un:>9.0} ns | batched {ba:>9.0} ns | {speedup:>5.2}x");
+        rows.push(format!("{n},{un},{ba},{speedup}"));
+        if n >= 8 {
+            assert!(
+                ba < un,
+                "an {n}-op burst must beat per-op injection: batched {ba} vs unbatched {un}"
+            );
+        }
+    }
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/batch_ablation.csv", rows.join("\n") + "\n").expect("write csv");
+    println!("  -> results/batch_ablation.csv\n");
 }
 
 /// 7. Model drift vs job size: which op classes stay pinned to the §3

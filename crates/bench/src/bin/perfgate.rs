@@ -1,0 +1,240 @@
+//! Deterministic virtual-time perf-regression gate.
+//!
+//! ```text
+//! cargo run --release -p fompi-bench --bin perfgate                  # write BENCH_PR3.json
+//! cargo run --release -p fompi-bench --bin perfgate -- --check results/BENCH_PR3_baseline.json
+//! ```
+//!
+//! The fabric charges *virtual* time from a fixed cost model, so every
+//! metric here is bit-reproducible: the same binary on any machine, any
+//! load, produces the same JSON. That is what makes a tight (1%) regression
+//! gate workable in CI — there is no measurement noise to absorb, only
+//! genuine model/protocol changes. A regression means a code change made a
+//! protocol charge more virtual time; an improvement means the baseline is
+//! stale and should be regenerated deliberately:
+//!
+//! ```text
+//! cargo run --release -p fompi-bench --bin perfgate
+//! cp BENCH_PR3.json results/BENCH_PR3_baseline.json
+//! ```
+//!
+//! Metrics cover the §3 primitives at small and large sizes, with the
+//! issue-side batching layer both off and on (put bursts and
+//! hardware-AMO accumulate bursts).
+
+use fompi::{LockType, MpiOp, NumKind, Win};
+use fompi_fabric::FaultPlan;
+use fompi_runtime::{RankCtx, Universe};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Relative regression tolerance. Virtual time is deterministic, so this
+/// only exists to forgive float formatting round-trips, not noise.
+const TOLERANCE: f64 = 0.01;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let baseline_path = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--check" => Some(path.clone()),
+        _ => {
+            eprintln!("usage: perfgate [--check <baseline.json>]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let metrics = collect();
+    let json = render_json(&metrics);
+    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    println!("== perfgate: virtual-time metrics (ns) ==");
+    for (k, v) in &metrics {
+        println!("  {k:<28} {v:>12.1}");
+    }
+    println!("-> BENCH_PR3.json");
+
+    let Some(path) = baseline_path else {
+        return ExitCode::SUCCESS;
+    };
+    let base_text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perfgate: cannot read baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = parse_json(&base_text);
+    if baseline.is_empty() {
+        eprintln!("perfgate: baseline {path} parsed to zero metrics");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    println!("== perfgate: check vs {path} (tolerance {:.1}%) ==", TOLERANCE * 100.0);
+    for (k, base) in &baseline {
+        let Some(now) = metrics.get(k) else {
+            println!("  FAIL {k}: metric missing from this build");
+            failed = true;
+            continue;
+        };
+        let delta_pct = (now / base - 1.0) * 100.0;
+        if *now > base * (1.0 + TOLERANCE) + 1e-9 {
+            println!("  FAIL {k}: {base:.1} -> {now:.1} ns ({delta_pct:+.2}%)");
+            failed = true;
+        } else if *now < base * (1.0 - TOLERANCE) - 1e-9 {
+            println!("  ok   {k}: {base:.1} -> {now:.1} ns ({delta_pct:+.2}%) [improved; consider refreshing the baseline]");
+        } else {
+            println!("  ok   {k}: {now:.1} ns ({delta_pct:+.2}%)");
+        }
+    }
+    for k in metrics.keys() {
+        if !baseline.contains_key(k) {
+            println!("  note {k}: new metric, not in baseline (refresh to start gating it)");
+        }
+    }
+    if failed {
+        eprintln!("perfgate: virtual-time regression beyond {:.1}%", TOLERANCE * 100.0);
+        return ExitCode::FAILURE;
+    }
+    println!("perfgate: all metrics within tolerance.");
+    ExitCode::SUCCESS
+}
+
+/// Run `f` on rank 0 of a deterministic 2-rank inter-node job and return
+/// the virtual ns it reports. Faults are explicitly disabled and batching
+/// explicitly set, so ambient `FOMPI_*` knobs cannot perturb the gate.
+fn measure(batch: bool, f: impl Fn(&Win, &RankCtx) -> f64 + Send + Sync) -> f64 {
+    let got = Universe::new(2).node_size(1).seed(1).faults(FaultPlan::disabled()).batch(batch).run(
+        |ctx| {
+            let win = Win::allocate(ctx, 1 << 14, 1).unwrap();
+            let dt = if ctx.rank() == 0 { f(&win, ctx) } else { 0.0 };
+            ctx.barrier();
+            dt
+        },
+    );
+    got[0]
+}
+
+/// A locked epoch issuing `n` contiguous `chunk`-sized puts then flushing;
+/// returns total virtual ns for the epoch body.
+fn put_epoch(batch: bool, n: usize, chunk: usize) -> f64 {
+    measure(batch, move |win, ctx| {
+        let data = vec![5u8; chunk];
+        win.lock(LockType::Exclusive, 1).unwrap();
+        let t0 = ctx.now();
+        for i in 0..n {
+            win.put(&data, 1, i * chunk).unwrap();
+        }
+        win.flush(1).unwrap();
+        let dt = ctx.now() - t0;
+        win.unlock(1).unwrap();
+        dt
+    })
+}
+
+fn collect() -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
+    // Small puts: a 16-op contiguous burst, per-op cost, both paths.
+    m.insert("put_small_8_unbatched_ns".into(), put_epoch(false, 16, 8) / 16.0);
+    m.insert("put_small_8_batched_ns".into(), put_epoch(true, 16, 8) / 16.0);
+    // Large puts sit beyond the protocol change and bypass batching; gate
+    // both switch positions to prove the bypass stays free.
+    m.insert("put_large_8192_unbatched_ns".into(), put_epoch(false, 1, 8192));
+    m.insert("put_large_8192_batched_ns".into(), put_epoch(true, 1, 8192));
+    // Gets (never batched; reads must see a coherent horizon).
+    m.insert(
+        "get_small_8_ns".into(),
+        measure(false, |win, ctx| {
+            let mut dst = [0u8; 8];
+            win.lock(LockType::Shared, 1).unwrap();
+            let t0 = ctx.now();
+            win.get(&mut dst, 1, 0).unwrap();
+            win.flush(1).unwrap();
+            let dt = ctx.now() - t0;
+            win.unlock(1).unwrap();
+            dt
+        }),
+    );
+    m.insert(
+        "get_large_8192_ns".into(),
+        measure(false, |win, ctx| {
+            let mut dst = vec![0u8; 8192];
+            win.lock(LockType::Shared, 1).unwrap();
+            let t0 = ctx.now();
+            win.get(&mut dst, 1, 0).unwrap();
+            win.flush(1).unwrap();
+            let dt = ctx.now() - t0;
+            win.unlock(1).unwrap();
+            dt
+        }),
+    );
+    // Hardware-AMO accumulate: 8 contiguous 8-byte MPI_SUM elements — an
+    // AMO burst when batching is armed.
+    let amo_epoch = |batch: bool| {
+        measure(batch, |win, ctx| {
+            let data = [1u8; 64];
+            win.lock(LockType::Exclusive, 1).unwrap();
+            let t0 = ctx.now();
+            win.accumulate(&data, NumKind::U64, MpiOp::Sum, 1, 0).unwrap();
+            win.flush(1).unwrap();
+            let dt = ctx.now() - t0;
+            win.unlock(1).unwrap();
+            dt
+        })
+    };
+    m.insert("amo_sum8_unbatched_ns".into(), amo_epoch(false));
+    m.insert("amo_sum8_batched_ns".into(), amo_epoch(true));
+    // One 8-byte CAS (PCAS).
+    m.insert(
+        "amo_cas_ns".into(),
+        measure(false, |win, ctx| {
+            win.lock(LockType::Exclusive, 1).unwrap();
+            let t0 = ctx.now();
+            win.compare_and_swap(7, 0, 1, 0).unwrap();
+            let dt = ctx.now() - t0;
+            win.unlock(1).unwrap();
+            dt
+        }),
+    );
+    // Fence epoch at p = 2 (collective: every rank participates).
+    let fence =
+        Universe::new(2).node_size(1).seed(1).faults(FaultPlan::disabled()).batch(false).run(
+            |ctx| {
+                let win = Win::allocate(ctx, 64, 1).unwrap();
+                win.fence().unwrap();
+                let t0 = ctx.now();
+                win.fence().unwrap();
+                let dt = ctx.now() - t0;
+                win.fence_assert(fompi::ASSERT_NOSUCCEED).unwrap();
+                ctx.barrier();
+                dt
+            },
+        );
+    m.insert("fence_p2_ns".into(), fence[0]);
+    m
+}
+
+/// Flat sorted-key JSON. `f64` Display is the shortest round-trip
+/// representation, so output is byte-stable for identical inputs.
+fn render_json(metrics: &BTreeMap<String, f64>) -> String {
+    let mut s = String::from("{\n");
+    let last = metrics.len().saturating_sub(1);
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        s.push_str(&format!("  \"{k}\": {v}{}\n", if i == last { "" } else { "," }));
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Parse the flat `"key": number` JSON this tool writes (and nothing
+/// fancier — the workspace is dependency-free by design).
+fn parse_json(text: &str) -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((key, val)) = rest.split_once("\":") else { continue };
+        if let Ok(v) = val.trim().parse::<f64>() {
+            m.insert(key.to_string(), v);
+        }
+    }
+    m
+}

@@ -51,6 +51,12 @@ pub struct PaperModel {
     pub flush: f64,
     /// Psync.
     pub sync: f64,
+    /// Per-message injection overhead o (DMAPP descriptor build + doorbell).
+    pub inject: f64,
+    /// Issue-side gap g between coalesced members of an injection burst
+    /// (see `fompi_fabric::batch`): successive ops folded into an open
+    /// burst pay `gap` instead of `inject`.
+    pub gap: f64,
 }
 
 impl Default for PaperModel {
@@ -74,6 +80,8 @@ impl Default for PaperModel {
             unlock: 400.0,
             flush: 76.0,
             sync: 17.0,
+            inject: 416.0,
+            gap: 50.0,
         }
     }
 }
@@ -117,6 +125,23 @@ impl PaperModel {
     /// §6's example rule: prefer PSCW over fence when the fence is costlier.
     pub fn prefer_pscw(&self, p: usize, k: usize) -> bool {
         self.fence(p) > self.pscw_round(k)
+    }
+
+    /// Closed-form cost of a burst of `n` contiguous `s`-byte puts with
+    /// issue-side batching: one injection, `n-1` issue gaps, one wire
+    /// message of the combined size. Compare [`PaperModel::put_unbatched`].
+    pub fn put_batched(&self, n: usize, s: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.inject + (n - 1) as f64 * self.gap + self.put(n * s)
+    }
+
+    /// The same `n` puts without batching: each pays its own injection and
+    /// its own wire message. (The per-byte terms are identical — batching
+    /// wins exactly `(n-1)·(inject + put_base - gap)`.)
+    pub fn put_unbatched(&self, n: usize, s: usize) -> f64 {
+        n as f64 * (self.inject + self.put(s))
     }
 }
 
@@ -170,6 +195,18 @@ mod tests {
         assert!(m.prefer_pscw(1 << 16, 2));
         // Huge k at tiny p: fence wins.
         assert!(!m.prefer_pscw(2, 64));
+    }
+
+    #[test]
+    fn batched_model_amortizes_injection() {
+        let m = PaperModel::default();
+        // A single op gains nothing from a burst.
+        assert!((m.put_batched(1, 8) - (m.inject + m.put(8))).abs() < 1e-9);
+        assert!((m.put_unbatched(1, 8) - m.put_batched(1, 8)).abs() < 1e-9);
+        // An 8-op burst of small puts pays one base latency, not eight.
+        let gain = m.put_unbatched(8, 8) - m.put_batched(8, 8);
+        assert!((gain - 7.0 * (m.inject + m.put_base - m.gap)).abs() < 1e-6);
+        assert!(m.put_batched(8, 8) < 0.5 * m.put_unbatched(8, 8));
     }
 
     #[test]

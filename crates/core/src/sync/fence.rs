@@ -45,7 +45,9 @@ impl Win {
         self.trace_scope();
         let t_start = self.ep.clock().now();
         if assert & ASSERT_NOPRECEDE == 0 {
-            // Commit all outstanding one-sided operations.
+            // Commit all outstanding one-sided operations. `gsync` also
+            // retires any open issue-side injection bursts first, so a
+            // batched epoch closes with the same completion guarantee.
             self.ep.mfence();
             self.ep.gsync();
         }

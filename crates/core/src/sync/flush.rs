@@ -51,12 +51,16 @@ impl Win {
 
     /// MPI_Win_flush_local: local completion only — origin buffers are
     /// reusable (our fabric copies at injection, so this is pure overhead,
-    /// exactly the cheap path the paper describes).
+    /// exactly the cheap path the paper describes). With issue-side
+    /// batching armed it also retires any open burst to `target` — the
+    /// doorbell write that hands the coalesced descriptor to the NIC —
+    /// without waiting for remote completion.
     pub fn flush_local(&self, target: u32) -> Result<()> {
         self.check_passive(Some(target))?;
         self.trace_scope();
         let t_start = self.ep.clock().now();
         self.ep.charge(overhead::flush_ns());
+        self.ep.drain_target(target);
         self.ep.fabric().counters().flushes.fetch_add(1, Ordering::Relaxed);
         self.ep.trace_sync(EventKind::FlushLocal, target, t_start);
         Ok(())
@@ -68,6 +72,7 @@ impl Win {
         self.trace_scope();
         let t_start = self.ep.clock().now();
         self.ep.charge(overhead::flush_ns());
+        self.ep.drain_all();
         self.ep.fabric().counters().flushes.fetch_add(1, Ordering::Relaxed);
         self.ep.trace_sync(EventKind::FlushLocal, NO_TARGET, t_start);
         Ok(())

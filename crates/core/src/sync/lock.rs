@@ -80,7 +80,9 @@ impl Win {
         };
         self.trace_scope();
         let t_start = self.ep.clock().now();
-        // Unlock must guarantee completion at the target.
+        // Unlock must guarantee completion at the target. `flush_target`
+        // first retires any open injection burst to `target` (issue-side
+        // batching), then joins that peer's completion horizon.
         self.ep.mfence();
         self.ep.flush_target(target);
         if self.state.borrow_mut().nocheck.remove(&target) {

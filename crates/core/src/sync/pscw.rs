@@ -117,6 +117,8 @@ impl Win {
         };
         self.trace_scope();
         let t_start = self.ep.clock().now();
+        // `gsync` retires open injection bursts before joining the
+        // completion horizon, so batched access epochs close correctly.
         self.ep.mfence();
         self.ep.gsync();
         for target in group.iter() {

@@ -1,0 +1,177 @@
+//! Issue-side small-operation batching (write-combining injection queues).
+//!
+//! The paper's small-message figures pay the full injection overhead
+//! (o = 416 ns inter-node) *per operation*: ten 8-byte puts cost ten
+//! doorbell rings even though the NIC could take them as one descriptor
+//! chain. Issue-side batching — the optimisation Storm-style RMA engines
+//! apply on this exact path — keeps one *open burst* per target and
+//! write-combines adjacent small puts (and coalesces non-fetching AMOs)
+//! into it. In LogGP terms the first operation of a burst pays the full
+//! overhead `o`; each subsequent coalesced operation pays only the
+//! per-message gap `g` (≪ o), and the whole burst ships as a single wire
+//! message of the combined size, paying `G` per byte once.
+//!
+//! Coalescing stops — the burst is *retired* and a new one opened — when:
+//!
+//! * the next operation is not contiguous with the burst (write-combining
+//!   requires `offset == start + len`), targets a different segment, or is
+//!   a different kind (put vs AMO: interleaving kinds retires the open
+//!   burst first, which preserves program order within the DMAPP ordered
+//!   class by construction);
+//! * combining would reach the 4 KiB protocol-change size
+//!   ([`crate::CostModel::dmapp_proto_change_bytes`]): bursts exist to
+//!   amortise the *small-message* protocol, so they never grow into the
+//!   rendezvous regime;
+//! * the burst already holds [`crate::CostModel::batch_max_ops`]
+//!   operations (bounded descriptor chains, like real NIC doorbells).
+//!
+//! Data still moves **eagerly**, in program order, at issue — batching
+//! defers only the *virtual-time* completion accounting. Memory effects
+//! (what a polling peer can observe) are therefore identical with and
+//! without batching; only the cost model changes. Batching is opt-in
+//! (default off) so the calibrated per-op figures stay bit-identical.
+//!
+//! Fault determinism: faults are still drawn once per *operation* at issue
+//! (same call sites, same counts as the unbatched path — see
+//! [`crate::faults`]); the drawn completion extras fold into the burst as
+//! a running max, since delayed members retire together.
+
+use crate::segment::SegKey;
+
+/// What a burst coalesces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurstKind {
+    /// Write-combined contiguous puts.
+    Put,
+    /// Coalesced non-fetching 8-byte AMOs.
+    Amo,
+}
+
+/// One open per-target injection burst.
+#[derive(Debug, Clone)]
+pub struct Burst {
+    /// Segment every member targets.
+    pub key: SegKey,
+    /// Put or AMO burst.
+    pub kind: BurstKind,
+    /// Offset of the first member.
+    pub start: usize,
+    /// Combined payload length so far (contiguous from `start` for puts).
+    pub len: usize,
+    /// Operations coalesced so far.
+    pub ops: u64,
+    /// Largest per-op fault extra (jitter/spike/delay) drawn by a member;
+    /// the whole burst retires no earlier than its slowest member.
+    pub extra_ns: f64,
+    /// Virtual time at which the burst opened (before its injection charge)
+    /// — the `t_start` of the burst's telemetry span.
+    pub t_open: f64,
+}
+
+impl Burst {
+    /// Open a burst with its first member.
+    pub fn open(
+        key: SegKey,
+        kind: BurstKind,
+        off: usize,
+        len: usize,
+        extra_ns: f64,
+        t_open: f64,
+    ) -> Self {
+        Burst { key, kind, start: off, len, ops: 1, extra_ns, t_open }
+    }
+
+    /// Can `(key, kind, off, len)` coalesce into this burst? Checks segment
+    /// identity, kind, contiguity, the protocol-change ceiling and the op
+    /// cap (see module docs for why each stop exists).
+    pub fn accepts(
+        &self,
+        key: SegKey,
+        kind: BurstKind,
+        off: usize,
+        len: usize,
+        proto_change_bytes: usize,
+        max_ops: u64,
+    ) -> bool {
+        self.key == key
+            && self.kind == kind
+            && off == self.start + self.len
+            && self.len.saturating_add(len) < proto_change_bytes
+            && self.ops < max_ops
+    }
+
+    /// Fold one more member in (caller checked [`Burst::accepts`]).
+    pub fn push(&mut self, len: usize, extra_ns: f64) {
+        self.len += len;
+        self.ops += 1;
+        if extra_ns > self.extra_ns {
+            self.extra_ns = extra_ns;
+        }
+    }
+}
+
+/// Per-endpoint batching switch and queue state lives on
+/// [`crate::Endpoint`] (`bursts: RefCell<BTreeMap<u32, Burst>>` — a BTree
+/// so drain order is deterministic regardless of insertion history).
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> SegKey {
+        SegKey { rank: 1, id: 7 }
+    }
+
+    #[test]
+    fn contiguous_same_kind_coalesces() {
+        let mut b = Burst::open(key(), BurstKind::Put, 64, 8, 0.0, 0.0);
+        assert!(b.accepts(key(), BurstKind::Put, 72, 8, 4096, 64));
+        b.push(8, 0.0);
+        assert_eq!((b.start, b.len, b.ops), (64, 16, 2));
+        // A gap, an overlap, or a backwards offset all refuse.
+        assert!(!b.accepts(key(), BurstKind::Put, 88, 8, 4096, 64));
+        assert!(!b.accepts(key(), BurstKind::Put, 72, 8, 4096, 64));
+        assert!(!b.accepts(key(), BurstKind::Put, 0, 8, 4096, 64));
+    }
+
+    #[test]
+    fn kind_and_segment_switches_refuse() {
+        let b = Burst::open(key(), BurstKind::Put, 0, 8, 0.0, 0.0);
+        assert!(!b.accepts(key(), BurstKind::Amo, 8, 8, 4096, 64));
+        let other = SegKey { rank: 1, id: 8 };
+        assert!(!b.accepts(other, BurstKind::Put, 8, 8, 4096, 64));
+    }
+
+    #[test]
+    fn proto_change_is_a_hard_ceiling() {
+        let mut b = Burst::open(key(), BurstKind::Put, 0, 512, 0.0, 0.0);
+        for _ in 0..6 {
+            assert!(b.accepts(key(), BurstKind::Put, b.start + b.len, 512, 4096, 64));
+            b.push(512, 0.0);
+        }
+        assert_eq!(b.len, 3584);
+        // The member that would reach exactly 4096 must split instead:
+        // bursts never enter the rendezvous protocol.
+        assert!(!b.accepts(key(), BurstKind::Put, 3584, 512, 4096, 64));
+        // A smaller tail that stays below the switch still fits.
+        assert!(b.accepts(key(), BurstKind::Put, 3584, 511, 4096, 64));
+    }
+
+    #[test]
+    fn op_cap_bounds_chains() {
+        let mut b = Burst::open(key(), BurstKind::Amo, 0, 8, 0.0, 0.0);
+        for _ in 0..3 {
+            b.push(8, 0.0);
+        }
+        assert!(!b.accepts(key(), BurstKind::Amo, 32, 8, 4096, 4));
+        assert!(b.accepts(key(), BurstKind::Amo, 32, 8, 4096, 5));
+    }
+
+    #[test]
+    fn extras_fold_as_running_max() {
+        let mut b = Burst::open(key(), BurstKind::Put, 0, 8, 30.0, 0.0);
+        b.push(8, 10.0);
+        assert_eq!(b.extra_ns, 30.0);
+        b.push(8, 70.0);
+        assert_eq!(b.extra_ns, 70.0);
+    }
+}

@@ -43,6 +43,11 @@ pub struct CostModel {
     /// CPU-side injection overhead of one inter-node operation (416 ns —
     /// §3.1.2 of the paper).
     pub dmapp_inject_ns: f64,
+    /// LogGP gap `g`: CPU cost of appending one more operation to an open
+    /// inter-node injection burst (issue-side batching — the descriptor is
+    /// chained onto the doorbell already rung, so only the per-message gap
+    /// is paid, not the full injection overhead).
+    pub dmapp_gap_ns: f64,
     /// Latency of one remote 8-byte AMO (fetch-and-add, CAS, ...).
     pub dmapp_amo_ns: f64,
     /// Base latency of an intra-node (XPMEM) transfer.
@@ -52,6 +57,9 @@ pub struct CostModel {
     /// CPU-side injection overhead of one intra-node operation (80 ns ≈ 190
     /// instructions — §3.1.2).
     pub xpmem_inject_ns: f64,
+    /// Intra-node per-message gap for batched issues (store-buffer
+    /// write-combining continues an open cacheline run).
+    pub xpmem_gap_ns: f64,
     /// Latency of an intra-node CPU atomic on shared memory.
     pub xpmem_amo_ns: f64,
     /// Cost of the local memory fence used by flush/fence (78 instructions
@@ -66,6 +74,9 @@ pub struct CostModel {
     pub ns_per_flop: f64,
     /// Local memcpy cost per byte (used for eager-protocol receiver copies).
     pub memcpy_byte_ns: f64,
+    /// Maximum operations one injection burst may coalesce (bounded
+    /// descriptor chains; see [`crate::batch`]).
+    pub batch_max_ops: u64,
 }
 
 impl Default for CostModel {
@@ -78,16 +89,19 @@ impl Default for CostModel {
             dmapp_proto_change_bytes: 4096,
             dmapp_proto_penalty_ns: 400.0,
             dmapp_inject_ns: 416.0,
+            dmapp_gap_ns: 50.0,
             dmapp_amo_ns: 2_400.0,
             xpmem_base_ns: 250.0,
             xpmem_byte_ns: 0.08,
             xpmem_inject_ns: 80.0,
+            xpmem_gap_ns: 15.0,
             xpmem_amo_ns: 60.0,
             mfence_ns: 34.0,
             sync_ns: 17.0,
             register_ns: 2_000.0,
             ns_per_flop: 0.11,
             memcpy_byte_ns: 0.10,
+            batch_max_ops: 64,
         }
     }
 }
@@ -103,16 +117,19 @@ impl CostModel {
             dmapp_proto_change_bytes: usize::MAX,
             dmapp_proto_penalty_ns: 0.0,
             dmapp_inject_ns: 0.0,
+            dmapp_gap_ns: 0.0,
             dmapp_amo_ns: 0.0,
             xpmem_base_ns: 0.0,
             xpmem_byte_ns: 0.0,
             xpmem_inject_ns: 0.0,
+            xpmem_gap_ns: 0.0,
             xpmem_amo_ns: 0.0,
             mfence_ns: 0.0,
             sync_ns: 0.0,
             register_ns: 0.0,
             ns_per_flop: 0.0,
             memcpy_byte_ns: 0.0,
+            batch_max_ops: 64,
         }
     }
 
@@ -149,6 +166,16 @@ impl CostModel {
         match t {
             Transport::Dmapp => self.dmapp_inject_ns,
             Transport::Xpmem => self.xpmem_inject_ns,
+        }
+    }
+
+    /// LogGP gap `g` of appending to an open injection burst over `t`
+    /// (charged instead of [`CostModel::inject`] for every coalesced
+    /// operation after a burst's first).
+    pub fn gap(&self, t: Transport) -> f64 {
+        match t {
+            Transport::Dmapp => self.dmapp_gap_ns,
+            Transport::Xpmem => self.xpmem_gap_ns,
         }
     }
 
@@ -198,6 +225,14 @@ mod tests {
         let m = CostModel::default();
         assert!(m.put_latency(Transport::Xpmem, 8) * 2.0 < m.put_latency(Transport::Dmapp, 8));
         assert!(m.inject(Transport::Xpmem) < m.inject(Transport::Dmapp));
+    }
+
+    #[test]
+    fn gap_is_cheaper_than_injection() {
+        // Batching only amortises anything if g < o on both transports.
+        let m = CostModel::default();
+        assert!(m.gap(Transport::Dmapp) < m.inject(Transport::Dmapp));
+        assert!(m.gap(Transport::Xpmem) < m.inject(Transport::Xpmem));
     }
 
     #[test]

@@ -32,6 +32,14 @@ pub struct Counters {
     pub locks: AtomicU64,
     /// Number of lock releases (`MPI_Win_unlock` / `unlock_all`).
     pub unlocks: AtomicU64,
+    /// Operations issued through the batching layer (members of bursts,
+    /// including each burst's first op — see [`crate::batch`]).
+    pub batched_ops: AtomicU64,
+    /// Injection bursts retired (by drain or coalescing stop).
+    pub batch_flushes: AtomicU64,
+    /// Bursts retired specifically because coalescing stopped (next op
+    /// non-adjacent / different kind / would cross the protocol change).
+    pub batch_splits: AtomicU64,
 }
 
 /// A point-in-time copy of [`Counters`].
@@ -59,6 +67,12 @@ pub struct CounterSnapshot {
     pub locks: u64,
     /// Lock releases.
     pub unlocks: u64,
+    /// Operations issued through the batching layer.
+    pub batched_ops: u64,
+    /// Injection bursts retired.
+    pub batch_flushes: u64,
+    /// Bursts retired by a coalescing stop.
+    pub batch_splits: u64,
 }
 
 impl Counters {
@@ -76,6 +90,9 @@ impl Counters {
             fences: self.fences.load(Ordering::Relaxed),
             locks: self.locks.load(Ordering::Relaxed),
             unlocks: self.unlocks.load(Ordering::Relaxed),
+            batched_ops: self.batched_ops.load(Ordering::Relaxed),
+            batch_flushes: self.batch_flushes.load(Ordering::Relaxed),
+            batch_splits: self.batch_splits.load(Ordering::Relaxed),
         }
     }
 }
@@ -96,6 +113,9 @@ impl CounterSnapshot {
             fences: self.fences.saturating_sub(earlier.fences),
             locks: self.locks.saturating_sub(earlier.locks),
             unlocks: self.unlocks.saturating_sub(earlier.unlocks),
+            batched_ops: self.batched_ops.saturating_sub(earlier.batched_ops),
+            batch_flushes: self.batch_flushes.saturating_sub(earlier.batch_flushes),
+            batch_splits: self.batch_splits.saturating_sub(earlier.batch_splits),
         }
     }
 

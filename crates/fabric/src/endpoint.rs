@@ -22,14 +22,16 @@
 //! virtual time flows through synchronisation.
 
 use crate::amo::AmoOp;
+use crate::batch::{Burst, BurstKind};
 use crate::clock::{bits_to_stamp, stamp_to_bits, Clock};
 use crate::cost::Transport;
 use crate::error::FabricError;
 use crate::segment::SegKey;
+use crate::stripes::StripedHorizon;
 use crate::telemetry::{Event, EventKind, Flavor, NO_TARGET};
 use crate::Fabric;
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -42,12 +44,25 @@ pub struct NbHandle {
 
 /// Per-rank endpoint. Owns the rank's virtual [`Clock`]; deliberately not
 /// `Send`: it lives on its rank's thread.
+///
+/// Implicit-nonblocking completion horizons are tracked by a
+/// [`StripedHorizon`]: lock-free striped `fetch_max` counters that
+/// `flush_target`/`gsync` read without a hash lookup, a dynamic borrow, or
+/// cross-peer contention. When issue-side batching is enabled
+/// ([`Endpoint::set_batching`], or `FOMPI_BATCH`/the fabric default), small
+/// implicit puts and non-fetching AMOs are write-combined into per-target
+/// injection bursts (see [`crate::batch`]) that retire at the next
+/// flush/gsync/ordered release or when coalescing stops.
 pub struct Endpoint {
     fabric: Arc<Fabric>,
     rank: u32,
     clock: Clock,
-    pending_all: Cell<f64>,
-    pending_per: RefCell<HashMap<u32, f64>>,
+    pending: StripedHorizon,
+    /// Open injection bursts, one per target. A BTree so drains walk
+    /// targets in a deterministic order.
+    bursts: RefCell<BTreeMap<u32, Burst>>,
+    /// Issue-side batching switch (default: the fabric's batch default).
+    batch: Cell<bool>,
     /// Telemetry window scope: the window id upper layers attribute
     /// subsequent operations to (0 = none). See [`Endpoint::set_trace_win`].
     trace_win: Cell<u64>,
@@ -56,12 +71,14 @@ pub struct Endpoint {
 impl Endpoint {
     /// Create the endpoint for `rank` on `fabric`.
     pub fn new(fabric: Arc<Fabric>, rank: u32) -> Self {
+        let batch = fabric.batch_default();
         Self {
             fabric,
             rank,
             clock: Clock::new(),
-            pending_all: Cell::new(0.0),
-            pending_per: RefCell::new(HashMap::new()),
+            pending: StripedHorizon::new(),
+            bursts: RefCell::new(BTreeMap::new()),
+            batch: Cell::new(batch),
             trace_win: Cell::new(0),
         }
     }
@@ -271,14 +288,137 @@ impl Endpoint {
     }
 
     fn note_pending(&self, target: u32, t: f64) {
-        if t > self.pending_all.get() {
-            self.pending_all.set(t);
+        self.pending.note(target, t);
+    }
+
+    // ------------------------------------------------ issue-side batching
+
+    /// Is issue-side batching enabled on this endpoint?
+    #[inline]
+    pub fn batching(&self) -> bool {
+        self.batch.get()
+    }
+
+    /// Enable/disable issue-side batching (see [`crate::batch`]). Returns
+    /// the previous setting. Disabling retires any open bursts so no
+    /// completion accounting is left behind.
+    pub fn set_batching(&self, on: bool) -> bool {
+        let prev = self.batch.replace(on);
+        if prev && !on {
+            self.drain_all();
         }
-        let mut per = self.pending_per.borrow_mut();
-        let e = per.entry(target).or_insert(0.0);
-        if t > *e {
-            *e = t;
+        prev
+    }
+
+    /// Number of open (not yet retired) injection bursts — for tests and
+    /// introspection.
+    pub fn open_bursts(&self) -> usize {
+        self.bursts.borrow().len()
+    }
+
+    /// Retire the open burst toward `target`, if any, folding its
+    /// completion horizon into the striped counters. Charges no CPU time:
+    /// the burst's injection and gaps were paid at issue.
+    pub fn drain_target(&self, target: u32) {
+        let b = self.bursts.borrow_mut().remove(&target);
+        if let Some(b) = b {
+            self.retire(b, EventKind::BatchFlush);
         }
+    }
+
+    /// Retire every open burst (deterministic target order).
+    pub fn drain_all(&self) {
+        let drained = std::mem::take(&mut *self.bursts.borrow_mut());
+        for b in drained.into_values() {
+            self.retire(b, EventKind::BatchFlush);
+        }
+    }
+
+    /// Append one issued operation to the target's open burst, or retire
+    /// the incompatible burst and open a fresh one. The first op of a burst
+    /// pays the full injection overhead `o`; each coalesced member pays
+    /// only the gap `g`.
+    fn enqueue(&self, key: SegKey, kind: BurstKind, off: usize, len: usize, extra_ns: f64) {
+        let t = self.transport_to(key.rank);
+        let m = self.fabric.model();
+        let mut bursts = self.bursts.borrow_mut();
+        if let Some(b) = bursts.get_mut(&key.rank) {
+            if b.accepts(key, kind, off, len, m.dmapp_proto_change_bytes, m.batch_max_ops) {
+                self.clock.advance(m.gap(t));
+                b.push(len, extra_ns);
+                return;
+            }
+            let old = bursts.remove(&key.rank).expect("open burst just observed");
+            self.retire(old, EventKind::BatchSplit);
+        }
+        let t_open = self.clock.now();
+        self.clock.advance(m.inject(t));
+        bursts.insert(key.rank, Burst::open(key, kind, off, len, extra_ns, t_open));
+    }
+
+    /// Compute a retired burst's completion horizon and record it. Puts
+    /// ship as one wire message of the combined size; AMO chains pipeline
+    /// behind the first AMO at gap spacing. The slowest member's fault
+    /// extra delays the whole burst.
+    fn retire(&self, b: Burst, how: EventKind) {
+        let t = self.transport_to(b.key.rank);
+        let m = self.fabric.model();
+        let wire = match b.kind {
+            BurstKind::Put => m.put_latency(t, b.len),
+            BurstKind::Amo => m.amo_latency(t) + (b.ops - 1) as f64 * m.gap(t),
+        };
+        let t_complete = self.clock.now() + wire + b.extra_ns;
+        self.pending.note(b.key.rank, t_complete);
+        let c = self.fabric.counters();
+        c.batch_flushes.fetch_add(1, Ordering::Relaxed);
+        if how == EventKind::BatchSplit {
+            c.batch_splits.fetch_add(1, Ordering::Relaxed);
+        }
+        let kind = match b.kind {
+            BurstKind::Put => EventKind::Put,
+            BurstKind::Amo => EventKind::Amo,
+        };
+        // One RMA span for the whole burst (bytes = combined payload) plus
+        // the batch_* span covering its issue window.
+        self.trace_op(kind, Flavor::Implicit, t, b.key.rank, b.len as u64, b.t_open, t_complete);
+        self.trace_sync(how, b.key.rank, b.t_open);
+    }
+
+    /// Batched implicit put: data moves eagerly, the completion horizon is
+    /// accounted when the burst retires. Faults are still drawn per op.
+    fn put_batched(&self, key: SegKey, off: usize, src: &[u8]) -> Result<(), FabricError> {
+        let seg = self.bounds(key, off, src.len())?;
+        let t = self.transport_to(key.rank);
+        let m = self.fabric.model();
+        let extra = self.apply_faults(key.rank, m.put_latency(t, src.len()), true);
+        seg.write(off, src);
+        let c = self.fabric.counters();
+        c.puts.fetch_add(1, Ordering::Relaxed);
+        c.bytes_put.fetch_add(src.len() as u64, Ordering::Relaxed);
+        c.batched_ops.fetch_add(1, Ordering::Relaxed);
+        self.enqueue(key, BurstKind::Put, off, src.len(), extra);
+        Ok(())
+    }
+
+    /// Batched implicit non-fetching AMO (memory effect applied eagerly).
+    fn amo_batched(
+        &self,
+        key: SegKey,
+        off: usize,
+        op: AmoOp,
+        operand: u64,
+    ) -> Result<(), FabricError> {
+        let seg = self.bounds(key, off, 8)?;
+        let t = self.transport_to(key.rank);
+        let m = self.fabric.model();
+        let extra = self.apply_faults(key.rank, m.amo_latency(t), true);
+        seg.amo(off, op, operand, 0);
+        let c = self.fabric.counters();
+        c.amos.fetch_add(1, Ordering::Relaxed);
+        c.bytes_amo.fetch_add(8, Ordering::Relaxed);
+        c.batched_ops.fetch_add(1, Ordering::Relaxed);
+        self.enqueue(key, BurstKind::Amo, off, 8, extra);
+        Ok(())
     }
 
     // ----------------------------------------------------------------- put
@@ -322,8 +462,14 @@ impl Endpoint {
         Ok(NbHandle { t_complete: t })
     }
 
-    /// Implicit-nonblocking put, completed by [`Endpoint::gsync`].
+    /// Implicit-nonblocking put, completed by [`Endpoint::gsync`]. With
+    /// batching enabled, small puts (below the protocol-change size)
+    /// write-combine into the target's open burst; large puts always take
+    /// the rendezvous-style unbatched path.
     pub fn put_implicit(&self, key: SegKey, off: usize, src: &[u8]) -> Result<(), FabricError> {
+        if self.batch.get() && src.len() < self.fabric.model().dmapp_proto_change_bytes {
+            return self.put_batched(key, off, src);
+        }
         let t = self.put_raw(key, off, src, Flavor::Implicit)?;
         self.note_pending(key.rank, t);
         Ok(())
@@ -404,7 +550,8 @@ impl Endpoint {
     }
 
     /// Implicit-nonblocking AMO (result discarded), completed by gsync —
-    /// DMAPP's non-fetching AMO flavour.
+    /// DMAPP's non-fetching AMO flavour. With batching enabled, adjacent
+    /// AMOs to the same target coalesce into one injection chain.
     pub fn amo_implicit(
         &self,
         key: SegKey,
@@ -412,6 +559,9 @@ impl Endpoint {
         op: AmoOp,
         operand: u64,
     ) -> Result<(), FabricError> {
+        if self.batch.get() {
+            return self.amo_batched(key, off, op, operand);
+        }
         let seg = self.bounds(key, off, 8)?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
@@ -510,9 +660,12 @@ impl Endpoint {
         let seg = self.bounds(key, off, 16)?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
+        // Ordered-class fencing covers the target's open burst too: retire
+        // it so its horizon is part of what the release orders behind.
+        self.drain_target(key.rank);
         let extra = self.apply_faults(key.rank, m.amo_latency(t), true);
         self.clock.advance(m.inject(t));
-        let pending = self.pending_per.borrow().get(&key.rank).copied().unwrap_or(0.0);
+        let pending = self.pending.horizon(key.rank);
         let t_complete = (self.clock.now() + m.amo_latency(t) + extra).max(pending);
         seg.amo(off, op, operand, 0);
         seg.word(off + 8).fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
@@ -570,7 +723,8 @@ impl Endpoint {
     /// pending horizon is joined.
     pub fn gsync(&self) {
         let t_start = self.clock.now();
-        self.clock.join(self.pending_all.get());
+        self.drain_all();
+        self.clock.join(self.pending.global());
         let extra = self.apply_faults(NO_TARGET, 0.0, true);
         if extra > 0.0 {
             self.clock.advance(extra);
@@ -581,18 +735,21 @@ impl Endpoint {
 
     /// The completion horizon of implicit operations already issued to
     /// `target` (what a flush would wait for) — used by request-based
-    /// wrappers to build completion handles.
+    /// wrappers to build completion handles. Retires the target's open
+    /// burst first so the horizon covers it. Conservative under striping:
+    /// may include a stripe-mate's later completion.
     pub fn pending_for(&self, target: u32) -> f64 {
-        self.pending_per.borrow().get(&target).copied().unwrap_or(0.0)
+        self.drain_target(target);
+        self.pending.horizon(target)
     }
 
     /// Complete all implicit operations targeted at `target` (per-target
     /// remote completion, the substrate of `MPI_Win_flush(target)`).
+    /// Retires the target's open burst, then joins its striped horizon.
     pub fn flush_target(&self, target: u32) {
         let t_start = self.clock.now();
-        if let Some(&t) = self.pending_per.borrow().get(&target) {
-            self.clock.join(t);
-        }
+        self.drain_target(target);
+        self.clock.join(self.pending.horizon(target));
         self.fabric.counters().flushes.fetch_add(1, Ordering::Relaxed);
         self.trace_sync(EventKind::Flush, target, t_start);
     }
@@ -790,6 +947,138 @@ mod tests {
                 ep1.clock().now()
             );
         }
+    }
+
+    #[test]
+    fn batching_amortizes_injection_and_improves_horizon() {
+        let m = CostModel::default();
+        let run = |batch: bool| {
+            let f = Fabric::new(2, 1, CostModel::default());
+            let ep = Endpoint::new(f.clone(), 0);
+            ep.set_batching(batch);
+            let key = f.register(1, Segment::new(4096));
+            for i in 0..16 {
+                ep.put_implicit(key, i * 8, &[i as u8 + 1; 8]).unwrap();
+            }
+            ep.gsync();
+            (ep.clock().now(), f, ep, key)
+        };
+        let (batched, fb, epb, keyb) = run(true);
+        let (unbatched, ..) = run(false);
+        assert!(batched < unbatched, "batched {batched} >= unbatched {unbatched}");
+        // 16 contiguous 8-byte puts: one burst — o + 15·g issue cost and a
+        // single 128-byte wire message instead of 16 injections.
+        let expect = m.inject(Transport::Dmapp)
+            + 15.0 * m.gap(Transport::Dmapp)
+            + m.put_latency(Transport::Dmapp, 128);
+        assert!((batched - expect).abs() < 1e-9, "got {batched}, expect {expect}");
+        let c = fb.counters().snapshot();
+        assert_eq!((c.puts, c.batched_ops, c.batch_flushes, c.batch_splits), (16, 16, 1, 0));
+        // The data all landed, in order.
+        for i in 0..16u8 {
+            let mut buf = [0u8; 8];
+            epb.get(keyb, i as usize * 8, &mut buf).unwrap();
+            assert_eq!(buf, [i + 1; 8]);
+        }
+    }
+
+    #[test]
+    fn burst_splits_exactly_at_proto_boundary() {
+        let (f, ep0, _ep1, key) = setup();
+        ep0.set_batching(true);
+        // 8 × 512 B contiguous = 4096 B total: the member that would reach
+        // the protocol-change size exactly must open a fresh burst instead
+        // (bursts never enter the rendezvous protocol).
+        for i in 0..8 {
+            ep0.put_implicit(key, i * 512, &[i as u8 + 1; 512]).unwrap();
+        }
+        let c = f.counters().snapshot();
+        assert_eq!((c.batch_flushes, c.batch_splits), (1, 1));
+        assert_eq!(ep0.open_bursts(), 1, "the split's tail burst stays open");
+        ep0.gsync();
+        assert_eq!(ep0.open_bursts(), 0);
+        assert_eq!(f.counters().snapshot().batch_flushes, 2);
+        let mut buf = [0u8; 512];
+        ep0.get(key, 7 * 512, &mut buf).unwrap();
+        assert_eq!(buf, [8u8; 512]);
+    }
+
+    #[test]
+    fn large_puts_bypass_batching() {
+        let f = Fabric::new(2, 1, CostModel::default());
+        let ep = Endpoint::new(f.clone(), 0);
+        ep.set_batching(true);
+        let key = f.register(1, Segment::new(8192));
+        ep.put_implicit(key, 0, &[3u8; 4096]).unwrap();
+        assert_eq!(ep.open_bursts(), 0, "protocol-change-sized put is not batched");
+        assert_eq!(f.counters().snapshot().batched_ops, 0);
+        assert!(ep.pending_for(1) > 0.0);
+    }
+
+    #[test]
+    fn interleaved_put_amo_same_offset_stays_ordered() {
+        let (f, ep0, ep1, key) = setup();
+        ep0.set_batching(true);
+        // Same 8-byte word, alternating kinds: memory effects apply
+        // eagerly in program order, and every kind switch retires the
+        // open burst, so nothing reorders within the ordered class.
+        ep0.put_implicit(key, 0, &5u64.to_le_bytes()).unwrap();
+        ep0.amo_implicit(key, 0, AmoOp::Add, 3).unwrap();
+        ep0.put_implicit(key, 0, &10u64.to_le_bytes()).unwrap();
+        ep0.amo_implicit(key, 0, AmoOp::Add, 1).unwrap();
+        assert_eq!(f.counters().snapshot().batch_splits, 3);
+        let horizon = ep0.pending_for(1); // drains the open AMO burst
+        assert!(horizon > 0.0);
+        ep0.amo_sync_release_ordered(key, 16, AmoOp::Add, 1).unwrap();
+        let v = ep1.read_sync(key, 16).unwrap();
+        assert_eq!(v, 1);
+        assert!(
+            ep1.clock().now() >= horizon,
+            "ordered release overtook batched data: {} < {horizon}",
+            ep1.clock().now()
+        );
+        let mut buf = [0u8; 8];
+        ep0.get(key, 0, &mut buf).unwrap();
+        assert_eq!(u64::from_le_bytes(buf), 11, "program order preserved");
+    }
+
+    #[test]
+    fn flush_during_faults_drains_and_stays_deterministic() {
+        use crate::faults::FaultPlan;
+        let run = || {
+            // Delay + backpressure heavy: the PR 2 plans the soak uses.
+            let plan = FaultPlan { delay_prob: 0.5, bp_prob: 0.3, ..FaultPlan::heavy(123) };
+            let f = Fabric::with_config(2, 1, CostModel::default(), None, Some(plan));
+            let ep = Endpoint::new(f.clone(), 0);
+            ep.set_batching(true);
+            let key = f.register(1, Segment::new(8192));
+            for round in 0..10usize {
+                for i in 0..8 {
+                    ep.put_implicit(key, round * 64 + i * 8, &[i as u8; 8]).unwrap();
+                }
+                ep.flush_target(1);
+                assert_eq!(ep.open_bursts(), 0, "flush must drain open bursts");
+            }
+            ep.gsync();
+            (ep.clock().now(), f.faults().total_injected())
+        };
+        let (ta, ia) = run();
+        let (tb, ib) = run();
+        assert_eq!(ta.to_bits(), tb.to_bits(), "batched fault runs must be bit-deterministic");
+        assert_eq!(ia, ib);
+        assert!(ia > 0, "the armed plan must inject");
+    }
+
+    #[test]
+    fn disabling_batching_drains_open_bursts() {
+        let (f, ep0, _ep1, key) = setup();
+        ep0.set_batching(true);
+        ep0.put_implicit(key, 0, &[1u8; 8]).unwrap();
+        assert_eq!(ep0.open_bursts(), 1);
+        ep0.set_batching(false);
+        assert_eq!(ep0.open_bursts(), 0);
+        assert!(ep0.pending_for(1) > 0.0, "drained burst left its horizon behind");
+        let _ = f;
     }
 
     #[test]

@@ -210,16 +210,20 @@ impl FaultPlan {
             || self.busy_prob > 0.0
     }
 
-    /// Read a plan from `FOMPI_FAULTS` (see [`FaultPlan::parse`]); `None`
-    /// when unset, empty or `0`.
-    pub fn from_env() -> Option<Self> {
-        let spec = std::env::var("FOMPI_FAULTS").ok()?;
-        Self::parse(&spec)
+    /// Read a plan from `FOMPI_FAULTS` (see [`FaultPlan::parse`]);
+    /// `Ok(None)` when unset, empty or `0`; `Err` on a malformed spec (the
+    /// error names the offending clause — callers must surface it, never
+    /// swallow it as "disabled").
+    pub fn from_env() -> Result<Option<Self>, FaultParseError> {
+        match std::env::var("FOMPI_FAULTS") {
+            Ok(spec) => Self::parse(&spec),
+            Err(_) => Ok(None),
+        }
     }
 
     /// Parse a `FOMPI_FAULTS` spec. Grammar (see EXPERIMENTS.md):
     ///
-    /// * `0` / empty — disabled (`None`);
+    /// * `0` / empty — disabled (`Ok(None)`);
     /// * `1` or `light` — [`FaultPlan::light`];
     /// * `heavy` — [`FaultPlan::heavy`];
     /// * a comma-separated `key=value` list over a **light** base:
@@ -229,11 +233,17 @@ impl FaultPlan {
     ///   may also prefix the list: `heavy,seed=7`.
     ///
     /// The seed, unless given, comes from `FOMPI_SEED` (default 1).
-    pub fn parse(spec: &str) -> Option<Self> {
+    /// Malformed clauses are an error naming the clause, not a silent
+    /// disable: a typo in a chaos spec must never quietly run clean.
+    pub fn parse(spec: &str) -> Result<Option<Self>, FaultParseError> {
         let spec = spec.trim();
         if spec.is_empty() || spec == "0" {
-            return None;
+            return Ok(None);
         }
+        let err = |clause: &str, reason: &str| FaultParseError {
+            clause: clause.to_string(),
+            reason: reason.to_string(),
+        };
         let default_seed = crate::rng::root_seed_from_env(1);
         let mut plan = FaultPlan::light(default_seed);
         for part in spec.split(',') {
@@ -243,14 +253,17 @@ impl FaultPlan {
                 "1" | "light" => plan = FaultPlan::light(plan.seed),
                 "heavy" => plan = FaultPlan::heavy(plan.seed),
                 _ => {
-                    let (key, val) = part.split_once('=')?;
+                    let Some((key, val)) = part.split_once('=') else {
+                        return Err(err(part, "expected `light`, `heavy` or `key=value`"));
+                    };
                     let key = key.trim();
                     let val = val.trim();
                     if key == "seed" {
-                        plan.seed = parse_u64(val)?;
+                        plan.seed = parse_u64(val)
+                            .ok_or_else(|| err(part, "seed wants a decimal or 0x-hex u64"))?;
                         continue;
                     }
-                    let v: f64 = val.parse().ok()?;
+                    let v: f64 = val.parse().map_err(|_| err(part, "value must be a number"))?;
                     match key {
                         "jitter" => plan.jitter_frac = v,
                         "spike" => plan.spike_prob = v,
@@ -264,14 +277,31 @@ impl FaultPlan {
                         "pause_ns" => plan.pause_ns = v,
                         "busy" => plan.busy_prob = v,
                         "busy_ns" => plan.busy_ns = v,
-                        _ => return None,
+                        _ => return Err(err(part, "unknown key")),
                     }
                 }
             }
         }
-        Some(plan)
+        Ok(Some(plan))
     }
 }
+
+/// A malformed `FOMPI_FAULTS` clause: what was wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultParseError {
+    /// The offending comma-separated clause, verbatim.
+    pub clause: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl std::fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} in clause `{}`", self.reason, self.clause)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
 
 /// Parse a decimal or `0x`-prefixed u64.
 fn parse_u64(s: &str) -> Option<u64> {
@@ -330,9 +360,14 @@ impl Faults {
         Faults { active: AtomicBool::new(plan.any()), plan, ranks, injected: Default::default() }
     }
 
-    /// Hub configured from `FOMPI_FAULTS` (inert when unset).
+    /// Hub configured from `FOMPI_FAULTS` (inert when unset). A malformed
+    /// spec is a *startup error*, not a silent disable: nothing is worse
+    /// than believing a soak ran under chaos when a typo turned it off.
     pub fn from_env(p: usize) -> Self {
-        Self::new(p, FaultPlan::from_env().unwrap_or_else(FaultPlan::disabled))
+        match FaultPlan::from_env() {
+            Ok(plan) => Self::new(p, plan.unwrap_or_else(FaultPlan::disabled)),
+            Err(e) => panic!("invalid FOMPI_FAULTS: {e}"),
+        }
     }
 
     /// Is any fault injection armed? One relaxed load.
@@ -512,20 +547,38 @@ mod tests {
 
     #[test]
     fn parse_shorthands_and_overrides() {
-        assert!(FaultPlan::parse("0").is_none());
-        assert!(FaultPlan::parse("").is_none());
-        let light = FaultPlan::parse("1").unwrap();
+        assert_eq!(FaultPlan::parse("0"), Ok(None));
+        assert_eq!(FaultPlan::parse(""), Ok(None));
+        let light = FaultPlan::parse("1").unwrap().unwrap();
         assert_eq!(light.jitter_frac, FaultPlan::light(light.seed).jitter_frac);
-        let h = FaultPlan::parse("heavy,seed=0x2A").unwrap();
+        let h = FaultPlan::parse("heavy,seed=0x2A").unwrap().unwrap();
         assert_eq!(h.seed, 42);
         assert_eq!(h.busy_prob, FaultPlan::heavy(0).busy_prob);
-        let c = FaultPlan::parse("seed=9,jitter=0.3,busy=0.2,busy_ns=500").unwrap();
+        let c = FaultPlan::parse("seed=9,jitter=0.3,busy=0.2,busy_ns=500").unwrap().unwrap();
         assert_eq!(c.seed, 9);
         assert_eq!(c.jitter_frac, 0.3);
         assert_eq!(c.busy_prob, 0.2);
         assert_eq!(c.busy_ns, 500.0);
-        assert!(FaultPlan::parse("nonsense").is_none());
-        assert!(FaultPlan::parse("jitter=abc").is_none());
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_clause() {
+        // A bare word that is not a shorthand is an error, not "disabled".
+        let e = FaultPlan::parse("nonsense").unwrap_err();
+        assert_eq!(e.clause, "nonsense");
+        // A non-numeric value names its clause.
+        let e = FaultPlan::parse("heavy,jitter=abc,busy=0.2").unwrap_err();
+        assert_eq!(e.clause, "jitter=abc");
+        assert!(e.to_string().contains("jitter=abc"), "{e}");
+        // Unknown keys are errors too (typo'd chaos must not run clean).
+        let e = FaultPlan::parse("jittr=0.3").unwrap_err();
+        assert_eq!(e.clause, "jittr=0.3");
+        assert!(e.reason.contains("unknown key"));
+        // Bad seeds are caught.
+        let e = FaultPlan::parse("seed=0xZZ").unwrap_err();
+        assert_eq!(e.clause, "seed=0xZZ");
+        // Display carries enough to act on.
+        assert!(FaultPlan::parse("busy_ns=").unwrap_err().to_string().contains("must be a number"));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! error — but never undefined behaviour.
 
 pub mod amo;
+pub mod batch;
 pub mod clock;
 pub mod cost;
 pub mod counters;
@@ -45,24 +46,27 @@ pub mod faults;
 pub mod rng;
 pub mod segment;
 pub mod shim;
+pub mod stripes;
 pub mod telemetry;
 pub mod topology;
 pub mod xpmem;
 
 pub use amo::AmoOp;
+pub use batch::{Burst, BurstKind};
 pub use clock::{Clock, StampCell};
 pub use cost::{CostModel, Transport};
 pub use counters::{CounterSnapshot, Counters};
 pub use endpoint::{Endpoint, NbHandle};
 pub use error::FabricError;
-pub use faults::{FaultKind, FaultPlan, Faults};
+pub use faults::{FaultKind, FaultParseError, FaultPlan, Faults};
 pub use segment::{SegKey, Segment};
+pub use stripes::{StripedHorizon, STRIPE_COUNT};
 pub use telemetry::Telemetry;
 pub use topology::Topology;
 
 use shim::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The fabric: the shared "network + NIC registry" that all ranks attach to.
@@ -79,6 +83,7 @@ pub struct Fabric {
     counters: Counters,
     telemetry: Telemetry,
     faults: Faults,
+    batch_default: AtomicBool,
 }
 
 impl Fabric {
@@ -138,6 +143,7 @@ impl Fabric {
             counters: Counters::default(),
             telemetry,
             faults,
+            batch_default: AtomicBool::new(batch_from_env()),
         })
     }
 
@@ -164,6 +170,19 @@ impl Fabric {
     /// The fault-injection hub (inert unless a plan is armed).
     pub fn faults(&self) -> &Faults {
         &self.faults
+    }
+
+    /// Whether endpoints created from now on start with issue-side batching
+    /// enabled (see [`batch`]). Defaults to `FOMPI_BATCH` (off when unset);
+    /// each [`Endpoint`] snapshots this at creation and can still toggle
+    /// itself with [`Endpoint::set_batching`].
+    pub fn batch_default(&self) -> bool {
+        self.batch_default.load(Ordering::Relaxed)
+    }
+
+    /// Set the batching default for endpoints created after this call.
+    pub fn set_batch_default(&self, on: bool) {
+        self.batch_default.store(on, Ordering::Relaxed);
     }
 
     /// Register `seg` for remote access by rank `rank`. Returns the key
@@ -236,6 +255,15 @@ impl Fabric {
             Transport::Dmapp
         }
     }
+}
+
+/// `FOMPI_BATCH` switch: `1`/`true`/`on` arms issue-side batching for every
+/// endpoint of fabrics built afterwards.
+fn batch_from_env() -> bool {
+    matches!(
+        std::env::var("FOMPI_BATCH").as_deref().map(str::trim),
+        Ok("1") | Ok("true") | Ok("on")
+    )
 }
 
 #[cfg(test)]

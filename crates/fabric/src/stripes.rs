@@ -1,0 +1,143 @@
+//! Striped lock-free completion horizons.
+//!
+//! DMAPP tracks implicit-nonblocking completions in bulk: `gsync` waits for
+//! *everything* outstanding, `flush_target` for everything toward one peer.
+//! The endpoint used to keep that state as a single scalar plus a
+//! `RefCell<HashMap<target, horizon>>` — a hash lookup and a dynamic borrow
+//! on every issue, and one shared cell that every peer's completions funnel
+//! through. [`StripedHorizon`] replaces both with a small fixed array of
+//! atomic maxima: targets hash onto stripes, each stripe holds the latest
+//! completion time (virtual ns) of any operation routed to it, and updates
+//! are a single `fetch_max` — lock-free, allocation-free, and contention-free
+//! across peers that land on different stripes.
+//!
+//! Horizons are non-negative `f64`s stored as raw bits: for non-negative
+//! IEEE-754 doubles the unsigned bit pattern is order-isomorphic to the
+//! numeric value, so `AtomicU64::fetch_max` on the bits *is* a numeric max.
+//!
+//! Per-target reads are conservative: [`StripedHorizon::horizon`] returns
+//! the stripe's maximum, which may include a stripe-mate's later completion.
+//! A flush can therefore only over-wait, never under-wait — correctness of
+//! the epoch protocols (which need "everything toward `target` is done") is
+//! preserved, and with [`STRIPE_COUNT`] stripes the collision rate is the
+//! usual birthday bound on active peers per epoch.
+
+use crate::clock::{bits_to_stamp, stamp_to_bits};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of stripes. A power of two so routing is a mask; 16 keeps the
+/// array within two cache lines while giving typical epoch working sets
+/// (a handful of distinct targets) collision-free per-target flushes.
+pub const STRIPE_COUNT: usize = 16;
+
+/// Striped monotonic completion horizons, indexed by target rank.
+#[derive(Debug, Default)]
+pub struct StripedHorizon {
+    stripes: [AtomicU64; STRIPE_COUNT],
+}
+
+impl StripedHorizon {
+    /// All-zero horizons.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Which stripe tracks `target`.
+    #[inline]
+    pub fn stripe_of(target: u32) -> usize {
+        target as usize & (STRIPE_COUNT - 1)
+    }
+
+    /// Record that an operation toward `target` completes at virtual time
+    /// `t`. Monotonic: earlier times never lower a stripe.
+    #[inline]
+    pub fn note(&self, target: u32, t: f64) {
+        debug_assert!(t >= 0.0, "completion horizons are non-negative");
+        self.stripes[Self::stripe_of(target)].fetch_max(stamp_to_bits(t), Ordering::AcqRel);
+    }
+
+    /// The completion horizon of operations toward `target` (conservative:
+    /// the maximum over `target`'s stripe).
+    #[inline]
+    pub fn horizon(&self, target: u32) -> f64 {
+        bits_to_stamp(self.stripes[Self::stripe_of(target)].load(Ordering::Acquire))
+    }
+
+    /// The global horizon — what `gsync` waits for.
+    #[inline]
+    pub fn global(&self) -> f64 {
+        self.stripes
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .max()
+            .map(bits_to_stamp)
+            .unwrap_or(0.0)
+    }
+
+    /// Reset every stripe to zero. Only safe with no concurrent noters
+    /// (between benchmark repetitions, after a barrier).
+    pub fn reset(&self) {
+        for s in &self.stripes {
+            s.store(0, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_is_monotonic_max() {
+        let h = StripedHorizon::new();
+        h.note(3, 100.0);
+        h.note(3, 50.0);
+        assert_eq!(h.horizon(3), 100.0);
+        h.note(3, 250.5);
+        assert_eq!(h.horizon(3), 250.5);
+    }
+
+    #[test]
+    fn distinct_stripes_are_independent() {
+        let h = StripedHorizon::new();
+        h.note(1, 1000.0);
+        h.note(2, 9.0);
+        assert_eq!(h.horizon(1), 1000.0);
+        assert_eq!(h.horizon(2), 9.0);
+        assert_eq!(h.global(), 1000.0);
+    }
+
+    #[test]
+    fn stripe_mates_are_conservative() {
+        let h = StripedHorizon::new();
+        // 0 and STRIPE_COUNT share a stripe: reads may over-report, never
+        // under-report.
+        h.note(0, 7.0);
+        h.note(STRIPE_COUNT as u32, 99.0);
+        assert!(h.horizon(0) >= 7.0);
+        assert_eq!(h.horizon(STRIPE_COUNT as u32), 99.0);
+    }
+
+    #[test]
+    fn bit_max_matches_numeric_max_for_nonnegative() {
+        // The fetch_max-on-bits trick requires bit order == numeric order
+        // for every non-negative pair.
+        let samples = [0.0, 1e-300, 0.5, 1.0, 416.0, 1e9, 1e300];
+        for &a in &samples {
+            for &b in &samples {
+                let bits = stamp_to_bits(a).max(stamp_to_bits(b));
+                assert_eq!(bits_to_stamp(bits), a.max(b));
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let h = StripedHorizon::new();
+        for t in 0..64 {
+            h.note(t, t as f64 + 1.0);
+        }
+        h.reset();
+        assert_eq!(h.global(), 0.0);
+    }
+}

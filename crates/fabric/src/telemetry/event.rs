@@ -64,11 +64,19 @@ pub enum EventKind {
     /// A bounded retry after a transient fault (e.g. re-attempted
     /// registration after `SegmentBusy`).
     FaultRetry,
+    /// An issue-side injection burst retired by an explicit drain
+    /// (flush/gsync/ordered release — see [`crate::batch`]). The span
+    /// covers the burst's issue window (open → retire).
+    BatchFlush,
+    /// An injection burst retired because coalescing stopped: the next
+    /// operation was non-adjacent, a different kind, or would cross the
+    /// protocol-change size or op cap.
+    BatchSplit,
 }
 
 impl EventKind {
     /// Number of distinct kinds (size of per-class stat arrays).
-    pub const COUNT: usize = 21;
+    pub const COUNT: usize = 23;
 
     /// All kinds, in `index` order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -93,6 +101,8 @@ impl EventKind {
         EventKind::FaultBackpressure,
         EventKind::FaultPause,
         EventKind::FaultRetry,
+        EventKind::BatchFlush,
+        EventKind::BatchSplit,
     ];
 
     /// Dense index for per-class stat arrays.
@@ -125,6 +135,8 @@ impl EventKind {
             EventKind::FaultBackpressure => "fault_backpressure",
             EventKind::FaultPause => "fault_pause",
             EventKind::FaultRetry => "fault_retry",
+            EventKind::BatchFlush => "batch_flush",
+            EventKind::BatchSplit => "batch_split",
         }
     }
 

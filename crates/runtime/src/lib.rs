@@ -34,6 +34,7 @@ pub struct Universe {
     trace: Option<usize>,
     seed: u64,
     faults: Option<FaultPlan>,
+    batch: Option<bool>,
 }
 
 impl Universe {
@@ -49,6 +50,7 @@ impl Universe {
             trace: None,
             seed: root_seed_from_env(1),
             faults: None,
+            batch: None,
         }
     }
 
@@ -88,6 +90,15 @@ impl Universe {
         self
     }
 
+    /// Arm (or explicitly disarm) issue-side small-op batching for every
+    /// endpoint of the job, overriding `FOMPI_BATCH` (see
+    /// `fompi_fabric::batch`). Leaving this unset defers to the
+    /// environment, which defaults to off.
+    pub fn batch(mut self, on: bool) -> Self {
+        self.batch = Some(on);
+        self
+    }
+
     /// The root seed in force.
     pub fn root_seed(&self) -> u64 {
         self.seed
@@ -116,6 +127,9 @@ impl Universe {
         });
         let fabric =
             Fabric::with_config(self.p, self.node_size, self.model.clone(), self.trace, plan);
+        if let Some(on) = self.batch {
+            fabric.set_batch_default(on);
+        }
         let coll = Arc::new(CollEngine::new(self.p, fabric.clone()));
         let mut results: Vec<Option<T>> = (0..self.p).map(|_| None).collect();
         let fref = &f;
@@ -321,6 +335,16 @@ mod tests {
                 ctx.barrier();
             });
         assert_eq!(fabric.faults().plan().seed, 7);
+    }
+
+    #[test]
+    fn batch_builder_arms_every_endpoint() {
+        let (on, fabric) =
+            Universe::new(3).node_size(1).batch(true).launch(|ctx| ctx.ep().batching());
+        assert!(on.iter().all(|&b| b));
+        assert!(fabric.batch_default());
+        let (off, _) = Universe::new(3).node_size(1).batch(false).launch(|ctx| ctx.ep().batching());
+        assert!(off.iter().all(|&b| !b));
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct LogGP {
     pub l_get: f64,
     /// Per-byte cost (G).
     pub g: f64,
+    /// Issue gap (g) between members of a coalesced injection burst: with
+    /// issue-side batching, successive small ops to adjacent offsets pay
+    /// `g_gap` instead of a full `o` (see `fompi_fabric::batch`).
+    pub g_gap: f64,
     /// Remote-AMO latency.
     pub amo: f64,
     /// Intra-node injection overhead.
@@ -46,6 +50,7 @@ impl Default for LogGP {
             l_put: 1_000.0,
             l_get: 1_900.0,
             g: 0.16,
+            g_gap: 50.0,
             amo: 2_400.0,
             o_intra: 80.0,
             l_intra: 250.0,
@@ -78,6 +83,23 @@ impl LogGP {
     /// An MPI-1 small-message half-round-trip (send → matched receive).
     pub fn mpi1_msg(&self, bytes: usize) -> f64 {
         self.o + self.sw_mpi1 + self.put(bytes + 32)
+    }
+
+    /// A burst of `n` contiguous `bytes`-sized puts with issue-side
+    /// batching: one injection `o`, `n-1` issue gaps, one wire message of
+    /// the combined size. The closed-form twin of the live fabric's
+    /// batching layer, used for model-drift coverage of `batch_*` spans.
+    pub fn put_batched(&self, n: usize, bytes: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.o + (n - 1) as f64 * self.g_gap + self.put(n * bytes)
+    }
+
+    /// The same `n` puts issued individually (each pays `o` and a full
+    /// wire message) — the ablation baseline.
+    pub fn put_unbatched(&self, n: usize, bytes: usize) -> f64 {
+        n as f64 * (self.o + self.put(bytes))
     }
 }
 
@@ -302,6 +324,24 @@ mod tests {
         let m = LogGP::default();
         assert!(m.put(8) < m.get(8));
         assert!(m.barrier_round() > 1_000.0);
+    }
+
+    #[test]
+    fn batched_series_beats_unbatched_for_bursts() {
+        let m = LogGP::default();
+        // n = 1: identical by construction.
+        assert!((m.put_batched(1, 8) - m.put_unbatched(1, 8)).abs() < 1e-9);
+        // The advantage grows monotonically with burst length.
+        let mut prev_gain = 0.0;
+        for n in [2, 4, 8, 16, 32] {
+            let gain = m.put_unbatched(n, 8) - m.put_batched(n, 8);
+            assert!(gain > prev_gain, "n={n}");
+            prev_gain = gain;
+        }
+        // And matches the closed form (n-1)·(o + L - g_gap).
+        let n = 8;
+        let expect = (n - 1) as f64 * (m.o + m.l_put - m.g_gap);
+        assert!((m.put_unbatched(n, 8) - m.put_batched(n, 8) - expect).abs() < 1e-6);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, tests. Run from anywhere in the repo.
+# Local CI gate: formatting, lints, tests, soak smoke, perf-regression
+# gate, results determinism. Run from anywhere in the repo.
 #
 #   scripts/ci.sh            # the full gate
 #   scripts/ci.sh --fix      # apply rustfmt instead of checking
@@ -32,7 +33,34 @@ if [[ -n "${SOAK_SECONDS:-}" ]]; then
     cargo run --offline --release -q -p fompi-bench --bin soak
 else
     echo "== soak smoke (2 seeds, all protocols) =="
-    SOAK_SEEDS="${SOAK_SEEDS:-2}" cargo run --offline --release -q -p fompi-bench --bin soak
+    # Pinned environment: the smoke must be bit-reproducible so the
+    # results-determinism check below can diff results/soak.csv.
+    env -u FOMPI_SEED -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY \
+        SOAK_SEEDS="${SOAK_SEEDS:-2}" \
+        cargo run --offline --release -q -p fompi-bench --bin soak
+fi
+
+# Perf-regression gate: the fabric charges *virtual* time from a fixed
+# cost model, so the perfgate metrics are bit-reproducible on any machine
+# — a >1% delta is a genuine protocol/model change, never noise. On an
+# intentional change, refresh the baseline:
+#   cargo run --release -p fompi-bench --bin perfgate
+#   cp BENCH_PR3.json results/BENCH_PR3_baseline.json
+echo "== perfgate: virtual-time regression check (tolerance 1%) =="
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY FOMPI_SEED=1 \
+    cargo run --offline --release -q -p fompi-bench --bin perfgate -- \
+    --check results/BENCH_PR3_baseline.json
+
+# Results determinism: the checked-in drift table (and in smoke mode the
+# soak table, which the soak smoke above just rewrote at pinned seeds)
+# must regenerate byte-identically. A diff here means a change altered
+# virtual-time behaviour without refreshing results/.
+echo "== results determinism: regenerate drift.csv and compare =="
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY FOMPI_SEED=1 \
+    cargo run --offline --release -q -p fompi-bench --bin reproduce -- drift >/dev/null
+git diff --exit-code -- results/drift.csv
+if [[ -z "${SOAK_SECONDS:-}" && "${SOAK_SEEDS:-2}" == "2" ]]; then
+    git diff --exit-code -- results/soak.csv
 fi
 
 echo "CI gate passed."

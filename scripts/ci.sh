@@ -62,5 +62,9 @@ git diff --exit-code -- results/drift.csv
 if [[ -z "${SOAK_SECONDS:-}" && "${SOAK_SEEDS:-2}" == "2" ]]; then
     git diff --exit-code -- results/soak.csv
 fi
+# drift_sched.csv holds the schedule-dependent classes (post/start/wait
+# partner-wait poll loops) — not reproducible, so not diffed; restore the
+# committed copy so the gate leaves the tree clean.
+git checkout -q -- results/drift_sched.csv
 
 echo "CI gate passed."

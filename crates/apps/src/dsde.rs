@@ -254,6 +254,53 @@ pub fn run_win22(ctx: &RankCtx, win: &fompi_msg::Win22, k: usize, seed: u64) -> 
     DsdeResult { time_ns, received }
 }
 
+// --------------------------------------------------------- notified access
+
+/// Protocol 5: notified access — deliver each payload with a single
+/// `put_notify` and let the notification itself carry both completion and
+/// the sender's identity.
+///
+/// The notification record's `source` field replaces `run_rma`'s
+/// fetch-and-add slot allocation outright: each sender owns slot `src` in
+/// every receiver's window (targets are distinct per sender, so one slot
+/// per pair suffices), which removes the AMO round trip from every
+/// message's critical path. The receiver never polls a cursor and needs
+/// no closing fence to learn its receive count: the notification append
+/// is synchronous with the issuing call, so once a plain barrier bounds
+/// the send phase every incoming record is already in this rank's ring
+/// and a drain-until-dry observes the exact count — the consensus NBX
+/// buys with a nonblocking barrier comes for free with the records, and
+/// the fence's window-wide flush is replaced by the per-record stamps
+/// joined as each notification is consumed.
+pub fn run_notified(ctx: &RankCtx, win: &Win, k: usize, seed: u64) -> DsdeResult {
+    let p = ctx.size();
+    let me = ctx.rank();
+    let targets = pick_targets(me, p, k, seed);
+    // Window layout: [0..8) unused (run_rma's cursor); slot for sender
+    // `src` at [8 + 8·src ..) — the run_win22 one-slot-per-sender shape.
+    ctx.barrier();
+    win.lock_all().expect("lock_all");
+    let t0 = ctx.now();
+    for &t in &targets {
+        win.put_notify(&payload(me, t).to_le_bytes(), t, 8 + me as usize * 8, DSDE_TAG)
+            .expect("notified put");
+    }
+    ctx.barrier();
+    let mut received = Vec::new();
+    while let Some(rec) = win.test_notify(fompi::ANY_SOURCE, DSDE_TAG).expect("notify drain") {
+        // Each consumed record joins its stamp, so the read below is
+        // covered by the arrival of that sender's payload.
+        let mut b = [0u8; 8];
+        win.read_local(8 + rec.source as usize * 8, &mut b);
+        received.push(u64::from_le_bytes(b));
+    }
+    let time_ns = ctx.now() - t0;
+    check_received(me, &received);
+    win.unlock_all().expect("unlock_all");
+    ctx.barrier();
+    DsdeResult { time_ns, received }
+}
+
 /// Window size needed by [`run_rma`] for up to `p` senders of one message
 /// each (worst case: every rank targets me).
 pub fn rma_win_bytes(p: usize) -> usize {
@@ -333,6 +380,34 @@ mod tests {
         let t22 = crate::max_time(&w22.iter().map(|r| r.time_ns).collect::<Vec<_>>());
         let trma = crate::max_time(&rma.iter().map(|r| r.time_ns).collect::<Vec<_>>());
         assert!(trma < t22, "foMPI {trma} must beat the MPI-2.2 agent path {t22}");
+    }
+
+    #[test]
+    fn notified_delivers_everything() {
+        let (p, k) = (6, 3);
+        let got = Universe::new(p).node_size(2).run(move |ctx| {
+            let win = Win::allocate(ctx, rma_win_bytes(p), 1).expect("win");
+            run_notified(ctx, &win, k, 31)
+        });
+        conservation(&got, p, k);
+        for (rank, r) in got.iter().enumerate() {
+            check_received(rank as u32, &r.received);
+        }
+    }
+
+    #[test]
+    fn notified_repeated_rounds_reuse_window_and_ring() {
+        // Two rounds over the same window: the drain-until-dry of round 1
+        // must leave the ring empty so round 2's count is exact.
+        let (p, k) = (4, 2);
+        let got = Universe::new(p).node_size(2).run(move |ctx| {
+            let win = Win::allocate(ctx, rma_win_bytes(p), 1).expect("win");
+            let r1 = run_notified(ctx, &win, k, 1);
+            let r2 = run_notified(ctx, &win, k, 2);
+            (r1, r2)
+        });
+        conservation(&got.iter().map(|(a, _)| a.clone()).collect::<Vec<_>>(), p, k);
+        conservation(&got.iter().map(|(_, b)| b.clone()).collect::<Vec<_>>(), p, k);
     }
 
     #[test]

@@ -207,6 +207,150 @@ pub fn lookup_rma(win: &Win, cfg: &HtConfig, p: usize, key: u64) -> bool {
     false
 }
 
+// -------------------------------------------------- notified (owner computes)
+
+const HT_NOTIFY_TAG: u32 = 0x47_00A1;
+const HT_DONE_TAG: u32 = 0x47_00FE;
+
+// Inbox window layout (separate from the table window, whose layout stays
+// byte-identical to the RMA backend so `count_local` / `lookup_rma` work
+// on either):
+//   0..8    done-notification landing pad (operand is informational)
+//   8..    one region of `inserts_per_rank` key slots (8 B) per sender
+//
+// Dedicated per-sender regions mean slot allocation is a local counter at
+// the sender — the scatter needs *no remote atomics at all*, only notified
+// puts; the notification records' `source` field tells the owner how far
+// into each region to read.
+fn inbox_bytes(cfg: &HtConfig, p: usize) -> usize {
+    8 + p * cfg.inserts_per_rank * 8
+}
+
+fn inbox_slot_off(cfg: &HtConfig, sender: u32, seq: usize) -> usize {
+    8 + (sender as usize * cfg.inserts_per_rank + seq) * 8
+}
+
+/// Apply one insert to this rank's own volume with window-local reads and
+/// writes, preserving the exact RMA chain encoding. No atomics: the owner
+/// is the only writer of its table under this backend.
+fn insert_local(win: &Win, cfg: &HtConfig, key: u64) {
+    let slot = slot_of(key, cfg);
+    let mut b = [0u8; 8];
+    win.read_local(slot_off(slot), &mut b);
+    if u64::from_le_bytes(b) == 0 {
+        win.write_local(slot_off(slot), &key.to_le_bytes());
+        return;
+    }
+    win.read_local(0, &mut b);
+    let h = u64::from_le_bytes(b) as usize;
+    assert!(h < cfg.heap_cells, "overflow heap exhausted");
+    win.write_local(0, &(h as u64 + 1).to_le_bytes());
+    win.read_local(slot_off(slot) + 8, &mut b);
+    let head = u64::from_le_bytes(b);
+    win.write_local(heap_off(cfg, h), &key.to_le_bytes());
+    win.write_local(heap_off(cfg, h) + 8, &head.to_le_bytes());
+    win.write_local(slot_off(slot) + 8, &(h as u64 | (1 << 63)).to_le_bytes());
+}
+
+/// Notified-access backend ("owner computes").
+pub fn run_notified(ctx: &RankCtx, cfg: &HtConfig) -> HtResult {
+    let (res, _win) = run_notified_keep_window(ctx, cfg);
+    res
+}
+
+/// Notified-access backend, window-returning variant: instead of mutating
+/// the owner's volume remotely with CAS/FAA polling loops, each rank
+/// *ships the key* — a single `put_notify` into its own region of the
+/// owner's inbox — and the owner applies inserts locally while consuming
+/// its notification ring. The remote critical path per insert shrinks
+/// from CAS (plus FAA + put + get/flush + CAS on every collision) to one
+/// notified put, independent of the collision rate and free of the AMO
+/// serialisation that hot table slots and cursors suffer.
+///
+/// Termination is fully one-sided, mirroring the MPI-1 backend: after its
+/// last key each rank sends a notified done-AMO to every peer. Notified
+/// puts are ordered per target, so once `p - 1` done records have been
+/// consumed every incoming key record is already in the ring and a final
+/// drain-until-dry yields the exact count. Ring overflow surfaces as a
+/// transient backpressure error at the *sender*, which responds by
+/// draining its own ring before retrying — that break of the
+/// wait-while-full cycle is what makes the protocol deadlock-free at any
+/// ring depth.
+pub fn run_notified_keep_window(ctx: &RankCtx, cfg: &HtConfig) -> (HtResult, Win) {
+    let p = ctx.size();
+    let me = ctx.rank();
+    let win = Win::allocate(ctx, win_bytes(cfg), 1).expect("table window");
+    let inbox = Win::allocate(ctx, inbox_bytes(cfg, p), 1).expect("inbox window");
+    init_local(&win, cfg);
+    inbox.write_local(0, &0u64.to_le_bytes());
+    ctx.barrier();
+    inbox.lock_all().expect("lock_all");
+    let t0 = ctx.now();
+    // Keys received so far, per sender: region read-depth in the absorb
+    // phase below.
+    let mut keys_in = vec![0usize; p];
+    let mut dones = 0usize;
+    let drain = |keys_in: &mut [usize], dones: &mut usize| {
+        while let Some(rec) =
+            inbox.test_notify(fompi::ANY_SOURCE, fompi::ANY_TAG).expect("inbox drain")
+        {
+            match rec.tag {
+                HT_NOTIFY_TAG => keys_in[rec.source as usize] += 1,
+                HT_DONE_TAG => *dones += 1,
+                t => unreachable!("unexpected notification tag {t:#x}"),
+            }
+        }
+    };
+    let mut seq = vec![0usize; p];
+    for key in keys_for(me, cfg) {
+        let owner = owner_of(key, p);
+        if owner == me {
+            insert_local(&win, cfg, key);
+            continue;
+        }
+        let off = inbox_slot_off(cfg, me, seq[owner as usize]);
+        seq[owner as usize] += 1;
+        loop {
+            match inbox.put_notify(&key.to_le_bytes(), owner, off, HT_NOTIFY_TAG) {
+                Ok(()) => break,
+                Err(e) if e.is_transient() => drain(&mut keys_in, &mut dones),
+                Err(e) => panic!("notified key put failed: {e}"),
+            }
+        }
+        drain(&mut keys_in, &mut dones);
+    }
+    for r in 0..p as u32 {
+        if r == me {
+            continue;
+        }
+        loop {
+            match inbox.accumulate_notify(1, MpiOp::Sum, r, 0, HT_DONE_TAG) {
+                Ok(()) => break,
+                Err(e) if e.is_transient() => drain(&mut keys_in, &mut dones),
+                Err(e) => panic!("done notification failed: {e}"),
+            }
+        }
+    }
+    while dones < p - 1 {
+        drain(&mut keys_in, &mut dones);
+        std::thread::yield_now();
+    }
+    drain(&mut keys_in, &mut dones);
+    for (sender, &n) in keys_in.iter().enumerate() {
+        for i in 0..n {
+            let mut b = [0u8; 8];
+            inbox.read_local(inbox_slot_off(cfg, sender as u32, i), &mut b);
+            insert_local(&win, cfg, u64::from_le_bytes(b));
+        }
+    }
+    let time_ns = ctx.now() - t0;
+    inbox.unlock_all().expect("unlock_all");
+    inbox.free(ctx);
+    ctx.barrier();
+    let local = count_local(|o, b| win.read_local(o, b), cfg);
+    (HtResult { time_ns, local_elements: local }, win)
+}
+
 // -------------------------------------------------------------------- UPC
 
 /// UPC backend: identical algorithm over `aadd`/`cas`.
@@ -401,6 +545,68 @@ mod tests {
             assert!(*found, "rank {rank} lost keys");
             assert!(!*ghosts, "rank {rank} found a never-inserted key");
         }
+    }
+
+    #[test]
+    fn notified_inserts_all_elements() {
+        let cfg = HtConfig { inserts_per_rank: 200, table_slots: 64, heap_cells: 2048, seed: 1 };
+        let p = 4;
+        let got = Universe::new(p).node_size(2).run(|ctx| run_notified(ctx, &cfg));
+        verify_total(&got, &cfg, p);
+    }
+
+    #[test]
+    fn notified_layout_is_lookup_compatible() {
+        // The owner-computes backend must leave the exact chain encoding
+        // the one-sided lookup walks.
+        let cfg = HtConfig { inserts_per_rank: 60, table_slots: 32, heap_cells: 1024, seed: 4 };
+        let p = 4;
+        let got = Universe::new(p).node_size(2).run(|ctx| {
+            let (_res, win) = run_notified_keep_window(ctx, &cfg);
+            win.lock_all().unwrap();
+            let mut found_all = true;
+            for key in keys_for(ctx.rank(), &cfg) {
+                found_all &= lookup_rma(&win, &cfg, p, key);
+            }
+            win.unlock_all().unwrap();
+            ctx.barrier();
+            found_all
+        });
+        for (rank, found) in got.iter().enumerate() {
+            assert!(*found, "rank {rank} lost keys under the notified backend");
+        }
+    }
+
+    #[test]
+    fn notified_survives_tiny_notification_rings() {
+        // Depth 2 forces constant overflow backpressure; the
+        // drain-own-ring-on-transient-error loop must keep the exchange
+        // deadlock-free and lossless.
+        let cfg = HtConfig { inserts_per_rank: 80, table_slots: 64, heap_cells: 1024, seed: 9 };
+        let p = 3;
+        let got = Universe::new(p).node_size(1).notify_depth(2).run(|ctx| run_notified(ctx, &cfg));
+        verify_total(&got, &cfg, p);
+    }
+
+    #[test]
+    fn notified_beats_amo_polling_under_collisions() {
+        // Small table → long chains: the CAS/FAA/get-flush retry path of
+        // the polling backend grows with the collision rate, while the
+        // notified owner-computes path stays at one FAA + one notified put
+        // per insert regardless.
+        // The ring is sized for the worst-case fan-in so no overflow
+        // stalls pollute the comparison (backpressure pricing is covered
+        // by notified_survives_tiny_notification_rings).
+        let cfg = HtConfig { inserts_per_rank: 100, table_slots: 8, heap_cells: 2048, seed: 7 };
+        let p = 4;
+        let rma = Universe::new(p).node_size(1).run(|ctx| run_rma(ctx, &cfg));
+        let na = Universe::new(p).node_size(1).notify_depth(512).run(|ctx| run_notified(ctx, &cfg));
+        let t_rma = crate::max_time(&rma.iter().map(|r| r.time_ns).collect::<Vec<_>>());
+        let t_na = crate::max_time(&na.iter().map(|r| r.time_ns).collect::<Vec<_>>());
+        assert!(
+            t_na < t_rma,
+            "notified inserts ({t_na} ns) should beat AMO polling ({t_rma} ns) under collisions"
+        );
     }
 
     #[test]

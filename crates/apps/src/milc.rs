@@ -644,7 +644,7 @@ pub fn run_rma_typed(ctx: &RankCtx, cfg: &MilcConfig) -> MilcResult {
     res
 }
 
-/// Notified-access halo backend: `put_notify` fuses the data transfer and
+/// Notified-access halo backend: `put_signal` fuses the data transfer and
 /// the flag update into one call (saving one injection + one AMO round
 /// trip per face versus [`RmaHalo`]) and waiters spin on local counters.
 pub struct NotifyHalo {
@@ -700,15 +700,15 @@ impl HaloExchange for NotifyHalo {
             ctx.ep().charge(memcpy * (hi_face.len() + lo_face.len()) as f64);
             // One fused call per face: data + notification (slot 2d for
             // the lo zone, 2d+1 for the hi zone, like RmaHalo's flags).
-            self.win.put_notify(&hi_face, up, self.zone_off(d, 0), 2 * d).expect("notify halo put");
+            self.win.put_signal(&hi_face, up, self.zone_off(d, 0), 2 * d).expect("notify halo put");
             self.win
-                .put_notify(&lo_face, down, self.zone_off(d, 1), 2 * d + 1)
+                .put_signal(&lo_face, down, self.zone_off(d, 1), 2 * d + 1)
                 .expect("notify halo put");
         }
         let mut halo: [[Vec<f64>; 2]; 4] = std::array::from_fn(|_| [Vec::new(), Vec::new()]);
         for d in 0..4 {
             for side in 0..2 {
-                self.win.notify_wait(2 * d + side, want).expect("notify wait");
+                self.win.signal_wait(2 * d + side, want).expect("notify wait");
                 let mut bytes = vec![0u8; self.face_bytes[d]];
                 self.win.read_local(self.zone_off(d, side), &mut bytes);
                 halo[d][side] = Lattice::decode_face(&bytes);

@@ -1,8 +1,8 @@
 //! Deterministic virtual-time perf-regression gate.
 //!
 //! ```text
-//! cargo run --release -p fompi-bench --bin perfgate                  # write BENCH_PR3.json
-//! cargo run --release -p fompi-bench --bin perfgate -- --check results/BENCH_PR3_baseline.json
+//! cargo run --release -p fompi-bench --bin perfgate                  # write BENCH_PR4.json
+//! cargo run --release -p fompi-bench --bin perfgate -- --check results/BENCH_PR4_baseline.json
 //! ```
 //!
 //! The fabric charges *virtual* time from a fixed cost model, so every
@@ -15,15 +15,18 @@
 //!
 //! ```text
 //! cargo run --release -p fompi-bench --bin perfgate
-//! cp BENCH_PR3.json results/BENCH_PR3_baseline.json
+//! cp BENCH_PR4.json results/BENCH_PR4_baseline.json
 //! ```
 //!
 //! Metrics cover the §3 primitives at small and large sizes, with the
 //! issue-side batching layer both off and on (put bursts and
-//! hardware-AMO accumulate bursts).
+//! hardware-AMO accumulate bursts), plus the notified-access paths: a
+//! single `put_notify`/`wait_notify` handoff and one `msg::channel`
+//! round (notified payload put forward, notified credit-AMO back).
 
 use fompi::{LockType, MpiOp, NumKind, Win};
 use fompi_fabric::FaultPlan;
+use fompi_msg::channel::{channel, ChannelEnd};
 use fompi_runtime::{RankCtx, Universe};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -45,12 +48,12 @@ fn main() -> ExitCode {
 
     let metrics = collect();
     let json = render_json(&metrics);
-    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
     println!("== perfgate: virtual-time metrics (ns) ==");
     for (k, v) in &metrics {
         println!("  {k:<28} {v:>12.1}");
     }
-    println!("-> BENCH_PR3.json");
+    println!("-> BENCH_PR4.json");
 
     let Some(path) = baseline_path else {
         return ExitCode::SUCCESS;
@@ -209,6 +212,72 @@ fn collect() -> BTreeMap<String, f64> {
             },
         );
     m.insert("fence_p2_ns".into(), fence[0]);
+    // Notified put: consumer-side cost of one 8-byte `put_notify` landing
+    // (producer's put retires, the notification record is matched by
+    // `wait_notify`, and the consumer's clock joins the data's stamp).
+    let notified = Universe::new(2)
+        .node_size(1)
+        .seed(1)
+        .faults(FaultPlan::disabled())
+        .batch(false)
+        .notify_depth(16)
+        .run(|ctx| {
+            let win = Win::allocate(ctx, 64, 1).unwrap();
+            win.lock_all().unwrap();
+            ctx.barrier();
+            let t0 = ctx.now();
+            let dt = if ctx.rank() == 0 {
+                win.put_notify(&7u64.to_le_bytes(), 1, 0, 1).unwrap();
+                0.0
+            } else {
+                win.wait_notify(0, 1).unwrap();
+                ctx.now() - t0
+            };
+            win.unlock_all().unwrap();
+            ctx.barrier();
+            dt
+        });
+    m.insert("put_notify_8_ns".into(), notified[1]);
+    // One `msg::channel` round over a 1-slot ring: every send after the
+    // first blocks on the previous credit, so producer time / rounds is
+    // the steady-state notified put + notified credit-AMO pace.
+    const CHAN_ROUNDS: usize = 4;
+    let chan = Universe::new(2)
+        .node_size(1)
+        .seed(1)
+        .faults(FaultPlan::disabled())
+        .batch(false)
+        .notify_depth(16)
+        .run(|ctx| {
+            match channel(ctx, 0, 1, 1, 64).unwrap().unwrap() {
+                ChannelEnd::Sender(mut tx) => {
+                    let msg = [9u8; 64];
+                    ctx.barrier();
+                    let t0 = ctx.now();
+                    for _ in 0..CHAN_ROUNDS {
+                        tx.send(&msg).unwrap();
+                    }
+                    // Absorb the final credit so whole rounds are timed.
+                    while tx.credits() == 0 {
+                        tx.poll_credits().unwrap();
+                        std::thread::yield_now();
+                    }
+                    let dt = ctx.now() - t0;
+                    tx.close(ctx).unwrap();
+                    dt / CHAN_ROUNDS as f64
+                }
+                ChannelEnd::Receiver(mut rx) => {
+                    let mut buf = [0u8; 64];
+                    ctx.barrier();
+                    for _ in 0..CHAN_ROUNDS {
+                        rx.recv(&mut buf).unwrap();
+                    }
+                    rx.close(ctx).unwrap();
+                    0.0
+                }
+            }
+        });
+    m.insert("channel_round_64_ns".into(), chan[0]);
     m
 }
 

@@ -60,7 +60,13 @@ pub use op::{MpiOp, NumKind};
 pub use perf::PaperModel;
 pub use request::{wait_all, Request};
 pub use sync::fence::{ASSERT_NOPRECEDE, ASSERT_NOPUT, ASSERT_NOSTORE, ASSERT_NOSUCCEED};
+pub use sync::notify::{ANY_SOURCE, ANY_TAG};
 pub use win::{LockType, SizeInfo, Win, WinKind};
+
+/// A matched notification record (re-exported from the fabric): who sent
+/// it, with what tag, how many bytes the notified operation moved, and
+/// the virtual time it became visible.
+pub use fompi_fabric::NotifyRecord as Notification;
 
 #[cfg(test)]
 mod tests {

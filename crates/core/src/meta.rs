@@ -101,8 +101,8 @@ pub struct WinConfig {
     /// [`crate::FompiError::PoolExhausted`] — the detector for programs
     /// whose PSCW fan-in exceeds `pscw_pool` in a dependency cycle.
     pub pool_retry_limit: u64,
-    /// Notification counters per rank for the notified-access extension
-    /// ([`crate::win::Win::put_notify`]).
+    /// Signal counters per rank for the slot-based notified-access
+    /// extension ([`crate::win::Win::put_signal`]).
     pub notify_slots: usize,
     /// PSCW fast path: announce posts through an FAA ring cursor over the
     /// slot pool (one non-fetching-AMO-priced announcement per neighbour,

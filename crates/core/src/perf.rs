@@ -143,6 +143,39 @@ impl PaperModel {
     pub fn put_unbatched(&self, n: usize, s: usize) -> f64 {
         n as f64 * (self.inject + self.put(s))
     }
+
+    /// Closed-form cost of one notified put of `s` bytes (foMPI-NA-style:
+    /// the data and its completion notification fuse into one call). The
+    /// origin pays two injections — the put and the notification AMO that
+    /// trails it in the DMAPP ordered class — and the notification is
+    /// visible once both the data and the AMO latency have elapsed:
+    /// `2·inject + max(Pput(s), Pacc,sum(8))`.
+    pub fn put_notified(&self, s: usize) -> f64 {
+        2.0 * self.inject + self.put(s).max(self.acc_sum(8))
+    }
+
+    /// The same producer-visible handoff with the pre-notified idiom the
+    /// paper's applications use (§4.4): put the data, then a *separately
+    /// flushed* flag AMO the consumer polls — the flush serializes the
+    /// data's wire latency before the flag update even starts:
+    /// `2·inject + Pflush + Pput(s) + Pacc,sum(8)`.
+    pub fn put_polled(&self, s: usize) -> f64 {
+        2.0 * self.inject + self.flush + self.put(s) + self.acc_sum(8)
+    }
+
+    /// One producer-consumer channel round trip over notified access
+    /// (`msg::channel`): a notified put of the payload plus the notified
+    /// credit-return AMO flowing back.
+    pub fn channel_round(&self, s: usize) -> f64 {
+        self.put_notified(s) + self.notified_amo()
+    }
+
+    /// Cost of a bare notified AMO (credit return, counters): the AMO and
+    /// its notification share the ordered path, so the origin pays two
+    /// injections and one AMO latency dominates.
+    pub fn notified_amo(&self) -> f64 {
+        2.0 * self.inject + self.acc_sum(8)
+    }
 }
 
 /// Instruction counts the paper reports for foMPI fast paths (§2.3/§2.4/§6),
@@ -213,5 +246,31 @@ mod tests {
     fn overheads_are_sub_microsecond() {
         assert!(overhead::put_get_ns() < 100.0);
         assert!(overhead::flush_ns() < 50.0);
+    }
+
+    #[test]
+    fn notified_put_beats_polled_flag_at_every_size() {
+        let m = PaperModel::default();
+        for s in [8usize, 64, 512, 4096, 1 << 16] {
+            assert!(
+                m.put_notified(s) < m.put_polled(s),
+                "notified access must beat the flush+flag idiom at s={s}"
+            );
+        }
+        // The win approaches flush + min(Pput, Pacc,sum) for small puts
+        // (overlap of the data and the notification) …
+        let gain_small = m.put_polled(8) - m.put_notified(8);
+        assert!((gain_small - (m.flush + m.put(8).min(m.acc_sum(8)))).abs() < 1e-9);
+        // … and stays ≥ flush + Pacc,sum once the put dominates the max.
+        let gain_big = m.put_polled(1 << 20) - m.put_notified(1 << 20);
+        assert!((gain_big - (m.flush + m.acc_sum(8))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn channel_round_is_put_plus_credit() {
+        let m = PaperModel::default();
+        let s = 256;
+        assert!((m.channel_round(s) - (m.put_notified(s) + m.notified_amo())).abs() < 1e-9);
+        assert!(m.notified_amo() > m.acc_sum(8));
     }
 }

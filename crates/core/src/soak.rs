@@ -417,13 +417,13 @@ fn notify_ring(
     win.lock_all()?;
     for e in 0..epochs {
         let disp = (me as usize * epochs + e) * 8;
-        win.put_notify(&payload(seed, e, me).to_le_bytes(), right, disp, 0)?;
+        win.put_signal(&payload(seed, e, me).to_le_bytes(), right, disp, 0)?;
     }
-    win.notify_wait(0, epochs as u64)?;
+    win.signal_wait(0, epochs as u64)?;
     // Only the left neighbour targets slot 0 here, so the counter must be
     // *exactly* its epoch count — a lost or duplicated notification is a
-    // violation even though notify_wait already returned.
-    let n = win.notify_test(0)?;
+    // violation even though signal_wait already returned.
+    let n = win.signal_test(0)?;
     if n != epochs as u64 {
         v.push(violation("notify", seed, me, format!("counter = {n}, want {epochs}")));
     }

@@ -19,10 +19,10 @@
 
 use crate::error::{FompiError, Result};
 use crate::meta::{self, off, WinConfig};
-use fompi_fabric::{Endpoint, SegKey, Segment};
+use fompi_fabric::{Endpoint, NotifyRecord, SegKey, Segment};
 use fompi_runtime::{CollEngine, Group, RankCtx};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -198,6 +198,10 @@ pub struct Win {
     pub(crate) dyn_next_addr: Cell<u64>,
     /// Dynamic windows: cache of remote region tables.
     pub(crate) dyn_cache: RefCell<HashMap<u32, RemoteRegions>>,
+    /// Notified access: records popped from this rank's notification ring
+    /// while matching a different `(source, tag)` — re-offered, in arrival
+    /// order, to later waits (see [`crate::sync::notify`]).
+    pub(crate) notify_stash: RefCell<VecDeque<NotifyRecord>>,
 }
 
 impl Win {
@@ -374,6 +378,7 @@ impl Win {
             dyn_local: RefCell::new(Vec::new()),
             dyn_next_addr: Cell::new(DYN_BASE_ADDR),
             dyn_cache: RefCell::new(HashMap::new()),
+            notify_stash: RefCell::new(VecDeque::new()),
         };
         // Ensure every rank finished registration before anyone
         // communicates.
@@ -544,9 +549,26 @@ impl Win {
         }
     }
 
-    /// Free the window (collective). Consumes the handle.
+    /// Free the window (collective). Consumes the handle. Notifications
+    /// still queued for this rank — stashed or in the ring — are dropped
+    /// and counted ([`fompi_fabric::Counters::notify_dropped`]): like
+    /// `MPI_Win_free` with unmatched foMPI-NA notifications, the records
+    /// do not outlive the window they synchronised.
     pub fn free(self, ctx: &RankCtx) {
         ctx.barrier();
+        let stashed = self.notify_stash.borrow_mut().drain(..).count() as u64;
+        if stashed > 0 {
+            self.trace_scope();
+            let t0 = self.ep.clock().now();
+            for _ in 0..stashed {
+                self.ep.trace_sync(fompi_fabric::telemetry::EventKind::NotifyDrop, self.rank(), t0);
+            }
+            ctx.fabric()
+                .counters()
+                .notify_dropped
+                .fetch_add(stashed, std::sync::atomic::Ordering::Relaxed);
+        }
+        self.ep.notify_drop_all();
         if let KeyTable::Sym(id) = &self.shared.keys {
             ctx.fabric().deregister(SegKey { rank: self.rank(), id: *id });
         } else if let KeyTable::Table(t) = &self.shared.keys {

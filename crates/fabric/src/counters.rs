@@ -40,6 +40,16 @@ pub struct Counters {
     /// Bursts retired specifically because coalescing stopped (next op
     /// non-adjacent / different kind / would cross the protocol change).
     pub batch_splits: AtomicU64,
+    /// Notification records appended by notified puts/AMOs
+    /// (see [`crate::notify`]).
+    pub notify_posts: AtomicU64,
+    /// Notification records popped by a consumer.
+    pub notify_consumed: AtomicU64,
+    /// Notified appends that found the target ring full at least once
+    /// (modelled as injection backpressure).
+    pub notify_overflows: AtomicU64,
+    /// Un-consumed notification records discarded (window free).
+    pub notify_dropped: AtomicU64,
 }
 
 /// A point-in-time copy of [`Counters`].
@@ -73,6 +83,14 @@ pub struct CounterSnapshot {
     pub batch_flushes: u64,
     /// Bursts retired by a coalescing stop.
     pub batch_splits: u64,
+    /// Notification records appended.
+    pub notify_posts: u64,
+    /// Notification records consumed.
+    pub notify_consumed: u64,
+    /// Notified appends that hit a full ring.
+    pub notify_overflows: u64,
+    /// Un-consumed notification records discarded.
+    pub notify_dropped: u64,
 }
 
 impl Counters {
@@ -93,6 +111,10 @@ impl Counters {
             batched_ops: self.batched_ops.load(Ordering::Relaxed),
             batch_flushes: self.batch_flushes.load(Ordering::Relaxed),
             batch_splits: self.batch_splits.load(Ordering::Relaxed),
+            notify_posts: self.notify_posts.load(Ordering::Relaxed),
+            notify_consumed: self.notify_consumed.load(Ordering::Relaxed),
+            notify_overflows: self.notify_overflows.load(Ordering::Relaxed),
+            notify_dropped: self.notify_dropped.load(Ordering::Relaxed),
         }
     }
 }
@@ -116,6 +138,10 @@ impl CounterSnapshot {
             batched_ops: self.batched_ops.saturating_sub(earlier.batched_ops),
             batch_flushes: self.batch_flushes.saturating_sub(earlier.batch_flushes),
             batch_splits: self.batch_splits.saturating_sub(earlier.batch_splits),
+            notify_posts: self.notify_posts.saturating_sub(earlier.notify_posts),
+            notify_consumed: self.notify_consumed.saturating_sub(earlier.notify_consumed),
+            notify_overflows: self.notify_overflows.saturating_sub(earlier.notify_overflows),
+            notify_dropped: self.notify_dropped.saturating_sub(earlier.notify_dropped),
         }
     }
 

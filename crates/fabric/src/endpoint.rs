@@ -26,6 +26,7 @@ use crate::batch::{Burst, BurstKind};
 use crate::clock::{bits_to_stamp, stamp_to_bits, Clock};
 use crate::cost::Transport;
 use crate::error::FabricError;
+use crate::notify::NotifyRecord;
 use crate::segment::SegKey;
 use crate::stripes::StripedHorizon;
 use crate::telemetry::{Event, EventKind, Flavor, NO_TARGET};
@@ -710,6 +711,196 @@ impl Endpoint {
         Ok(())
     }
 
+    // ------------------------------------------------------ notified access
+
+    /// Issue an ordered completion notification toward `target`: a record
+    /// `(tag, source=this rank, bytes)` appended to the target rank's
+    /// notification ring ([`crate::notify`]) once everything already
+    /// issued to that target — including the open injection burst, which
+    /// is drained first so the notification orders after the burst's
+    /// completion — has retired. The notification itself rides a
+    /// non-fetching AMO (same cost shape as
+    /// [`Endpoint::amo_sync_release_ordered`]): the origin pays one
+    /// injection overhead and the record's stamp is
+    /// `max(own completion, pending horizon toward target)`, keeping the
+    /// DMAPP ordered class intact under fault-injected delays.
+    ///
+    /// A full ring is modelled as injection-queue backpressure: the origin
+    /// charges one stall (the armed [`crate::FaultPlan`]'s `bp_ns`, or
+    /// [`Endpoint::NOTIFY_BP_NS`] when no plan is armed), then retries a
+    /// bounded number of times while the consumer drains; if the ring
+    /// never drains the append surfaces [`FabricError::Backpressure`].
+    /// Fault draws happen once per append, never inside the retry loop,
+    /// preserving the per-seed determinism contract of [`crate::faults`].
+    pub fn notify_append(&self, target: u32, tag: u32, bytes: u64) -> Result<(), FabricError> {
+        let t = self.transport_to(target);
+        let m = self.fabric.model();
+        // Ordered-class fencing: the notification trails the open burst.
+        self.drain_target(target);
+        let extra = self.apply_faults(target, m.amo_latency(t), true);
+        let t_start = self.clock.now();
+        self.clock.advance(m.inject(t));
+        let pending = self.pending.horizon(target);
+        let mut t_complete = (self.clock.now() + m.amo_latency(t) + extra).max(pending);
+        let q = self.fabric.notify().queue(target);
+        let mut rec = NotifyRecord { tag, source: self.rank, bytes, stamp: t_complete };
+        if !q.try_push(rec) {
+            // Overflow → backpressure. Charge the stall once (no extra RNG
+            // draws: the magnitude comes straight from the armed plan), then
+            // retry while the consumer drains.
+            let c = self.fabric.counters();
+            c.notify_overflows.fetch_add(1, Ordering::Relaxed);
+            let plan = self.fabric.faults().plan();
+            let stall = if plan.bp_ns > 0.0 { plan.bp_ns } else { Self::NOTIFY_BP_NS };
+            let t0 = self.clock.now();
+            self.clock.advance(stall);
+            self.trace_fault(EventKind::FaultBackpressure, target, t0, self.clock.now());
+            // The stalled append re-issues after the stall.
+            t_complete = (self.clock.now() + m.amo_latency(t)).max(t_complete);
+            rec.stamp = t_complete;
+            let mut pushed = false;
+            for _ in 0..Self::NOTIFY_RETRY_LIMIT {
+                if q.try_push(rec) {
+                    pushed = true;
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            if !pushed {
+                return Err(FabricError::Backpressure { retry_after_ns: stall as u64 });
+            }
+        }
+        self.note_pending(target, t_complete);
+        self.fabric.counters().notify_posts.fetch_add(1, Ordering::Relaxed);
+        self.trace_op(
+            EventKind::NotifyPost,
+            Flavor::Implicit,
+            t,
+            target,
+            bytes,
+            t_start,
+            t_complete,
+        );
+        Ok(())
+    }
+
+    /// Issue stall charged per overflowed [`Endpoint::notify_append`] when
+    /// no fault plan is armed (an armed plan's `bp_ns` takes precedence).
+    pub const NOTIFY_BP_NS: f64 = 2_000.0;
+
+    /// Bounded retry attempts after an overflowed append before the
+    /// backpressure error surfaces to the caller.
+    pub const NOTIFY_RETRY_LIMIT: u32 = 100_000;
+
+    /// Notified put: the data moves like [`Endpoint::put_implicit`] (so it
+    /// composes with issue-side batching), then an ordered notification
+    /// carrying `(tag, bytes)` is appended to the target rank's ring. A
+    /// consumer that matches the notification observes the data: the
+    /// record's stamp trails the data's completion horizon.
+    pub fn put_notified(
+        &self,
+        key: SegKey,
+        off: usize,
+        src: &[u8],
+        tag: u32,
+    ) -> Result<(), FabricError> {
+        self.put_implicit(key, off, src)?;
+        self.notify_append(key.rank, tag, src.len() as u64)
+    }
+
+    /// Notified get: fetch like [`Endpoint::get_implicit`], then notify the
+    /// *target* (the data's owner) that the read has retired — the
+    /// buffer-reuse signal of notified access (the owner may overwrite once
+    /// it matches the notification).
+    pub fn get_notified(
+        &self,
+        key: SegKey,
+        off: usize,
+        dst: &mut [u8],
+        tag: u32,
+    ) -> Result<(), FabricError> {
+        self.get_implicit(key, off, dst)?;
+        self.notify_append(key.rank, tag, dst.len() as u64)
+    }
+
+    /// Notified non-fetching AMO: apply like [`Endpoint::amo_implicit`],
+    /// then notify the target. The credit-return primitive of
+    /// producer-consumer channels.
+    pub fn amo_notified(
+        &self,
+        key: SegKey,
+        off: usize,
+        op: AmoOp,
+        operand: u64,
+        tag: u32,
+    ) -> Result<(), FabricError> {
+        self.amo_implicit(key, off, op, operand)?;
+        self.notify_append(key.rank, tag, 8)
+    }
+
+    /// Pop the oldest notification destined for this rank, if any. Local
+    /// polling is free in virtual time (the ring lives on this rank, like
+    /// `read_sync` on a local segment); a popped record joins the clock
+    /// with its stamp, so consuming a notification implies the notified
+    /// operation's data is visible. Matching (tag/source wildcards,
+    /// out-of-order stashing) lives in the window layer.
+    pub fn notify_pop(&self) -> Option<NotifyRecord> {
+        let rec = self.notify_poll()?;
+        self.notify_join(&rec);
+        Some(rec)
+    }
+
+    /// Pop without joining the clock. The window-layer matcher stashes
+    /// records that don't match the current wait; only the *matched*
+    /// record's stamp may touch the consumer's clock, otherwise the clock
+    /// would depend on how many unrelated records happened to be queued
+    /// ahead of the match — a real-schedule artefact the virtual-time
+    /// model must not observe. Callers pair this with
+    /// [`Endpoint::notify_join`] on the record they actually consume.
+    pub fn notify_poll(&self) -> Option<NotifyRecord> {
+        let rec = self.fabric.notify().queue(self.rank).try_pop()?;
+        self.fabric.counters().notify_consumed.fetch_add(1, Ordering::Relaxed);
+        Some(rec)
+    }
+
+    /// Join the clock with a matched record's stamp — the consume-side
+    /// half of [`Endpoint::notify_poll`]: after the join, everything the
+    /// notified operation wrote is visible at this rank's virtual time.
+    pub fn notify_join(&self, rec: &NotifyRecord) {
+        self.clock.join(rec.stamp);
+    }
+
+    /// Records currently queued for this rank (approximate under
+    /// concurrent producers).
+    pub fn notify_backlog(&self) -> usize {
+        self.fabric.notify().queue(self.rank).len()
+    }
+
+    /// Discard every notification still queued for this rank (window
+    /// free): each dropped record is counted and traced. Returns how many
+    /// were dropped.
+    pub fn notify_drop_all(&self) -> u64 {
+        let q = self.fabric.notify().queue(self.rank);
+        let mut n = 0u64;
+        while let Some(rec) = q.try_pop() {
+            n += 1;
+            let t0 = self.clock.now();
+            self.trace_op(
+                EventKind::NotifyDrop,
+                Flavor::NotApplicable,
+                self.transport_to(rec.source),
+                rec.source,
+                rec.bytes,
+                t0,
+                t0,
+            );
+        }
+        if n > 0 {
+            self.fabric.counters().notify_dropped.fetch_add(n, Ordering::Relaxed);
+        }
+        n
+    }
+
     // ---------------------------------------------------------- completion
 
     /// Wait for one explicit-nonblocking operation.
@@ -1079,6 +1270,134 @@ mod tests {
         assert_eq!(ep0.open_bursts(), 0);
         assert!(ep0.pending_for(1) > 0.0, "drained burst left its horizon behind");
         let _ = f;
+    }
+
+    #[test]
+    fn notified_put_delivers_record_after_its_data() {
+        let (f, ep0, ep1, key) = setup();
+        let m = f.model().clone();
+        ep0.put_notified(key, 64, &[9u8; 2048], 77).unwrap();
+        let t_data = m.inject(Transport::Dmapp) + m.put_latency(Transport::Dmapp, 2048);
+        let rec = ep1.notify_pop().expect("notification queued");
+        assert_eq!((rec.tag, rec.source, rec.bytes), (77, 0, 2048));
+        assert!(
+            rec.stamp >= t_data,
+            "notification stamp {} precedes its data horizon {t_data}",
+            rec.stamp
+        );
+        // Consuming the notification pulls the consumer past the data.
+        assert!(ep1.clock().now() >= t_data);
+        let mut buf = [0u8; 2048];
+        ep1.get(key, 64, &mut buf).unwrap();
+        assert_eq!(buf, [9u8; 2048]);
+        let c = f.counters().snapshot();
+        assert_eq!((c.notify_posts, c.notify_consumed, c.notify_overflows), (1, 1, 0));
+    }
+
+    #[test]
+    fn notified_op_drains_open_burst_first() {
+        let (f, ep0, ep1, key) = setup();
+        ep0.set_batching(true);
+        // Contiguous small puts open a burst; the notified put joins it,
+        // then the notification drains it so the record trails the whole
+        // burst's completion.
+        for i in 0..8 {
+            ep0.put_implicit(key, i * 8, &[i as u8 + 1; 8]).unwrap();
+        }
+        assert_eq!(ep0.open_bursts(), 1);
+        ep0.put_notified(key, 64, &[42u8; 8], 5).unwrap();
+        assert_eq!(ep0.open_bursts(), 0, "notification must retire the burst");
+        let horizon = ep0.pending_for(1);
+        let rec = ep1.notify_pop().expect("notification queued");
+        assert!(
+            rec.stamp >= horizon || ep1.clock().now() >= horizon,
+            "notification reordered ahead of its burst"
+        );
+        assert!(f.counters().snapshot().batch_flushes >= 1);
+    }
+
+    #[test]
+    fn notify_overflow_accounts_backpressure_and_errors() {
+        let f = Fabric::new(2, 1, CostModel::default());
+        f.set_notify_depth(2);
+        let ep0 = Endpoint::new(f.clone(), 0);
+        let _key = f.register(1, Segment::new(64));
+        ep0.notify_append(1, 1, 8).unwrap();
+        ep0.notify_append(1, 2, 8).unwrap();
+        let before = ep0.clock().now();
+        // Nobody consumes: the third append stalls, retries, then errors.
+        match ep0.notify_append(1, 3, 8) {
+            Err(FabricError::Backpressure { retry_after_ns }) => assert!(retry_after_ns > 0),
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+        let c = f.counters().snapshot();
+        assert_eq!(c.notify_overflows, 1);
+        assert_eq!(c.notify_posts, 2, "the failed append must not count as posted");
+        // The stall was charged to the producer's clock exactly once.
+        let m = f.model();
+        let stall_floor = m.inject(Transport::Dmapp) + Endpoint::NOTIFY_BP_NS;
+        assert!(ep0.clock().now() >= before + stall_floor);
+    }
+
+    #[test]
+    fn notify_overflow_recovers_when_consumer_drains() {
+        let f = Fabric::new(2, 1, CostModel::default());
+        f.set_notify_depth(2);
+        let ep0 = Endpoint::new(f.clone(), 0);
+        let ep1 = Endpoint::new(f.clone(), 1);
+        ep0.notify_append(1, 1, 0).unwrap();
+        ep0.notify_append(1, 2, 0).unwrap();
+        // Drain one slot from the consumer side, then the stalled append
+        // succeeds on retry (single-threaded here: drain first).
+        assert_eq!(ep1.notify_pop().unwrap().tag, 1);
+        ep0.notify_append(1, 3, 0).unwrap();
+        assert_eq!(ep1.notify_pop().unwrap().tag, 2);
+        assert_eq!(ep1.notify_pop().unwrap().tag, 3);
+        assert_eq!(f.counters().snapshot().notify_posts, 3);
+    }
+
+    #[test]
+    fn notified_ops_stay_deterministic_under_faults() {
+        use crate::faults::FaultPlan;
+        let run = || {
+            let plan = FaultPlan { delay_prob: 0.5, bp_prob: 0.3, ..FaultPlan::heavy(99) };
+            let f = Fabric::with_config(2, 1, CostModel::default(), None, Some(plan));
+            let ep0 = Endpoint::new(f.clone(), 0);
+            let ep1 = Endpoint::new(f.clone(), 1);
+            ep0.set_batching(true);
+            let key = f.register(1, Segment::new(4096));
+            let mut last = 0.0f64;
+            for round in 0..20usize {
+                for i in 0..4 {
+                    ep0.put_implicit(key, round * 64 + i * 8, &[i as u8; 8]).unwrap();
+                }
+                ep0.put_notified(key, round * 64 + 32, &[7u8; 8], round as u32).unwrap();
+                let rec = ep1.notify_pop().expect("in-order single-threaded delivery");
+                assert_eq!(rec.tag, round as u32);
+                assert!(rec.stamp >= last, "stamps toward one target are monotonic");
+                last = rec.stamp;
+            }
+            (ep0.clock().now(), ep1.clock().now(), f.faults().total_injected())
+        };
+        let (a0, a1, ai) = run();
+        let (b0, b1, bi) = run();
+        assert_eq!(a0.to_bits(), b0.to_bits());
+        assert_eq!(a1.to_bits(), b1.to_bits());
+        assert_eq!(ai, bi);
+        assert!(ai > 0, "the armed plan must inject");
+    }
+
+    #[test]
+    fn drop_all_counts_unconsumed_records() {
+        let (f, ep0, ep1, key) = setup();
+        ep0.put_notified(key, 0, &[1u8; 8], 1).unwrap();
+        ep0.put_notified(key, 8, &[2u8; 8], 2).unwrap();
+        assert_eq!(ep1.notify_backlog(), 2);
+        assert_eq!(ep1.notify_drop_all(), 2);
+        assert_eq!(ep1.notify_backlog(), 0);
+        let c = f.counters().snapshot();
+        assert_eq!(c.notify_dropped, 2);
+        assert_eq!(c.notify_consumed, 0, "dropped records are not consumed");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod counters;
 pub mod endpoint;
 pub mod error;
 pub mod faults;
+pub mod notify;
 pub mod rng;
 pub mod segment;
 pub mod shim;
@@ -59,6 +60,7 @@ pub use counters::{CounterSnapshot, Counters};
 pub use endpoint::{Endpoint, NbHandle};
 pub use error::FabricError;
 pub use faults::{FaultKind, FaultParseError, FaultPlan, Faults};
+pub use notify::{notify_match, NotifyHub, NotifyQueue, NotifyRecord, NOTIFY_ANY};
 pub use segment::{SegKey, Segment};
 pub use stripes::{StripedHorizon, STRIPE_COUNT};
 pub use telemetry::Telemetry;
@@ -84,6 +86,7 @@ pub struct Fabric {
     telemetry: Telemetry,
     faults: Faults,
     batch_default: AtomicBool,
+    notify: NotifyHub,
 }
 
 impl Fabric {
@@ -144,6 +147,7 @@ impl Fabric {
             telemetry,
             faults,
             batch_default: AtomicBool::new(batch_from_env()),
+            notify: NotifyHub::new(p, notify::depth_from_env()),
         })
     }
 
@@ -183,6 +187,20 @@ impl Fabric {
     /// Set the batching default for endpoints created after this call.
     pub fn set_batch_default(&self, on: bool) {
         self.batch_default.store(on, Ordering::Relaxed);
+    }
+
+    /// The notification hub: per-rank queues of notified-access records
+    /// (see [`notify`]). Depth defaults to `FOMPI_NOTIFY_DEPTH`.
+    pub fn notify(&self) -> &NotifyHub {
+        &self.notify
+    }
+
+    /// Replace every notification ring with fresh ones of `depth` records.
+    /// Launch-time configuration only (queued records are dropped) — the
+    /// runtime's `Universe::notify_depth` funnels through here, mirroring
+    /// [`Fabric::set_batch_default`].
+    pub fn set_notify_depth(&self, depth: usize) {
+        self.notify.set_depth(depth);
     }
 
     /// Register `seg` for remote access by rank `rank`. Returns the key

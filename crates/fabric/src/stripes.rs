@@ -132,6 +132,59 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_fetch_max_storm_converges_to_true_max() {
+        // 8 writer threads × 4096 notes each, interleaved with readers:
+        // after the storm every stripe must hold exactly the max of the
+        // values routed to it, and the global horizon the overall max —
+        // fetch_max must never lose an update under contention.
+        use std::sync::Arc;
+        let h = Arc::new(StripedHorizon::new());
+        const WRITERS: u32 = 8;
+        const NOTES: u32 = 4096;
+        let expect_global = ((WRITERS - 1) * NOTES + (NOTES - 1)) as f64 + 0.5;
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..NOTES {
+                        // Target cycles over all stripes; values are unique
+                        // per (writer, i) so the true max is known.
+                        let target = (w * NOTES + i) % (STRIPE_COUNT as u32 * 3);
+                        h.note(target, (w * NOTES + i) as f64 + 0.5);
+                    }
+                });
+            }
+            // Concurrent readers: horizons must be monotone while noted.
+            let h2 = Arc::clone(&h);
+            s.spawn(move || {
+                let mut last = 0.0f64;
+                for _ in 0..2000 {
+                    let g = h2.global();
+                    assert!(g >= last, "global horizon went backwards: {g} < {last}");
+                    last = g;
+                }
+            });
+        });
+        assert_eq!(h.global(), expect_global);
+        // Recompute each stripe's expected max sequentially and compare.
+        let mut expect = [0.0f64; STRIPE_COUNT];
+        for w in 0..WRITERS {
+            for i in 0..NOTES {
+                let target = (w * NOTES + i) % (STRIPE_COUNT as u32 * 3);
+                let s = StripedHorizon::stripe_of(target);
+                let v = (w * NOTES + i) as f64 + 0.5;
+                if v > expect[s] {
+                    expect[s] = v;
+                }
+            }
+        }
+        for (s, &want) in expect.iter().enumerate() {
+            // Probe via a target routed to stripe `s`.
+            assert_eq!(h.horizon(s as u32), want, "stripe {s} lost an update");
+        }
+    }
+
+    #[test]
     fn reset_clears_all() {
         let h = StripedHorizon::new();
         for t in 0..64 {

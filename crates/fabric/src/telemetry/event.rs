@@ -72,11 +72,20 @@ pub enum EventKind {
     /// operation was non-adjacent, a different kind, or would cross the
     /// protocol-change size or op cap.
     BatchSplit,
+    /// A notification record appended on notified put/AMO retirement
+    /// (see [`crate::notify`]). The span covers the notified operation's
+    /// issue → notification-visible window.
+    NotifyPost,
+    /// A consumer matched a notification (`wait_notify`/`test_notify`).
+    /// The span covers the wait's start → match.
+    NotifyWait,
+    /// An un-consumed notification record discarded at window free.
+    NotifyDrop,
 }
 
 impl EventKind {
     /// Number of distinct kinds (size of per-class stat arrays).
-    pub const COUNT: usize = 23;
+    pub const COUNT: usize = 26;
 
     /// All kinds, in `index` order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -103,6 +112,9 @@ impl EventKind {
         EventKind::FaultRetry,
         EventKind::BatchFlush,
         EventKind::BatchSplit,
+        EventKind::NotifyPost,
+        EventKind::NotifyWait,
+        EventKind::NotifyDrop,
     ];
 
     /// Dense index for per-class stat arrays.
@@ -137,6 +149,9 @@ impl EventKind {
             EventKind::FaultRetry => "fault_retry",
             EventKind::BatchFlush => "batch_flush",
             EventKind::BatchSplit => "batch_split",
+            EventKind::NotifyPost => "notify_post",
+            EventKind::NotifyWait => "notify_wait",
+            EventKind::NotifyDrop => "notify_drop",
         }
     }
 

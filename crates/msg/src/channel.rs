@@ -1,0 +1,287 @@
+//! One-sided producer-consumer channels over notified access.
+//!
+//! The classic RMA producer-consumer pattern needs *two* mechanisms: the
+//! data put, and a separately-synchronised flag the consumer polls (plus a
+//! reverse flag so the producer knows a slot is free again). Notified
+//! access collapses both directions into single calls: the producer's
+//! [`Sender::send`] is one `put_notify` (data + arrival notification,
+//! ordered), and the consumer's [`Receiver::recv`] returns credits with
+//! one `accumulate_notify` (slot-free AMO + notification). No two-sided
+//! message, no tag-matching engine, no polling AMOs over the wire — the
+//! only remote operations are the notified put and the notified credit
+//! return.
+//!
+//! Layout of the ring window (lives in the *consumer*'s window memory;
+//! `slots × slot_bytes` data cells):
+//!
+//! ```text
+//! | slot 0 | slot 1 | ... | slot n-1 |
+//! ```
+//!
+//! Flow control is credit-based: the producer starts with `slots` credits,
+//! spends one per send, and blocks in [`Sender::send`] on the consumer's
+//! credit notifications ([`CREDIT_TAG`]) when it runs out. Slot indices
+//! advance monotonically mod `slots` on both sides, so no cursor ever
+//! travels over the wire; the payload length rides in the notification
+//! record's `bytes` field.
+//!
+//! Both endpoints are built collectively by [`channel`] over one window;
+//! the channel is SPSC (one producer rank, one consumer rank), the
+//! degenerate but dominant case of the paper's halo/pipeline patterns.
+
+use fompi::{MpiOp, Notification, Result, Win};
+use fompi_runtime::RankCtx;
+
+/// Tag carried by data notifications (producer → consumer).
+pub const DATA_TAG: u32 = 0x00C4_07DA;
+
+/// Tag carried by credit-return notifications (consumer → producer).
+pub const CREDIT_TAG: u32 = 0x00C4_07CE;
+
+/// Producer half of a notified-access channel.
+pub struct Sender {
+    win: Win,
+    peer: u32,
+    slots: usize,
+    slot_bytes: usize,
+    head: u64,
+    credits: u64,
+}
+
+/// Consumer half of a notified-access channel.
+pub struct Receiver {
+    win: Win,
+    peer: u32,
+    slots: usize,
+    slot_bytes: usize,
+    tail: u64,
+}
+
+/// Collectively build an SPSC channel from `producer` to `consumer` with
+/// `slots` ring cells of `slot_bytes` each. Every rank of the universe
+/// must call (window creation is collective); ranks other than the two
+/// endpoints get `None`. The ring memory lives in the consumer's window;
+/// both endpoints hold a `lock_all` passive epoch for the channel's
+/// lifetime — drop via [`Sender::close`] / [`Receiver::close`].
+pub fn channel(
+    ctx: &RankCtx,
+    producer: u32,
+    consumer: u32,
+    slots: usize,
+    slot_bytes: usize,
+) -> Result<Option<ChannelEnd>> {
+    assert!(slots > 0 && slot_bytes > 0, "channel needs at least one non-empty slot");
+    assert_ne!(producer, consumer, "SPSC channel endpoints must differ");
+    // Symmetric-heap window: every rank exposes the same size (only the
+    // consumer's copy holds ring data; the producer's doubles as the
+    // credit-AMO landing pad at offset 0).
+    let win = Win::allocate(ctx, slots * slot_bytes, 1)?;
+    win.lock_all()?;
+    if ctx.rank() == producer {
+        Ok(Some(ChannelEnd::Sender(Sender {
+            win,
+            peer: consumer,
+            slots,
+            slot_bytes,
+            head: 0,
+            credits: slots as u64,
+        })))
+    } else if ctx.rank() == consumer {
+        Ok(Some(ChannelEnd::Receiver(Receiver { win, peer: producer, slots, slot_bytes, tail: 0 })))
+    } else {
+        win.unlock_all()?;
+        win.free(ctx);
+        Ok(None)
+    }
+}
+
+/// What [`channel`] hands each participating rank.
+pub enum ChannelEnd {
+    /// This rank is the producer.
+    Sender(Sender),
+    /// This rank is the consumer.
+    Receiver(Receiver),
+}
+
+impl ChannelEnd {
+    /// Unwrap the producer half.
+    pub fn into_sender(self) -> Sender {
+        match self {
+            ChannelEnd::Sender(s) => s,
+            ChannelEnd::Receiver(_) => panic!("this rank is the consumer"),
+        }
+    }
+
+    /// Unwrap the consumer half.
+    pub fn into_receiver(self) -> Receiver {
+        match self {
+            ChannelEnd::Receiver(r) => r,
+            ChannelEnd::Sender(_) => panic!("this rank is the producer"),
+        }
+    }
+}
+
+impl Sender {
+    /// Send `msg` (at most `slot_bytes`). Blocks on credit notifications
+    /// when the ring is full — backpressure is the consumer's pace, felt
+    /// through returned credits, not through ring overflow.
+    pub fn send(&mut self, msg: &[u8]) -> Result<()> {
+        assert!(msg.len() <= self.slot_bytes, "message exceeds the channel slot size");
+        if self.credits == 0 {
+            // One credit notification per freed slot; its stamp joins our
+            // clock, so waiting here *is* the flow-control time.
+            self.win.wait_notify(self.peer, CREDIT_TAG)?;
+            self.credits += 1;
+        }
+        let slot = (self.head % self.slots as u64) as usize;
+        self.win.put_notify(msg, self.peer, slot * self.slot_bytes, DATA_TAG)?;
+        self.head += 1;
+        self.credits -= 1;
+        Ok(())
+    }
+
+    /// Credits currently in hand (free slots known to this side).
+    pub fn credits(&self) -> u64 {
+        self.credits
+    }
+
+    /// Absorb any credit notifications that already arrived (nonblocking).
+    pub fn poll_credits(&mut self) -> Result<u64> {
+        while self.win.test_notify(self.peer, CREDIT_TAG)?.is_some() {
+            self.credits += 1;
+        }
+        Ok(self.credits)
+    }
+
+    /// Tear down this half (collective with [`Receiver::close`]).
+    pub fn close(self, ctx: &RankCtx) -> Result<()> {
+        self.win.unlock_all()?;
+        self.win.free(ctx);
+        Ok(())
+    }
+}
+
+impl Receiver {
+    /// Receive the next message into `buf`, returning the payload length.
+    /// Blocks on the producer's data notification; the matched record's
+    /// stamp fences the ring read (the data is visible). The slot is
+    /// recycled immediately after the copy with a notified credit AMO.
+    pub fn recv(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let rec: Notification = self.win.wait_notify(self.peer, DATA_TAG)?;
+        let len = rec.bytes as usize;
+        assert!(len <= self.slot_bytes && len <= buf.len(), "slot payload exceeds recv buffer");
+        let slot = (self.tail % self.slots as u64) as usize;
+        self.win.read_local(slot * self.slot_bytes, &mut buf[..len]);
+        self.tail += 1;
+        // Return the credit: a notified AMO (the operand is informational
+        // — flow control rides the notification itself).
+        self.win.accumulate_notify(1, MpiOp::Sum, self.peer, 0, CREDIT_TAG)?;
+        Ok(len)
+    }
+
+    /// Nonblocking probe: `Some(len)` if a message is ready (not consumed).
+    pub fn try_peek(&self) -> Result<Option<usize>> {
+        // A peek must not consume the notification: probe the pending set.
+        Ok(if self.win.notify_pending() > 0 { Some(self.slot_bytes) } else { None })
+    }
+
+    /// Tear down this half (collective with [`Sender::close`]).
+    pub fn close(self, ctx: &RankCtx) -> Result<()> {
+        self.win.unlock_all()?;
+        self.win.free(ctx);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fompi_runtime::Universe;
+
+    #[test]
+    fn round_trip_preserves_order_and_bytes() {
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            let end = channel(ctx, 0, 1, 4, 64).unwrap().unwrap();
+            match end {
+                ChannelEnd::Sender(mut tx) => {
+                    for i in 0..10u8 {
+                        let msg = vec![i; (i as usize % 64) + 1];
+                        tx.send(&msg).unwrap();
+                    }
+                    tx.close(ctx).unwrap();
+                    Vec::new()
+                }
+                ChannelEnd::Receiver(mut rx) => {
+                    let mut sums = Vec::new();
+                    let mut buf = [0u8; 64];
+                    for i in 0..10u8 {
+                        let n = rx.recv(&mut buf).unwrap();
+                        assert_eq!(n, (i as usize % 64) + 1);
+                        assert!(buf[..n].iter().all(|&b| b == i));
+                        sums.push(n);
+                    }
+                    rx.close(ctx).unwrap();
+                    sums
+                }
+            }
+        });
+        assert_eq!(got[1], (0..10).map(|i| (i % 64) + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn credit_flow_bounds_the_producer() {
+        // Many more messages than slots: the producer must block on
+        // credits rather than overrun the 2-slot ring, and every payload
+        // must still arrive intact and in order.
+        const MSGS: u64 = 50;
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            let end = channel(ctx, 0, 1, 2, 8).unwrap().unwrap();
+            match end {
+                ChannelEnd::Sender(mut tx) => {
+                    for i in 0..MSGS {
+                        tx.send(&i.to_le_bytes()).unwrap();
+                        assert!(tx.credits() < 2, "a send always spends a credit");
+                    }
+                    tx.close(ctx).unwrap();
+                    0
+                }
+                ChannelEnd::Receiver(mut rx) => {
+                    let mut ok = 0u64;
+                    let mut buf = [0u8; 8];
+                    for i in 0..MSGS {
+                        rx.recv(&mut buf).unwrap();
+                        if u64::from_le_bytes(buf) == i {
+                            ok += 1;
+                        }
+                    }
+                    rx.close(ctx).unwrap();
+                    ok
+                }
+            }
+        });
+        assert_eq!(got[1], MSGS);
+    }
+
+    #[test]
+    fn third_party_ranks_pass_through() {
+        let got = Universe::new(4).node_size(2).run(|ctx| {
+            let end = channel(ctx, 1, 3, 2, 16).unwrap();
+            match end {
+                Some(ChannelEnd::Sender(mut tx)) => {
+                    tx.send(b"ping").unwrap();
+                    tx.close(ctx).unwrap();
+                    1u8
+                }
+                Some(ChannelEnd::Receiver(mut rx)) => {
+                    let mut b = [0u8; 16];
+                    let n = rx.recv(&mut b).unwrap();
+                    assert_eq!(&b[..n], b"ping");
+                    rx.close(ctx).unwrap();
+                    2u8
+                }
+                None => 0u8,
+            }
+        });
+        assert_eq!(got, vec![0, 1, 0, 2]);
+    }
+}

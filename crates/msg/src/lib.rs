@@ -23,7 +23,12 @@
 //! * **MPI-2.2-style one-sided** ([`win22::Win22`]): RMA layered over the
 //!   messaging engine with a software-agent charge per operation — the
 //!   high-latency curve of Figures 4/5.
+//! * **notified-access channels** ([`channel`]): the inverse comparison —
+//!   an SPSC producer-consumer channel built purely on one-sided notified
+//!   operations (`put_notify` + credit-return `accumulate_notify`),
+//!   showing message-passing semantics recovered *from* scalable RMA.
 
+pub mod channel;
 pub mod coll;
 pub mod p2p;
 pub mod queue;

@@ -35,6 +35,7 @@ pub struct Universe {
     seed: u64,
     faults: Option<FaultPlan>,
     batch: Option<bool>,
+    notify_depth: Option<usize>,
 }
 
 impl Universe {
@@ -51,6 +52,7 @@ impl Universe {
             seed: root_seed_from_env(1),
             faults: None,
             batch: None,
+            notify_depth: None,
         }
     }
 
@@ -99,6 +101,15 @@ impl Universe {
         self
     }
 
+    /// Override the per-rank notification-queue depth (records), overriding
+    /// `FOMPI_NOTIFY_DEPTH` (see `fompi_fabric::notify`). Leaving this
+    /// unset defers to the environment (default 64).
+    pub fn notify_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0);
+        self.notify_depth = Some(depth);
+        self
+    }
+
     /// The root seed in force.
     pub fn root_seed(&self) -> u64 {
         self.seed
@@ -129,6 +140,9 @@ impl Universe {
             Fabric::with_config(self.p, self.node_size, self.model.clone(), self.trace, plan);
         if let Some(on) = self.batch {
             fabric.set_batch_default(on);
+        }
+        if let Some(depth) = self.notify_depth {
+            fabric.set_notify_depth(depth);
         }
         let coll = Arc::new(CollEngine::new(self.p, fabric.clone()));
         let mut results: Vec<Option<T>> = (0..self.p).map(|_| None).collect();
@@ -345,6 +359,15 @@ mod tests {
         assert!(fabric.batch_default());
         let (off, _) = Universe::new(3).node_size(1).batch(false).launch(|ctx| ctx.ep().batching());
         assert!(off.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn notify_depth_builder_resizes_rings() {
+        let (_out, fabric) = Universe::new(2).node_size(1).notify_depth(8).launch(|ctx| {
+            ctx.barrier();
+        });
+        assert_eq!(fabric.notify().queue(0).capacity(), 8);
+        assert_eq!(fabric.notify().depth(), 8);
     }
 
     #[test]

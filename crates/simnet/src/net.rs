@@ -101,6 +101,37 @@ impl LogGP {
     pub fn put_unbatched(&self, n: usize, bytes: usize) -> f64 {
         n as f64 * (self.o + self.put(bytes))
     }
+
+    /// One notified put of `bytes` (foMPI-NA style): the data put and its
+    /// trailing notification AMO share the DMAPP ordered class, so the
+    /// origin pays two injections and the consumer sees the record once
+    /// the slower of the two wire legs lands —
+    /// `2o + max(Pput(s), amo)`. Twin of `fompi::perf` `put_notified`.
+    pub fn put_notified(&self, bytes: usize) -> f64 {
+        2.0 * self.o + self.put(bytes).max(self.amo)
+    }
+
+    /// The pre-notified idiom: put the data, flush, then update a flag
+    /// AMO the consumer polls. The flush serialises the put's wire
+    /// latency before the flag even starts —
+    /// `2o + Pflush + Pput(s) + amo` (`sw_fompi` stands in for the
+    /// ≈76 ns foMPI flush). Twin of `fompi::perf` `put_polled`.
+    pub fn put_polled(&self, bytes: usize) -> f64 {
+        2.0 * self.o + self.sw_fompi + self.put(bytes) + self.amo
+    }
+
+    /// A bare notified AMO (credit returns, counters): two injections,
+    /// one AMO latency. Twin of `fompi::perf` `notified_amo`.
+    pub fn notified_amo(&self) -> f64 {
+        2.0 * self.o + self.amo
+    }
+
+    /// One producer-consumer channel round over notified access: the
+    /// notified payload put plus the notified credit AMO flowing back.
+    /// Twin of `fompi::perf` `channel_round`.
+    pub fn channel_round(&self, bytes: usize) -> f64 {
+        self.put_notified(bytes) + self.notified_amo()
+    }
 }
 
 /// A 3-D torus with per-link occupancy (wormhole-ish approximation:
@@ -342,6 +373,26 @@ mod tests {
         let n = 8;
         let expect = (n - 1) as f64 * (m.o + m.l_put - m.g_gap);
         assert!((m.put_unbatched(n, 8) - m.put_batched(n, 8) - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn notified_twins_mirror_the_live_model() {
+        let m = LogGP::default();
+        // The notified put always beats the flush + polled-flag idiom, and
+        // the win is exactly flush + the overlapped (smaller) leg.
+        for s in [8usize, 64, 512, 4096, 1 << 16] {
+            let gain = m.put_polled(s) - m.put_notified(s);
+            let expect = m.sw_fompi + m.put(s).min(m.amo);
+            assert!(gain > 0.0, "s={s}");
+            assert!((gain - expect).abs() < 1e-9, "s={s}");
+        }
+        // Channel round = notified put + notified credit AMO.
+        assert!((m.channel_round(256) - (m.put_notified(256) + m.notified_amo())).abs() < 1e-9);
+        // Once the put's wire time dominates the AMO leg, growing the
+        // payload grows the notified put at exactly G per byte.
+        let big = 1 << 20;
+        let d = m.put_notified(2 * big) - m.put_notified(big);
+        assert!((d - m.g * big as f64).abs() < 1e-6);
     }
 
     #[test]

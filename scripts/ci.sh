@@ -45,11 +45,11 @@ fi
 # — a >1% delta is a genuine protocol/model change, never noise. On an
 # intentional change, refresh the baseline:
 #   cargo run --release -p fompi-bench --bin perfgate
-#   cp BENCH_PR3.json results/BENCH_PR3_baseline.json
+#   cp BENCH_PR4.json results/BENCH_PR4_baseline.json
 echo "== perfgate: virtual-time regression check (tolerance 1%) =="
 env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY FOMPI_SEED=1 \
     cargo run --offline --release -q -p fompi-bench --bin perfgate -- \
-    --check results/BENCH_PR3_baseline.json
+    --check results/BENCH_PR4_baseline.json
 
 # Results determinism: the checked-in drift table (and in smoke mode the
 # soak table, which the soak smoke above just rewrote at pinned seeds)
@@ -62,6 +62,14 @@ git diff --exit-code -- results/drift.csv
 if [[ -z "${SOAK_SECONDS:-}" && "${SOAK_SEEDS:-2}" == "2" ]]; then
     git diff --exit-code -- results/soak.csv
 fi
+# Notified-access ablation: the micro-handoff and channel rows are
+# schedule-independent, so the CSV must regenerate byte-identically (the
+# bin also asserts notified beats fence/PSCW/flag-polling, and prints the
+# schedule-dependent DSDE/hashtable comparisons without gating them).
+echo "== results determinism: regenerate notify_ablation.csv and compare =="
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY FOMPI_SEED=1 \
+    cargo run --offline --release -q -p fompi-bench --bin notify_ablation >/dev/null
+git diff --exit-code -- results/notify_ablation.csv
 # drift_sched.csv holds the schedule-dependent classes (post/start/wait
 # partner-wait poll loops) — not reproducible, so not diffed; restore the
 # committed copy so the gate leaves the tree clean.

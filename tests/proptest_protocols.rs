@@ -161,7 +161,7 @@ fn reader_writer_invariant() {
     }
 }
 
-/// put_notify counters are exact for random message mixes.
+/// put_signal counters are exact for random message mixes.
 #[test]
 fn notify_counts_exact() {
     for case in 0..12u64 {
@@ -179,7 +179,7 @@ fn notify_counts_exact() {
                 if t == ctx.rank() {
                     continue;
                 }
-                win.put_notify(&me.to_le_bytes(), t, (i * p + t as usize) * 8, 0).unwrap();
+                win.put_signal(&me.to_le_bytes(), t, (i * p + t as usize) * 8, 0).unwrap();
                 sent[t as usize] += 1;
             }
             win.unlock_all().unwrap();
@@ -196,8 +196,8 @@ fn notify_counts_exact() {
                     )
                 })
                 .sum();
-            win.notify_wait(0, expect).unwrap();
-            let n = win.notify_test(0).unwrap();
+            win.signal_wait(0, expect).unwrap();
+            let n = win.signal_test(0).unwrap();
             ctx.barrier();
             (n, expect)
         });

@@ -158,7 +158,7 @@ fn mcs_lock_storm_64() {
 
 #[test]
 fn notified_access_flood_32() {
-    // Every rank floods rank 0 with put_notify messages; the counter and
+    // Every rank floods rank 0 with put_signal messages; the counter and
     // every payload must land.
     let p = 32;
     let msgs = 16;
@@ -169,13 +169,13 @@ fn notified_access_flood_32() {
             if ctx.rank() != 0 {
                 for i in 0..msgs {
                     let val = (ctx.rank() as u64) << 32 | i as u64;
-                    win.put_notify(&val.to_le_bytes(), 0, (ctx.rank() as usize * msgs + i) * 8, 0)
+                    win.put_signal(&val.to_le_bytes(), 0, (ctx.rank() as usize * msgs + i) * 8, 0)
                         .unwrap();
                 }
             }
             win.unlock_all().unwrap();
             if ctx.rank() == 0 {
-                win.notify_wait(0, ((p - 1) * msgs) as u64).unwrap();
+                win.signal_wait(0, ((p - 1) * msgs) as u64).unwrap();
                 let mut ok = true;
                 for r in 1..p {
                     for i in 0..msgs {

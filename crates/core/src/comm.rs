@@ -18,8 +18,10 @@ use crate::error::{FompiError, Result};
 use crate::meta::off;
 use crate::op::{MpiOp, NumKind};
 use crate::perf::overhead;
+use crate::racecheck::{acc_tag, ACC_CAS};
 use crate::request::Request;
 use crate::win::Win;
+use fompi_fabric::shadow::AccessKind;
 use fompi_fabric::AmoOp;
 
 impl Win {
@@ -30,8 +32,18 @@ impl Win {
     pub fn put(&self, origin: &[u8], target: u32, target_disp: usize) -> Result<()> {
         self.check_access(target)?;
         self.ep.charge(overhead::put_get_ns());
+        let rc = self.rc_start();
         let (key, off) = self.target_span(target, target_disp, origin.len())?;
         self.ep.put_implicit(key, off, origin)?;
+        if let Some(t0) = rc {
+            self.rc_remote(
+                t0,
+                target,
+                self.rc_base(target_disp, off),
+                origin.len(),
+                AccessKind::Put,
+            );
+        }
         Ok(())
     }
 
@@ -40,8 +52,12 @@ impl Win {
     pub fn get(&self, dst: &mut [u8], target: u32, target_disp: usize) -> Result<()> {
         self.check_access(target)?;
         self.ep.charge(overhead::put_get_ns());
+        let rc = self.rc_start();
         let (key, off) = self.target_span(target, target_disp, dst.len())?;
         self.ep.get_implicit(key, off, dst)?;
+        if let Some(t0) = rc {
+            self.rc_remote(t0, target, self.rc_base(target_disp, off), dst.len(), AccessKind::Get);
+        }
         Ok(())
     }
 
@@ -53,8 +69,18 @@ impl Win {
     pub fn rput(&self, origin: &[u8], target: u32, target_disp: usize) -> Result<Request> {
         self.check_access(target)?;
         self.ep.charge(overhead::put_get_ns());
+        let rc = self.rc_start();
         let (key, off) = self.target_span(target, target_disp, origin.len())?;
         let h = self.retry_backpressure(|| self.ep.put_nb(key, off, origin))?;
+        if let Some(t0) = rc {
+            self.rc_remote(
+                t0,
+                target,
+                self.rc_base(target_disp, off),
+                origin.len(),
+                AccessKind::Put,
+            );
+        }
         Ok(Request::new(self.ep.clone(), h))
     }
 
@@ -63,8 +89,12 @@ impl Win {
     pub fn rget(&self, dst: &mut [u8], target: u32, target_disp: usize) -> Result<Request> {
         self.check_access(target)?;
         self.ep.charge(overhead::put_get_ns());
+        let rc = self.rc_start();
         let (key, off) = self.target_span(target, target_disp, dst.len())?;
         let h = self.retry_backpressure(|| self.ep.get_nb(key, off, &mut *dst))?;
+        if let Some(t0) = rc {
+            self.rc_remote(t0, target, self.rc_base(target_disp, off), dst.len(), AccessKind::Get);
+        }
         Ok(Request::new(self.ep.clone(), h))
     }
 
@@ -110,9 +140,14 @@ impl Win {
         let ob = origin_ty.flatten(origin_count);
         let tb = target_ty.flatten(target_count);
         let span = target_ty.extent() * target_count;
+        let rc = self.rc_start();
         let (key, base) = self.target_span(target, target_disp, span.max(1))?;
+        let rc_base = self.rc_base(target_disp, base);
         for (oo, to, len) in zip_blocks(&ob, &tb)? {
             self.ep.put_implicit(key, base + to, &origin[oo..oo + len])?;
+            if let Some(t0) = rc {
+                self.rc_remote(t0, target, rc_base + to, len, AccessKind::Put);
+            }
         }
         Ok(())
     }
@@ -134,9 +169,14 @@ impl Win {
         let ob = origin_ty.flatten(origin_count);
         let tb = target_ty.flatten(target_count);
         let span = target_ty.extent() * target_count;
+        let rc = self.rc_start();
         let (key, base) = self.target_span(target, target_disp, span.max(1))?;
+        let rc_base = self.rc_base(target_disp, base);
         for (oo, to, len) in zip_blocks(&ob, &tb)? {
             self.ep.get_implicit(key, base + to, &mut dst[oo..oo + len])?;
+            if let Some(t0) = rc {
+                self.rc_remote(t0, target, rc_base + to, len, AccessKind::Get);
+            }
         }
         Ok(())
     }
@@ -158,6 +198,7 @@ impl Win {
         if !origin.len().is_multiple_of(es) {
             return Err(FompiError::BadAccumulate("origin not a whole number of elements"));
         }
+        let rc = self.rc_start();
         let (key, base) = self.target_span(target, target_disp, origin.len())?;
         if self.shared.cfg.hw_amo && base % 8 == 0 {
             if let Some(amo) = op.hw_amo(kind) {
@@ -165,6 +206,10 @@ impl Win {
                 for (i, chunk) in origin.chunks_exact(8).enumerate() {
                     let v = u64::from_le_bytes(chunk.try_into().unwrap());
                     self.ep.amo_implicit(key, base + i * 8, amo, v)?;
+                }
+                if let Some(t0) = rc {
+                    let lo = self.rc_base(target_disp, base);
+                    self.rc_remote(t0, target, lo, origin.len(), AccessKind::Acc(acc_tag(op)));
                 }
                 return Ok(());
             }
@@ -178,6 +223,10 @@ impl Win {
             }
             out
         })?;
+        if let Some(t0) = rc {
+            let lo = self.rc_base(target_disp, base);
+            self.rc_remote(t0, target, lo, origin.len(), AccessKind::Acc(acc_tag(op)));
+        }
         Ok(())
     }
 
@@ -208,6 +257,7 @@ impl Win {
             return Err(FompiError::BadAccumulate("typemap not a whole number of elements"));
         }
         let span = target_ty.extent() * target_count;
+        let rc = self.rc_start();
         let (key, base) = self.target_span(target, target_disp, span.max(1))?;
         // One locked read-modify-write covering the target extent; only
         // typemap bytes are rewritten.
@@ -227,6 +277,12 @@ impl Win {
             debug_assert_eq!(consumed, packed.len());
             out
         })?;
+        // The fallback rewrites the whole extent (holes included), so the
+        // shadow record covers it all.
+        if let Some(t0) = rc {
+            let lo = self.rc_base(target_disp, base);
+            self.rc_remote(t0, target, lo, span, AccessKind::Acc(acc_tag(op)));
+        }
         Ok(())
     }
 
@@ -247,6 +303,7 @@ impl Win {
         if !result.len().is_multiple_of(es) || (op != MpiOp::NoOp && origin.len() != result.len()) {
             return Err(FompiError::BadAccumulate("origin/result element mismatch"));
         }
+        let rc = self.rc_start();
         let (key, base) = self.target_span(target, target_disp, result.len())?;
         let old = self.acc_locked(target, key, base, result.len(), |cur| {
             if op == MpiOp::NoOp {
@@ -259,6 +316,10 @@ impl Win {
             out
         })?;
         result.copy_from_slice(&old);
+        if let Some(t0) = rc {
+            let lo = self.rc_base(target_disp, base);
+            self.rc_remote(t0, target, lo, result.len(), AccessKind::Acc(acc_tag(op)));
+        }
         Ok(())
     }
 
@@ -279,6 +340,7 @@ impl Win {
         if result.len() != es {
             return Err(FompiError::BadAccumulate("fetch_and_op result must be one element"));
         }
+        let rc = self.rc_start();
         let (key, base) = self.target_span(target, target_disp, es)?;
         if self.shared.cfg.hw_amo && es == 8 && base % 8 == 0 {
             if let Some(amo) = op.hw_amo(kind) {
@@ -289,6 +351,10 @@ impl Win {
                 };
                 let old = self.ep.amo(key, base, amo, v, 0)?;
                 result.copy_from_slice(&old.to_le_bytes());
+                if let Some(t0) = rc {
+                    let lo = self.rc_base(target_disp, base);
+                    self.rc_remote(t0, target, lo, es, AccessKind::Acc(acc_tag(op)));
+                }
                 return Ok(());
             }
         }
@@ -302,6 +368,10 @@ impl Win {
         })?;
         res.copy_from_slice(&old);
         result.copy_from_slice(&res);
+        if let Some(t0) = rc {
+            let lo = self.rc_base(target_disp, base);
+            self.rc_remote(t0, target, lo, es, AccessKind::Acc(acc_tag(op)));
+        }
         Ok(())
     }
 
@@ -347,11 +417,17 @@ impl Win {
         target_disp: usize,
     ) -> Result<u64> {
         self.check_access(target)?;
+        let rc = self.rc_start();
         let (key, base) = self.target_span(target, target_disp, 8)?;
         if base % 8 != 0 {
             return Err(FompiError::BadAccumulate("CAS target must be 8-byte aligned"));
         }
-        Ok(self.ep.amo(key, base, AmoOp::Cas, desired, compare)?)
+        let old = self.ep.amo(key, base, AmoOp::Cas, desired, compare)?;
+        if let Some(t0) = rc {
+            let lo = self.rc_base(target_disp, base);
+            self.rc_remote(t0, target, lo, 8, AccessKind::Acc(ACC_CAS));
+        }
+        Ok(old)
     }
 
     /// The bufferless fallback protocol (§2.4): lock the target's

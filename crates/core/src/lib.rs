@@ -48,6 +48,7 @@ pub mod error;
 pub mod meta;
 pub mod op;
 pub mod perf;
+pub mod racecheck;
 pub mod request;
 pub mod soak;
 pub mod sync;

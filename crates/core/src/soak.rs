@@ -102,6 +102,10 @@ pub struct SoakOutcome {
     pub clocks: Vec<u64>,
     /// Invariant violations (empty = pass). Each carries the seed.
     pub violations: Vec<String>,
+    /// Total accesses flagged by the RMA race checker (0 unless armed via
+    /// [`run_case_racecheck`] or `FOMPI_RACECHECK`; must stay 0 here —
+    /// the workloads are synchronisation-correct).
+    pub raceflags: u64,
 }
 
 impl SoakOutcome {
@@ -136,11 +140,30 @@ pub fn run_case(
     seed: u64,
     plan: FaultPlan,
 ) -> SoakOutcome {
+    run_case_racecheck(proto, p, epochs, seed, plan, None)
+}
+
+/// [`run_case`] with the RMA race checker armed at `mode` (`None` defers
+/// to the environment). The soak workloads are synchronisation-correct by
+/// construction, so any racecheck flag here is a checker false positive —
+/// the false-positive acceptance gate runs every protocol through this
+/// with [`fompi_fabric::RacecheckMode::Panic`].
+pub fn run_case_racecheck(
+    proto: Protocol,
+    p: usize,
+    epochs: usize,
+    seed: u64,
+    plan: FaultPlan,
+    racecheck: Option<fompi_fabric::RacecheckMode>,
+) -> SoakOutcome {
     assert!(p >= 2, "soak workloads are ring-shaped; need p >= 2");
     // Split ranks across two nodes so both the XPMEM and the DMAPP paths
     // see faults.
     let node_size = p.div_ceil(2);
-    let uni = Universe::new(p).node_size(node_size).seed(seed).faults(plan);
+    let mut uni = Universe::new(p).node_size(node_size).seed(seed).faults(plan);
+    if let Some(mode) = racecheck {
+        uni = uni.racecheck(mode);
+    }
     let (per_rank, fabric) = uni.launch(move |ctx| {
         let mut v = Vec::new();
         let r = match proto {
@@ -167,6 +190,7 @@ pub fn run_case(
         injected: fabric.faults().total_injected(),
         clocks,
         violations: violations.into_iter().flatten().collect(),
+        raceflags: fabric.shadow().total_flagged(),
     }
 }
 

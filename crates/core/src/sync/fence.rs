@@ -61,6 +61,7 @@ impl Win {
             st.exposure = ExposureEpoch::Fence;
         }
         drop(st);
+        self.rc_fence();
         self.ep.fabric().counters().fences.fetch_add(1, Ordering::Relaxed);
         self.ep.trace_sync(EventKind::Fence, NO_TARGET, t_start);
         Ok(())

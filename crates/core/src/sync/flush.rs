@@ -33,6 +33,7 @@ impl Win {
         self.ep.charge(overhead::flush_ns());
         self.ep.flush_target(target);
         self.ep.mfence();
+        self.rc_flush(Some(target));
         Ok(())
     }
 
@@ -44,6 +45,7 @@ impl Win {
         self.ep.charge(overhead::flush_ns());
         self.ep.gsync();
         self.ep.mfence();
+        self.rc_flush(None);
         self.ep.fabric().counters().flushes.fetch_add(1, Ordering::Relaxed);
         self.ep.trace_sync(EventKind::Flush, NO_TARGET, t_start);
         Ok(())
@@ -61,6 +63,7 @@ impl Win {
         let t_start = self.ep.clock().now();
         self.ep.charge(overhead::flush_ns());
         self.ep.drain_target(target);
+        self.rc_flush(Some(target));
         self.ep.fabric().counters().flushes.fetch_add(1, Ordering::Relaxed);
         self.ep.trace_sync(EventKind::FlushLocal, target, t_start);
         Ok(())
@@ -73,6 +76,7 @@ impl Win {
         let t_start = self.ep.clock().now();
         self.ep.charge(overhead::flush_ns());
         self.ep.drain_all();
+        self.rc_flush(None);
         self.ep.fabric().counters().flushes.fetch_add(1, Ordering::Relaxed);
         self.ep.trace_sync(EventKind::FlushLocal, NO_TARGET, t_start);
         Ok(())
@@ -85,6 +89,7 @@ impl Win {
         let t_start = self.ep.clock().now();
         std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
         self.ep.charge(self.ep.fabric().model().sync_ns);
+        self.rc_acquire_own();
         self.ep.trace_sync(EventKind::WinSync, NO_TARGET, t_start);
     }
 }

@@ -54,6 +54,7 @@ impl Win {
             st.access = AccessEpoch::Lock;
             st.nocheck.insert(target);
             drop(st);
+            self.rc_lock_acquired(Some(target));
             self.ep.fabric().counters().locks.fetch_add(1, Ordering::Relaxed);
             self.ep.trace_sync(EventKind::Lock, target, t_start);
             return Ok(());
@@ -66,6 +67,9 @@ impl Win {
         st.locks.insert(target, lock_type);
         st.access = AccessEpoch::Lock;
         drop(st);
+        // Sample the racecheck session *after* the protocol succeeded, so
+        // a blocked acquirer observes the releasing holder's epoch bump.
+        self.rc_lock_acquired(Some(target));
         self.ep.fabric().counters().locks.fetch_add(1, Ordering::Relaxed);
         self.ep.trace_sync(EventKind::Lock, target, t_start);
         Ok(())
@@ -85,6 +89,9 @@ impl Win {
         // batching), then joins that peer's completion horizon.
         self.ep.mfence();
         self.ep.flush_target(target);
+        // Racecheck release edge: bump *before* the release AMOs become
+        // visible, so the next acquirer samples the advanced epoch.
+        self.rc_unlock(Some(target));
         if self.state.borrow_mut().nocheck.remove(&target) {
             // MPI_MODE_NOCHECK: nothing was acquired, nothing to release.
             let mut st = self.state.borrow_mut();
@@ -167,6 +174,7 @@ impl Win {
             super::backoff_spin(&self.ep, spins);
         }
         self.state.borrow_mut().access = AccessEpoch::LockAll;
+        self.rc_lock_acquired(None);
         self.ep.fabric().counters().locks.fetch_add(1, Ordering::Relaxed);
         self.ep.trace_sync(EventKind::LockAll, NO_TARGET, t_start);
         Ok(())
@@ -184,6 +192,7 @@ impl Win {
         let t_start = self.ep.clock().now();
         self.ep.mfence();
         self.ep.gsync();
+        self.rc_unlock(None);
         let gkey = self.meta_key(self.shared.master);
         self.ep.amo_sync_release(gkey, off::GLOBAL_LOCK, AmoOp::Add, u64::MAX)?; // -1
         self.state.borrow_mut().access = AccessEpoch::None;

@@ -51,6 +51,9 @@ impl Win {
             }
         }
         self.state.borrow_mut().access = AccessEpoch::LockAll;
+        // Racecheck: the MCS lock is a window-wide exclusive session;
+        // sample it only once the hand-off (or free tail) was observed.
+        self.rc_lock_acquired(None);
         Ok(())
     }
 
@@ -65,6 +68,9 @@ impl Win {
         }
         self.ep.mfence();
         self.ep.gsync();
+        // Racecheck release edge: before the tail CAS / successor flag
+        // becomes visible, so the next holder samples the advanced epoch.
+        self.rc_unlock(None);
         let me = self.ep.rank();
         let my = self.meta_key(me);
         let master = self.meta_key(self.shared.master);

@@ -32,7 +32,9 @@
 //! window is freed.
 
 use crate::error::{FompiError, Result};
+use crate::racecheck::acc_tag;
 use crate::win::Win;
+use fompi_fabric::shadow::AccessKind;
 use fompi_fabric::telemetry::EventKind;
 use fompi_fabric::{notify_match, AmoOp, NotifyRecord, NOTIFY_ANY};
 
@@ -60,8 +62,20 @@ impl Win {
         }
         self.check_access(target)?;
         self.ep.charge(crate::perf::overhead::put_get_ns());
+        let rc = self.rc_start();
         let (key, off) = self.target_span(target, target_disp, origin.len())?;
         self.ep.put_implicit(key, off, origin)?;
+        if let Some(t0) = rc {
+            // Only the data interval is shadowed; the signal AMO lands in
+            // window metadata, outside user-addressable bytes.
+            self.rc_remote(
+                t0,
+                target,
+                self.rc_base(target_disp, off),
+                origin.len(),
+                AccessKind::Put,
+            );
+        }
         // The signal is NIC-ordered after the data (no origin-side
         // blocking): one non-fetching AMO whose visibility trails the put.
         let mkey = self.meta_key(target);
@@ -80,6 +94,9 @@ impl Win {
         let mut spins = 0u64;
         loop {
             if self.ep.read_sync(mkey, noff)? >= count {
+                // Racecheck acquire edge: the signal is release-ordered
+                // after its data, so reads that follow are synchronized.
+                self.rc_acquire_own();
                 return Ok(());
             }
             spins += 1;
@@ -96,7 +113,13 @@ impl Win {
             return Err(FompiError::InvalidEpoch("signal slot out of range"));
         }
         let mkey = self.meta_key(self.ep.rank());
-        Ok(self.ep.read_sync(mkey, self.shared.cfg.notify_off(slot))?)
+        let v = self.ep.read_sync(mkey, self.shared.cfg.notify_off(slot))?;
+        if v > 0 {
+            // A nonzero counter proves at least one producer's release was
+            // observed — an acquire edge for the data behind it.
+            self.rc_acquire_own();
+        }
+        Ok(v)
     }
 
     // ------------------------------------------- notifications (ring API)
@@ -117,8 +140,19 @@ impl Win {
         self.notify_tag_ok(tag)?;
         self.check_access(target)?;
         self.ep.charge(crate::perf::overhead::put_get_ns());
+        let rc = self.rc_start();
         let (key, off) = self.target_span(target, target_disp, origin.len())?;
-        Ok(self.ep.put_notified(key, off, origin, tag)?)
+        self.ep.put_notified(key, off, origin, tag)?;
+        if let Some(t0) = rc {
+            self.rc_remote(
+                t0,
+                target,
+                self.rc_base(target_disp, off),
+                origin.len(),
+                AccessKind::Put,
+            );
+        }
+        Ok(())
     }
 
     /// Get from `target` at `target_disp` into `dst` and notify *the
@@ -135,8 +169,14 @@ impl Win {
         self.notify_tag_ok(tag)?;
         self.check_access(target)?;
         self.ep.charge(crate::perf::overhead::put_get_ns());
+        let rc = self.rc_start();
         let (key, off) = self.target_span(target, target_disp, dst.len())?;
-        Ok(self.ep.get_notified(key, off, dst, tag)?)
+        let len = dst.len();
+        self.ep.get_notified(key, off, dst, tag)?;
+        if let Some(t0) = rc {
+            self.rc_remote(t0, target, self.rc_base(target_disp, off), len, AccessKind::Get);
+        }
+        Ok(())
     }
 
     /// Notified 8-byte accumulate: apply `op` to the u64 at `target_disp`
@@ -158,8 +198,19 @@ impl Win {
             .ok_or(FompiError::BadAccumulate("accumulate_notify needs a hardware AMO op"))?;
         self.check_access(target)?;
         self.ep.charge(crate::perf::overhead::put_get_ns());
+        let rc = self.rc_start();
         let (key, off) = self.target_span(target, target_disp, 8)?;
-        Ok(self.ep.amo_notified(key, off, amo, operand, tag)?)
+        self.ep.amo_notified(key, off, amo, operand, tag)?;
+        if let Some(t0) = rc {
+            self.rc_remote(
+                t0,
+                target,
+                self.rc_base(target_disp, off),
+                8,
+                AccessKind::Acc(acc_tag(op)),
+            );
+        }
+        Ok(())
     }
 
     /// Block until a notification matching `(source, tag)` — either may be
@@ -176,6 +227,9 @@ impl Win {
         loop {
             if let Some(rec) = self.notify_take(source, tag) {
                 self.ep.notify_join(&rec);
+                // Racecheck acquire edge: matching consumes the
+                // notification's ordering guarantee.
+                self.rc_acquire_own();
                 self.ep.trace_sync(EventKind::NotifyWait, rec.source, t0);
                 return Ok(rec);
             }
@@ -194,6 +248,7 @@ impl Win {
         let t0 = self.ep.clock().now();
         Ok(self.notify_take(source, tag).inspect(|rec| {
             self.ep.notify_join(rec);
+            self.rc_acquire_own();
             self.ep.trace_sync(EventKind::NotifyWait, rec.source, t0);
         }))
     }

@@ -37,6 +37,10 @@ impl Win {
         }
         self.trace_scope();
         let t_start = self.ep.clock().now();
+        // Racecheck acquire edge for the new exposure epoch — bumped
+        // *before* the announcement unblocks any starter, so their
+        // accesses land in the new generation.
+        self.rc_acquire_own();
         let me = self.ep.rank();
         if self.shared.cfg.pscw_fast {
             // Fast path: one FAA ticket + one put per neighbour. The ring
@@ -122,6 +126,10 @@ impl Win {
         self.ep.mfence();
         self.ep.gsync();
         for target in group.iter() {
+            // Racecheck: complete orders this origin's own later accesses
+            // (a phase edge only — bumping the generation here would mask
+            // races between two origins sharing one exposure epoch).
+            self.rc_flush(Some(target));
             // Non-fetching FAA: one injection per neighbour, latencies
             // overlapped — Pcomplete = 350 ns · k (§3.2).
             self.ep.amo_sync_release(self.meta_key(target), off::COMPLETION, AmoOp::Add, 1)?;
@@ -167,6 +175,9 @@ impl Win {
             0,
         )?;
         self.state.borrow_mut().exposure = ExposureEpoch::None;
+        // Racecheck acquire edge: every complete of this epoch has been
+        // observed, so local reads that follow are ordered.
+        self.rc_acquire_own();
         self.ep.trace_sync(EventKind::WaitEpoch, NO_TARGET, t_start);
         Ok(())
     }
@@ -196,6 +207,7 @@ impl Win {
             0,
         )?;
         self.state.borrow_mut().exposure = ExposureEpoch::None;
+        self.rc_acquire_own();
         self.ep.trace_sync(EventKind::WaitEpoch, NO_TARGET, t_start);
         Ok(true)
     }

@@ -476,11 +476,17 @@ impl Win {
     /// would return). Public model: the window owns its memory.
     pub fn read_local(&self, off: usize, dst: &mut [u8]) {
         self.my_data.as_ref().expect("window has no static local memory").read(off, dst);
+        if self.rc_on() {
+            self.rc_local(off, dst.len(), false);
+        }
     }
 
     /// Write the local window memory (a local store).
     pub fn write_local(&self, off: usize, src: &[u8]) {
         self.my_data.as_ref().expect("window has no static local memory").write(off, src);
+        if self.rc_on() {
+            self.rc_local(off, src.len(), true);
+        }
     }
 
     /// Direct load/store view of `rank`'s shared-window segment
@@ -555,7 +561,14 @@ impl Win {
     /// `MPI_Win_free` with unmatched foMPI-NA notifications, the records
     /// do not outlive the window they synchronised.
     pub fn free(self, ctx: &RankCtx) {
+        // Racecheck: probe epoch quiescence before the barrier (the state
+        // is per-rank), but mark the id freed only after it — peers may
+        // legitimately still be recording their last pre-free accesses.
+        let rc_clean = if self.rc_on() { Some(self.rc_free_clean()) } else { None };
         ctx.barrier();
+        if let Some(clean) = rc_clean {
+            self.rc_freed(clean);
+        }
         let stashed = self.notify_stash.borrow_mut().drain(..).count() as u64;
         if stashed > 0 {
             self.trace_scope();

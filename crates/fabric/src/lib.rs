@@ -46,6 +46,7 @@ pub mod faults;
 pub mod notify;
 pub mod rng;
 pub mod segment;
+pub mod shadow;
 pub mod shim;
 pub mod stripes;
 pub mod telemetry;
@@ -62,6 +63,9 @@ pub use error::FabricError;
 pub use faults::{FaultKind, FaultParseError, FaultPlan, Faults};
 pub use notify::{notify_match, NotifyHub, NotifyQueue, NotifyRecord, NOTIFY_ANY};
 pub use segment::{SegKey, Segment};
+pub use shadow::{
+    AccessKind, AccessRecord, LockCtx, RaceClass, RaceViolation, RacecheckMode, Shadow, ACC_NOOP,
+};
 pub use stripes::{StripedHorizon, STRIPE_COUNT};
 pub use telemetry::Telemetry;
 pub use topology::Topology;
@@ -87,6 +91,7 @@ pub struct Fabric {
     faults: Faults,
     batch_default: AtomicBool,
     notify: NotifyHub,
+    shadow: Shadow,
 }
 
 impl Fabric {
@@ -148,6 +153,7 @@ impl Fabric {
             faults,
             batch_default: AtomicBool::new(batch_from_env()),
             notify: NotifyHub::new(p, notify::depth_from_env()),
+            shadow: Shadow::from_env(p),
         })
     }
 
@@ -201,6 +207,19 @@ impl Fabric {
     /// [`Fabric::set_batch_default`].
     pub fn set_notify_depth(&self, depth: usize) {
         self.notify.set_depth(depth);
+    }
+
+    /// The racecheck hub (see [`shadow`]): inert — one relaxed load per
+    /// op — unless `FOMPI_RACECHECK` or [`Fabric::set_racecheck`] arms it.
+    pub fn shadow(&self) -> &Shadow {
+        &self.shadow
+    }
+
+    /// Set the racecheck mode programmatically. Launch-time configuration
+    /// only — the runtime's `Universe::racecheck` funnels through here,
+    /// mirroring [`Fabric::set_batch_default`].
+    pub fn set_racecheck(&self, mode: RacecheckMode) {
+        self.shadow.set_mode(mode);
     }
 
     /// Register `seg` for remote access by rank `rank`. Returns the key

@@ -38,6 +38,14 @@
 //! error, mirroring `FOMPI_FAULTS`.
 
 use crate::clock::{bits_to_stamp, stamp_to_bits};
+// Under `--cfg loom` the ring runs on loom's model-checked atomics so the
+// interleaving tests below explore every Acquire/Release schedule. loom is
+// NOT a dependency of this workspace: add it locally as a dev-dependency
+// (do not commit) and run
+// `RUSTFLAGS="--cfg loom" cargo test -p fompi-fabric --release loom_`.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -403,5 +411,125 @@ mod tests {
             assert!(q.try_push(rec(0, 0, 0, s)));
             assert_eq!(q.try_pop().unwrap().stamp.to_bits(), s.to_bits());
         }
+    }
+
+    /// Regression pin for the Vyukov cell protocol's Release/Acquire
+    /// pairing on `seq`: the payload words are Relaxed on purpose, so
+    /// every record popped under producer contention must still carry the
+    /// complete payload its producer published before the `seq`
+    /// release-store. A weakened ordering surfaces here as a stale or
+    /// zero field on a reused cell.
+    #[test]
+    fn payload_publication_is_release_acquire_ordered() {
+        let q = Arc::new(NotifyQueue::new(4));
+        const PER: u32 = 500;
+        const PRODUCERS: u32 = 3;
+        std::thread::scope(|s| {
+            for pr in 0..PRODUCERS {
+                let q = Arc::clone(&q);
+                s.spawn(move || {
+                    for i in 0..PER {
+                        let tag = pr * PER + i + 1;
+                        let r = rec(tag, tag ^ 0xA5A5, tag as u64 * 3, tag as f64);
+                        while !q.try_push(r) {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let q = Arc::clone(&q);
+            s.spawn(move || {
+                let mut seen = 0;
+                while seen < PRODUCERS * PER {
+                    if let Some(r) = q.try_pop() {
+                        assert_eq!(r.source, r.tag ^ 0xA5A5, "stale source on reused cell");
+                        assert_eq!(r.bytes, r.tag as u64 * 3, "stale bytes on reused cell");
+                        assert_eq!(r.stamp.to_bits(), (r.tag as f64).to_bits(), "stale stamp");
+                        seen += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+    }
+}
+
+/// Exhaustive interleaving checks of the ring under loom (see the import
+/// note at the top of the module for how to run them).
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use loom::thread;
+    use std::sync::Arc;
+
+    fn rec(tag: u32) -> NotifyRecord {
+        NotifyRecord { tag, source: tag ^ 0xA5, bytes: tag as u64 * 3, stamp: tag as f64 }
+    }
+
+    fn coherent(r: &NotifyRecord) {
+        assert_eq!(r.source, r.tag ^ 0xA5);
+        assert_eq!(r.bytes, r.tag as u64 * 3);
+        assert_eq!(r.stamp.to_bits(), (r.tag as f64).to_bits());
+    }
+
+    /// Two concurrent producers into a 2-cell ring: every interleaving
+    /// must land both records with coherent payloads, drained in the
+    /// order the enqueue slots were claimed.
+    #[test]
+    fn loom_two_producers_land_both_records() {
+        loom::model(|| {
+            let q = Arc::new(NotifyQueue::new(2));
+            let p1 = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.try_push(rec(1)))
+            };
+            let p2 = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.try_push(rec(2)))
+            };
+            assert!(p1.join().unwrap(), "capacity-2 ring refused the first record");
+            assert!(p2.join().unwrap(), "capacity-2 ring refused the second record");
+            let mut tags = Vec::new();
+            while let Some(r) = q.try_pop() {
+                coherent(&r);
+                tags.push(r.tag);
+            }
+            tags.sort_unstable();
+            assert_eq!(tags, vec![1, 2]);
+        });
+    }
+
+    /// Overflow racing a concurrent pop: the push may land (the pop freed
+    /// a cell first) or be refused (full) — either way nothing is lost,
+    /// duplicated, or torn, and FIFO order holds.
+    #[test]
+    fn loom_overflow_vs_pop_conserves_records() {
+        loom::model(|| {
+            let q = Arc::new(NotifyQueue::new(2));
+            assert!(q.try_push(rec(1)));
+            assert!(q.try_push(rec(2)));
+            let p = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.try_push(rec(3)))
+            };
+            let c = {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.try_pop())
+            };
+            let pushed = p.join().unwrap();
+            let popped = c.join().unwrap();
+            if let Some(r) = &popped {
+                coherent(r);
+                assert_eq!(r.tag, 1, "pop must take the oldest record");
+            }
+            let mut all: Vec<u32> = popped.into_iter().map(|r| r.tag).collect();
+            while let Some(r) = q.try_pop() {
+                coherent(&r);
+                all.push(r.tag);
+            }
+            let want: Vec<u32> = if pushed { vec![1, 2, 3] } else { vec![1, 2] };
+            assert_eq!(all, want);
+        });
     }
 }

@@ -23,6 +23,12 @@
 //! usual birthday bound on active peers per epoch.
 
 use crate::clock::{bits_to_stamp, stamp_to_bits};
+// Model-checked atomics under `--cfg loom` (loom is not a workspace
+// dependency — add it locally as a dev-dependency, do not commit, and run
+// `RUSTFLAGS="--cfg loom" cargo test -p fompi-fabric --release loom_`).
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of stripes. A power of two so routing is a mask; 16 keeps the
@@ -31,15 +37,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const STRIPE_COUNT: usize = 16;
 
 /// Striped monotonic completion horizons, indexed by target rank.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StripedHorizon {
     stripes: [AtomicU64; STRIPE_COUNT],
 }
 
+impl Default for StripedHorizon {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl StripedHorizon {
-    /// All-zero horizons.
+    /// All-zero horizons. (Explicit construction rather than a derived
+    /// `Default`: loom's `AtomicU64` has no `Default` impl.)
     pub fn new() -> Self {
-        Self::default()
+        Self { stripes: std::array::from_fn(|_| AtomicU64::new(0)) }
     }
 
     /// Which stripe tracks `target`.
@@ -192,5 +205,82 @@ mod tests {
         }
         h.reset();
         assert_eq!(h.global(), 0.0);
+    }
+
+    /// Regression pin for `note`'s release half pairing with `horizon`'s
+    /// Acquire load: a payload written (Relaxed) before `note(i)` must be
+    /// visible to any thread that observes horizon >= i. Weakening the
+    /// `fetch_max` to Relaxed breaks this.
+    #[test]
+    fn note_release_pairs_with_horizon_acquire() {
+        use std::sync::atomic::AtomicU32;
+        use std::sync::Arc;
+        let h = Arc::new(StripedHorizon::new());
+        let data = Arc::new(AtomicU32::new(0));
+        const ROUNDS: u32 = 20_000;
+        std::thread::scope(|s| {
+            {
+                let h = Arc::clone(&h);
+                let data = Arc::clone(&data);
+                s.spawn(move || {
+                    for i in 1..=ROUNDS {
+                        data.store(i, Ordering::Relaxed);
+                        h.note(5, i as f64);
+                    }
+                });
+            }
+            let h = Arc::clone(&h);
+            let data = Arc::clone(&data);
+            s.spawn(move || loop {
+                let t = h.horizon(5) as u32;
+                if t > 0 {
+                    assert!(
+                        data.load(Ordering::Relaxed) >= t,
+                        "horizon advanced before its payload was visible"
+                    );
+                }
+                if t >= ROUNDS {
+                    break;
+                }
+                std::thread::yield_now();
+            });
+        });
+    }
+}
+
+/// Exhaustive interleaving checks under loom (see the import note at the
+/// top of the module for how to run them).
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::*;
+    use loom::thread;
+    use std::sync::Arc;
+
+    /// Concurrent `fetch_max` storms from two threads must never lose the
+    /// maximum, per stripe and globally, in any interleaving.
+    #[test]
+    fn loom_concurrent_fetch_max_never_loses_the_max() {
+        loom::model(|| {
+            let h = Arc::new(StripedHorizon::new());
+            let a = {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    h.note(0, 10.0);
+                    h.note(1, 5.0);
+                })
+            };
+            let b = {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    h.note(0, 7.0);
+                    h.note(1, 20.0);
+                })
+            };
+            a.join().unwrap();
+            b.join().unwrap();
+            assert_eq!(h.horizon(0), 10.0);
+            assert_eq!(h.horizon(1), 20.0);
+            assert_eq!(h.global(), 20.0);
+        });
     }
 }

@@ -81,11 +81,18 @@ pub enum EventKind {
     NotifyWait,
     /// An un-consumed notification record discarded at window free.
     NotifyDrop,
+    /// A racecheck violation ([`crate::shadow`]): two conflicting accesses
+    /// overlapped inside one epoch. `origin`/`target` are the two access
+    /// origins, `bytes` the overlap length, and the span covers the union
+    /// of both accesses' virtual-time windows. Full records (kind, byte
+    /// interval, epoch, lock context) are retained by
+    /// [`crate::shadow::Shadow::violations`].
+    RaceReport,
 }
 
 impl EventKind {
     /// Number of distinct kinds (size of per-class stat arrays).
-    pub const COUNT: usize = 26;
+    pub const COUNT: usize = 27;
 
     /// All kinds, in `index` order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -115,6 +122,7 @@ impl EventKind {
         EventKind::NotifyPost,
         EventKind::NotifyWait,
         EventKind::NotifyDrop,
+        EventKind::RaceReport,
     ];
 
     /// Dense index for per-class stat arrays.
@@ -152,6 +160,7 @@ impl EventKind {
             EventKind::NotifyPost => "notify_post",
             EventKind::NotifyWait => "notify_wait",
             EventKind::NotifyDrop => "notify_drop",
+            EventKind::RaceReport => "race_report",
         }
     }
 

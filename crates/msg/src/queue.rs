@@ -48,7 +48,12 @@ impl RecvSlot {
     /// per the type-level contract above.
     pub unsafe fn write(&self, data: &[u8]) {
         assert!(data.len() <= self.cap, "message longer than posted receive buffer");
-        std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr, data.len());
+        // SAFETY: `ptr` points at a live buffer of at least `cap` bytes
+        // (caller contract above), `data.len() <= cap` is asserted, and the
+        // source slice cannot alias the posted receive buffer.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr, data.len());
+        }
     }
 }
 

@@ -54,12 +54,24 @@ impl CollEngine {
         }
     }
 
+    /// First rendezvous of the write–barrier–read–barrier pattern. Every
+    /// collective is a process-wide happens-before edge, so the barrier
+    /// leader — elected while all ranks are still inside the wait, and
+    /// sandwiched before anyone passes the *second* barrier — advances
+    /// the race checker's epoch clocks exactly once per collective (the
+    /// `init → barrier → epoch` idiom must not flag).
+    fn sync_entry(&self) {
+        if self.barrier.wait().is_leader() {
+            self.fabric.shadow().process_sync();
+        }
+    }
+
     /// Synchronise entry clocks: returns `max(entry times)`. The trailing
     /// barrier prevents a fast rank's *next* collective from polluting this
     /// one's stamp.
     fn sync_clocks(&self, ep: &Endpoint) -> f64 {
         self.stamp.raise(ep.clock().now());
-        self.barrier.wait();
+        self.sync_entry();
         let t = self.stamp.get();
         self.barrier.wait();
         t
@@ -83,7 +95,7 @@ impl CollEngine {
             return vec![bytes.to_vec()];
         }
         self.stamp.raise(ep.clock().now());
-        self.barrier.wait();
+        self.sync_entry();
         let t = self.stamp.get();
         let out: Vec<Vec<u8>> = self.slots.iter().map(|s| s.lock().clone()).collect();
         self.barrier.wait();
@@ -119,7 +131,7 @@ impl CollEngine {
             return vec![v];
         }
         self.stamp.raise(ep.clock().now());
-        self.barrier.wait();
+        self.sync_entry();
         let t = self.stamp.get();
         let out: Vec<u64> = self
             .slots
@@ -144,7 +156,7 @@ impl CollEngine {
             return;
         }
         self.stamp.raise(ep.clock().now());
-        self.barrier.wait();
+        self.sync_entry();
         let t = self.stamp.get();
         let all: Vec<Vec<u8>> = self.slots.iter().map(|s| s.lock().clone()).collect();
         self.barrier.wait();
@@ -170,7 +182,7 @@ impl CollEngine {
             return bytes.to_vec();
         }
         self.stamp.raise(ep.clock().now());
-        self.barrier.wait();
+        self.sync_entry();
         let t = self.stamp.get();
         let out = self.slots[root as usize].lock().clone();
         self.barrier.wait();

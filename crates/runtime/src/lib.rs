@@ -21,7 +21,7 @@ pub use coll::CollEngine;
 pub use group::Group;
 
 use fompi_fabric::rng::{root_seed_from_env, splitmix64};
-use fompi_fabric::{CostModel, Endpoint, Fabric, FaultPlan};
+use fompi_fabric::{CostModel, Endpoint, Fabric, FaultPlan, RacecheckMode};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -36,6 +36,7 @@ pub struct Universe {
     faults: Option<FaultPlan>,
     batch: Option<bool>,
     notify_depth: Option<usize>,
+    racecheck: Option<RacecheckMode>,
 }
 
 impl Universe {
@@ -53,6 +54,7 @@ impl Universe {
             faults: None,
             batch: None,
             notify_depth: None,
+            racecheck: None,
         }
     }
 
@@ -110,6 +112,16 @@ impl Universe {
         self
     }
 
+    /// Arm the RMA race checker (`fompi_fabric::shadow`) for every window
+    /// of the job, overriding `FOMPI_RACECHECK`. `Report` prints each
+    /// violation and keeps going; `Panic` aborts the offending rank thread
+    /// on the first one; `Off` forces the checker off regardless of the
+    /// environment.
+    pub fn racecheck(mut self, mode: RacecheckMode) -> Self {
+        self.racecheck = Some(mode);
+        self
+    }
+
     /// The root seed in force.
     pub fn root_seed(&self) -> u64 {
         self.seed
@@ -143,6 +155,9 @@ impl Universe {
         }
         if let Some(depth) = self.notify_depth {
             fabric.set_notify_depth(depth);
+        }
+        if let Some(mode) = self.racecheck {
+            fabric.set_racecheck(mode);
         }
         let coll = Arc::new(CollEngine::new(self.p, fabric.clone()));
         let mut results: Vec<Option<T>> = (0..self.p).map(|_| None).collect();
@@ -368,6 +383,20 @@ mod tests {
         });
         assert_eq!(fabric.notify().queue(0).capacity(), 8);
         assert_eq!(fabric.notify().depth(), 8);
+    }
+
+    #[test]
+    fn racecheck_builder_arms_fabric() {
+        use fompi_fabric::RacecheckMode;
+        let (_out, fabric) = Universe::new(2)
+            .node_size(1)
+            .racecheck(RacecheckMode::Report)
+            .launch(|ctx| ctx.barrier());
+        assert!(fabric.shadow().active());
+        assert_eq!(fabric.shadow().mode(), RacecheckMode::Report);
+        let (_out, fabric) =
+            Universe::new(2).node_size(1).racecheck(RacecheckMode::Off).launch(|ctx| ctx.barrier());
+        assert!(!fabric.shadow().active());
     }
 
     #[test]

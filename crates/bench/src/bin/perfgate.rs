@@ -70,18 +70,18 @@ fn main() -> ExitCode {
         eprintln!("perfgate: baseline {path} parsed to zero metrics");
         return ExitCode::FAILURE;
     }
-    let mut failed = false;
+    let mut failures: Vec<String> = Vec::new();
     println!("== perfgate: check vs {path} (tolerance {:.1}%) ==", TOLERANCE * 100.0);
     for (k, base) in &baseline {
         let Some(now) = metrics.get(k) else {
             println!("  FAIL {k}: metric missing from this build");
-            failed = true;
+            failures.push(format!("{k} (missing)"));
             continue;
         };
         let delta_pct = (now / base - 1.0) * 100.0;
         if *now > base * (1.0 + TOLERANCE) + 1e-9 {
             println!("  FAIL {k}: {base:.1} -> {now:.1} ns ({delta_pct:+.2}%)");
-            failed = true;
+            failures.push(format!("{k} ({delta_pct:+.2}%)"));
         } else if *now < base * (1.0 - TOLERANCE) - 1e-9 {
             println!("  ok   {k}: {base:.1} -> {now:.1} ns ({delta_pct:+.2}%) [improved; consider refreshing the baseline]");
         } else {
@@ -93,8 +93,12 @@ fn main() -> ExitCode {
             println!("  note {k}: new metric, not in baseline (refresh to start gating it)");
         }
     }
-    if failed {
-        eprintln!("perfgate: virtual-time regression beyond {:.1}%", TOLERANCE * 100.0);
+    if !failures.is_empty() {
+        eprintln!(
+            "perfgate: virtual-time regression beyond {:.1}% in: {}",
+            TOLERANCE * 100.0,
+            failures.join(", ")
+        );
         return ExitCode::FAILURE;
     }
     println!("perfgate: all metrics within tolerance.");

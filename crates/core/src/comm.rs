@@ -451,12 +451,20 @@ impl Win {
             spins += 1;
             crate::sync::backoff_spin(&self.ep, spins);
         }
-        let mut cur = vec![0u8; len];
-        self.ep.get(key, base, &mut cur)?;
-        let new = f(&cur);
-        debug_assert_eq!(new.len(), len);
-        self.ep.put(key, base, &new)?;
+        // One causal flow ties the protocol's get→put pair together in the
+        // trace (the lock CAS/unlock swap are schedule-dependent polls and
+        // stay out of it).
+        let prev = self.ep.flow_open();
+        let r = (|| -> Result<Vec<u8>> {
+            let mut cur = vec![0u8; len];
+            self.ep.get(key, base, &mut cur)?;
+            let new = f(&cur);
+            debug_assert_eq!(new.len(), len);
+            self.ep.put(key, base, &new)?;
+            Ok(cur)
+        })();
+        self.ep.flow_close(prev);
         self.ep.amo_sync(mkey, off::ACC_LOCK, AmoOp::Swap, 0, 0)?;
-        Ok(cur)
+        r
     }
 }

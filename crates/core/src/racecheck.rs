@@ -140,10 +140,16 @@ impl Win {
                     target: v.b.origin,
                     win: v.win,
                     bytes: (v.hi - v.lo) as u64,
+                    flow: fompi_fabric::telemetry::NO_FLOW,
                     t_start: v.a.t_start.min(v.b.t_start),
                     t_end: v.a.t_end.max(v.b.t_end),
                 });
             }
+        }
+        // In panic mode the enforce below aborts the run: flush the
+        // flight-recorder window first so the abort keeps its black box.
+        if self.rc_shadow().mode() == fompi_fabric::shadow::RacecheckMode::Panic {
+            self.ep.flight_dump("racecheck abort");
         }
         self.rc_shadow().enforce(&viols);
     }

@@ -35,7 +35,7 @@ use crate::error::{FompiError, Result};
 use crate::racecheck::acc_tag;
 use crate::win::Win;
 use fompi_fabric::shadow::AccessKind;
-use fompi_fabric::telemetry::EventKind;
+use fompi_fabric::telemetry::{flow_origin, EventKind, NO_FLOW};
 use fompi_fabric::{notify_match, AmoOp, NotifyRecord, NOTIFY_ANY};
 
 /// Wildcard tag for [`Win::wait_notify`] / [`Win::test_notify`].
@@ -62,25 +62,37 @@ impl Win {
         }
         self.check_access(target)?;
         self.ep.charge(crate::perf::overhead::put_get_ns());
-        let rc = self.rc_start();
-        let (key, off) = self.target_span(target, target_disp, origin.len())?;
-        self.ep.put_implicit(key, off, origin)?;
-        if let Some(t0) = rc {
-            // Only the data interval is shadowed; the signal AMO lands in
-            // window metadata, outside user-addressable bytes.
-            self.rc_remote(
-                t0,
-                target,
-                self.rc_base(target_disp, off),
-                origin.len(),
-                AccessKind::Put,
-            );
-        }
-        // The signal is NIC-ordered after the data (no origin-side
-        // blocking): one non-fetching AMO whose visibility trails the put.
-        let mkey = self.meta_key(target);
-        self.ep.amo_sync_release_ordered(mkey, self.shared.cfg.notify_off(slot), AmoOp::Add, 1)?;
-        Ok(())
+        // One causal flow covers the data put and its signal release; the
+        // release hands the flow to the waiter via the signal mailbox.
+        let prev = self.ep.flow_open();
+        let r = (|| -> Result<()> {
+            let rc = self.rc_start();
+            let (key, off) = self.target_span(target, target_disp, origin.len())?;
+            self.ep.put_implicit(key, off, origin)?;
+            if let Some(t0) = rc {
+                // Only the data interval is shadowed; the signal AMO lands in
+                // window metadata, outside user-addressable bytes.
+                self.rc_remote(
+                    t0,
+                    target,
+                    self.rc_base(target_disp, off),
+                    origin.len(),
+                    AccessKind::Put,
+                );
+            }
+            // The signal is NIC-ordered after the data (no origin-side
+            // blocking): one non-fetching AMO whose visibility trails the put.
+            let mkey = self.meta_key(target);
+            self.ep.amo_sync_release_ordered(
+                mkey,
+                self.shared.cfg.notify_off(slot),
+                AmoOp::Add,
+                1,
+            )?;
+            Ok(())
+        })();
+        self.ep.flow_close(prev);
+        r
     }
 
     /// Block until this rank's signal counter `slot` reaches `count`
@@ -91,12 +103,25 @@ impl Win {
         }
         let mkey = self.meta_key(self.ep.rank());
         let noff = self.shared.cfg.notify_off(slot);
+        let t0 = self.ep.clock().now();
         let mut spins = 0u64;
         loop {
             if self.ep.read_sync(mkey, noff)? >= count {
                 // Racecheck acquire edge: the signal is release-ordered
                 // after its data, so reads that follow are synchronized.
                 self.rc_acquire_own();
+                // Join the producer's flow (latest release wins the
+                // mailbox); the consume span closes its arrow.
+                let flow = self.ep.fabric().telemetry().take_signal_flow(self.ep.rank());
+                if flow != NO_FLOW {
+                    self.ep.trace_flow_consume(
+                        EventKind::NotifyWait,
+                        flow_origin(flow),
+                        t0,
+                        flow,
+                        0,
+                    );
+                }
                 return Ok(());
             }
             spins += 1;
@@ -230,7 +255,15 @@ impl Win {
                 // Racecheck acquire edge: matching consumes the
                 // notification's ordering guarantee.
                 self.rc_acquire_own();
-                self.ep.trace_sync(EventKind::NotifyWait, rec.source, t0);
+                // The consume span carries the record's flow: the arrow
+                // from the producing put/post terminates here.
+                self.ep.trace_flow_consume(
+                    EventKind::NotifyWait,
+                    rec.source,
+                    t0,
+                    rec.flow,
+                    rec.bytes,
+                );
                 return Ok(rec);
             }
             spins += 1;
@@ -249,7 +282,7 @@ impl Win {
         Ok(self.notify_take(source, tag).inspect(|rec| {
             self.ep.notify_join(rec);
             self.rc_acquire_own();
-            self.ep.trace_sync(EventKind::NotifyWait, rec.source, t0);
+            self.ep.trace_flow_consume(EventKind::NotifyWait, rec.source, t0, rec.flow, rec.bytes);
         }))
     }
 

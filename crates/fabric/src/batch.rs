@@ -66,6 +66,10 @@ pub struct Burst {
     /// Virtual time at which the burst opened (before its injection charge)
     /// — the `t_start` of the burst's telemetry span.
     pub t_open: f64,
+    /// Causal flow id of the burst's *first* member (later members'
+    /// individual flows are subsumed — a coalesced burst is one wire
+    /// message, so it carries one flow). 0 when tracing is off.
+    pub flow: u64,
 }
 
 impl Burst {
@@ -77,8 +81,9 @@ impl Burst {
         len: usize,
         extra_ns: f64,
         t_open: f64,
+        flow: u64,
     ) -> Self {
-        Burst { key, kind, start: off, len, ops: 1, extra_ns, t_open }
+        Burst { key, kind, start: off, len, ops: 1, extra_ns, t_open, flow }
     }
 
     /// Can `(key, kind, off, len)` coalesce into this burst? Checks segment
@@ -123,7 +128,7 @@ mod tests {
 
     #[test]
     fn contiguous_same_kind_coalesces() {
-        let mut b = Burst::open(key(), BurstKind::Put, 64, 8, 0.0, 0.0);
+        let mut b = Burst::open(key(), BurstKind::Put, 64, 8, 0.0, 0.0, 0);
         assert!(b.accepts(key(), BurstKind::Put, 72, 8, 4096, 64));
         b.push(8, 0.0);
         assert_eq!((b.start, b.len, b.ops), (64, 16, 2));
@@ -135,7 +140,7 @@ mod tests {
 
     #[test]
     fn kind_and_segment_switches_refuse() {
-        let b = Burst::open(key(), BurstKind::Put, 0, 8, 0.0, 0.0);
+        let b = Burst::open(key(), BurstKind::Put, 0, 8, 0.0, 0.0, 0);
         assert!(!b.accepts(key(), BurstKind::Amo, 8, 8, 4096, 64));
         let other = SegKey { rank: 1, id: 8 };
         assert!(!b.accepts(other, BurstKind::Put, 8, 8, 4096, 64));
@@ -143,7 +148,7 @@ mod tests {
 
     #[test]
     fn proto_change_is_a_hard_ceiling() {
-        let mut b = Burst::open(key(), BurstKind::Put, 0, 512, 0.0, 0.0);
+        let mut b = Burst::open(key(), BurstKind::Put, 0, 512, 0.0, 0.0, 0);
         for _ in 0..6 {
             assert!(b.accepts(key(), BurstKind::Put, b.start + b.len, 512, 4096, 64));
             b.push(512, 0.0);
@@ -158,7 +163,7 @@ mod tests {
 
     #[test]
     fn op_cap_bounds_chains() {
-        let mut b = Burst::open(key(), BurstKind::Amo, 0, 8, 0.0, 0.0);
+        let mut b = Burst::open(key(), BurstKind::Amo, 0, 8, 0.0, 0.0, 0);
         for _ in 0..3 {
             b.push(8, 0.0);
         }
@@ -168,7 +173,7 @@ mod tests {
 
     #[test]
     fn extras_fold_as_running_max() {
-        let mut b = Burst::open(key(), BurstKind::Put, 0, 8, 30.0, 0.0);
+        let mut b = Burst::open(key(), BurstKind::Put, 0, 8, 30.0, 0.0, 0);
         b.push(8, 10.0);
         assert_eq!(b.extra_ns, 30.0);
         b.push(8, 70.0);

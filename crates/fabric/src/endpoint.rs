@@ -29,7 +29,7 @@ use crate::error::FabricError;
 use crate::notify::NotifyRecord;
 use crate::segment::SegKey;
 use crate::stripes::StripedHorizon;
-use crate::telemetry::{Event, EventKind, Flavor, NO_TARGET};
+use crate::telemetry::{flow_id, Event, EventKind, Flavor, NO_FLOW, NO_TARGET};
 use crate::Fabric;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -67,6 +67,12 @@ pub struct Endpoint {
     /// Telemetry window scope: the window id upper layers attribute
     /// subsequent operations to (0 = none). See [`Endpoint::set_trace_win`].
     trace_win: Cell<u64>,
+    /// Next per-rank flow sequence number (see [`crate::telemetry::flow_id`]).
+    /// Advances only while tracing is armed, so disabled runs pay nothing.
+    flow_seq: Cell<u64>,
+    /// The causal flow scope in force: operations issued while it is
+    /// nonzero carry this flow id (0 = no scope). See [`Endpoint::flow_open`].
+    cur_flow: Cell<u64>,
 }
 
 impl Endpoint {
@@ -81,6 +87,8 @@ impl Endpoint {
             bursts: RefCell::new(BTreeMap::new()),
             batch: Cell::new(batch),
             trace_win: Cell::new(0),
+            flow_seq: Cell::new(0),
+            cur_flow: Cell::new(NO_FLOW),
         }
     }
 
@@ -131,6 +139,75 @@ impl Endpoint {
         self.trace_win.get()
     }
 
+    // ------------------------------------------------------- causal flows
+
+    /// Open a causal flow scope: operations issued until the matching
+    /// [`Endpoint::flow_close`] carry one fresh flow id, so a multi-part
+    /// primitive (notified put = data put + notification post) shows up in
+    /// the trace as a single origin→target flow arrow. Returns the
+    /// previous scope for the caller to restore; an already-open scope is
+    /// reused (nested callers join the outer flow). When tracing is off
+    /// this is one relaxed load — no id is allocated and ops carry 0.
+    #[inline]
+    pub fn flow_open(&self) -> u64 {
+        let prev = self.cur_flow.get();
+        if prev == NO_FLOW && self.fabric.telemetry().tracing() {
+            let seq = self.flow_seq.get();
+            self.flow_seq.set(seq + 1);
+            self.cur_flow.set(flow_id(self.rank, seq));
+        }
+        prev
+    }
+
+    /// Close a flow scope opened by [`Endpoint::flow_open`], restoring the
+    /// previous scope it returned.
+    #[inline]
+    pub fn flow_close(&self, prev: u64) {
+        self.cur_flow.set(prev);
+    }
+
+    /// The flow id in scope ([`NO_FLOW`] when none). Upper layers stash
+    /// this next to protocol words their peers poll so the consumer side
+    /// can join the flow (see [`crate::telemetry::Telemetry::take_signal_flow`]).
+    #[inline]
+    pub fn current_flow(&self) -> u64 {
+        self.cur_flow.get()
+    }
+
+    /// Record target-side consumption of a flow-carrying event — the
+    /// notify-ring pop or signal-wait completion that observes another
+    /// rank's operation. `source` is the producing rank, `t_start` when
+    /// this rank began waiting, `flow` the id carried by the consumed
+    /// record (0 traces a plain wait with no arrow). The event spans
+    /// `t_start..now` so the flow arrow terminates inside the wait span.
+    #[inline]
+    pub fn trace_flow_consume(
+        &self,
+        kind: EventKind,
+        source: u32,
+        t_start: f64,
+        flow: u64,
+        bytes: u64,
+    ) {
+        let tel = self.fabric.telemetry();
+        if !tel.tracing() {
+            return;
+        }
+        tel.record(Event {
+            kind,
+            flavor: Flavor::NotApplicable,
+            transport: (source != NO_TARGET && source != self.rank)
+                .then(|| self.transport_to(source)),
+            origin: self.rank,
+            target: source,
+            win: self.trace_win.get(),
+            bytes,
+            flow,
+            t_start,
+            t_end: self.clock.now(),
+        });
+    }
+
     /// Record an RMA data operation (called by the op implementations).
     #[allow(clippy::too_many_arguments)]
     #[inline]
@@ -141,11 +218,12 @@ impl Endpoint {
         transport: Transport,
         target: u32,
         bytes: u64,
+        flow: u64,
         t_start: f64,
         t_end: f64,
     ) {
         let tel = self.fabric.telemetry();
-        if !tel.enabled() {
+        if !tel.tracing() {
             return;
         }
         tel.record(Event {
@@ -156,6 +234,7 @@ impl Endpoint {
             target,
             win: self.trace_win.get(),
             bytes,
+            flow,
             t_start,
             t_end,
         });
@@ -169,7 +248,7 @@ impl Endpoint {
     #[inline]
     pub fn trace_sync(&self, kind: EventKind, target: u32, t_start: f64) {
         let tel = self.fabric.telemetry();
-        if !tel.enabled() {
+        if !tel.tracing() {
             return;
         }
         tel.record(Event {
@@ -180,6 +259,7 @@ impl Endpoint {
             target,
             win: self.trace_win.get(),
             bytes: 0,
+            flow: NO_FLOW,
             t_start,
             t_end: self.clock.now(),
         });
@@ -197,7 +277,7 @@ impl Endpoint {
     #[inline]
     fn trace_fault(&self, kind: EventKind, target: u32, t_start: f64, t_end: f64) {
         let tel = self.fabric.telemetry();
-        if !tel.enabled() {
+        if !tel.tracing() {
             return;
         }
         tel.record(Event {
@@ -208,6 +288,7 @@ impl Endpoint {
             target,
             win: self.trace_win.get(),
             bytes: 0,
+            flow: NO_FLOW,
             t_start,
             t_end,
         });
@@ -354,7 +435,10 @@ impl Endpoint {
         }
         let t_open = self.clock.now();
         self.clock.advance(m.inject(t));
-        bursts.insert(key.rank, Burst::open(key, kind, off, len, extra_ns, t_open));
+        bursts.insert(
+            key.rank,
+            Burst::open(key, kind, off, len, extra_ns, t_open, self.cur_flow.get()),
+        );
     }
 
     /// Compute a retired burst's completion horizon and record it. Puts
@@ -380,14 +464,25 @@ impl Endpoint {
             BurstKind::Amo => EventKind::Amo,
         };
         // One RMA span for the whole burst (bytes = combined payload) plus
-        // the batch_* span covering its issue window.
-        self.trace_op(kind, Flavor::Implicit, t, b.key.rank, b.len as u64, b.t_open, t_complete);
+        // the batch_* span covering its issue window. The burst carries its
+        // first member's flow — one wire message, one flow.
+        self.trace_op(
+            kind,
+            Flavor::Implicit,
+            t,
+            b.key.rank,
+            b.len as u64,
+            b.flow,
+            b.t_open,
+            t_complete,
+        );
         self.trace_sync(how, b.key.rank, b.t_open);
     }
 
     /// Batched implicit put: data moves eagerly, the completion horizon is
     /// accounted when the burst retires. Faults are still drawn per op.
     fn put_batched(&self, key: SegKey, off: usize, src: &[u8]) -> Result<(), FabricError> {
+        let wall = self.fabric.profiler().start();
         let seg = self.bounds(key, off, src.len())?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
@@ -398,6 +493,7 @@ impl Endpoint {
         c.bytes_put.fetch_add(src.len() as u64, Ordering::Relaxed);
         c.batched_ops.fetch_add(1, Ordering::Relaxed);
         self.enqueue(key, BurstKind::Put, off, src.len(), extra);
+        self.fabric.profiler().finish(EventKind::Put, wall);
         Ok(())
     }
 
@@ -409,6 +505,7 @@ impl Endpoint {
         op: AmoOp,
         operand: u64,
     ) -> Result<(), FabricError> {
+        let wall = self.fabric.profiler().start();
         let seg = self.bounds(key, off, 8)?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
@@ -419,6 +516,7 @@ impl Endpoint {
         c.bytes_amo.fetch_add(8, Ordering::Relaxed);
         c.batched_ops.fetch_add(1, Ordering::Relaxed);
         self.enqueue(key, BurstKind::Amo, off, 8, extra);
+        self.fabric.profiler().finish(EventKind::Amo, wall);
         Ok(())
     }
 
@@ -431,6 +529,7 @@ impl Endpoint {
         src: &[u8],
         flavor: Flavor,
     ) -> Result<f64, FabricError> {
+        let wall = self.fabric.profiler().start();
         let seg = self.bounds(key, off, src.len())?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
@@ -443,7 +542,17 @@ impl Endpoint {
         let c = self.fabric.counters();
         c.puts.fetch_add(1, Ordering::Relaxed);
         c.bytes_put.fetch_add(src.len() as u64, Ordering::Relaxed);
-        self.trace_op(EventKind::Put, flavor, t, key.rank, src.len() as u64, t_start, t_complete);
+        self.trace_op(
+            EventKind::Put,
+            flavor,
+            t,
+            key.rank,
+            src.len() as u64,
+            self.cur_flow.get(),
+            t_start,
+            t_complete,
+        );
+        self.fabric.profiler().finish(EventKind::Put, wall);
         Ok(t_complete)
     }
 
@@ -485,6 +594,7 @@ impl Endpoint {
         dst: &mut [u8],
         flavor: Flavor,
     ) -> Result<f64, FabricError> {
+        let wall = self.fabric.profiler().start();
         let seg = self.bounds(key, off, dst.len())?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
@@ -497,7 +607,17 @@ impl Endpoint {
         let c = self.fabric.counters();
         c.gets.fetch_add(1, Ordering::Relaxed);
         c.bytes_get.fetch_add(dst.len() as u64, Ordering::Relaxed);
-        self.trace_op(EventKind::Get, flavor, t, key.rank, dst.len() as u64, t_start, t_complete);
+        self.trace_op(
+            EventKind::Get,
+            flavor,
+            t,
+            key.rank,
+            dst.len() as u64,
+            self.cur_flow.get(),
+            t_start,
+            t_complete,
+        );
+        self.fabric.profiler().finish(EventKind::Get, wall);
         Ok(t_complete)
     }
 
@@ -535,6 +655,7 @@ impl Endpoint {
         operand: u64,
         compare: u64,
     ) -> Result<u64, FabricError> {
+        let wall = self.fabric.profiler().start();
         let seg = self.bounds(key, off, 8)?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
@@ -546,7 +667,17 @@ impl Endpoint {
         let c = self.fabric.counters();
         c.amos.fetch_add(1, Ordering::Relaxed);
         c.bytes_amo.fetch_add(8, Ordering::Relaxed);
-        self.trace_op(EventKind::Amo, Flavor::Blocking, t, key.rank, 8, t_start, self.clock.now());
+        self.trace_op(
+            EventKind::Amo,
+            Flavor::Blocking,
+            t,
+            key.rank,
+            8,
+            self.cur_flow.get(),
+            t_start,
+            self.clock.now(),
+        );
+        self.fabric.profiler().finish(EventKind::Amo, wall);
         Ok(old)
     }
 
@@ -563,6 +694,7 @@ impl Endpoint {
         if self.batch.get() {
             return self.amo_batched(key, off, op, operand);
         }
+        let wall = self.fabric.profiler().start();
         let seg = self.bounds(key, off, 8)?;
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
@@ -575,7 +707,17 @@ impl Endpoint {
         let c = self.fabric.counters();
         c.amos.fetch_add(1, Ordering::Relaxed);
         c.bytes_amo.fetch_add(8, Ordering::Relaxed);
-        self.trace_op(EventKind::Amo, Flavor::Implicit, t, key.rank, 8, t_start, t_complete);
+        self.trace_op(
+            EventKind::Amo,
+            Flavor::Implicit,
+            t,
+            key.rank,
+            8,
+            self.cur_flow.get(),
+            t_start,
+            t_complete,
+        );
+        self.fabric.profiler().finish(EventKind::Amo, wall);
         Ok(())
     }
 
@@ -670,6 +812,13 @@ impl Endpoint {
         let t_complete = (self.clock.now() + m.amo_latency(t) + extra).max(pending);
         seg.amo(off, op, operand, 0);
         seg.word(off + 8).fetch_max(stamp_to_bits(t_complete), Ordering::AcqRel);
+        // Hand the in-scope flow to the signalled rank: a waiter that
+        // observes this release picks it up via `take_signal_flow`, joining
+        // the consumer's trace span to this producer's flow arrow.
+        let flow = self.cur_flow.get();
+        if flow != NO_FLOW {
+            self.fabric.telemetry().publish_signal_flow(key.rank, flow);
+        }
         self.note_pending(key.rank, t_complete);
         let c = self.fabric.counters();
         c.amos.fetch_add(1, Ordering::Relaxed);
@@ -733,6 +882,7 @@ impl Endpoint {
     /// Fault draws happen once per append, never inside the retry loop,
     /// preserving the per-seed determinism contract of [`crate::faults`].
     pub fn notify_append(&self, target: u32, tag: u32, bytes: u64) -> Result<(), FabricError> {
+        let wall = self.fabric.profiler().start();
         let t = self.transport_to(target);
         let m = self.fabric.model();
         // Ordered-class fencing: the notification trails the open burst.
@@ -743,7 +893,8 @@ impl Endpoint {
         let pending = self.pending.horizon(target);
         let mut t_complete = (self.clock.now() + m.amo_latency(t) + extra).max(pending);
         let q = self.fabric.notify().queue(target);
-        let mut rec = NotifyRecord { tag, source: self.rank, bytes, stamp: t_complete };
+        let flow = self.cur_flow.get();
+        let mut rec = NotifyRecord { tag, source: self.rank, bytes, stamp: t_complete, flow };
         if !q.try_push(rec) {
             // Overflow → backpressure. Charge the stall once (no extra RNG
             // draws: the magnitude comes straight from the armed plan), then
@@ -767,6 +918,11 @@ impl Endpoint {
                 std::thread::yield_now();
             }
             if !pushed {
+                // The retry budget is exhausted — the peer never drained.
+                // This is the fatal-backpressure path: dump the flight
+                // recorder so the last window of events survives the abort
+                // most callers turn this error into.
+                self.flight_dump("notify ring backpressure retry budget exhausted");
                 return Err(FabricError::Backpressure { retry_after_ns: stall as u64 });
             }
         }
@@ -778,9 +934,11 @@ impl Endpoint {
             t,
             target,
             bytes,
+            flow,
             t_start,
             t_complete,
         );
+        self.fabric.profiler().finish(EventKind::NotifyPost, wall);
         Ok(())
     }
 
@@ -804,8 +962,14 @@ impl Endpoint {
         src: &[u8],
         tag: u32,
     ) -> Result<(), FabricError> {
-        self.put_implicit(key, off, src)?;
-        self.notify_append(key.rank, tag, src.len() as u64)
+        // One causal flow covers the data put and its notification: the
+        // consumer's matching wait joins this flow in the trace.
+        let prev = self.flow_open();
+        let r = self
+            .put_implicit(key, off, src)
+            .and_then(|()| self.notify_append(key.rank, tag, src.len() as u64));
+        self.flow_close(prev);
+        r
     }
 
     /// Notified get: fetch like [`Endpoint::get_implicit`], then notify the
@@ -819,8 +983,12 @@ impl Endpoint {
         dst: &mut [u8],
         tag: u32,
     ) -> Result<(), FabricError> {
-        self.get_implicit(key, off, dst)?;
-        self.notify_append(key.rank, tag, dst.len() as u64)
+        let prev = self.flow_open();
+        let len = dst.len() as u64;
+        let r =
+            self.get_implicit(key, off, dst).and_then(|()| self.notify_append(key.rank, tag, len));
+        self.flow_close(prev);
+        r
     }
 
     /// Notified non-fetching AMO: apply like [`Endpoint::amo_implicit`],
@@ -834,8 +1002,12 @@ impl Endpoint {
         operand: u64,
         tag: u32,
     ) -> Result<(), FabricError> {
-        self.amo_implicit(key, off, op, operand)?;
-        self.notify_append(key.rank, tag, 8)
+        let prev = self.flow_open();
+        let r = self
+            .amo_implicit(key, off, op, operand)
+            .and_then(|()| self.notify_append(key.rank, tag, 8));
+        self.flow_close(prev);
+        r
     }
 
     /// Pop the oldest notification destined for this rank, if any. Local
@@ -885,12 +1057,15 @@ impl Endpoint {
         while let Some(rec) = q.try_pop() {
             n += 1;
             let t0 = self.clock.now();
+            // The drop carries the record's flow so an unconsumed
+            // notification still terminates its arrow (visibly as a drop).
             self.trace_op(
                 EventKind::NotifyDrop,
                 Flavor::NotApplicable,
                 self.transport_to(rec.source),
                 rec.source,
                 rec.bytes,
+                rec.flow,
                 t0,
                 t0,
             );
@@ -913,6 +1088,7 @@ impl Endpoint {
     /// NIC's completion queue lags): the extra delay is charged after the
     /// pending horizon is joined.
     pub fn gsync(&self) {
+        let wall = self.fabric.profiler().start();
         let t_start = self.clock.now();
         self.drain_all();
         self.clock.join(self.pending.global());
@@ -922,6 +1098,7 @@ impl Endpoint {
         }
         self.fabric.counters().gsyncs.fetch_add(1, Ordering::Relaxed);
         self.trace_sync(EventKind::Gsync, NO_TARGET, t_start);
+        self.fabric.profiler().finish(EventKind::Gsync, wall);
     }
 
     /// The completion horizon of implicit operations already issued to
@@ -938,17 +1115,56 @@ impl Endpoint {
     /// remote completion, the substrate of `MPI_Win_flush(target)`).
     /// Retires the target's open burst, then joins its striped horizon.
     pub fn flush_target(&self, target: u32) {
+        let wall = self.fabric.profiler().start();
         let t_start = self.clock.now();
         self.drain_target(target);
         self.clock.join(self.pending.horizon(target));
         self.fabric.counters().flushes.fetch_add(1, Ordering::Relaxed);
         self.trace_sync(EventKind::Flush, target, t_start);
+        self.fabric.profiler().finish(EventKind::Flush, wall);
     }
 
     /// Local memory fence (x86 `mfence` analogue, charged per the model).
     pub fn mfence(&self) {
         std::sync::atomic::fence(Ordering::SeqCst);
         self.clock.advance(self.fabric.model().mfence_ns);
+    }
+
+    // ------------------------------------------------------ flight recorder
+
+    /// Dump this rank's flight-recorder window and an atomics-only metrics
+    /// summary to stderr — the black-box readout for fatal paths (panics,
+    /// racecheck aborts, exhausted backpressure retries). Reads only this
+    /// rank's own ring (single-writer, so its own events are coherent
+    /// mid-run) plus atomic counters; safe to call while other ranks are
+    /// still running. No-op unless the flight recorder is armed.
+    #[cold]
+    pub fn flight_dump(&self, why: &str) {
+        let tel = self.fabric.telemetry();
+        if !tel.flight_enabled() {
+            return;
+        }
+        let evs = tel.flight_events(self.rank);
+        let mut out = format!(
+            "== fompi-scope flight recorder: rank {} ({}): last {} events ==\n",
+            self.rank,
+            why,
+            evs.len()
+        );
+        for ev in &evs {
+            out.push_str(&format!(
+                "  [{:>14.1}..{:>14.1}] {:<12} -> {:>3} bytes={} win={} flow={:#x}\n",
+                ev.t_start,
+                ev.t_end,
+                ev.kind.name(),
+                if ev.target == NO_TARGET { -1i64 } else { ev.target as i64 },
+                ev.bytes,
+                ev.win,
+                ev.flow,
+            ));
+        }
+        out.push_str(&crate::metrics::panic_summary(&self.fabric));
+        eprint!("{out}");
     }
 }
 

@@ -43,7 +43,9 @@ pub mod counters;
 pub mod endpoint;
 pub mod error;
 pub mod faults;
+pub mod metrics;
 pub mod notify;
+pub mod profile;
 pub mod rng;
 pub mod segment;
 pub mod shadow;
@@ -61,7 +63,9 @@ pub use counters::{CounterSnapshot, Counters};
 pub use endpoint::{Endpoint, NbHandle};
 pub use error::FabricError;
 pub use faults::{FaultKind, FaultParseError, FaultPlan, Faults};
+pub use metrics::{snapshot as metrics_snapshot, MetricsSnapshot};
 pub use notify::{notify_match, NotifyHub, NotifyQueue, NotifyRecord, NOTIFY_ANY};
+pub use profile::{ProfileMode, Profiler};
 pub use segment::{SegKey, Segment};
 pub use shadow::{
     AccessKind, AccessRecord, LockCtx, RaceClass, RaceViolation, RacecheckMode, Shadow, ACC_NOOP,
@@ -92,6 +96,8 @@ pub struct Fabric {
     batch_default: AtomicBool,
     notify: NotifyHub,
     shadow: Shadow,
+    profiler: Profiler,
+    metrics_on: AtomicBool,
 }
 
 impl Fabric {
@@ -143,6 +149,19 @@ impl Fabric {
         telemetry: Telemetry,
         faults: Faults,
     ) -> Arc<Self> {
+        // `FOMPI_METRICS` arms the metrics plane; it needs the telemetry
+        // aggregates (histograms feed the quantiles), so it also enables
+        // them — the event rings stay at whatever capacity was chosen.
+        let metrics_on = metrics_from_env();
+        if metrics_on {
+            telemetry.set_enabled(true);
+        }
+        // A profiling run arms the flight recorder: a crash mid-profile
+        // should dump its last-N window.
+        let profiler = Profiler::from_env();
+        if profiler.mode() != ProfileMode::Off {
+            telemetry.set_flight(true);
+        }
         Arc::new(Self {
             model,
             topo: Topology::new(p, node_size),
@@ -154,6 +173,8 @@ impl Fabric {
             batch_default: AtomicBool::new(batch_from_env()),
             notify: NotifyHub::new(p, notify::depth_from_env()),
             shadow: Shadow::from_env(p),
+            profiler,
+            metrics_on: AtomicBool::new(metrics_on),
         })
     }
 
@@ -180,6 +201,40 @@ impl Fabric {
     /// The fault-injection hub (inert unless a plan is armed).
     pub fn faults(&self) -> &Faults {
         &self.faults
+    }
+
+    /// The wall-clock profiler (inert — one relaxed load per op — unless
+    /// `FOMPI_PROFILE` or [`Fabric::set_profile`] arms it).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Set the profiling mode programmatically. Launch-time configuration
+    /// only — the runtime's `Universe::profile` funnels through here,
+    /// mirroring [`Fabric::set_batch_default`]. Arming also arms the
+    /// telemetry flight recorder.
+    pub fn set_profile(&self, mode: ProfileMode) {
+        self.profiler.set_mode(mode);
+        if mode != ProfileMode::Off {
+            self.telemetry.set_flight(true);
+        }
+    }
+
+    /// Is the metrics plane armed (`FOMPI_METRICS` /
+    /// [`Fabric::set_metrics`])? Advisory: [`metrics::snapshot`] works
+    /// regardless, but only an armed run has populated histograms.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics_on.load(Ordering::Relaxed)
+    }
+
+    /// Arm the metrics plane programmatically (enables the telemetry
+    /// aggregates it feeds on). Launch-time configuration only — the
+    /// runtime's `Universe::metrics` funnels through here.
+    pub fn set_metrics(&self, on: bool) {
+        self.metrics_on.store(on, Ordering::Relaxed);
+        if on {
+            self.telemetry.set_enabled(true);
+        }
     }
 
     /// Whether endpoints created from now on start with issue-side batching
@@ -299,6 +354,15 @@ impl Fabric {
 fn batch_from_env() -> bool {
     matches!(
         std::env::var("FOMPI_BATCH").as_deref().map(str::trim),
+        Ok("1") | Ok("true") | Ok("on")
+    )
+}
+
+/// `FOMPI_METRICS` switch: `1`/`true`/`on` arms the metrics plane (and the
+/// telemetry aggregates it is computed from).
+fn metrics_from_env() -> bool {
+    matches!(
+        std::env::var("FOMPI_METRICS").as_deref().map(str::trim),
         Ok("1") | Ok("true") | Ok("on")
     )
 }

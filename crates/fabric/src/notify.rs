@@ -70,6 +70,11 @@ pub struct NotifyRecord {
     /// Virtual completion time of the notified operation (origin clock);
     /// consumers join their clock with it on a match.
     pub stamp: f64,
+    /// Causal flow id of the notified operation
+    /// ([`crate::telemetry::flow_id`]), or 0. Carried so the consumer's
+    /// `notify_wait` trace event joins the producer's flow — purely
+    /// observational, never affects matching or virtual time.
+    pub flow: u64,
 }
 
 /// Does a record from `(source, tag)` satisfy a wait for
@@ -107,6 +112,7 @@ struct Cell {
     tag_src: AtomicU64,
     bytes: AtomicU64,
     stamp: AtomicU64,
+    flow: AtomicU64,
 }
 
 /// Fixed-size lock-free MPMC notification ring (Vyukov bounded queue).
@@ -133,6 +139,7 @@ impl NotifyQueue {
                 tag_src: AtomicU64::new(0),
                 bytes: AtomicU64::new(0),
                 stamp: AtomicU64::new(0),
+                flow: AtomicU64::new(0),
             })
             .collect();
         NotifyQueue {
@@ -180,6 +187,7 @@ impl NotifyQueue {
                             .store(((rec.tag as u64) << 32) | rec.source as u64, Ordering::Relaxed);
                         cell.bytes.store(rec.bytes, Ordering::Relaxed);
                         cell.stamp.store(stamp_to_bits(rec.stamp), Ordering::Relaxed);
+                        cell.flow.store(rec.flow, Ordering::Relaxed);
                         cell.seq.store(pos + 1, Ordering::Release);
                         return true;
                     }
@@ -214,6 +222,7 @@ impl NotifyQueue {
                             source: ts as u32,
                             bytes: cell.bytes.load(Ordering::Relaxed),
                             stamp: bits_to_stamp(cell.stamp.load(Ordering::Relaxed)),
+                            flow: cell.flow.load(Ordering::Relaxed),
                         };
                         cell.seq.store(pos + self.mask + 1, Ordering::Release);
                         return Some(rec);
@@ -288,7 +297,7 @@ mod tests {
     use std::sync::atomic::AtomicU32;
 
     fn rec(tag: u32, source: u32, bytes: u64, stamp: f64) -> NotifyRecord {
-        NotifyRecord { tag, source, bytes, stamp }
+        NotifyRecord { tag, source, bytes, stamp, flow: tag as u64 + 1 }
     }
 
     #[test]
@@ -301,6 +310,7 @@ mod tests {
             let r = q.try_pop().expect("record");
             assert_eq!((r.tag, r.source, r.bytes), (i, 100 + i, i as u64 * 8));
             assert_eq!(r.stamp, i as f64 * 10.0);
+            assert_eq!(r.flow, i as u64 + 1, "flow id rides the cell");
         }
         assert_eq!(q.try_pop(), None);
     }
@@ -464,7 +474,13 @@ mod loom_tests {
     use std::sync::Arc;
 
     fn rec(tag: u32) -> NotifyRecord {
-        NotifyRecord { tag, source: tag ^ 0xA5, bytes: tag as u64 * 3, stamp: tag as f64 }
+        NotifyRecord {
+            tag,
+            source: tag ^ 0xA5,
+            bytes: tag as u64 * 3,
+            stamp: tag as f64,
+            flow: tag as u64,
+        }
     }
 
     fn coherent(r: &NotifyRecord) {

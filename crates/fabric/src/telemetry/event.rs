@@ -15,6 +15,24 @@ pub const NO_TARGET: u32 = u32::MAX;
 /// Sentinel window id for operations outside any window scope.
 pub const NO_WIN: u64 = 0;
 
+/// Sentinel flow id for events outside any causal flow.
+pub const NO_FLOW: u64 = 0;
+
+/// Pack a causal flow id from its origin rank and per-rank sequence
+/// number. Ranks are offset by one so rank 0's flows are nonzero
+/// ([`NO_FLOW`] stays free); 24 bits of rank and 40 bits of sequence
+/// comfortably exceed any simulated job.
+#[inline]
+pub fn flow_id(origin: u32, seq: u64) -> u64 {
+    ((origin as u64 + 1) << 40) | (seq & ((1u64 << 40) - 1))
+}
+
+/// Origin rank encoded in a flow id (see [`flow_id`]).
+#[inline]
+pub fn flow_origin(flow: u64) -> u32 {
+    ((flow >> 40) as u32).wrapping_sub(1)
+}
+
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -230,6 +248,11 @@ pub struct Event {
     pub win: u64,
     /// Payload bytes (0 for pure sync events; 8 for AMOs).
     pub bytes: u64,
+    /// Causal flow id ([`flow_id`]), or [`NO_FLOW`]. Issue-side RMA events
+    /// and their target-side consumption events (notify waits, signal
+    /// waits) share a flow id, which the Perfetto exporter turns into flow
+    /// arrows across rank tracks.
+    pub flow: u64,
     /// Virtual start time (ns).
     pub t_start: f64,
     /// Virtual completion time (ns).
@@ -263,6 +286,7 @@ impl Default for Event {
             target: NO_TARGET,
             win: NO_WIN,
             bytes: 0,
+            flow: NO_FLOW,
             t_start: 0.0,
             t_end: 0.0,
         }
@@ -296,6 +320,15 @@ mod tests {
         assert!(!EventKind::Fence.is_rma());
         assert!(!EventKind::Flush.is_rma());
         assert!(!EventKind::FaultJitter.is_rma());
+    }
+
+    #[test]
+    fn flow_ids_pack_and_unpack() {
+        assert_ne!(flow_id(0, 0), NO_FLOW);
+        assert_eq!(flow_origin(flow_id(0, 0)), 0);
+        assert_eq!(flow_origin(flow_id(17, 999)), 17);
+        assert_ne!(flow_id(0, 1), flow_id(1, 1));
+        assert_ne!(flow_id(3, 1), flow_id(3, 2));
     }
 
     #[test]

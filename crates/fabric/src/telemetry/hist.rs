@@ -96,6 +96,11 @@ impl Histogram {
         u64::MAX
     }
 
+    /// Point-in-time mergeable snapshot of the bucket counts.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot { counts: self.counts() }
+    }
+
     /// One-line sparkline-style rendering of the non-empty range, for
     /// text reports: `[lo..hi) count` per populated bucket.
     pub fn render(&self) -> String {
@@ -113,6 +118,59 @@ impl Histogram {
             out.push_str("(empty)");
         }
         out
+    }
+}
+
+/// A plain-count histogram snapshot: the merge-ready form the metrics
+/// plane ships across processes. Merging is bucket-wise addition, which is
+/// associative and commutative, so partial snapshots from any number of
+/// ranks/jobs combine in any order to the same distribution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    counts: Vec<u64>,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (all buckets zero).
+    pub fn new() -> Self {
+        HistSnapshot { counts: vec![0; BUCKETS] }
+    }
+
+    /// Count in bucket `i` (0 beyond the stored range).
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts.get(i).copied().unwrap_or(0)
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fold `other` into `self` (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Same log2-resolution quantile as [`Histogram::quantile_hi`].
+    pub fn quantile_hi(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let want = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= want {
+                return bucket_hi(i);
+            }
+        }
+        u64::MAX
     }
 }
 
@@ -182,6 +240,90 @@ mod tests {
         assert_eq!(h.quantile_hi(0.3), 3);
         assert_eq!(h.quantile_hi(1.0), 7);
         assert_eq!(Histogram::new().quantile_hi(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_extremes_and_empty() {
+        // Empty histogram: every quantile is 0.
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile_hi(q), 0);
+        }
+        // q = 0 asks for "at least 0 samples", satisfied by bucket 0.
+        h.record(100);
+        assert_eq!(h.quantile_hi(0.0), 0);
+        // q = 1 must cover the maximum sample, including the top bucket.
+        assert_eq!(h.quantile_hi(1.0), bucket_hi(bucket_index(100)));
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_hi(1.0), u64::MAX);
+        // Out-of-range q clamps rather than walking off the end.
+        assert_eq!(h.quantile_hi(2.0), h.quantile_hi(1.0));
+        assert_eq!(h.quantile_hi(-1.0), h.quantile_hi(0.0));
+    }
+
+    #[test]
+    fn quantile_at_bucket_boundaries() {
+        // 4 samples at exact power-of-two boundaries: 1, 2, 4, 8 land in
+        // buckets 1, 2, 3, 4. Each cumulative fraction pins a bucket hi.
+        let h = Histogram::new();
+        for v in [1u64, 2, 4, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_hi(0.25), bucket_hi(1)); // 1
+        assert_eq!(h.quantile_hi(0.5), bucket_hi(2)); // 3
+        assert_eq!(h.quantile_hi(0.75), bucket_hi(3)); // 7
+        assert_eq!(h.quantile_hi(1.0), bucket_hi(4)); // 15
+                                                      // Just past a boundary fraction, the next bucket answers.
+        assert_eq!(h.quantile_hi(0.251), bucket_hi(2));
+    }
+
+    #[test]
+    fn snapshot_matches_live_quantiles() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 2, 4, 4, 4, 4, 4] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.1, 0.3, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(s.quantile_hi(q), h.quantile_hi(q), "q={q}");
+        }
+        assert_eq!(s.total(), h.total());
+        assert_eq!(HistSnapshot::new().quantile_hi(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[1, 5, 9000]);
+        let b = mk(&[2, 2, 4096]);
+        let c = mk(&[u64::MAX, 0, 7]);
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        // a ⊕ b == b ⊕ a
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // Identity: merging an empty snapshot changes nothing.
+        let mut a_id = a.clone();
+        a_id.merge(&HistSnapshot::new());
+        assert_eq!(a_id, a);
+        // The merged quantiles reflect the union of samples.
+        assert_eq!(ab_c.total(), 9);
+        assert_eq!(ab_c.quantile_hi(1.0), u64::MAX);
     }
 
     #[test]

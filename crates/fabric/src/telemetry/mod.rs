@@ -35,16 +35,24 @@ pub mod hist;
 pub mod perfetto;
 pub mod ring;
 
-pub use event::{Event, EventKind, Flavor, NO_TARGET, NO_WIN};
-pub use hist::{bucket_hi, bucket_index, bucket_lo, Histogram, BUCKETS};
+pub use event::{flow_id, flow_origin, Event, EventKind, Flavor, NO_FLOW, NO_TARGET, NO_WIN};
+pub use hist::{bucket_hi, bucket_index, bucket_lo, HistSnapshot, Histogram, BUCKETS};
 pub use ring::EventRing;
 
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Default per-rank ring capacity when tracing is enabled.
 pub const DEFAULT_RING_CAP: usize = 1 << 16;
+
+/// Per-rank flight-recorder capacity: the last-N window dumped on a crash.
+pub const FLIGHT_CAP: usize = 256;
+
+/// State bit: aggregate + ring recording ([`Telemetry::enabled`]).
+const STATE_AGGR: u8 = 1 << 0;
+/// State bit: flight recording ([`Telemetry::flight_enabled`]).
+const STATE_FLIGHT: u8 = 1 << 1;
 
 /// Aggregates for one [`EventKind`].
 #[derive(Debug, Default)]
@@ -159,6 +167,9 @@ pub struct ClassSummary {
 /// points — same contract as [`EventRing`]).
 struct RankLocal {
     ring: EventRing,
+    /// Independent last-N window for the flight recorder: kept even when
+    /// the main ring is absent, dumped from the owning thread on a crash.
+    flight: EventRing,
     wins: UnsafeCell<HashMap<u64, WindowStats>>,
     peers: UnsafeCell<Box<[PeerStats]>>,
 }
@@ -169,9 +180,15 @@ unsafe impl Sync for RankLocal {}
 
 /// The telemetry hub: one per [`crate::Fabric`].
 pub struct Telemetry {
-    enabled: AtomicBool,
+    /// Bitmask of `STATE_*`: one relaxed load decides the whole hot path.
+    state: AtomicU8,
     ranks: Box<[RankLocal]>,
     stats: Box<[OpStats]>,
+    /// Per-target mailbox carrying the flow id of the most recent signal
+    /// release aimed at that rank (best-effort causal linkage between
+    /// `put_signal` and `signal_wait`; the real synchronisation happens
+    /// through fabric memory).
+    flow_signal: Box<[AtomicU64]>,
 }
 
 impl Telemetry {
@@ -180,15 +197,17 @@ impl Telemetry {
     /// event stream (0 = aggregates only).
     pub fn with_capacity(p: usize, enabled: bool, ring_cap: usize) -> Self {
         Telemetry {
-            enabled: AtomicBool::new(enabled),
+            state: AtomicU8::new(if enabled { STATE_AGGR } else { 0 }),
             ranks: (0..p)
                 .map(|_| RankLocal {
                     ring: EventRing::new(ring_cap),
+                    flight: EventRing::new(FLIGHT_CAP),
                     wins: UnsafeCell::new(HashMap::new()),
                     peers: UnsafeCell::new(vec![PeerStats::default(); p].into_boxed_slice()),
                 })
                 .collect(),
             stats: (0..EventKind::COUNT).map(|_| OpStats::default()).collect(),
+            flow_signal: (0..p).map(|_| AtomicU64::new(NO_FLOW)).collect(),
         }
     }
 
@@ -212,13 +231,44 @@ impl Telemetry {
     /// load and a branch at every call site.
     #[inline]
     pub fn enabled(&self) -> bool {
-        self.enabled.load(Ordering::Relaxed)
+        self.state.load(Ordering::Relaxed) & STATE_AGGR != 0
     }
 
     /// Toggle recording. Enabling on a fabric built without ring capacity
     /// records aggregates only.
     pub fn set_enabled(&self, on: bool) {
-        self.enabled.store(on, Ordering::Relaxed);
+        if on {
+            self.state.fetch_or(STATE_AGGR, Ordering::Relaxed);
+        } else {
+            self.state.fetch_and(!STATE_AGGR, Ordering::Relaxed);
+        }
+    }
+
+    /// Is *any* recording armed (aggregates or flight)? The gate event
+    /// producers check before building an [`Event`]: one relaxed load.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.state.load(Ordering::Relaxed) != 0
+    }
+
+    /// Is the flight recorder armed (see [`FLIGHT_CAP`])?
+    #[inline]
+    pub fn flight_enabled(&self) -> bool {
+        self.state.load(Ordering::Relaxed) & STATE_FLIGHT != 0
+    }
+
+    /// Arm or disarm the flight recorder. Independent of [`enabled`]:
+    /// flight recording keeps only the per-rank last-N window and touches
+    /// no aggregates, so the profiler can arm it without paying for full
+    /// telemetry.
+    ///
+    /// [`enabled`]: Telemetry::enabled
+    pub fn set_flight(&self, on: bool) {
+        if on {
+            self.state.fetch_or(STATE_FLIGHT, Ordering::Relaxed);
+        } else {
+            self.state.fetch_and(!STATE_FLIGHT, Ordering::Relaxed);
+        }
     }
 
     /// Rank count this hub was built for.
@@ -227,16 +277,30 @@ impl Telemetry {
     }
 
     /// Record one event. Must be called on `ev.origin`'s thread (the rank's
-    /// private areas are single-writer). No-op when disabled.
+    /// private areas are single-writer). No-op when disabled. The disabled
+    /// path is the same single relaxed load it always was — aggregate and
+    /// flight recording share one state word.
     #[inline]
     pub fn record(&self, ev: Event) {
-        if !self.enabled() {
+        let state = self.state.load(Ordering::Relaxed);
+        if state == 0 {
             return;
         }
-        self.record_enabled(ev);
+        self.record_armed(state, ev);
     }
 
     #[inline(never)]
+    fn record_armed(&self, state: u8, ev: Event) {
+        if state & STATE_FLIGHT != 0 {
+            if let Some(rl) = self.ranks.get(ev.origin as usize) {
+                rl.flight.push(ev);
+            }
+        }
+        if state & STATE_AGGR != 0 {
+            self.record_enabled(ev);
+        }
+    }
+
     fn record_enabled(&self, ev: Event) {
         let s = &self.stats[ev.kind.index()];
         let ns = ev.latency_ns() as u64;
@@ -300,6 +364,34 @@ impl Telemetry {
     /// Events lost to ring overwriting, across all ranks.
     pub fn dropped(&self) -> u64 {
         self.ranks.iter().map(|r| r.ring.dropped()).sum()
+    }
+
+    /// The flight recorder's retained window for one rank, oldest first.
+    ///
+    /// Safe to call from `rank`'s own thread mid-run (it is the single
+    /// producer, so it reads its own writes) — which is exactly what the
+    /// crash-dump paths do — or from anywhere at a quiescent point.
+    pub fn flight_events(&self, rank: u32) -> Vec<Event> {
+        self.ranks.get(rank as usize).map(|r| r.flight.drain()).unwrap_or_default()
+    }
+
+    /// Publish the flow id of a signal release aimed at `target`, so the
+    /// eventual `signal_wait` on that rank can join the flow. Best-effort:
+    /// concurrent signals to one target keep only the latest flow.
+    #[inline]
+    pub fn publish_signal_flow(&self, target: u32, flow: u64) {
+        if let Some(slot) = self.flow_signal.get(target as usize) {
+            slot.store(flow, Ordering::Release);
+        }
+    }
+
+    /// Take (and clear) the pending signal flow aimed at `rank`.
+    #[inline]
+    pub fn take_signal_flow(&self, rank: u32) -> u64 {
+        match self.flow_signal.get(rank as usize) {
+            Some(slot) => slot.swap(NO_FLOW, Ordering::Acquire),
+            None => NO_FLOW,
+        }
     }
 
     /// Per-peer traffic matrix, row-major `[origin][target]`.
@@ -383,7 +475,10 @@ impl Telemetry {
         }
         let dropped = self.dropped();
         if dropped > 0 {
-            out.push_str(&format!("(ring overflow: {dropped} events dropped)\n"));
+            out.push_str(&format!(
+                "WARNING: telemetry ring overflow — {dropped} events dropped; \
+                 the event stream above is truncated (raise FOMPI_TELEMETRY_RING)\n"
+            ));
         }
         out
     }
@@ -412,6 +507,7 @@ mod tests {
             target,
             win,
             bytes,
+            flow: NO_FLOW,
             t_start: t0,
             t_end: t1,
         }
@@ -511,5 +607,66 @@ mod tests {
         assert!(r.contains("put"));
         assert!(r.contains("windows"));
         assert!(r.contains("peer traffic"));
+        assert!(!r.contains("WARNING"), "no drops, no warning");
+    }
+
+    #[test]
+    fn report_warns_loudly_on_ring_overflow() {
+        let t = Telemetry::with_capacity(1, true, 2);
+        for i in 0..5 {
+            t.record(put_ev(0, 0, 7, i, i as f64, i as f64 + 1.0));
+        }
+        assert_eq!(t.dropped(), 3);
+        let r = t.report();
+        assert!(r.contains("WARNING"), "drops must be loud: {r}");
+        assert!(r.contains("3 events dropped"), "{r}");
+        assert!(r.contains("FOMPI_TELEMETRY_RING"), "{r}");
+    }
+
+    #[test]
+    fn flight_recorder_is_independent_of_aggregates() {
+        let t = Telemetry::with_capacity(2, false, 0);
+        t.set_flight(true);
+        assert!(t.flight_enabled());
+        assert!(!t.enabled());
+        t.record(put_ev(0, 1, 7, 100, 0.0, 50.0));
+        t.record(put_ev(0, 1, 7, 200, 50.0, 90.0));
+        // Aggregates untouched, flight window kept.
+        assert_eq!(t.stats(EventKind::Put).count(), 0);
+        assert!(t.events().is_empty());
+        let fl = t.flight_events(0);
+        assert_eq!(fl.len(), 2);
+        assert_eq!(fl[1].bytes, 200);
+        assert!(t.flight_events(1).is_empty());
+        t.set_flight(false);
+        t.record(put_ev(0, 1, 7, 300, 90.0, 95.0));
+        assert_eq!(t.flight_events(0).len(), 2, "disarmed flight records nothing");
+    }
+
+    #[test]
+    fn flight_keeps_only_the_last_window() {
+        let t = Telemetry::with_capacity(1, true, 0);
+        t.set_flight(true);
+        let n = (FLIGHT_CAP + 10) as u64;
+        for i in 0..n {
+            t.record(put_ev(0, 0, 7, i, i as f64, i as f64 + 1.0));
+        }
+        let fl = t.flight_events(0);
+        assert_eq!(fl.len(), FLIGHT_CAP);
+        assert_eq!(fl[0].bytes, 10);
+        assert_eq!(fl.last().unwrap().bytes, n - 1);
+    }
+
+    #[test]
+    fn signal_flow_mailbox_roundtrip() {
+        let t = Telemetry::with_capacity(2, true, 0);
+        assert_eq!(t.take_signal_flow(1), NO_FLOW);
+        let f = flow_id(0, 42);
+        t.publish_signal_flow(1, f);
+        assert_eq!(t.take_signal_flow(1), f);
+        assert_eq!(t.take_signal_flow(1), NO_FLOW, "take clears the slot");
+        // Out-of-range targets are ignored, not a panic.
+        t.publish_signal_flow(99, f);
+        assert_eq!(t.take_signal_flow(99), NO_FLOW);
     }
 }

@@ -21,7 +21,7 @@ pub use coll::CollEngine;
 pub use group::Group;
 
 use fompi_fabric::rng::{root_seed_from_env, splitmix64};
-use fompi_fabric::{CostModel, Endpoint, Fabric, FaultPlan, RacecheckMode};
+use fompi_fabric::{CostModel, Endpoint, Fabric, FaultPlan, ProfileMode, RacecheckMode};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -37,6 +37,8 @@ pub struct Universe {
     batch: Option<bool>,
     notify_depth: Option<usize>,
     racecheck: Option<RacecheckMode>,
+    profile: Option<ProfileMode>,
+    metrics: Option<bool>,
 }
 
 impl Universe {
@@ -55,6 +57,8 @@ impl Universe {
             batch: None,
             notify_depth: None,
             racecheck: None,
+            profile: None,
+            metrics: None,
         }
     }
 
@@ -122,6 +126,25 @@ impl Universe {
         self
     }
 
+    /// Arm the wall-clock profiler (`fompi_fabric::profile`) for the job,
+    /// overriding `FOMPI_PROFILE`. Any mode other than
+    /// [`ProfileMode::Off`] also arms the flight recorder, so a crashing
+    /// run keeps its last-events black box. Never touches virtual time.
+    pub fn profile(mut self, mode: ProfileMode) -> Self {
+        self.profile = Some(mode);
+        self
+    }
+
+    /// Arm (or disarm) the metrics plane (`fompi_fabric::metrics`),
+    /// overriding `FOMPI_METRICS`. Arming also enables telemetry
+    /// aggregates — the registry snapshots them. Inspect via
+    /// `fompi_fabric::metrics_snapshot` on the fabric returned by
+    /// [`Universe::launch`].
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = Some(on);
+        self
+    }
+
     /// The root seed in force.
     pub fn root_seed(&self) -> u64 {
         self.seed
@@ -159,6 +182,12 @@ impl Universe {
         if let Some(mode) = self.racecheck {
             fabric.set_racecheck(mode);
         }
+        if let Some(mode) = self.profile {
+            fabric.set_profile(mode);
+        }
+        if let Some(on) = self.metrics {
+            fabric.set_metrics(on);
+        }
         let coll = Arc::new(CollEngine::new(self.p, fabric.clone()));
         let mut results: Vec<Option<T>> = (0..self.p).map(|_| None).collect();
         let fref = &f;
@@ -174,7 +203,18 @@ impl Universe {
                         .stack_size(8 << 20)
                         .spawn_scoped(s, move || {
                             let mut ctx = RankCtx::new(rank as u32, fabric, coll);
-                            *slot = Some(fref(&mut ctx));
+                            // With the flight recorder armed, a panicking
+                            // rank dumps its last-events window before the
+                            // unwind propagates — the run's black box.
+                            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                fref(&mut ctx)
+                            })) {
+                                Ok(v) => *slot = Some(v),
+                                Err(payload) => {
+                                    ctx.ep().flight_dump("rank thread panicked");
+                                    std::panic::resume_unwind(payload);
+                                }
+                            }
                         })
                         .expect("failed to spawn rank thread")
                 })
@@ -383,6 +423,28 @@ mod tests {
         });
         assert_eq!(fabric.notify().queue(0).capacity(), 8);
         assert_eq!(fabric.notify().depth(), 8);
+    }
+
+    #[test]
+    fn profile_builder_arms_profiler_and_flight() {
+        let (_out, fabric) =
+            Universe::new(2).node_size(1).profile(ProfileMode::Full).launch(|ctx| {
+                ctx.ep().put(ctx.fabric().register(0, fompi_fabric::Segment::new(64)), 0, &[1u8; 8])
+            });
+        assert_eq!(fabric.profiler().mode(), ProfileMode::Full);
+        assert!(fabric.telemetry().flight_enabled(), "profiling arms the flight recorder");
+        assert!(fabric.profiler().total_count() > 0, "full mode times every op");
+    }
+
+    #[test]
+    fn metrics_builder_enables_telemetry_and_snapshots() {
+        let (_out, fabric) = Universe::new(2).node_size(1).metrics(true).launch(|ctx| {
+            ctx.barrier();
+        });
+        assert!(fabric.metrics_enabled());
+        assert!(fabric.telemetry().enabled(), "metrics ride the telemetry aggregates");
+        let snap = fompi_fabric::metrics_snapshot(&fabric);
+        assert!(snap.to_prometheus().contains("fompi_ranks 2"));
     }
 
     #[test]

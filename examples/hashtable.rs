@@ -9,7 +9,7 @@
 //! messages — verifies that every element landed, and reports the insert
 //! rates.
 
-use fompi_apps::hashtable::{run_mpi1, run_rma, run_upc, HtConfig, HtResult};
+use fompi_apps::hashtable::{run_mpi1, run_notified, run_rma, run_upc, HtConfig, HtResult};
 use fompi_msg::{Comm, MsgEngine};
 use fompi_runtime::Universe;
 
@@ -37,17 +37,35 @@ fn main() {
         rate
     };
 
-    let (rma, fabric) = Universe::new(p).node_size(4).launch(|ctx| run_rma(ctx, &cfg));
+    let (rma, _) = Universe::new(p).node_size(4).launch(|ctx| run_rma(ctx, &cfg));
     let r_rma = report("foMPI RMA (CAS/FAA)", &rma);
 
-    // With FOMPI_TELEMETRY=1, dump the RMA backend's event trace for
-    // Perfetto (ui.perfetto.dev) alongside the per-class summary.
+    let (notified, fabric) = Universe::new(p)
+        .node_size(4)
+        .notify_depth(2 * inserts)
+        .launch(|ctx| run_notified(ctx, &cfg));
+    report("notified (owner-computes)", &notified);
+
+    // With FOMPI_TELEMETRY=1, dump the notified backend's event trace for
+    // Perfetto (ui.perfetto.dev) alongside the per-class summary: each
+    // insert reads as one flow arc from the origin's notified put to the
+    // owner's notify-consume span.
     let tel = fabric.telemetry();
     if tel.enabled() {
         println!("\n{}", tel.report());
         let path = "results/hashtable_trace.json";
         fompi_fabric::telemetry::perfetto::export_trace(tel, path).expect("write trace");
         println!("Perfetto trace written to {path} (open in ui.perfetto.dev)");
+    }
+    // FOMPI_METRICS=1 adds the tail-quantile snapshot; FOMPI_PROFILE=sample
+    // (or full) adds the wall-clock per-op profile.
+    if fabric.metrics_enabled() {
+        let snap = fompi_fabric::metrics_snapshot(&fabric);
+        println!("\n{}", snap.to_prometheus());
+        println!("metrics json: {}", snap.to_json_line());
+    }
+    if fabric.profiler().mode() != fompi_fabric::ProfileMode::Off {
+        println!("\n{}", fabric.profiler().report());
     }
 
     let upc = Universe::new(p).node_size(4).run(|ctx| run_upc(ctx, &cfg));

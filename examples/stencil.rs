@@ -140,4 +140,14 @@ fn main() {
         fompi_fabric::telemetry::perfetto::export_trace(tel, path).expect("write trace");
         println!("Perfetto trace written to {path} (open in ui.perfetto.dev)");
     }
+    // FOMPI_METRICS=1 adds the tail-quantile snapshot; FOMPI_PROFILE=sample
+    // (or full) adds the wall-clock per-op profile.
+    if fabric.metrics_enabled() {
+        let snap = fompi_fabric::metrics_snapshot(&fabric);
+        println!("\n{}", snap.to_prometheus());
+        println!("metrics json: {}", snap.to_json_line());
+    }
+    if fabric.profiler().mode() != fompi_fabric::ProfileMode::Off {
+        println!("\n{}", fabric.profiler().report());
+    }
 }

@@ -74,7 +74,7 @@ else
     echo "== soak smoke (2 seeds, all protocols) =="
     # Pinned environment: the smoke must be bit-reproducible so the
     # results-determinism check below can diff results/soak.csv.
-    env -u FOMPI_SEED -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK \
+    env -u FOMPI_SEED -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS \
         SOAK_SEEDS="${SOAK_SEEDS:-2}" \
         cargo run --offline --release -q -p fompi-bench --bin soak
 fi
@@ -86,7 +86,7 @@ fi
 #   cargo run --release -p fompi-bench --bin perfgate
 #   cp BENCH_PR4.json results/BENCH_PR4_baseline.json
 echo "== perfgate: virtual-time regression check (tolerance 1%) =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK FOMPI_SEED=1 \
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS FOMPI_SEED=1 \
     cargo run --offline --release -q -p fompi-bench --bin perfgate -- \
     --check results/BENCH_PR4_baseline.json
 
@@ -95,7 +95,7 @@ env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK FOMPI_S
 # must regenerate byte-identically. A diff here means a change altered
 # virtual-time behaviour without refreshing results/.
 echo "== results determinism: regenerate drift.csv and compare =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK FOMPI_SEED=1 \
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS FOMPI_SEED=1 \
     cargo run --offline --release -q -p fompi-bench --bin reproduce -- drift >/dev/null
 git diff --exit-code -- results/drift.csv
 if [[ -z "${SOAK_SECONDS:-}" && "${SOAK_SEEDS:-2}" == "2" ]]; then
@@ -106,12 +106,27 @@ fi
 # bin also asserts notified beats fence/PSCW/flag-polling, and prints the
 # schedule-dependent DSDE/hashtable comparisons without gating them).
 echo "== results determinism: regenerate notify_ablation.csv and compare =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK FOMPI_SEED=1 \
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS FOMPI_SEED=1 \
     cargo run --offline --release -q -p fompi-bench --bin notify_ablation >/dev/null
 git diff --exit-code -- results/notify_ablation.csv
 # drift_sched.csv holds the schedule-dependent classes (post/start/wait
 # partner-wait poll loops) — not reproducible, so not diffed; restore the
 # committed copy so the gate leaves the tree clean.
 git checkout -q -- results/drift_sched.csv
+
+# Metrics-snapshot determinism: the fompi-scope workload is built from
+# schedule-independent primitives only, so both exposition forms must
+# regenerate byte-identically under the pinned environment.
+echo "== results determinism: regenerate scope_metrics.{prom,json} and compare =="
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS FOMPI_SEED=1 \
+    cargo run --offline --release -q -p fompi-bench --bin scope >/dev/null
+git diff --exit-code -- results/scope_metrics.prom results/scope_metrics.json
+
+# Observability overhead gate: the same workload with the whole plane
+# armed (metrics + full profiling + tracing + flight recorder) and
+# disarmed must land on bit-identical per-rank virtual clocks.
+echo "== scope ablation: armed/disarmed virtual-time bit-identity =="
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS FOMPI_SEED=1 \
+    cargo run --offline --release -q -p fompi-bench --bin scope -- --ablation
 
 echo "CI gate passed."

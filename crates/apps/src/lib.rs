@@ -14,6 +14,11 @@
 //! * [`milc`] — a MIMD Lattice Computation proxy: 4-D stencil
 //!   conjugate-gradient solver with 8-direction halo exchange (Figure 8).
 //!
+//! Beyond the paper's four, [`kv`] is a served key-value store built on
+//! the `fompi-txn` transaction layer: Zipf-skewed mixed read/write load
+//! against versioned bucket tables, with two-key transfers as the
+//! multi-key-transaction stressor.
+//!
 //! Every motif returns both a *correctness artefact* (checked in tests: all
 //! elements present, all messages delivered, FFT matches a naive DFT, CG
 //! residual converges identically across backends) and the per-rank virtual
@@ -22,6 +27,7 @@
 pub mod dsde;
 pub mod fft;
 pub mod hashtable;
+pub mod kv;
 pub mod milc;
 
 /// Max virtual time across ranks — the completion time a benchmark reports.

@@ -1,8 +1,8 @@
 //! Deterministic virtual-time perf-regression gate.
 //!
 //! ```text
-//! cargo run --release -p fompi-bench --bin perfgate                  # write BENCH_PR4.json
-//! cargo run --release -p fompi-bench --bin perfgate -- --check results/BENCH_PR4_baseline.json
+//! cargo run --release -p fompi-bench --bin perfgate                  # write BENCH_PR7.json
+//! cargo run --release -p fompi-bench --bin perfgate -- --check results/BENCH_PR7_baseline.json
 //! ```
 //!
 //! The fabric charges *virtual* time from a fixed cost model, so every
@@ -15,19 +15,22 @@
 //!
 //! ```text
 //! cargo run --release -p fompi-bench --bin perfgate
-//! cp BENCH_PR4.json results/BENCH_PR4_baseline.json
+//! cp BENCH_PR7.json results/BENCH_PR7_baseline.json
 //! ```
 //!
 //! Metrics cover the §3 primitives at small and large sizes, with the
 //! issue-side batching layer both off and on (put bursts and
 //! hardware-AMO accumulate bursts), plus the notified-access paths: a
 //! single `put_notify`/`wait_notify` handoff and one `msg::channel`
-//! round (notified payload put forward, notified credit-AMO back).
+//! round (notified payload put forward, notified credit-AMO back), and
+//! the transaction layer's hot path: one versioned read and the commit
+//! phase of a 2-key transaction.
 
 use fompi::{LockType, MpiOp, NumKind, Win};
 use fompi_fabric::FaultPlan;
 use fompi_msg::channel::{channel, ChannelEnd};
 use fompi_runtime::{RankCtx, Universe};
+use fompi_txn::{Txn, VersionedCell};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -48,12 +51,12 @@ fn main() -> ExitCode {
 
     let metrics = collect();
     let json = render_json(&metrics);
-    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
     println!("== perfgate: virtual-time metrics (ns) ==");
     for (k, v) in &metrics {
         println!("  {k:<28} {v:>12.1}");
     }
-    println!("-> BENCH_PR4.json");
+    println!("-> BENCH_PR7.json");
 
     let Some(path) = baseline_path else {
         return ExitCode::SUCCESS;
@@ -282,6 +285,41 @@ fn collect() -> BTreeMap<String, f64> {
             }
         });
     m.insert("channel_round_64_ns".into(), chan[0]);
+    // Transaction-layer twins: one versioned read (two NO_OP version
+    // fetches bracketing a NO_OP payload fetch) and the commit phase of a
+    // 2-key transaction (lock-CAS x2, REPLACE accumulate x2, flush,
+    // publish-CAS x2, flush) — read time excluded so the metric isolates
+    // the commit protocol.
+    let txn = Universe::new(2).node_size(1).seed(1).faults(FaultPlan::disabled()).batch(false).run(
+        |ctx| {
+            let win = Win::allocate(ctx, 64, 1).unwrap();
+            VersionedCell::init_local(&win, 0, &7u64.to_le_bytes());
+            VersionedCell::init_local(&win, 16, &9u64.to_le_bytes());
+            ctx.barrier();
+            win.lock_all().unwrap();
+            let mut out = (0.0, 0.0);
+            if ctx.rank() == 0 {
+                let (a, b) = (VersionedCell::new(1, 0, 8), VersionedCell::new(1, 16, 8));
+                let mut buf = [0u8; 8];
+                let t0 = ctx.now();
+                a.read(&win, &mut buf).unwrap();
+                let read_ns = ctx.now() - t0;
+                let mut txn = Txn::begin(&win);
+                txn.read(a, &mut buf).unwrap();
+                txn.write(a, &1u64.to_le_bytes()).unwrap();
+                txn.read(b, &mut buf).unwrap();
+                txn.write(b, &2u64.to_le_bytes()).unwrap();
+                let t1 = ctx.now();
+                txn.commit().unwrap();
+                out = (read_ns, ctx.now() - t1);
+            }
+            win.unlock_all().unwrap();
+            ctx.barrier();
+            out
+        },
+    );
+    m.insert("txn_read_ns".into(), txn[0].0);
+    m.insert("txn_commit_2key_ns".into(), txn[0].1);
     m
 }
 

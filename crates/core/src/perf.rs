@@ -176,6 +176,24 @@ impl PaperModel {
     pub fn notified_amo(&self) -> f64 {
         2.0 * self.inject + self.acc_sum(8)
     }
+
+    /// Closed-form cost of one uncontended versioned read (`fompi-txn`):
+    /// an atomic version fetch (CAS-class AMO), an atomic payload read of
+    /// `s` bytes through the accumulate path, and the version re-check
+    /// AMO — `2·PCAS + Pacc,sum(s)`.
+    pub fn txn_read(&self, s: usize) -> f64 {
+        2.0 * self.cas + self.acc_sum(s)
+    }
+
+    /// Closed-form cost of one uncontended optimistic commit over `nkeys`
+    /// cells of `s` payload bytes each: a lock CAS and an unlock CAS per
+    /// key, an atomic payload write per key, and the two flushes that
+    /// fence the write and publication phases —
+    /// `2k·PCAS + k·Pacc,sum(s) + 2·Pflush`.
+    pub fn txn_commit(&self, nkeys: usize, s: usize) -> f64 {
+        let k = nkeys as f64;
+        2.0 * k * self.cas + k * self.acc_sum(s) + 2.0 * self.flush
+    }
 }
 
 /// Instruction counts the paper reports for foMPI fast paths (§2.3/§2.4/§6),
@@ -264,6 +282,24 @@ mod tests {
         // … and stays ≥ flush + Pacc,sum once the put dominates the max.
         let gain_big = m.put_polled(1 << 20) - m.put_notified(1 << 20);
         assert!((gain_big - (m.flush + m.acc_sum(8))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn txn_models_scale_with_keys_and_payload() {
+        let m = PaperModel::default();
+        // A versioned read pays two version AMOs on top of the atomic
+        // payload read, so it always costs more than the bare accumulate…
+        assert!((m.txn_read(16) - (2.0 * m.cas + m.acc_sum(16))).abs() < 1e-9);
+        assert!(m.txn_read(16) > m.acc_sum(16));
+        // …and a commit costs strictly more per extra key (lock + write +
+        // unlock), by exactly 2·PCAS + Pacc,sum(s).
+        let s = 16;
+        let per_key = m.txn_commit(2, s) - m.txn_commit(1, s);
+        assert!((per_key - (2.0 * m.cas + m.acc_sum(s))).abs() < 1e-9);
+        assert!(m.txn_commit(4, s) > m.txn_commit(2, s));
+        // A 1-key commit still beats two separate commits (one flush pair
+        // amortized), which is the whole point of multi-key transactions.
+        assert!(m.txn_commit(2, s) < 2.0 * m.txn_commit(1, s));
     }
 
     #[test]

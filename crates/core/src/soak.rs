@@ -53,11 +53,15 @@ pub enum Protocol {
     Notify,
     /// Passive target: put + flush, read-back verification per epoch.
     Flush,
+    /// Seqlock-versioned two-key transfers (the `fompi-txn` commit path:
+    /// CAS lock, accumulate(REPLACE) write, CAS publish) over disjoint
+    /// seed-derived cell pairings; total balance is conserved.
+    TxnTransfer,
 }
 
 impl Protocol {
     /// Every protocol, in soak order.
-    pub const ALL: [Protocol; 8] = [
+    pub const ALL: [Protocol; 9] = [
         Protocol::Fence,
         Protocol::Pscw,
         Protocol::PscwFast,
@@ -66,6 +70,7 @@ impl Protocol {
         Protocol::Mcs,
         Protocol::Notify,
         Protocol::Flush,
+        Protocol::TxnTransfer,
     ];
 
     /// Stable name (CSV column, violation messages).
@@ -79,6 +84,7 @@ impl Protocol {
             Protocol::Mcs => "mcs",
             Protocol::Notify => "notify",
             Protocol::Flush => "flush",
+            Protocol::TxnTransfer => "txn_transfer",
         }
     }
 }
@@ -175,6 +181,7 @@ pub fn run_case_racecheck(
             Protocol::Mcs => mcs_counter(ctx, p, epochs, seed, &mut v),
             Protocol::Notify => notify_ring(ctx, p, epochs, seed, &mut v),
             Protocol::Flush => flush_readback(ctx, p, epochs, seed, &mut v),
+            Protocol::TxnTransfer => txn_transfer(ctx, p, epochs, seed, &mut v),
         };
         if let Err(e) = r {
             v.push(violation(proto.name(), seed, ctx.rank(), format!("protocol error: {e}")));
@@ -517,6 +524,192 @@ fn flush_readback(
     Ok(())
 }
 
+/// Initial balance of global cell `c` — nonzero and seed-dependent, so a
+/// never-written cell is distinguishable from a zero balance.
+fn txn_init_balance(seed: u64, c: usize) -> u64 {
+    splitmix64(seed ^ 0xBA1A_4CE5 ^ (c as u64 + 1)) | 1
+}
+
+/// Seed-derived pairing of the `2p` transfer cells for one epoch: a
+/// Fisher–Yates permutation, chopped into `p` disjoint pairs. Rank `r`
+/// handles pair `r`. Disjointness means no two ranks ever contend for a
+/// version word, so the lock CASes always succeed first try and the
+/// number of issued operations — hence the fault draws and the virtual
+/// clocks — is schedule-independent.
+fn txn_pairing(seed: u64, epoch: usize, p: usize) -> Vec<usize> {
+    let cells = 2 * p;
+    let mut perm: Vec<usize> = (0..cells).collect();
+    let mut rng = fompi_fabric::rng::Rng::seed_from_u64(splitmix64(
+        seed ^ 0x7AB1_E0F0 ^ ((epoch as u64) << 8),
+    ));
+    for i in (1..cells).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Transfer amount rank `r` moves in `epoch` (wrapping arithmetic keeps
+/// the conserved sum exact even if balances wrap).
+fn txn_amount(seed: u64, epoch: usize, r: u32) -> u64 {
+    splitmix64(seed ^ 0xF00D ^ ((epoch as u64) << 24) ^ (r as u64 + 1)) % 1024
+}
+
+/// The `fompi-txn` commit path soaked under faults: every rank owns two
+/// 16-byte versioned cells (8-byte seqlock version word + 8-byte balance)
+/// and per epoch commits one two-key transfer over a seed-derived
+/// *disjoint* pairing of all `2p` cells. The remote protocol is exactly
+/// the transaction layer's — `MPI_NO_OP` versioned reads, sorted-order
+/// lock CAS `v → v+1`, accumulate(`MPI_REPLACE`) payload writes, publish
+/// CAS `v+1 → v+2`, flushes between phases — so a racecheck or metadata
+/// residue here indicts the commit protocol itself. Every rank recomputes
+/// the exact final balances and version words, and the conserved total is
+/// allreduced and checked per seed.
+fn txn_transfer(
+    ctx: &RankCtx,
+    p: usize,
+    epochs: usize,
+    seed: u64,
+    v: &mut Vec<String>,
+) -> Result<()> {
+    const CELL: usize = 16;
+    let win = Win::allocate(ctx, 2 * CELL, 1)?;
+    let me = ctx.rank();
+    // Global cell c lives on rank c/2 at displacement (c%2)*16.
+    let owner = |c: usize| ((c / 2) as u32, (c % 2) * CELL);
+    for slot in 0..2usize {
+        win.write_local(slot * CELL, &0u64.to_le_bytes());
+        win.write_local(
+            slot * CELL + 8,
+            &txn_init_balance(seed, me as usize * 2 + slot).to_le_bytes(),
+        );
+    }
+    ctx.barrier();
+    for e in 0..epochs {
+        let perm = txn_pairing(seed, e, p);
+        let (a, b) = (perm[2 * me as usize], perm[2 * me as usize + 1]);
+        let amt = txn_amount(seed, e, me);
+        // Global lock order: cell index order == (rank, disp) order.
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        win.lock_all()?;
+        let mut versions = [0u64; 2];
+        let mut bals = [0u64; 2];
+        for (k, &c) in [lo, hi].iter().enumerate() {
+            let (t, d) = owner(c);
+            let mut vb = [0u8; 8];
+            win.fetch_and_op(&[], &mut vb, NumKind::U64, MpiOp::NoOp, t, d)?;
+            let v1 = u64::from_le_bytes(vb);
+            let mut pb = [0u8; 8];
+            win.get_accumulate(&[], &mut pb, NumKind::U64, MpiOp::NoOp, t, d + 8)?;
+            win.fetch_and_op(&[], &mut vb, NumKind::U64, MpiOp::NoOp, t, d)?;
+            let v2 = u64::from_le_bytes(vb);
+            // Pairings are disjoint and epochs barrier-separated, so a
+            // torn read can only come from a protocol bug.
+            if v1 & 1 == 1 || v1 != v2 {
+                v.push(violation(
+                    "txn_transfer",
+                    seed,
+                    me,
+                    format!("epoch {e}: torn read on cell {c}: v1={v1} v2={v2}"),
+                ));
+            }
+            versions[k] = v1;
+            bals[k] = u64::from_le_bytes(pb);
+        }
+        for (k, &c) in [lo, hi].iter().enumerate() {
+            let (t, d) = owner(c);
+            let prev = win.compare_and_swap(versions[k] + 1, versions[k], t, d)?;
+            if prev != versions[k] {
+                v.push(violation(
+                    "txn_transfer",
+                    seed,
+                    me,
+                    format!("epoch {e}: lost lock CAS on cell {c} despite disjoint pairing"),
+                ));
+            }
+        }
+        let (new_lo, new_hi) = if a == lo {
+            (bals[0].wrapping_sub(amt), bals[1].wrapping_add(amt))
+        } else {
+            (bals[0].wrapping_add(amt), bals[1].wrapping_sub(amt))
+        };
+        for (&c, nb) in [lo, hi].iter().zip([new_lo, new_hi]) {
+            let (t, d) = owner(c);
+            win.accumulate(&nb.to_le_bytes(), NumKind::U64, MpiOp::Replace, t, d + 8)?;
+        }
+        win.flush_all()?;
+        for (k, &c) in [lo, hi].iter().enumerate() {
+            let (t, d) = owner(c);
+            let prev = win.compare_and_swap(versions[k] + 2, versions[k] + 1, t, d)?;
+            if prev != versions[k] + 1 {
+                v.push(violation(
+                    "txn_transfer",
+                    seed,
+                    me,
+                    format!("epoch {e}: publish CAS on cell {c} found {prev}, lock was stolen"),
+                ));
+            }
+        }
+        win.flush_all()?;
+        win.unlock_all()?;
+        // Next epoch's pairing may hand these cells to other ranks.
+        ctx.barrier();
+    }
+    // Every rank replays the whole campaign locally: the schedule is a
+    // pure function of the seed, so final balances are exactly known.
+    let cells = 2 * p;
+    let mut model: Vec<u64> = (0..cells).map(|c| txn_init_balance(seed, c)).collect();
+    for e in 0..epochs {
+        let perm = txn_pairing(seed, e, p);
+        for r in 0..p {
+            let (a, b) = (perm[2 * r], perm[2 * r + 1]);
+            let amt = txn_amount(seed, e, r as u32);
+            model[a] = model[a].wrapping_sub(amt);
+            model[b] = model[b].wrapping_add(amt);
+        }
+    }
+    let mut local_sum = 0u64;
+    for slot in 0..2usize {
+        let c = me as usize * 2 + slot;
+        let mut b = [0u8; 8];
+        win.read_local(slot * CELL, &mut b);
+        let (got_v, want_v) = (u64::from_le_bytes(b), 2 * epochs as u64);
+        if got_v != want_v {
+            v.push(violation(
+                "txn_transfer",
+                seed,
+                me,
+                format!("cell {c} version = {got_v}, want {want_v}"),
+            ));
+        }
+        win.read_local(slot * CELL + 8, &mut b);
+        let got = u64::from_le_bytes(b);
+        if got != model[c] {
+            v.push(violation(
+                "txn_transfer",
+                seed,
+                me,
+                format!("cell {c} balance = {got:#x}, want {:#x}", model[c]),
+            ));
+        }
+        local_sum = local_sum.wrapping_add(got);
+    }
+    // Conservation, asserted across ranks per seed: transfers move value,
+    // they never mint or burn it.
+    let total = ctx.allreduce_u64(local_sum, u64::wrapping_add);
+    let want_total = (0..cells).fold(0u64, |s, c| s.wrapping_add(txn_init_balance(seed, c)));
+    if total != want_total {
+        v.push(violation(
+            "txn_transfer",
+            seed,
+            me,
+            format!("conserved sum = {total:#x}, want {want_total:#x}"),
+        ));
+    }
+    quiescence(&win, "txn_transfer", seed, me, v);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,6 +742,20 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), a.len());
+    }
+
+    #[test]
+    fn txn_pairings_are_disjoint_and_cover_every_cell() {
+        for p in [2, 3, 5, 8] {
+            for e in 0..6 {
+                let mut perm = txn_pairing(0xDEAD_BEEF, e, p);
+                assert_eq!(perm.len(), 2 * p);
+                perm.sort_unstable();
+                assert_eq!(perm, (0..2 * p).collect::<Vec<_>>(), "p={p} epoch={e}");
+            }
+        }
+        // Pairings vary across epochs — the soak is not one fixed pattern.
+        assert_ne!(txn_pairing(1, 0, 4), txn_pairing(1, 1, 4));
     }
 
     #[test]

@@ -609,6 +609,14 @@ impl Win {
         self.shared.meta_id
     }
 
+    /// The fabric endpoint this window issues through: the rank's virtual
+    /// clock, time charging and trace hooks. Layers built on top of the
+    /// window ops (the `fompi-txn` transaction layer) use it to charge
+    /// backoff time and record their own telemetry spans.
+    pub fn endpoint(&self) -> &fompi_fabric::Endpoint {
+        &self.ep
+    }
+
     // -------------------------------------------------------- epoch checks
 
     /// Verify an access epoch covering `target` is open.

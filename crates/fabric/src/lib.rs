@@ -98,6 +98,7 @@ pub struct Fabric {
     shadow: Shadow,
     profiler: Profiler,
     metrics_on: AtomicBool,
+    txn_retry: RwLock<Option<String>>,
 }
 
 impl Fabric {
@@ -175,6 +176,7 @@ impl Fabric {
             shadow: Shadow::from_env(p),
             profiler,
             metrics_on: AtomicBool::new(metrics_on),
+            txn_retry: RwLock::new(txn_retry_from_env()),
         })
     }
 
@@ -277,6 +279,21 @@ impl Fabric {
         self.shadow.set_mode(mode);
     }
 
+    /// The transaction retry-policy spec in force (`FOMPI_TXN_RETRY` /
+    /// [`Fabric::set_txn_retry`]), if any. The fabric only carries the
+    /// string — the `fompi-txn` layer owns the grammar and parses it at
+    /// policy-construction time.
+    pub fn txn_retry(&self) -> Option<String> {
+        self.txn_retry.read().clone()
+    }
+
+    /// Set the transaction retry-policy spec programmatically. Launch-time
+    /// configuration only — the runtime's `Universe::txn_retry` funnels
+    /// through here, mirroring [`Fabric::set_batch_default`].
+    pub fn set_txn_retry(&self, spec: &str) {
+        *self.txn_retry.write() = Some(spec.to_string());
+    }
+
     /// Register `seg` for remote access by rank `rank`. Returns the key
     /// remote peers use to address it — the analogue of the DMAPP
     /// registration descriptor.
@@ -356,6 +373,14 @@ fn batch_from_env() -> bool {
         std::env::var("FOMPI_BATCH").as_deref().map(str::trim),
         Ok("1") | Ok("true") | Ok("on")
     )
+}
+
+/// `FOMPI_TXN_RETRY` carrier: the raw retry-policy spec for the
+/// `fompi-txn` layer (grammar documented there; e.g. `immediate:16` or
+/// `backoff:64:400:100000`). Parsed lazily by the consumer so the fabric
+/// stays ignorant of transaction semantics.
+fn txn_retry_from_env() -> Option<String> {
+    std::env::var("FOMPI_TXN_RETRY").ok().map(|s| s.trim().to_string()).filter(|s| !s.is_empty())
 }
 
 /// `FOMPI_METRICS` switch: `1`/`true`/`on` arms the metrics plane (and the

@@ -106,11 +106,23 @@ pub enum EventKind {
     /// interval, epoch, lock context) are retained by
     /// [`crate::shadow::Shadow::violations`].
     RaceReport,
+    /// A versioned remote read (`fompi-txn`): version get + payload get +
+    /// re-validation. The span covers the whole read including torn-read
+    /// retries.
+    TxnRead,
+    /// A committed optimistic multi-key transaction. The span covers lock
+    /// acquisition through version publication; `bytes` is the total
+    /// payload written.
+    TxnCommit,
+    /// An aborted transaction attempt (lock conflict, validation failure
+    /// or retry-budget exhaustion). The span covers the failed attempt
+    /// including rollback.
+    TxnAbort,
 }
 
 impl EventKind {
     /// Number of distinct kinds (size of per-class stat arrays).
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 30;
 
     /// All kinds, in `index` order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -141,6 +153,9 @@ impl EventKind {
         EventKind::NotifyWait,
         EventKind::NotifyDrop,
         EventKind::RaceReport,
+        EventKind::TxnRead,
+        EventKind::TxnCommit,
+        EventKind::TxnAbort,
     ];
 
     /// Dense index for per-class stat arrays.
@@ -179,6 +194,9 @@ impl EventKind {
             EventKind::NotifyWait => "notify_wait",
             EventKind::NotifyDrop => "notify_drop",
             EventKind::RaceReport => "race_report",
+            EventKind::TxnRead => "txn_read",
+            EventKind::TxnCommit => "txn_commit",
+            EventKind::TxnAbort => "txn_abort",
         }
     }
 

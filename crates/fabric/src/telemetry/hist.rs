@@ -80,12 +80,17 @@ impl Histogram {
     /// Smallest bucket upper bound such that at least `q` (0..=1) of the
     /// samples fall at or below it — a log2-resolution quantile. Returns 0
     /// on an empty histogram.
+    ///
+    /// `q·total` is clamped to `total`: at large counts the f64 product can
+    /// round above the integer total, which would walk past every bucket
+    /// and report the `u64::MAX` fallback for mid quantiles — on an
+    /// abort-heavy histogram that made p999 jump over p50's bucket.
     pub fn quantile_hi(&self, q: f64) -> u64 {
         let total = self.total();
         if total == 0 {
             return 0;
         }
-        let want = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let want = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).min(total);
         let mut seen = 0u64;
         for i in 0..BUCKETS {
             seen += self.count(i);
@@ -156,13 +161,14 @@ impl HistSnapshot {
         }
     }
 
-    /// Same log2-resolution quantile as [`Histogram::quantile_hi`].
+    /// Same log2-resolution quantile as [`Histogram::quantile_hi`],
+    /// including the clamp of `q·total` to `total`.
     pub fn quantile_hi(&self, q: f64) -> u64 {
         let total = self.total();
         if total == 0 {
             return 0;
         }
-        let want = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let want = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).min(total);
         let mut seen = 0u64;
         for (i, n) in self.counts.iter().enumerate() {
             seen += n;
@@ -324,6 +330,49 @@ mod tests {
         // The merged quantiles reflect the union of samples.
         assert_eq!(ab_c.total(), 9);
         assert_eq!(ab_c.quantile_hi(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn saturated_top_bucket_quantiles_are_the_upper_edge() {
+        // Every sample in bucket 64 (the u64::MAX overflow bucket): all
+        // quantiles must answer from the walk, not the fallback, and they
+        // must all be the bucket's upper edge.
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(u64::MAX - 7);
+        }
+        for q in [0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile_hi(q), u64::MAX, "q={q}");
+        }
+        let s = h.snapshot();
+        for q in [0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(s.quantile_hi(q), u64::MAX, "snapshot q={q}");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_on_abort_heavy_distributions() {
+        // An abort-heavy latency shape: a huge spike of cheap aborts plus a
+        // thin expensive tail. The f64 product q·total can ceil above the
+        // integer total at large counts; with the clamp, p50 ≤ p99 ≤ p999
+        // must hold and p999 can never skip to the u64::MAX fallback.
+        let mut s = HistSnapshot::new();
+        let spike = Histogram::new();
+        for _ in 0..100_000 {
+            spike.record(300); // cheap abort path
+        }
+        let tail = Histogram::new();
+        for _ in 0..37 {
+            tail.record(2_000_000); // rare slow commit
+        }
+        s.merge(&spike.snapshot());
+        s.merge(&tail.snapshot());
+        let p50 = s.quantile_hi(0.5);
+        let p99 = s.quantile_hi(0.99);
+        let p999 = s.quantile_hi(0.999);
+        assert!(p50 <= p99 && p99 <= p999, "p50={p50} p99={p99} p999={p999}");
+        assert!(p999 < u64::MAX, "p999 fell through to the fallback");
+        assert_eq!(s.quantile_hi(1.0), bucket_hi(bucket_index(2_000_000)));
     }
 
     #[test]

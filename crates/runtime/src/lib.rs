@@ -39,6 +39,7 @@ pub struct Universe {
     racecheck: Option<RacecheckMode>,
     profile: Option<ProfileMode>,
     metrics: Option<bool>,
+    txn_retry: Option<String>,
 }
 
 impl Universe {
@@ -59,6 +60,7 @@ impl Universe {
             racecheck: None,
             profile: None,
             metrics: None,
+            txn_retry: None,
         }
     }
 
@@ -145,6 +147,16 @@ impl Universe {
         self
     }
 
+    /// Set the transaction retry-policy spec for the job, overriding
+    /// `FOMPI_TXN_RETRY`. The fabric carries the raw string; the
+    /// `fompi-txn` layer owns the grammar (`immediate[:budget]` or
+    /// `backoff[:budget[:base_ns[:cap_ns]]]`) and parses it when a policy
+    /// is constructed.
+    pub fn txn_retry(mut self, spec: &str) -> Self {
+        self.txn_retry = Some(spec.to_string());
+        self
+    }
+
     /// The root seed in force.
     pub fn root_seed(&self) -> u64 {
         self.seed
@@ -187,6 +199,9 @@ impl Universe {
         }
         if let Some(on) = self.metrics {
             fabric.set_metrics(on);
+        }
+        if let Some(spec) = &self.txn_retry {
+            fabric.set_txn_retry(spec);
         }
         let coll = Arc::new(CollEngine::new(self.p, fabric.clone()));
         let mut results: Vec<Option<T>> = (0..self.p).map(|_| None).collect();
@@ -445,6 +460,19 @@ mod tests {
         assert!(fabric.telemetry().enabled(), "metrics ride the telemetry aggregates");
         let snap = fompi_fabric::metrics_snapshot(&fabric);
         assert!(snap.to_prometheus().contains("fompi_ranks 2"));
+    }
+
+    #[test]
+    fn txn_retry_builder_lands_on_the_fabric() {
+        let (_out, fabric) = Universe::new(2)
+            .node_size(1)
+            .txn_retry("backoff:8:200:50000")
+            .launch(|ctx| ctx.barrier());
+        assert_eq!(fabric.txn_retry().as_deref(), Some("backoff:8:200:50000"));
+        if std::env::var("FOMPI_TXN_RETRY").is_err() {
+            let (_out, fabric) = Universe::new(2).node_size(1).launch(|ctx| ctx.barrier());
+            assert!(fabric.txn_retry().is_none(), "unset means the txn layer's default policy");
+        }
     }
 
     #[test]

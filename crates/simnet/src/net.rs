@@ -25,6 +25,9 @@ pub struct LogGP {
     pub g_gap: f64,
     /// Remote-AMO latency.
     pub amo: f64,
+    /// Per-byte cost of the accelerated accumulate stream (the paper's
+    /// Pacc,sum slope; feeds the txn twins' atomic payload legs).
+    pub g_amo: f64,
     /// Intra-node injection overhead.
     pub o_intra: f64,
     /// Intra-node latency.
@@ -52,6 +55,7 @@ impl Default for LogGP {
             g: 0.16,
             g_gap: 50.0,
             amo: 2_400.0,
+            g_amo: 28.0,
             o_intra: 80.0,
             l_intra: 250.0,
             sw_fompi: 75.0,
@@ -131,6 +135,29 @@ impl LogGP {
     /// Twin of `fompi::perf` `channel_round`.
     pub fn channel_round(&self, bytes: usize) -> f64 {
         self.put_notified(bytes) + self.notified_amo()
+    }
+
+    /// An atomic accumulate-stream access of `bytes` (the paper's
+    /// Pacc,sum(s) = amo + g_amo·s) — the payload leg of the txn twins.
+    pub fn acc(&self, bytes: usize) -> f64 {
+        self.amo + self.g_amo * bytes as f64
+    }
+
+    /// One uncontended versioned read: version fetch AMO + atomic payload
+    /// read + version re-check AMO. Twin of `fompi::perf` `txn_read`.
+    pub fn txn_read(&self, bytes: usize) -> f64 {
+        2.0 * self.amo + self.acc(bytes)
+    }
+
+    /// One uncontended optimistic commit over `nkeys` cells of `bytes`
+    /// payload each: a lock CAS and an unlock CAS per key, an atomic
+    /// payload write per key, and the two flushes fencing the write and
+    /// publication phases (`sw_fompi` stands in for the ≈76 ns foMPI
+    /// flush, as in [`LogGP::put_polled`]). Twin of `fompi::perf`
+    /// `txn_commit`.
+    pub fn txn_commit(&self, nkeys: usize, bytes: usize) -> f64 {
+        let k = nkeys as f64;
+        2.0 * k * self.amo + k * self.acc(bytes) + 2.0 * self.sw_fompi
     }
 }
 
@@ -393,6 +420,24 @@ mod tests {
         let big = 1 << 20;
         let d = m.put_notified(2 * big) - m.put_notified(big);
         assert!((d - m.g * big as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn txn_twins_mirror_the_live_model() {
+        let m = LogGP::default();
+        // Same structure as `fompi::perf`: a read is two version AMOs plus
+        // the atomic payload leg…
+        for s in [8usize, 16, 64, 256] {
+            assert!((m.txn_read(s) - (2.0 * m.amo + m.acc(s))).abs() < 1e-9, "s={s}");
+            assert!(m.txn_read(s) > m.acc(s));
+        }
+        // …and each extra committed key costs exactly lock CAS + payload
+        // write + unlock CAS.
+        let s = 16;
+        let per_key = m.txn_commit(2, s) - m.txn_commit(1, s);
+        assert!((per_key - (2.0 * m.amo + m.acc(s))).abs() < 1e-9);
+        // A 2-key commit amortizes the flush pair over both keys.
+        assert!(m.txn_commit(2, s) < 2.0 * m.txn_commit(1, s));
     }
 
     #[test]

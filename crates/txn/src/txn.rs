@@ -1,0 +1,405 @@
+//! Optimistic multi-key transactions and the retry driver.
+//!
+//! A [`Txn`] accumulates a read set (cells read through the versioned
+//! protocol, with the version each payload was consistent at) and a write
+//! set (staged payloads for cells already in the read set). [`Txn::commit`]
+//! then runs the four phases, all built from `compare_and_swap` /
+//! `accumulate` / `get_accumulate` + `flush`:
+//!
+//! 1. **lock+validate** — write-set cells in global (rank, disp) order:
+//!    CAS `v → v+1` where `v` is the version observed at read time. The
+//!    CAS *is* the validation; a miss rolls back the locked prefix and
+//!    aborts with [`TxnError::Conflict`].
+//! 2. **validate reads** — read-only cells are re-fetched and must still
+//!    hold their observed version.
+//! 3. **write** — staged payloads land via `accumulate(MPI_REPLACE)`,
+//!    fenced by one flush.
+//! 4. **publish** — per cell CAS `v+1 → v+2`, fenced by a final flush.
+//!
+//! The sorted lock order makes symmetric conflicts deadlock-free: two
+//! transactions contending for the same pair always collide on the
+//! *first* common cell, and the loser backs off holding nothing beyond
+//! its rolled-back prefix.
+//!
+//! The caller must hold a passive-target access epoch covering every
+//! target (in practice `lock_all`), mirroring how the paper's hashtable
+//! drives its CAS inserts.
+
+use crate::retry::RetryPolicy;
+use crate::versioned::VersionedCell;
+use crate::{Result, TxnError};
+use fompi::win::Win;
+use fompi::{MpiOp, NumKind};
+use fompi_fabric::rng::Rng;
+use fompi_fabric::telemetry::{EventKind, NO_FLOW, NO_TARGET};
+
+struct ReadEntry {
+    cell: VersionedCell,
+    version: u64,
+}
+
+struct WriteEntry {
+    cell: VersionedCell,
+    version: u64,
+    payload: Vec<u8>,
+}
+
+/// What a successful commit did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Cells written (0 for a validated read-only transaction).
+    pub keys: usize,
+    /// Payload bytes published.
+    pub bytes: usize,
+}
+
+/// One transaction attempt over a window.
+pub struct Txn<'w> {
+    win: &'w Win,
+    reads: Vec<ReadEntry>,
+    writes: Vec<WriteEntry>,
+}
+
+impl<'w> Txn<'w> {
+    /// Start an empty transaction. Dropping it without
+    /// [`commit`](Txn::commit) aborts for free — no remote state is
+    /// touched before the commit phases.
+    pub fn begin(win: &'w Win) -> Txn<'w> {
+        Txn { win, reads: Vec::new(), writes: Vec::new() }
+    }
+
+    /// Versioned read of `cell` into `buf`, recording the observed
+    /// version in the read set. A torn read fails the whole attempt
+    /// (transient) — the retry driver re-runs the body.
+    pub fn read(&mut self, cell: VersionedCell, buf: &mut [u8]) -> Result<u64> {
+        let version = cell.read(self.win, buf)?;
+        match self.reads.iter_mut().find(|r| r.cell == cell) {
+            // Re-reading a cell inside one attempt must see one snapshot.
+            Some(prev) if prev.version != version => {
+                Err(TxnError::TornRead { target: cell.target, disp: cell.disp })
+            }
+            Some(_) => Ok(version),
+            None => {
+                self.reads.push(ReadEntry { cell, version });
+                Ok(version)
+            }
+        }
+    }
+
+    /// Stage `payload` for `cell`. The cell must have been read by *this*
+    /// transaction — the observed version is what commit validates — so a
+    /// blind write is rejected. Restaging replaces the earlier payload.
+    pub fn write(&mut self, cell: VersionedCell, payload: &[u8]) -> Result<()> {
+        assert_eq!(payload.len(), cell.payload_len, "staged payload size mismatch");
+        let Some(read) = self.reads.iter().find(|r| r.cell == cell) else {
+            return Err(TxnError::BlindWrite { target: cell.target, disp: cell.disp });
+        };
+        let version = read.version;
+        match self.writes.iter_mut().find(|w| w.cell == cell) {
+            Some(w) => w.payload.copy_from_slice(payload),
+            None => self.writes.push(WriteEntry { cell, version, payload: payload.to_vec() }),
+        }
+        Ok(())
+    }
+
+    /// Run the commit phases. On success every staged payload is
+    /// remotely visible at version `v+2` and a `txn_commit` span is
+    /// recorded; on conflict nothing is (the locked prefix was rolled
+    /// back) and the error is transient.
+    pub fn commit(mut self) -> Result<CommitStats> {
+        let win = self.win;
+        let ep = win.endpoint();
+        let t0 = ep.clock().now();
+        // Global lock order: (rank, disp) sorts identically everywhere.
+        self.writes.sort_by_key(|w| (w.cell.target, w.cell.disp));
+
+        // Phase 1: lock+validate the write set.
+        for i in 0..self.writes.len() {
+            let w = &self.writes[i];
+            let prev = w.cell.cas_version(win, w.version + 1, w.version)?;
+            if prev != w.version {
+                self.rollback(i)?;
+                return Err(TxnError::Conflict { target: w.cell.target, disp: w.cell.disp });
+            }
+        }
+        // Phase 2: validate read-only cells against their observed
+        // versions (write-set cells were validated by the lock CAS).
+        for r in &self.reads {
+            if self.writes.iter().any(|w| w.cell == r.cell) {
+                continue;
+            }
+            if r.cell.fetch_version(win)? != r.version {
+                self.rollback(self.writes.len())?;
+                return Err(TxnError::Conflict { target: r.cell.target, disp: r.cell.disp });
+            }
+        }
+        // Phase 3: write payloads, fence before publication.
+        let mut bytes = 0usize;
+        for w in &self.writes {
+            win.accumulate(
+                &w.payload,
+                NumKind::U64,
+                MpiOp::Replace,
+                w.cell.target,
+                w.cell.disp + 8,
+            )?;
+            bytes += w.payload.len();
+        }
+        win.flush_all()?;
+        // Phase 4: publish — the unlock CAS cannot miss (we hold v+1).
+        for w in &self.writes {
+            let prev = w.cell.cas_version(win, w.version + 2, w.version + 1)?;
+            debug_assert_eq!(prev, w.version + 1, "lock word stolen while held");
+        }
+        win.flush_all()?;
+        let keys = self.writes.len();
+        ep.trace_flow_consume(EventKind::TxnCommit, NO_TARGET, t0, NO_FLOW, bytes as u64);
+        Ok(CommitStats { keys, bytes })
+    }
+
+    /// Unlock the first `locked` write-set cells (`v+1 → v`) after a lost
+    /// lock or failed validation.
+    fn rollback(&self, locked: usize) -> Result<()> {
+        for w in &self.writes[..locked] {
+            let prev = w.cell.cas_version(self.win, w.version, w.version + 1)?;
+            debug_assert_eq!(prev, w.version + 1, "lock word stolen during rollback");
+        }
+        if locked > 0 {
+            self.win.flush_all()?;
+        }
+        Ok(())
+    }
+}
+
+/// Run `body` under `policy` until it commits, a non-transient error
+/// escapes, or the retry budget is exhausted. Each failed attempt records
+/// a `txn_abort` telemetry span and charges the policy's backoff to the
+/// rank's virtual clock; exhaustion surfaces as the *transient*
+/// [`TxnError::RetriesExhausted`] so callers can shed load (the notify
+/// backpressure idiom) instead of spinning forever.
+pub fn run<T>(
+    win: &Win,
+    policy: &RetryPolicy,
+    rng: &mut Rng,
+    mut body: impl FnMut(&mut Txn) -> Result<T>,
+) -> Result<T> {
+    let ep = win.endpoint();
+    let mut attempts = 0u32;
+    loop {
+        let t0 = ep.clock().now();
+        let mut txn = Txn::begin(win);
+        let res = body(&mut txn).and_then(|v| txn.commit().map(|_| v));
+        match res {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() => {
+                ep.trace_flow_consume(EventKind::TxnAbort, NO_TARGET, t0, NO_FLOW, 0);
+                attempts += 1;
+                if attempts >= policy.budget() {
+                    return Err(TxnError::RetriesExhausted { attempts });
+                }
+                ep.charge(policy.backoff_ns(attempts, rng));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fompi_fabric::FaultPlan;
+    use fompi_runtime::Universe;
+
+    const CELL: usize = 16; // version word + one u64 payload
+    const PAY: usize = 8;
+
+    fn cell(rank: u32, slot: usize) -> VersionedCell {
+        VersionedCell::new(rank, slot * CELL, PAY)
+    }
+
+    fn read_u64(txn: &mut Txn, c: VersionedCell) -> Result<u64> {
+        let mut b = [0u8; PAY];
+        txn.read(c, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    #[test]
+    fn single_key_commit_bumps_version_and_lands_payload() {
+        let (_, fabric) = Universe::new(2)
+            .node_size(1)
+            .seed(3)
+            .faults(FaultPlan::disabled())
+            .metrics(true)
+            .launch(|ctx| {
+                let win = fompi::Win::allocate(ctx, CELL, 1).unwrap();
+                VersionedCell::init_local(&win, 0, &7u64.to_le_bytes());
+                ctx.barrier();
+                win.lock_all().unwrap();
+                if ctx.rank() == 0 {
+                    let c = cell(1, 0);
+                    let mut txn = Txn::begin(&win);
+                    let old = read_u64(&mut txn, c).unwrap();
+                    txn.write(c, &(old + 35).to_le_bytes()).unwrap();
+                    let stats = txn.commit().unwrap();
+                    assert_eq!(stats, CommitStats { keys: 1, bytes: PAY });
+                    // A fresh read sees the new value at version 2.
+                    let mut txn2 = Txn::begin(&win);
+                    let mut b = [0u8; PAY];
+                    assert_eq!(txn2.read(c, &mut b).unwrap(), 2);
+                    assert_eq!(u64::from_le_bytes(b), 42);
+                }
+                win.unlock_all().unwrap();
+                ctx.barrier();
+            });
+        // The metrics plane saw the commit and both versioned reads.
+        let tel = fabric.telemetry();
+        assert_eq!(tel.stats(EventKind::TxnCommit).count(), 1);
+        assert_eq!(tel.stats(EventKind::TxnRead).count(), 2);
+        assert_eq!(tel.stats(EventKind::TxnAbort).count(), 0);
+    }
+
+    #[test]
+    fn blind_writes_are_rejected() {
+        Universe::new(2).node_size(1).seed(5).faults(FaultPlan::disabled()).launch(|ctx| {
+            let win = fompi::Win::allocate(ctx, CELL, 1).unwrap();
+            VersionedCell::init_local(&win, 0, &[0u8; PAY]);
+            ctx.barrier();
+            win.lock_all().unwrap();
+            if ctx.rank() == 0 {
+                let mut txn = Txn::begin(&win);
+                let e = txn.write(cell(1, 0), &[0u8; PAY]).unwrap_err();
+                assert!(matches!(e, TxnError::BlindWrite { target: 1, disp: 0 }));
+                assert!(!e.is_transient(), "a blind write is a program bug, not contention");
+            }
+            win.unlock_all().unwrap();
+            ctx.barrier();
+        });
+    }
+
+    #[test]
+    fn symmetric_two_key_conflicts_are_deadlock_free() {
+        // Both ranks run opposing transfers over the same two cells for
+        // many rounds. The sorted lock order turns would-be deadlocks
+        // into plain conflicts, so with retries every round terminates —
+        // and the conserved sum proves no half-applied transfer leaked.
+        const ROUNDS: usize = 25;
+        const INIT: u64 = 1_000_000;
+        let (outs, fabric) = Universe::new(2)
+            .node_size(1)
+            .seed(9)
+            .faults(FaultPlan::disabled())
+            .metrics(true)
+            .launch(|ctx| {
+                let win = fompi::Win::allocate(ctx, CELL, 1).unwrap();
+                VersionedCell::init_local(&win, 0, &INIT.to_le_bytes());
+                ctx.barrier();
+                win.lock_all().unwrap();
+                let me = ctx.rank();
+                let (a, b) = (cell(me, 0), cell(1 - me, 0)); // opposite orders
+                let policy = RetryPolicy::default();
+                let mut rng = Rng::seed_from_u64(100 + me as u64);
+                for round in 0..ROUNDS {
+                    let amt = (round as u64 % 7) + 1;
+                    run(&win, &policy, &mut rng, |txn| {
+                        let from = read_u64(txn, a)?;
+                        let to = read_u64(txn, b)?;
+                        txn.write(a, &from.wrapping_sub(amt).to_le_bytes())?;
+                        txn.write(b, &to.wrapping_add(amt).to_le_bytes())?;
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+                win.unlock_all().unwrap();
+                ctx.barrier();
+                let mut bal = [0u8; PAY];
+                win.read_local(8, &mut bal);
+                ctx.allreduce_u64(u64::from_le_bytes(bal), u64::wrapping_add)
+            });
+        let tel = fabric.telemetry();
+        let commits = tel.stats(EventKind::TxnCommit).count();
+        assert_eq!(commits, 2 * ROUNDS as u64, "every transfer must eventually commit");
+        for sum in outs {
+            assert_eq!(sum, 2 * INIT, "transfers must conserve the total balance");
+        }
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_transient_not_a_spin() {
+        let (outs, fabric) = Universe::new(2)
+            .node_size(1)
+            .seed(13)
+            .faults(FaultPlan::disabled())
+            .metrics(true)
+            .launch(|ctx| {
+                let win = fompi::Win::allocate(ctx, CELL, 1).unwrap();
+                VersionedCell::init_local(&win, 0, &[0u8; PAY]);
+                ctx.barrier();
+                win.lock_all().unwrap();
+                let c = cell(0, 0);
+                let mut out = None;
+                if ctx.rank() == 0 {
+                    // Hold our own cell's lock across the peer's attempts.
+                    assert_eq!(c.cas_version(&win, 1, 0).unwrap(), 0);
+                    win.flush_all().unwrap();
+                }
+                ctx.barrier();
+                if ctx.rank() == 1 {
+                    let policy = RetryPolicy::Backoff { budget: 3, base_ns: 50, cap_ns: 400 };
+                    let mut rng = Rng::seed_from_u64(77);
+                    let before = ctx.now();
+                    let err = run(&win, &policy, &mut rng, |txn| {
+                        let v = read_u64(txn, c)?;
+                        txn.write(c, &(v + 1).to_le_bytes())?;
+                        Ok(())
+                    })
+                    .unwrap_err();
+                    assert!(
+                        matches!(err, TxnError::RetriesExhausted { attempts: 3 }),
+                        "got {err:?}"
+                    );
+                    assert!(err.is_transient(), "exhaustion must be sheddable, like backpressure");
+                    // The backoff charged virtual time: we waited, not spun.
+                    out = Some(ctx.now() - before);
+                }
+                ctx.barrier();
+                if ctx.rank() == 0 {
+                    assert_eq!(c.cas_version(&win, 0, 1).unwrap(), 1);
+                    win.flush_all().unwrap();
+                }
+                win.unlock_all().unwrap();
+                ctx.barrier();
+                out
+            });
+        assert!(outs[1].unwrap() > 0.0);
+        assert_eq!(fabric.telemetry().stats(EventKind::TxnAbort).count(), 3);
+        assert_eq!(fabric.telemetry().stats(EventKind::TxnCommit).count(), 0);
+    }
+
+    #[test]
+    fn read_only_transactions_validate_their_snapshot() {
+        Universe::new(2).node_size(1).seed(21).faults(FaultPlan::disabled()).launch(|ctx| {
+            let win = fompi::Win::allocate(ctx, CELL, 1).unwrap();
+            VersionedCell::init_local(&win, 0, &5u64.to_le_bytes());
+            ctx.barrier();
+            win.lock_all().unwrap();
+            if ctx.rank() == 0 {
+                let c = cell(1, 0);
+                // Clean snapshot commits…
+                let mut txn = Txn::begin(&win);
+                assert_eq!(read_u64(&mut txn, c).unwrap(), 5);
+                assert_eq!(txn.commit().unwrap(), CommitStats { keys: 0, bytes: 0 });
+                // …but a snapshot invalidated by a later commit aborts.
+                let mut stale = Txn::begin(&win);
+                read_u64(&mut stale, c).unwrap();
+                let mut bump = Txn::begin(&win);
+                let v = read_u64(&mut bump, c).unwrap();
+                bump.write(c, &(v + 1).to_le_bytes()).unwrap();
+                bump.commit().unwrap();
+                let e = stale.commit().unwrap_err();
+                assert!(matches!(e, TxnError::Conflict { target: 1, disp: 0 }), "{e:?}");
+            }
+            win.unlock_all().unwrap();
+            ctx.barrier();
+        });
+    }
+}

@@ -1,0 +1,213 @@
+//! Versioned remote cells: the seqlock-style object layout transactions
+//! operate on.
+//!
+//! A cell is an 8-byte **version word** followed by `payload_len` payload
+//! bytes, both in ordinary window memory. Even version = unlocked; odd =
+//! a commit holds the cell. Readers never lock: they fetch the version,
+//! atomically read the payload, re-fetch the version, and reject the read
+//! as *torn* if either fetch is odd or the two differ.
+//!
+//! Every remote access is an accumulate-class op — version fetches are
+//! `MPI_NO_OP` fetch-and-ops, payload reads `MPI_NO_OP` get-accumulates,
+//! payload writes `MPI_REPLACE` accumulates, version transitions CAS — so
+//! the epoch-aware race checker sees only MPI-permitted same-op/no-op
+//! accumulate overlap, never put/get conflicts.
+
+use crate::{Result, TxnError};
+use fompi::win::Win;
+use fompi::{MpiOp, NumKind};
+use fompi_fabric::telemetry::{EventKind, NO_FLOW};
+
+/// One remote versioned cell: the version word lives at `disp` (which
+/// must be 8-byte aligned in the target's window — CAS requires it), the
+/// payload at `disp + 8`. Displacements are in window displacement units;
+/// the transactional structures use byte-addressed windows
+/// (`disp_unit = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionedCell {
+    /// Rank owning the cell.
+    pub target: u32,
+    /// Displacement of the version word.
+    pub disp: usize,
+    /// Payload bytes (must be a multiple of 8: payloads move as atomic
+    /// 8-byte accumulate elements).
+    pub payload_len: usize,
+}
+
+/// Seqlock validation: a read is consistent iff the version was even
+/// (unlocked) and unchanged across the payload read.
+#[inline]
+pub fn versions_consistent(v1: u64, v2: u64) -> bool {
+    v1 & 1 == 0 && v1 == v2
+}
+
+impl VersionedCell {
+    /// A cell handle. Panics on a misaligned version word or a payload
+    /// that is not a multiple of 8 bytes — both are layout bugs, not
+    /// runtime conditions.
+    pub fn new(target: u32, disp: usize, payload_len: usize) -> VersionedCell {
+        assert!(disp.is_multiple_of(8), "version word at disp {disp} must be 8-byte aligned");
+        assert!(
+            payload_len > 0 && payload_len.is_multiple_of(8),
+            "payload of {payload_len} bytes must be a positive multiple of 8"
+        );
+        VersionedCell { target, disp, payload_len }
+    }
+
+    /// Window bytes one cell occupies (version word + payload).
+    pub fn footprint(&self) -> usize {
+        8 + self.payload_len
+    }
+
+    /// Initialize this rank's *own* cell before any epoch opens: version
+    /// zero (unlocked), payload as given. Local stores only — call it
+    /// between allocation and the first barrier, like any window
+    /// initialization.
+    pub fn init_local(win: &Win, disp: usize, payload: &[u8]) {
+        win.write_local(disp, &0u64.to_le_bytes());
+        win.write_local(disp + 8, payload);
+    }
+
+    /// Atomically fetch the version word.
+    pub(crate) fn fetch_version(&self, win: &Win) -> Result<u64> {
+        let mut b = [0u8; 8];
+        win.fetch_and_op(&[], &mut b, NumKind::U64, MpiOp::NoOp, self.target, self.disp)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Try the seqlock transition `expect → desired` on the version word;
+    /// returns the previous value (success iff it equals `expect`).
+    pub(crate) fn cas_version(&self, win: &Win, desired: u64, expect: u64) -> Result<u64> {
+        Ok(win.compare_and_swap(desired, expect, self.target, self.disp)?)
+    }
+
+    /// Atomically read the payload (no version check — used between the
+    /// two version fetches of [`VersionedCell::read`]).
+    pub(crate) fn fetch_payload(&self, win: &Win, buf: &mut [u8]) -> Result<()> {
+        assert_eq!(buf.len(), self.payload_len, "payload buffer size mismatch");
+        win.get_accumulate(&[], buf, NumKind::U64, MpiOp::NoOp, self.target, self.disp + 8)?;
+        Ok(())
+    }
+
+    /// One versioned read: version fetch, atomic payload read, version
+    /// re-check. On success returns the (even) version the payload is
+    /// consistent with and records a `txn_read` telemetry span; a locked
+    /// or moving version fails with [`TxnError::TornRead`] (transient —
+    /// retry, e.g. via [`crate::run`]).
+    pub fn read(&self, win: &Win, buf: &mut [u8]) -> Result<u64> {
+        let ep = win.endpoint();
+        let t0 = ep.clock().now();
+        let v1 = self.fetch_version(win)?;
+        if v1 & 1 == 1 {
+            return Err(TxnError::TornRead { target: self.target, disp: self.disp });
+        }
+        self.fetch_payload(win, buf)?;
+        let v2 = self.fetch_version(win)?;
+        if !versions_consistent(v1, v2) {
+            return Err(TxnError::TornRead { target: self.target, disp: self.disp });
+        }
+        ep.trace_flow_consume(
+            EventKind::TxnRead,
+            self.target,
+            t0,
+            NO_FLOW,
+            self.payload_len as u64,
+        );
+        Ok(v1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fompi_fabric::FaultPlan;
+    use fompi_runtime::Universe;
+
+    fn uni(p: usize) -> Universe {
+        Universe::new(p).node_size(1).seed(11).faults(FaultPlan::disabled())
+    }
+
+    #[test]
+    fn consistency_predicate_pins_the_seqlock_rules() {
+        assert!(versions_consistent(0, 0));
+        assert!(versions_consistent(4, 4));
+        // Locked at first fetch…
+        assert!(!versions_consistent(1, 1));
+        // …or moved across the payload read (even→even still tears).
+        assert!(!versions_consistent(0, 2));
+        assert!(!versions_consistent(2, 0));
+        // …or locked at the re-check.
+        assert!(!versions_consistent(2, 3));
+    }
+
+    #[test]
+    fn read_roundtrips_payload_and_version() {
+        let (outs, _) = uni(2).launch(|ctx| {
+            let win = fompi::Win::allocate(ctx, 24, 1).unwrap();
+            let me = ctx.rank();
+            VersionedCell::init_local(&win, 0, &[me as u8; 16]);
+            ctx.barrier();
+            win.lock_all().unwrap();
+            let peer = 1 - me;
+            let cell = VersionedCell::new(peer, 0, 16);
+            let mut buf = [0u8; 16];
+            let v = cell.read(&win, &mut buf).unwrap();
+            win.unlock_all().unwrap();
+            ctx.barrier();
+            (v, buf)
+        });
+        for (me, (v, buf)) in outs.iter().enumerate() {
+            assert_eq!(*v, 0, "fresh cell must read at version 0");
+            assert_eq!(*buf, [(1 - me) as u8; 16]);
+        }
+    }
+
+    #[test]
+    fn torn_read_rejected_when_version_odd() {
+        let (outs, _) = uni(2).launch(|ctx| {
+            let win = fompi::Win::allocate(ctx, 24, 1).unwrap();
+            VersionedCell::init_local(&win, 0, &[0u8; 16]);
+            ctx.barrier();
+            win.lock_all().unwrap();
+            let cell = VersionedCell::new(1, 0, 16);
+            let mut torn = false;
+            if ctx.rank() == 0 {
+                // Lock rank 1's cell (0 → 1) and leave it locked…
+                assert_eq!(cell.cas_version(&win, 1, 0).unwrap(), 0);
+                win.flush_all().unwrap();
+            }
+            ctx.barrier();
+            if ctx.rank() == 1 {
+                // …so a reader must reject the odd version as torn.
+                let mut buf = [0u8; 16];
+                match cell.read(&win, &mut buf) {
+                    Err(TxnError::TornRead { target: 1, disp: 0 }) => torn = true,
+                    other => panic!("expected TornRead, got {other:?}"),
+                }
+            }
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                // Unlock so quiescent teardown sees an even version.
+                assert_eq!(cell.cas_version(&win, 0, 1).unwrap(), 1);
+                win.flush_all().unwrap();
+            }
+            win.unlock_all().unwrap();
+            ctx.barrier();
+            torn
+        });
+        assert!(outs[1], "rank 1 must observe the torn read");
+    }
+
+    #[test]
+    fn torn_read_is_transient_and_named() {
+        let e = TxnError::TornRead { target: 3, disp: 48 };
+        assert!(e.is_transient());
+        assert!(e.to_string().contains("rank=3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "8-byte aligned")]
+    fn misaligned_version_word_is_a_layout_bug() {
+        VersionedCell::new(0, 4, 16);
+    }
+}

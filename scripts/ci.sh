@@ -74,7 +74,7 @@ else
     echo "== soak smoke (2 seeds, all protocols) =="
     # Pinned environment: the smoke must be bit-reproducible so the
     # results-determinism check below can diff results/soak.csv.
-    env -u FOMPI_SEED -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS \
+    env -u FOMPI_SEED -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY \
         SOAK_SEEDS="${SOAK_SEEDS:-2}" \
         cargo run --offline --release -q -p fompi-bench --bin soak
 fi
@@ -84,18 +84,18 @@ fi
 # — a >1% delta is a genuine protocol/model change, never noise. On an
 # intentional change, refresh the baseline:
 #   cargo run --release -p fompi-bench --bin perfgate
-#   cp BENCH_PR4.json results/BENCH_PR4_baseline.json
+#   cp BENCH_PR7.json results/BENCH_PR7_baseline.json
 echo "== perfgate: virtual-time regression check (tolerance 1%) =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS FOMPI_SEED=1 \
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
     cargo run --offline --release -q -p fompi-bench --bin perfgate -- \
-    --check results/BENCH_PR4_baseline.json
+    --check results/BENCH_PR7_baseline.json
 
 # Results determinism: the checked-in drift table (and in smoke mode the
 # soak table, which the soak smoke above just rewrote at pinned seeds)
 # must regenerate byte-identically. A diff here means a change altered
 # virtual-time behaviour without refreshing results/.
 echo "== results determinism: regenerate drift.csv and compare =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS FOMPI_SEED=1 \
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
     cargo run --offline --release -q -p fompi-bench --bin reproduce -- drift >/dev/null
 git diff --exit-code -- results/drift.csv
 if [[ -z "${SOAK_SECONDS:-}" && "${SOAK_SEEDS:-2}" == "2" ]]; then
@@ -106,7 +106,7 @@ fi
 # bin also asserts notified beats fence/PSCW/flag-polling, and prints the
 # schedule-dependent DSDE/hashtable comparisons without gating them).
 echo "== results determinism: regenerate notify_ablation.csv and compare =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS FOMPI_SEED=1 \
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
     cargo run --offline --release -q -p fompi-bench --bin notify_ablation >/dev/null
 git diff --exit-code -- results/notify_ablation.csv
 # drift_sched.csv holds the schedule-dependent classes (post/start/wait
@@ -114,11 +114,30 @@ git diff --exit-code -- results/notify_ablation.csv
 # committed copy so the gate leaves the tree clean.
 git checkout -q -- results/drift_sched.csv
 
+# Transaction contention ablation: the W conflicting writers are
+# deterministically interleaved on one driver rank, so commit/abort
+# counts and every virtual-time latency are exact functions of the seed
+# — the CSV must regenerate byte-identically (the bin also asserts the
+# cascade arithmetic and that no update is lost).
+echo "== results determinism: regenerate txn_ablation.csv and compare =="
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
+    cargo run --offline --release -q -p fompi-bench --bin txn_ablation >/dev/null
+git diff --exit-code -- results/txn_ablation.csv
+
+# KV-store smoke: a fixed-seed transactional serve whose
+# schedule-independent outcomes (commit count, occupancy, value sum,
+# content hash, conservation violations) must regenerate byte-identically;
+# the bin itself asserts nonzero commits and zero conservation violations.
+echo "== kv_serve smoke: transactional KV store gate =="
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
+    cargo run --offline --release -q -p fompi-bench --bin kv_serve -- --smoke >/dev/null
+git diff --exit-code -- results/kv_smoke.csv
+
 # Metrics-snapshot determinism: the fompi-scope workload is built from
 # schedule-independent primitives only, so both exposition forms must
 # regenerate byte-identically under the pinned environment.
 echo "== results determinism: regenerate scope_metrics.{prom,json} and compare =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS FOMPI_SEED=1 \
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
     cargo run --offline --release -q -p fompi-bench --bin scope >/dev/null
 git diff --exit-code -- results/scope_metrics.prom results/scope_metrics.json
 
@@ -126,7 +145,7 @@ git diff --exit-code -- results/scope_metrics.prom results/scope_metrics.json
 # armed (metrics + full profiling + tracing + flight recorder) and
 # disarmed must land on bit-identical per-rank virtual clocks.
 echo "== scope ablation: armed/disarmed virtual-time bit-identity =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS FOMPI_SEED=1 \
+env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
     cargo run --offline --release -q -p fompi-bench --bin scope -- --ablation
 
 echo "CI gate passed."

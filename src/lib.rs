@@ -13,7 +13,8 @@
 //! | [`msg`]     | `fompi-msg`     | MPI-1/2.2 message-passing baseline |
 //! | [`pgas`]    | `fompi-pgas`    | UPC / Fortran-coarray baseline |
 //! | [`simnet`]  | `fompi-simnet`  | large-scale discrete-event simulation |
-//! | [`apps`]    | `fompi-apps`    | hashtable, DSDE, 3-D FFT, MILC proxy |
+//! | [`txn`]     | `fompi-txn`     | versioned cells, optimistic multi-key commit |
+//! | [`apps`]    | `fompi-apps`    | hashtable, DSDE, 3-D FFT, MILC proxy, KV store |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -24,3 +25,4 @@ pub use fompi_msg as msg;
 pub use fompi_pgas as pgas;
 pub use fompi_runtime as runtime;
 pub use fompi_simnet as simnet;
+pub use fompi_txn as txn;

@@ -30,7 +30,11 @@ use fompi_runtime::Universe;
 use fompi_txn::RetryPolicy;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Fleet-agent mode: run the smoke-sized serve under the ambient fault
+    // plan (the chaos sweep arms `FOMPI_FAULTS`), print exactly one JSON
+    // metrics line, and write nothing under `results/`.
+    let agent_json = std::env::args().any(|a| a == "--agent-json");
+    let smoke = agent_json || std::env::args().any(|a| a == "--smoke");
     let (p, node_size, cfg) = if smoke {
         (
             8usize,
@@ -64,21 +68,22 @@ fn main() {
     // unbounded backoff so every operation commits (exactness over
     // shedding — this driver asserts the final table).
     let fallback = RetryPolicy::Backoff { budget: 1 << 20, base_ns: 400, cap_ns: 100_000 };
-    let (outs, fabric) = Universe::new(p)
-        .node_size(node_size)
-        .seed(cfg.seed)
-        .faults(FaultPlan::disabled())
-        .metrics(true)
-        .launch(move |ctx| {
-            let store = KvStore::allocate(ctx, cfg);
-            let policy = match store.win.endpoint().fabric().txn_retry() {
-                Some(_) => RetryPolicy::for_win(&store.win),
-                None => fallback.clone(),
-            };
-            let stats = serve(ctx, &store, &policy);
-            let check = conservation_check(ctx, &store, &stats);
-            (stats, check)
-        });
+    let mut universe = Universe::new(p).node_size(node_size).seed(cfg.seed).metrics(true);
+    if !agent_json {
+        // Agent mode leaves the fault layer env-governed so the fleet's
+        // chaos sweep can arm `FOMPI_FAULTS`; standalone runs pin it off.
+        universe = universe.faults(FaultPlan::disabled());
+    }
+    let (outs, fabric) = universe.launch(move |ctx| {
+        let store = KvStore::allocate(ctx, cfg);
+        let policy = match store.win.endpoint().fabric().txn_retry() {
+            Some(_) => RetryPolicy::for_win(&store.win),
+            None => fallback.clone(),
+        };
+        let stats = serve(ctx, &store, &policy);
+        let check = conservation_check(ctx, &store, &stats);
+        (stats, check)
+    });
 
     let agg = outs.iter().fold(KvServeStats::default(), |mut a, (s, _)| {
         a.reads += s.reads;
@@ -96,6 +101,51 @@ fn main() {
     let commits = class(EventKind::TxnCommit).map_or(0, |c| c.count);
     let aborts = class(EventKind::TxnAbort).map_or(0, |c| c.count);
 
+    if !agent_json {
+        print_report(smoke, p, &cfg, &agg, commits, aborts, txns, &snap, outs[0].1);
+    }
+
+    // The gate: work happened, and no value was minted or burned.
+    assert!(commits > 0, "no transaction committed");
+    assert_eq!(violations, 0, "conservation violated");
+    assert_eq!(
+        commits,
+        (p * (cfg.warm_per_rank + cfg.ops_per_rank)) as u64,
+        "every issued operation must commit exactly once"
+    );
+
+    if agent_json {
+        println!("{}", snap.to_json_line());
+        return;
+    }
+
+    if smoke {
+        // Schedule-independent fields only (see module docs).
+        let csv = format!(
+            "ranks,buckets_per_rank,keyspace,warm_per_rank,ops_per_rank,commits,occupied,value_sum,content_hash,violations\n\
+             {p},{},{},{},{},{commits},{occupied},{value_sum},{content_hash},{violations}\n",
+            cfg.buckets_per_rank, cfg.keyspace, cfg.warm_per_rank, cfg.ops_per_rank
+        );
+        std::fs::create_dir_all("results").ok();
+        std::fs::write("results/kv_smoke.csv", csv).expect("write kv_smoke.csv");
+        println!("  -> results/kv_smoke.csv");
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn print_report(
+    smoke: bool,
+    p: usize,
+    cfg: &KvConfig,
+    agg: &KvServeStats,
+    commits: u64,
+    aborts: u64,
+    txns: u64,
+    snap: &fompi_fabric::metrics::MetricsSnapshot,
+    digest: (u64, u64, u64, u64),
+) {
+    let class = |kind: EventKind| snap.classes.iter().find(|c| c.kind == kind);
+    let (_violations, occupied, value_sum, content_hash) = digest;
     println!(
         "== kv_serve: transactional KV store ({} mode) ==",
         if smoke { "smoke" } else { "full" }
@@ -122,25 +172,4 @@ fn main() {
     println!(
         "  table          : {occupied} cells occupied, value sum {value_sum:#x}, hash {content_hash:#018x}"
     );
-
-    // The gate: work happened, and no value was minted or burned.
-    assert!(commits > 0, "no transaction committed");
-    assert_eq!(violations, 0, "conservation violated");
-    assert_eq!(
-        commits,
-        (p * (cfg.warm_per_rank + cfg.ops_per_rank)) as u64,
-        "every issued operation must commit exactly once"
-    );
-
-    if smoke {
-        // Schedule-independent fields only (see module docs).
-        let csv = format!(
-            "ranks,buckets_per_rank,keyspace,warm_per_rank,ops_per_rank,commits,occupied,value_sum,content_hash,violations\n\
-             {p},{},{},{},{},{commits},{occupied},{value_sum},{content_hash},{violations}\n",
-            cfg.buckets_per_rank, cfg.keyspace, cfg.warm_per_rank, cfg.ops_per_rank
-        );
-        std::fs::create_dir_all("results").ok();
-        std::fs::write("results/kv_smoke.csv", csv).expect("write kv_smoke.csv");
-        println!("  -> results/kv_smoke.csv");
-    }
 }

@@ -28,6 +28,7 @@
 
 use fompi::{LockType, MpiOp, NumKind, Win};
 use fompi_fabric::FaultPlan;
+use fompi_fleet::gate::{compare, parse_flat_json, EXIT_BASELINE, EXIT_REGRESSED};
 use fompi_msg::channel::{channel, ChannelEnd};
 use fompi_runtime::{RankCtx, Universe};
 use fompi_txn::{Txn, VersionedCell};
@@ -61,50 +62,53 @@ fn main() -> ExitCode {
     let Some(path) = baseline_path else {
         return ExitCode::SUCCESS;
     };
+    // The comparison itself is `fompi_fleet::gate` — one implementation
+    // shared with `fleet --gate`, including the exit-code contract: 2 for
+    // a regressed/vanished metric, 3 for a missing/unparseable baseline.
     let base_text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("perfgate: cannot read baseline {path}: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("perfgate: baseline {path} missing/unreadable: {e} (exit 3)");
+            return ExitCode::from(EXIT_BASELINE);
         }
     };
-    let baseline = parse_json(&base_text);
+    let baseline = parse_flat_json(&base_text);
     if baseline.is_empty() {
-        eprintln!("perfgate: baseline {path} parsed to zero metrics");
-        return ExitCode::FAILURE;
+        eprintln!("perfgate: baseline {path} parsed to zero metrics (exit 3)");
+        return ExitCode::from(EXIT_BASELINE);
     }
-    let mut failures: Vec<String> = Vec::new();
     println!("== perfgate: check vs {path} (tolerance {:.1}%) ==", TOLERANCE * 100.0);
-    for (k, base) in &baseline {
-        let Some(now) = metrics.get(k) else {
-            println!("  FAIL {k}: metric missing from this build");
-            failures.push(format!("{k} (missing)"));
-            continue;
-        };
-        let delta_pct = (now / base - 1.0) * 100.0;
-        if *now > base * (1.0 + TOLERANCE) + 1e-9 {
-            println!("  FAIL {k}: {base:.1} -> {now:.1} ns ({delta_pct:+.2}%)");
-            failures.push(format!("{k} ({delta_pct:+.2}%)"));
-        } else if *now < base * (1.0 - TOLERANCE) - 1e-9 {
-            println!("  ok   {k}: {base:.1} -> {now:.1} ns ({delta_pct:+.2}%) [improved; consider refreshing the baseline]");
-        } else {
-            println!("  ok   {k}: {now:.1} ns ({delta_pct:+.2}%)");
+    let report = compare(&baseline, &metrics, &|_| TOLERANCE);
+    for f in &report.failures {
+        match f.now {
+            Some(now) => println!("  FAIL {}: {:.1} -> {now:.1} ns", f.describe(), f.base),
+            None => println!("  FAIL {}: metric missing from this build", f.metric),
         }
     }
-    for k in metrics.keys() {
-        if !baseline.contains_key(k) {
-            println!("  note {k}: new metric, not in baseline (refresh to start gating it)");
-        }
-    }
-    if !failures.is_empty() {
-        eprintln!(
-            "perfgate: virtual-time regression beyond {:.1}% in: {}",
-            TOLERANCE * 100.0,
-            failures.join(", ")
+    for k in &report.improved {
+        println!(
+            "  ok   {k}: {:.1} -> {:.1} ns [improved; consider refreshing the baseline]",
+            baseline[k], metrics[k]
         );
-        return ExitCode::FAILURE;
     }
-    println!("perfgate: all metrics within tolerance.");
+    for (k, v) in &metrics {
+        if !report.failures.iter().any(|f| &f.metric == k) && !report.improved.contains(k) {
+            if baseline.contains_key(k) {
+                println!("  ok   {k}: {v:.1} ns");
+            } else {
+                println!("  note {k}: new metric, not in baseline (refresh to start gating it)");
+            }
+        }
+    }
+    if !report.passed() {
+        eprintln!(
+            "perfgate: virtual-time regression beyond {:.1}% in: {} (exit 2)",
+            TOLERANCE * 100.0,
+            report.failure_summary()
+        );
+        return ExitCode::from(EXIT_REGRESSED);
+    }
+    println!("perfgate: all {} metrics within tolerance.", report.checked);
     ExitCode::SUCCESS
 }
 
@@ -333,19 +337,4 @@ fn render_json(metrics: &BTreeMap<String, f64>) -> String {
     }
     s.push_str("}\n");
     s
-}
-
-/// Parse the flat `"key": number` JSON this tool writes (and nothing
-/// fancier — the workspace is dependency-free by design).
-fn parse_json(text: &str) -> BTreeMap<String, f64> {
-    let mut m = BTreeMap::new();
-    for line in text.lines() {
-        let line = line.trim().trim_end_matches(',');
-        let Some(rest) = line.strip_prefix('"') else { continue };
-        let Some((key, val)) = rest.split_once("\":") else { continue };
-        if let Ok(v) = val.trim().parse::<f64>() {
-            m.insert(key.to_string(), v);
-        }
-    }
-    m
 }

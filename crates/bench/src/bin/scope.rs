@@ -31,11 +31,22 @@ fn main() -> ExitCode {
     match args.as_slice() {
         [] => snapshot_files(),
         [flag] if flag == "--ablation" => ablation(),
+        [flag] if flag == "--agent-json" => agent_json(),
         _ => {
-            eprintln!("usage: scope [--ablation]");
+            eprintln!("usage: scope [--ablation | --agent-json]");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Fleet-agent mode: run the same workload and print exactly one line —
+/// the JSON metrics snapshot — with no file writes (the orchestrator owns
+/// `results/`; a stray `scope_metrics.json` write here would clobber the
+/// byte-diffed copy).
+fn agent_json() -> ExitCode {
+    let (_clocks, fabric) = workload(universe().metrics(true));
+    println!("{}", metrics_snapshot(&fabric).to_json_line());
+    ExitCode::SUCCESS
 }
 
 /// The seeded workload every mode runs: rank 0 holds a shared lock on

@@ -151,6 +151,32 @@ impl HistSnapshot {
         self.counts.iter().sum()
     }
 
+    /// Rebuild a snapshot from `[bucket, count]` pairs — the wire form
+    /// [`crate::metrics::MetricsSnapshot::to_json_line`] ships, and what a
+    /// cross-process collector (fompi-fleet) reads back before merging.
+    /// Out-of-range bucket indices are rejected rather than clamped: a
+    /// bad index means a corrupt agent line, not a bigger value.
+    pub fn from_pairs(pairs: &[(usize, u64)]) -> Result<Self, String> {
+        let mut s = HistSnapshot::new();
+        for &(bucket, count) in pairs {
+            if bucket >= BUCKETS {
+                return Err(format!(
+                    "histogram bucket {bucket} out of range (max {})",
+                    BUCKETS - 1
+                ));
+            }
+            s.counts[bucket] += count;
+        }
+        Ok(s)
+    }
+
+    /// The populated buckets as `(bucket, count)` pairs, in bucket order —
+    /// the inverse of [`HistSnapshot::from_pairs`], used to re-render a
+    /// merged distribution in the same wire form it arrived in.
+    pub fn pairs(&self) -> Vec<(usize, u64)> {
+        self.counts.iter().enumerate().filter(|(_, &n)| n > 0).map(|(i, &n)| (i, n)).collect()
+    }
+
     /// Fold `other` into `self` (bucket-wise sum).
     pub fn merge(&mut self, other: &HistSnapshot) {
         if self.counts.len() < other.counts.len() {
@@ -373,6 +399,23 @@ mod tests {
         assert!(p50 <= p99 && p99 <= p999, "p50={p50} p99={p99} p999={p999}");
         assert!(p999 < u64::MAX, "p999 fell through to the fallback");
         assert_eq!(s.quantile_hi(1.0), bucket_hi(bucket_index(2_000_000)));
+    }
+
+    #[test]
+    fn pairs_round_trip_through_the_wire_form() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 4096, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let pairs = s.pairs();
+        assert!(pairs.iter().all(|&(_, n)| n > 0));
+        let back = HistSnapshot::from_pairs(&pairs).unwrap();
+        assert_eq!(back, s);
+        // Duplicate buckets accumulate; out-of-range buckets are rejected.
+        let dup = HistSnapshot::from_pairs(&[(3, 1), (3, 2)]).unwrap();
+        assert_eq!(dup.count(3), 3);
+        assert!(HistSnapshot::from_pairs(&[(BUCKETS, 1)]).is_err());
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! The regression-gate comparison shared by `perfgate` and `fleet --gate`.
+//!
+//! Both gates do the same thing — compare a flat `metric → f64` map
+//! against a checked-in baseline with per-metric tolerances — so the
+//! logic lives here once. The two binaries differ only in where the maps
+//! come from (perfgate's flat JSON vs the fleet summary flattened by
+//! [`crate::merge::flatten_summary`]) and which tolerance function they
+//! pass.
+//!
+//! ## Exit-code contract
+//!
+//! CI needs to distinguish "a metric regressed" (someone slowed a
+//! protocol down) from "the baseline is missing or unreadable" (someone
+//! forgot to check it in, or the format drifted) — the fixes are
+//! different people's jobs. Both gates exit with:
+//!
+//! * `0` — all metrics within tolerance;
+//! * [`EXIT_REGRESSED`] (2) — at least one metric regressed or vanished;
+//! * [`EXIT_BASELINE`] (3) — the baseline file is missing, unreadable, or
+//!   parsed to zero metrics;
+//! * `1` — any other error (bad CLI, agent failure, …).
+
+use std::collections::BTreeMap;
+
+/// Exit code: a gated metric regressed beyond tolerance (or disappeared).
+pub const EXIT_REGRESSED: u8 = 2;
+/// Exit code: baseline missing, unreadable, or unparseable.
+pub const EXIT_BASELINE: u8 = 3;
+
+/// One metric that failed the gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateFailure {
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value (`None` when the metric vanished from this build).
+    pub now: Option<f64>,
+}
+
+impl GateFailure {
+    /// Human rendering: `name (+12.34%)` or `name (missing)`.
+    pub fn describe(&self) -> String {
+        match self.now {
+            Some(now) if self.base != 0.0 => {
+                format!("{} ({:+.2}%)", self.metric, (now / self.base - 1.0) * 100.0)
+            }
+            Some(now) => format!("{} ({} from 0)", self.metric, now),
+            None => format!("{} (missing)", self.metric),
+        }
+    }
+}
+
+/// Outcome of one gate comparison.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Metrics beyond tolerance or missing from the current build.
+    pub failures: Vec<GateFailure>,
+    /// Metrics that *improved* beyond tolerance (baseline is stale).
+    pub improved: Vec<String>,
+    /// Current metrics absent from the baseline (not gated yet).
+    pub new_metrics: Vec<String>,
+    /// Number of baseline metrics compared.
+    pub checked: usize,
+}
+
+impl GateReport {
+    /// Did every gated metric stay within tolerance?
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-line failure summary naming every offending metric.
+    pub fn failure_summary(&self) -> String {
+        self.failures.iter().map(GateFailure::describe).collect::<Vec<_>>().join(", ")
+    }
+}
+
+/// Compare `current` against `baseline`. `tolerance` maps a metric name
+/// to its allowed relative slack (0.01 = 1%); exact-match metrics return
+/// 0.0. Regressions are values *above* `base * (1 + tol)` — these are
+/// latency/cost metrics, where smaller is better — plus baseline metrics
+/// missing from `current`.
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    tolerance: &dyn Fn(&str) -> f64,
+) -> GateReport {
+    let mut report = GateReport { checked: baseline.len(), ..GateReport::default() };
+    for (metric, &base) in baseline {
+        let tol = tolerance(metric);
+        match current.get(metric) {
+            None => report.failures.push(GateFailure { metric: metric.clone(), base, now: None }),
+            Some(&now) => {
+                // The epsilon forgives f64 Display round-trips, never a
+                // real change.
+                if now > base * (1.0 + tol) + 1e-9 {
+                    report.failures.push(GateFailure {
+                        metric: metric.clone(),
+                        base,
+                        now: Some(now),
+                    });
+                } else if now < base * (1.0 - tol) - 1e-9 {
+                    report.improved.push(metric.clone());
+                }
+            }
+        }
+    }
+    for metric in current.keys() {
+        if !baseline.contains_key(metric) {
+            report.new_metrics.push(metric.clone());
+        }
+    }
+    report
+}
+
+/// Parse the flat `"key": number` JSON perfgate writes (one metric per
+/// line). Returns an empty map on anything else, which callers must treat
+/// as an unparseable baseline ([`EXIT_BASELINE`]).
+pub fn parse_flat_json(text: &str) -> BTreeMap<String, f64> {
+    let mut m = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((key, val)) = rest.split_once("\":") else { continue };
+        if let Ok(v) = val.trim().parse::<f64>() {
+            m.insert(key.to_string(), v);
+        }
+    }
+    m
+}
+
+/// The fleet's per-metric tolerance: `virtual_ns` totals get 1% (they
+/// accumulate f64 formatting of many ops), everything else — op counts,
+/// byte counts, and the log2-bucket quantiles, all integers — must match
+/// exactly. A quantile moving at all means the distribution crossed a
+/// power-of-two bucket boundary: always a genuine protocol change.
+pub fn fleet_tolerance(metric: &str) -> f64 {
+    if metric.ends_with("/virtual_ns") {
+        0.01
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn within_tolerance_passes_and_reports_counts() {
+        let base = m(&[("a/virtual_ns", 100.0), ("a/count", 5.0)]);
+        let cur = m(&[("a/virtual_ns", 100.5), ("a/count", 5.0), ("b/count", 1.0)]);
+        let r = compare(&base, &cur, &fleet_tolerance);
+        assert!(r.passed(), "{:?}", r.failures);
+        assert_eq!(r.checked, 2);
+        assert_eq!(r.new_metrics, vec!["b/count"]);
+    }
+
+    #[test]
+    fn regression_and_missing_both_fail_with_names() {
+        let base = m(&[("a/virtual_ns", 100.0), ("gone/count", 5.0)]);
+        let cur = m(&[("a/virtual_ns", 110.0)]);
+        let r = compare(&base, &cur, &fleet_tolerance);
+        assert!(!r.passed());
+        let s = r.failure_summary();
+        assert!(s.contains("a/virtual_ns (+10.00%)"), "{s}");
+        assert!(s.contains("gone/count (missing)"), "{s}");
+    }
+
+    #[test]
+    fn exact_metrics_fail_on_any_change_but_not_on_round_trip() {
+        let base = m(&[("a/count", 5.0), ("a/p99", 2048.0)]);
+        let drift = m(&[("a/count", 6.0), ("a/p99", 4096.0)]);
+        assert_eq!(compare(&base, &drift, &fleet_tolerance).failures.len(), 2);
+        let same = m(&[("a/count", 5.0 + 1e-12), ("a/p99", 2048.0)]);
+        assert!(compare(&base, &same, &fleet_tolerance).passed());
+    }
+
+    #[test]
+    fn improvements_pass_but_are_flagged() {
+        let base = m(&[("a/virtual_ns", 100.0)]);
+        let cur = m(&[("a/virtual_ns", 80.0)]);
+        let r = compare(&base, &cur, &fleet_tolerance);
+        assert!(r.passed());
+        assert_eq!(r.improved, vec!["a/virtual_ns"]);
+    }
+
+    #[test]
+    fn flat_json_round_trips_perfgate_format() {
+        let text = "{\n  \"put_small_8_ns\": 1200.5,\n  \"fence_p2_ns\": 3000\n}\n";
+        let parsed = parse_flat_json(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["put_small_8_ns"], 1200.5);
+        assert!(parse_flat_json("not json at all").is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_growth_is_a_regression() {
+        let base = m(&[("a/count", 0.0)]);
+        let cur = m(&[("a/count", 3.0)]);
+        let r = compare(&base, &cur, &fleet_tolerance);
+        assert!(!r.passed());
+        assert!(r.failure_summary().contains("3 from 0"), "{}", r.failure_summary());
+    }
+}

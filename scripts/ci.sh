@@ -1,38 +1,190 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, tests, soak smoke, perf-regression
-# gate, results determinism. Run from anywhere in the repo.
+# Tiered local CI gate. Run from anywhere in the repo.
 #
-#   scripts/ci.sh            # the full gate
-#   scripts/ci.sh --fix      # apply rustfmt instead of checking
-#   scripts/ci.sh sanitize   # ThreadSanitizer + Miri pass (needs nightly)
+#   scripts/ci.sh             # the full gate: lint → test → determinism → perfgate → fleet
+#   scripts/ci.sh quick       # fmt + clippy + unit tests only (pre-push tier)
+#   scripts/ci.sh lint        # fmt --check + clippy -D warnings
+#   scripts/ci.sh test        # workspace unit/integration tests
+#   scripts/ci.sh determinism # regenerate every byte-diffed results/ file and compare
+#   scripts/ci.sh perfgate    # virtual-time perf-regression gate
+#   scripts/ci.sh fleet       # fleet smoke sweep: summary byte-diff + gate + gate self-test
+#   scripts/ci.sh sanitize    # ThreadSanitizer + Miri pass (needs nightly)
+#   scripts/ci.sh nightly     # chaos fleet sweep + long soak (SOAK_SECONDS, default 600)
+#   scripts/ci.sh --fix       # apply rustfmt instead of checking
+#
+# Exit-code contract for the perf gates (perfgate and fleet --gate):
+#   2 = a gated metric regressed;  3 = baseline missing or unparseable.
+# This script translates both into a named failure line.
 #
 # The workspace is dependency-free by design, so everything runs --offline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "--fix" ]]; then
-    cargo fmt --all
-    exit 0
-fi
+# Pinned environment for every determinism-gated run: scrub the runtime
+# knobs so ambient shell state can't perturb a byte-diffed file, then pin
+# the seed explicitly where the bin wants one.
+SCRUB=(env -u FOMPI_SEED -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY
+    -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY)
 
-# Sanitizer stage: opt-in (`scripts/ci.sh sanitize`) because it needs a
-# nightly toolchain; each tool degrades to a loud skip when unavailable so
-# the stage is safe to run anywhere.
-#
-# Documented skip-list (why not the whole workspace):
-#   - TSan runs the fompi-fabric unit tests only: the notify ring, striped
-#     horizons, batch counters, and shim locks are where the hand-rolled
-#     atomics live. Full-workspace soak under TSan is ~50x and times out CI.
-#   - Miri runs fompi-fabric too (raw segment pointers, Vyukov ring); the
-#     upper crates are safe Rust over these primitives and add only runtime.
-#   - Loom models for the ring/stripes are cfg-gated (`--cfg loom`) and need
-#     loom as a local dev-dependency; the workspace is dependency-free, so
-#     they run on developer machines, not here (see fabric/src/notify.rs).
-if [[ "${1:-}" == "sanitize" ]]; then
+# ---------------------------------------------------------------- timing
+STAGE_NAMES=()
+STAGE_SECS=()
+
+run_stage() { # run_stage <name> <fn>
+    local name=$1 fn=$2 t0=$SECONDS
+    echo "==== stage: $name ===="
+    "$fn"
+    STAGE_NAMES+=("$name")
+    STAGE_SECS+=($((SECONDS - t0)))
+}
+
+timing_summary() {
+    echo
+    echo "== per-stage timing =="
+    local i total=0
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '  %-14s %4ds\n' "${STAGE_NAMES[$i]}" "${STAGE_SECS[$i]}"
+        total=$((total + STAGE_SECS[i]))
+    done
+    printf '  %-14s %4ds\n' total "$total"
+}
+
+# Translate a perf gate's exit code into a named failure (and propagate).
+explain_gate() { # explain_gate <label> <rc>
+    case "$2" in
+    0) ;;
+    2) echo "$1: FAILED — a gated metric regressed (exit 2)" >&2 ;;
+    3) echo "$1: FAILED — baseline missing or unparseable (exit 3); refresh or restore the baseline file" >&2 ;;
+    *) echo "$1: FAILED (exit $2)" >&2 ;;
+    esac
+    return "$2"
+}
+
+# ---------------------------------------------------------------- stages
+stage_fmt() {
+    cargo fmt --all -- --check
+}
+
+stage_clippy() {
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+}
+
+stage_tests() {
+    cargo test --offline --workspace -q
+}
+
+stage_determinism() {
+    # Chaos soak smoke: every protocol under seeded light/heavy fault
+    # plans; the pinned run rewrites results/soak.csv for the diff below.
+    echo "== soak smoke (2 seeds, all protocols) =="
+    "${SCRUB[@]}" SOAK_SEEDS="${SOAK_SEEDS:-2}" \
+        cargo run --offline --release -q -p fompi-bench --bin soak
+
+    echo "== results determinism: drift.csv =="
+    "${SCRUB[@]}" FOMPI_SEED=1 \
+        cargo run --offline --release -q -p fompi-bench --bin reproduce -- drift >/dev/null
+    git diff --exit-code -- results/drift.csv
+    if [[ "${SOAK_SEEDS:-2}" == "2" ]]; then
+        git diff --exit-code -- results/soak.csv
+    fi
+
+    # Notified-access ablation: the micro-handoff and channel rows are
+    # schedule-independent, so the CSV must regenerate byte-identically.
+    echo "== results determinism: notify_ablation.csv =="
+    "${SCRUB[@]}" FOMPI_SEED=1 \
+        cargo run --offline --release -q -p fompi-bench --bin notify_ablation >/dev/null
+    git diff --exit-code -- results/notify_ablation.csv
+    # drift_sched.csv holds the schedule-dependent classes — not
+    # reproducible, so not diffed; restore the committed copy.
+    git checkout -q -- results/drift_sched.csv
+
+    # Transaction contention ablation: deterministically interleaved on
+    # one driver rank, so the CSV is an exact function of the seed.
+    echo "== results determinism: txn_ablation.csv =="
+    "${SCRUB[@]}" FOMPI_SEED=1 \
+        cargo run --offline --release -q -p fompi-bench --bin txn_ablation >/dev/null
+    git diff --exit-code -- results/txn_ablation.csv
+
+    # KV-store smoke: schedule-independent outcomes (commit count,
+    # occupancy, value sum, content hash, conservation violations) only.
+    echo "== kv_serve smoke: transactional KV store gate =="
+    "${SCRUB[@]}" FOMPI_SEED=1 \
+        cargo run --offline --release -q -p fompi-bench --bin kv_serve -- --smoke >/dev/null
+    git diff --exit-code -- results/kv_smoke.csv
+
+    # Metrics-snapshot determinism: both exposition forms byte-identical.
+    echo "== results determinism: scope_metrics.{prom,json} =="
+    "${SCRUB[@]}" FOMPI_SEED=1 \
+        cargo run --offline --release -q -p fompi-bench --bin scope >/dev/null
+    git diff --exit-code -- results/scope_metrics.prom results/scope_metrics.json
+
+    # Observability overhead gate: armed vs disarmed virtual clocks must
+    # be bit-identical.
+    echo "== scope ablation: armed/disarmed virtual-time bit-identity =="
+    "${SCRUB[@]}" FOMPI_SEED=1 \
+        cargo run --offline --release -q -p fompi-bench --bin scope -- --ablation
+}
+
+stage_perfgate() {
+    # The fabric charges *virtual* time from a fixed cost model, so the
+    # perfgate metrics are bit-reproducible on any machine — a >1% delta
+    # is a genuine protocol/model change, never noise. On an intentional
+    # change, refresh the baseline:
+    #   cargo run --release -p fompi-bench --bin perfgate
+    #   cp BENCH_PR7.json results/BENCH_PR7_baseline.json
+    echo "== perfgate: virtual-time regression check (tolerance 1%) =="
+    local rc=0
+    "${SCRUB[@]}" FOMPI_SEED=1 \
+        cargo run --offline --release -q -p fompi-bench --bin perfgate -- \
+        --check results/BENCH_PR7_baseline.json || rc=$?
+    explain_gate perfgate "$rc"
+}
+
+stage_fleet() {
+    # Process-based cross-backend sweep: the orchestrator spawns the
+    # release agent binaries, so build them all first (cargo run --bin
+    # fleet alone would only build the orchestrator).
+    cargo build --offline --release -q -p fompi-bench
+    echo "== fleet smoke sweep: summary byte-diff =="
+    "${SCRUB[@]}" target/release/fleet --smoke >/dev/null
+    git diff --exit-code -- results/fleet_summary.json
+
+    echo "== fleet gate vs results/fleet_baseline.json =="
+    local rc=0
+    "${SCRUB[@]}" target/release/fleet --gate || rc=$?
+    explain_gate "fleet gate" "$rc"
+
+    # Gate self-test: a synthetic 10% slowdown must fail with exit 2 and
+    # name the regressed metrics — proof the gate can actually fire.
+    echo "== fleet gate self-test: synthetic 10% slowdown must exit 2 =="
+    rc=0
+    "${SCRUB[@]}" target/release/fleet --gate --slowdown 10 >/dev/null 2>&1 || rc=$?
+    if [[ "$rc" != 2 ]]; then
+        echo "fleet gate self-test: expected exit 2 on a synthetic slowdown, got $rc" >&2
+        return 1
+    fi
+    echo "fleet gate self-test: regression detected as expected."
+}
+
+stage_sanitize() {
+    # Opt-in because it needs a nightly toolchain; each tool degrades to a
+    # loud skip when unavailable so the stage is safe to run anywhere.
+    #
+    # Documented skip-list (why not the whole workspace):
+    #   - TSan runs the fompi-fabric unit tests only: the notify ring,
+    #     striped horizons, batch counters, and shim locks are where the
+    #     hand-rolled atomics live. Full-workspace soak under TSan is ~50x
+    #     and times out CI.
+    #   - Miri runs fompi-fabric too (raw segment pointers, Vyukov ring);
+    #     the upper crates are safe Rust over these primitives.
+    #   - Loom models for the ring/stripes are cfg-gated (`--cfg loom`)
+    #     and need loom as a local dev-dependency; the workspace is
+    #     dependency-free, so they run on developer machines, not here.
     if ! rustup toolchain list 2>/dev/null | grep -q nightly; then
         echo "sanitize: no nightly toolchain installed; skipping (rustup toolchain install nightly)"
-        exit 0
+        return 0
     fi
+    local host
     host=$(rustc -vV | sed -n 's/^host: //p')
     echo "== ThreadSanitizer: fompi-fabric unit tests =="
     if rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src (installed)'; then
@@ -50,102 +202,76 @@ if [[ "${1:-}" == "sanitize" ]]; then
         echo "sanitize: nightly miri missing; skipping (rustup component add miri --toolchain nightly)"
     fi
     echo "sanitize stage done."
-    exit 0
-fi
+}
 
-echo "== cargo fmt --check =="
-cargo fmt --all -- --check
+stage_nightly() {
+    # Chaos fleet sweep: every agent re-run under an armed seeded fault
+    # plan; tail-latency-under-failure lands in results/fleet_chaos.json
+    # (the workflow uploads it as the nightly artifact).
+    cargo build --offline --release -q -p fompi-bench
+    echo "== fleet chaos sweep =="
+    "${SCRUB[@]}" target/release/fleet --chaos
 
-echo "== cargo clippy (workspace, -D warnings) =="
-cargo clippy --offline --workspace --all-targets -- -D warnings
-
-echo "== cargo test (workspace) =="
-cargo test --offline --workspace -q
-
-# Chaos soak: every protocol under seeded light/heavy fault plans, with
-# per-protocol pass counts written to results/soak.csv. A violation names
-# the reproducing seed and fails the gate. Default is a bounded smoke;
-# SOAK_SECONDS=900 scripts/ci.sh keeps feeding fresh seed batches until
-# the deadline instead (nightly/overnight soaks).
-if [[ -n "${SOAK_SECONDS:-}" ]]; then
-    echo "== soak long mode (${SOAK_SECONDS}s) =="
-    cargo run --offline --release -q -p fompi-bench --bin soak
-else
-    echo "== soak smoke (2 seeds, all protocols) =="
-    # Pinned environment: the smoke must be bit-reproducible so the
-    # results-determinism check below can diff results/soak.csv.
-    env -u FOMPI_SEED -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY \
-        SOAK_SEEDS="${SOAK_SEEDS:-2}" \
+    # Long soak: keep feeding fresh seed batches until the deadline.
+    echo "== soak long mode (${SOAK_SECONDS:-600}s) =="
+    SOAK_SECONDS="${SOAK_SECONDS:-600}" \
         cargo run --offline --release -q -p fompi-bench --bin soak
-fi
+}
 
-# Perf-regression gate: the fabric charges *virtual* time from a fixed
-# cost model, so the perfgate metrics are bit-reproducible on any machine
-# — a >1% delta is a genuine protocol/model change, never noise. On an
-# intentional change, refresh the baseline:
-#   cargo run --release -p fompi-bench --bin perfgate
-#   cp BENCH_PR7.json results/BENCH_PR7_baseline.json
-echo "== perfgate: virtual-time regression check (tolerance 1%) =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
-    cargo run --offline --release -q -p fompi-bench --bin perfgate -- \
-    --check results/BENCH_PR7_baseline.json
+# ---------------------------------------------------------------- driver
+usage() {
+    sed -n '2,15p' "$0" | sed 's/^# \{0,1\}//'
+}
 
-# Results determinism: the checked-in drift table (and in smoke mode the
-# soak table, which the soak smoke above just rewrote at pinned seeds)
-# must regenerate byte-identically. A diff here means a change altered
-# virtual-time behaviour without refreshing results/.
-echo "== results determinism: regenerate drift.csv and compare =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
-    cargo run --offline --release -q -p fompi-bench --bin reproduce -- drift >/dev/null
-git diff --exit-code -- results/drift.csv
-if [[ -z "${SOAK_SECONDS:-}" && "${SOAK_SEEDS:-2}" == "2" ]]; then
-    git diff --exit-code -- results/soak.csv
-fi
-# Notified-access ablation: the micro-handoff and channel rows are
-# schedule-independent, so the CSV must regenerate byte-identically (the
-# bin also asserts notified beats fence/PSCW/flag-polling, and prints the
-# schedule-dependent DSDE/hashtable comparisons without gating them).
-echo "== results determinism: regenerate notify_ablation.csv and compare =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
-    cargo run --offline --release -q -p fompi-bench --bin notify_ablation >/dev/null
-git diff --exit-code -- results/notify_ablation.csv
-# drift_sched.csv holds the schedule-dependent classes (post/start/wait
-# partner-wait poll loops) — not reproducible, so not diffed; restore the
-# committed copy so the gate leaves the tree clean.
-git checkout -q -- results/drift_sched.csv
-
-# Transaction contention ablation: the W conflicting writers are
-# deterministically interleaved on one driver rank, so commit/abort
-# counts and every virtual-time latency are exact functions of the seed
-# — the CSV must regenerate byte-identically (the bin also asserts the
-# cascade arithmetic and that no update is lost).
-echo "== results determinism: regenerate txn_ablation.csv and compare =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
-    cargo run --offline --release -q -p fompi-bench --bin txn_ablation >/dev/null
-git diff --exit-code -- results/txn_ablation.csv
-
-# KV-store smoke: a fixed-seed transactional serve whose
-# schedule-independent outcomes (commit count, occupancy, value sum,
-# content hash, conservation violations) must regenerate byte-identically;
-# the bin itself asserts nonzero commits and zero conservation violations.
-echo "== kv_serve smoke: transactional KV store gate =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
-    cargo run --offline --release -q -p fompi-bench --bin kv_serve -- --smoke >/dev/null
-git diff --exit-code -- results/kv_smoke.csv
-
-# Metrics-snapshot determinism: the fompi-scope workload is built from
-# schedule-independent primitives only, so both exposition forms must
-# regenerate byte-identically under the pinned environment.
-echo "== results determinism: regenerate scope_metrics.{prom,json} and compare =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
-    cargo run --offline --release -q -p fompi-bench --bin scope >/dev/null
-git diff --exit-code -- results/scope_metrics.prom results/scope_metrics.json
-
-# Observability overhead gate: the same workload with the whole plane
-# armed (metrics + full profiling + tracing + flight recorder) and
-# disarmed must land on bit-identical per-rank virtual clocks.
-echo "== scope ablation: armed/disarmed virtual-time bit-identity =="
-env -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY FOMPI_SEED=1 \
-    cargo run --offline --release -q -p fompi-bench --bin scope -- --ablation
-
-echo "CI gate passed."
+mode="${1:-all}"
+case "$mode" in
+--fix)
+    cargo fmt --all
+    exit 0
+    ;;
+quick)
+    run_stage fmt stage_fmt
+    run_stage clippy stage_clippy
+    run_stage tests stage_tests
+    timing_summary
+    echo "quick tier passed."
+    ;;
+lint)
+    run_stage fmt stage_fmt
+    run_stage clippy stage_clippy
+    ;;
+test)
+    run_stage tests stage_tests
+    ;;
+determinism)
+    run_stage determinism stage_determinism
+    ;;
+perfgate)
+    run_stage perfgate stage_perfgate
+    ;;
+fleet)
+    run_stage fleet stage_fleet
+    ;;
+sanitize)
+    run_stage sanitize stage_sanitize
+    ;;
+nightly)
+    run_stage nightly stage_nightly
+    timing_summary
+    ;;
+all)
+    run_stage fmt stage_fmt
+    run_stage clippy stage_clippy
+    run_stage tests stage_tests
+    run_stage determinism stage_determinism
+    run_stage perfgate stage_perfgate
+    run_stage fleet stage_fleet
+    timing_summary
+    echo "CI gate passed."
+    ;;
+*)
+    echo "ci.sh: unknown mode '$mode'" >&2
+    usage >&2
+    exit 1
+    ;;
+esac

@@ -728,6 +728,97 @@ pub fn run_rma_notify(ctx: &RankCtx, cfg: &MilcConfig) -> MilcResult {
     res
 }
 
+/// Remote-memory-channel halo backend: the 8 faces ride an
+/// [`fompi_rmc::mesh`] instead of a bespoke window. Each message carries
+/// a one-byte zone header (`2·d + side` of the *receiver's* halo), so
+/// faces from the same neighbour — or from *this rank itself* under
+/// periodic wraparound in a size-1 or size-2 grid dimension — demultiplex
+/// by content, not by landing address. Credits return in one batched
+/// flush per iteration; the allreduce that follows every exchange keeps
+/// iterations from overlapping, so 8 slots per ordered pair always
+/// suffice.
+pub struct RmcHalo {
+    mesh: fompi_rmc::Mesh,
+    face_bytes: [usize; 4],
+}
+
+impl RmcHalo {
+    /// Build the mesh sized for the largest face plus the zone header.
+    pub fn new(ctx: &RankCtx, cfg: &MilcConfig) -> RmcHalo {
+        let lat = Lattice::new(ctx.rank() as usize, ctx.size(), cfg);
+        let mut face_bytes = [0usize; 4];
+        for d in 0..4 {
+            face_bytes[d] = lat.face_sites(d) * SITE_F64 * 8;
+        }
+        let rc = fompi_rmc::RmcConfig {
+            slots: 8,
+            slot_bytes: 1 + face_bytes.iter().copied().max().unwrap(),
+            ..Default::default()
+        };
+        RmcHalo { mesh: fompi_rmc::mesh(ctx, &rc).expect("milc mesh"), face_bytes }
+    }
+
+    /// Tear down the mesh (collective).
+    pub fn finish(self, ctx: &RankCtx) {
+        self.mesh.close(ctx).expect("milc mesh close");
+    }
+}
+
+impl HaloExchange for RmcHalo {
+    fn exchange(
+        &mut self,
+        ctx: &RankCtx,
+        lat: &Lattice,
+        field: &[f64],
+        _iter: usize,
+    ) -> [[Vec<f64>; 2]; 4] {
+        let memcpy = ctx.fabric().model().memcpy_byte_ns;
+        for d in 0..4 {
+            let up = lat.neighbor(d, true) as u32;
+            let down = lat.neighbor(d, false) as u32;
+            let hi_face = lat.pack_face(field, d, true);
+            let lo_face = lat.pack_face(field, d, false);
+            ctx.ep().charge(memcpy * (hi_face.len() + lo_face.len()) as f64);
+            // hi face → up neighbour's halo[d][0]; lo face → down's
+            // halo[d][1]. The header byte names the destination zone.
+            let mut msg = Vec::with_capacity(1 + hi_face.len());
+            msg.push((2 * d) as u8);
+            msg.extend_from_slice(&hi_face);
+            self.mesh.send(up, &msg).expect("rmc halo send");
+            msg.clear();
+            msg.push((2 * d + 1) as u8);
+            msg.extend_from_slice(&lo_face);
+            self.mesh.send(down, &msg).expect("rmc halo send");
+        }
+        // Collect exactly our 8 zones; ordering within a pair is FIFO and
+        // the post-exchange allreduce fences iterations apart.
+        let mut halo: [[Vec<f64>; 2]; 4] = std::array::from_fn(|_| [Vec::new(), Vec::new()]);
+        let mut buf = vec![0u8; 1 + self.face_bytes.iter().copied().max().unwrap()];
+        let mut have = 0;
+        while have < 8 {
+            let (_, len) = self.mesh.recv(&mut buf).expect("rmc halo recv");
+            let zone = buf[0] as usize;
+            let (d, side) = (zone / 2, zone % 2);
+            assert_eq!(len, 1 + self.face_bytes[d], "face size mismatch for zone {zone}");
+            assert!(halo[d][side].is_empty(), "duplicate face for zone {zone}");
+            halo[d][side] = Lattice::decode_face(&buf[1..len]);
+            have += 1;
+        }
+        self.mesh.flush_credits().expect("rmc halo credits");
+        halo
+    }
+}
+
+/// foMPI backend with the halo exchange on remote memory channels.
+pub fn run_rma_rmc(ctx: &RankCtx, cfg: &MilcConfig) -> MilcResult {
+    let halo = RmcHalo::new(ctx, cfg);
+    let res = run_cg(ctx, cfg, halo, |ctx, v| {
+        ctx.coll().allreduce_f64(ctx.ep(), v, |a, b| a + b);
+    });
+    ctx.barrier();
+    res
+}
+
 /// Deterministic right-hand side.
 fn rhs(lat: &Lattice, cfg: &MilcConfig, rank: usize) -> Vec<f64> {
     (0..lat.volume() * SITE_F64)
@@ -949,6 +1040,44 @@ mod tests {
         let packed = Universe::new(p).node_size(4).run(move |ctx| run_rma(ctx, &cfg));
         let notify = Universe::new(p).node_size(4).run(move |ctx| run_rma_notify(ctx, &cfg));
         assert_eq!(packed[0].residuals, notify[0].residuals);
+    }
+
+    #[test]
+    fn rmc_halo_matches_packed_halo() {
+        // Same tuned collective, same arithmetic: the channel-based halo
+        // must reproduce the flag-based halo bit for bit — including the
+        // self-neighbour wraparound the p=8 grid's size-1 dimension has.
+        let cfg = MilcConfig { local: [2, 2, 2, 4], iters: 4, seed: 6 };
+        let p = 8;
+        let packed = Universe::new(p).node_size(4).run(move |ctx| run_rma(ctx, &cfg));
+        let rmc = Universe::new(p).node_size(4).run(move |ctx| run_rma_rmc(ctx, &cfg));
+        assert_eq!(packed[0].residuals, rmc[0].residuals);
+    }
+
+    #[test]
+    fn rmc_halo_single_rank_self_mesh() {
+        // p=1: all 8 faces are self-sends through the mesh.
+        let cfg = MilcConfig { local: [2, 2, 2, 4], iters: 4, seed: 3 };
+        let got = Universe::new(1).node_size(1).run(move |ctx| run_rma_rmc(ctx, &cfg));
+        let r = &got[0].residuals;
+        assert!(r.last().unwrap() < &r[0]);
+    }
+
+    #[test]
+    fn rmc_halo_cheaper_than_flag_halo() {
+        // Fused data+notification sends and local drain beat put + flush
+        // + remote FAA flags + remote polling, even paying for credits.
+        let cfg = MilcConfig { local: [4, 4, 4, 8], iters: 4, seed: 2 };
+        let p = 8;
+        let flags = Universe::new(p).node_size(4).run(move |ctx| run_rma(ctx, &cfg));
+        let rmc = Universe::new(p).node_size(4).run(move |ctx| run_rma_rmc(ctx, &cfg));
+        let t = |r: &[MilcResult]| r.iter().map(|x| x.time_ns).fold(0.0, f64::max);
+        assert!(
+            t(&rmc) < t(&flags),
+            "RMC halo {} should beat the flag-based halo {}",
+            t(&rmc),
+            t(&flags)
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! bench_agent --agent-json --backend rma  --ranks 4 --seed 1
 //! bench_agent --agent-json --backend msg  --ranks 4 --seed 1
 //! bench_agent --agent-json --backend pgas --ranks 4 --seed 1
+//! bench_agent --agent-json --backend rma  --ranks 4 --node-size 2
 //! ```
 //!
 //! Each backend runs an equivalent fixed-shape neighbor workload over a
@@ -15,6 +16,13 @@
 //! disjoint AMO targets, pairwise channels), so the virtual-time metrics
 //! line is byte-stable for a given (backend, ranks, seed) and the fleet
 //! summary can be byte-diffed in CI.
+//!
+//! `--node-size` sets how many consecutive ranks share a node: 1 makes
+//! every neighbor hop cross the network, larger values route part of the
+//! ring through the XPMEM fast path. The placement changes per-op
+//! *costs*, never the schedule, so every (backend, ranks, node_size,
+//! seed) point stays byte-stable and the fleet can sweep locality as a
+//! first-class axis.
 //!
 //! `FOMPI_FAULTS` is deliberately *not* overridden: the chaos sweep arms
 //! it per agent, and fault draws are issue-side seeded, so even chaos
@@ -38,7 +46,8 @@ const MSGS: usize = 32;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench_agent --backend <rma|msg|pgas> --ranks <N> [--seed <S>] [--agent-json]"
+        "usage: bench_agent --backend <rma|msg|pgas> --ranks <N> [--node-size <M>] \\
+         [--seed <S>] [--agent-json]"
     );
     ExitCode::FAILURE
 }
@@ -46,6 +55,7 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut backend = String::new();
     let mut ranks = 0usize;
+    let mut node_size = 1usize;
     let mut seed = 1u64;
     let mut agent_json = false;
     let mut args = std::env::args().skip(1);
@@ -56,6 +66,10 @@ fn main() -> ExitCode {
             "--ranks" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => ranks = n,
                 None => return usage(),
+            },
+            "--node-size" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => node_size = n,
+                _ => return usage(),
             },
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(s) => seed = s,
@@ -69,9 +83,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let fabric = match backend.as_str() {
-        "rma" => rma(ranks, seed),
-        "msg" => msg(ranks, seed),
-        "pgas" => pgas(ranks, seed),
+        "rma" => rma(ranks, node_size, seed),
+        "msg" => msg(ranks, node_size, seed),
+        "pgas" => pgas(ranks, node_size, seed),
         _ => return usage(),
     };
     let snap = metrics_snapshot(&fabric);
@@ -83,15 +97,19 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn universe(p: usize, seed: u64) -> Universe {
-    Universe::new(p).node_size(1).seed(seed).metrics(true).notify_depth(2 * REPS * SIZES.len())
+fn universe(p: usize, node_size: usize, seed: u64) -> Universe {
+    Universe::new(p)
+        .node_size(node_size)
+        .seed(seed)
+        .metrics(true)
+        .notify_depth(2 * REPS * SIZES.len())
 }
 
 /// Raw one-sided backend: ring-neighbor put/get epochs, disjoint-target
 /// AMOs, notified handoffs and fence rounds. Each target is locked by
 /// exactly one origin (its left neighbor), so no lock is ever contended.
-fn rma(p: usize, seed: u64) -> Arc<Fabric> {
-    let (_, fabric) = universe(p, seed).launch(move |ctx| {
+fn rma(p: usize, node_size: usize, seed: u64) -> Arc<Fabric> {
+    let (_, fabric) = universe(p, node_size, seed).launch(move |ctx| {
         let win = Win::allocate(ctx, 1 << 16, 1).unwrap();
         let right = (ctx.rank() + 1) % ctx.size() as u32;
         win.lock(LockType::Exclusive, right).unwrap();
@@ -135,8 +153,8 @@ fn rma(p: usize, seed: u64) -> Arc<Fabric> {
 /// Msg-channel backend: the same byte volume moved through notified SPSC
 /// channels, one independent pair per two ranks (even sender, odd
 /// receiver).
-fn msg(p: usize, seed: u64) -> Arc<Fabric> {
-    let (_, fabric) = universe(p, seed).launch(move |ctx| {
+fn msg(p: usize, node_size: usize, seed: u64) -> Arc<Fabric> {
+    let (_, fabric) = universe(p, node_size, seed).launch(move |ctx| {
         for pair in 0..(p as u32) / 2 {
             let (tx_rank, rx_rank) = (2 * pair, 2 * pair + 1);
             match channel(ctx, tx_rank, rx_rank, 4, *SIZES.last().unwrap()).unwrap() {
@@ -165,8 +183,8 @@ fn msg(p: usize, seed: u64) -> Arc<Fabric> {
 /// Compiled-PGAS backend: the same neighbor traffic through the UPC-style
 /// shared array (per-op software overhead on the same fabric), including
 /// uncontended remote atomics onto per-origin slots.
-fn pgas(p: usize, seed: u64) -> Arc<Fabric> {
-    let (_, fabric) = universe(p, seed).launch(move |ctx| {
+fn pgas(p: usize, node_size: usize, seed: u64) -> Arc<Fabric> {
+    let (_, fabric) = universe(p, node_size, seed).launch(move |ctx| {
         let arr = SharedArray::all_alloc(ctx, 1 << 16);
         let right = (ctx.rank() + 1) % ctx.size() as u32;
         let mut disp = 0usize;

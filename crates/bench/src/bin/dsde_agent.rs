@@ -1,0 +1,64 @@
+//! Fleet agent wrapping the DSDE motif: one sparse neighbour-exchange
+//! round over the remote-memory-channel mesh, one JSON metrics line.
+//!
+//! ```text
+//! dsde_agent --agent-json [--ranks <N>] [--seed <S>]
+//! ```
+//!
+//! The exchange drains with `ANY_SOURCE`, so per-op latency joins arrive
+//! in schedule order — this agent is registered *unstable*: its numbers
+//! feed the wall-clock table and the chaos sweep, never the byte-diffed
+//! summary (the same contract as `kv_serve`).
+
+use fompi_apps::dsde;
+use fompi_fabric::metrics_snapshot;
+use fompi_rmc::RmcConfig;
+use fompi_runtime::Universe;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut ranks = 8usize;
+    let mut seed = 1u64;
+    let mut agent_json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--agent-json" => agent_json = true,
+            "--ranks" => ranks = args.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            other => {
+                eprintln!("dsde_agent: unknown argument {other:?}");
+                eprintln!("usage: dsde_agent --agent-json [--ranks <N>] [--seed <S>]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if ranks < 2 {
+        eprintln!("dsde_agent: --ranks must be >= 2");
+        return ExitCode::FAILURE;
+    }
+    let k = 3.min(ranks - 1);
+    let cfg = RmcConfig { slots: 4, slot_bytes: 8, ..RmcConfig::default() };
+    let (_, fabric) =
+        Universe::new(ranks).node_size(2).seed(seed).notify_depth(256).metrics(true).launch(
+            move |ctx| {
+                let mut m = fompi_rmc::mesh(ctx, &cfg).expect("mesh");
+                let r = dsde::run_rmc(ctx, &mut m, k, seed);
+                assert_eq!(r.received.len(), {
+                    let p = ctx.size();
+                    (0..p as u32)
+                        .flat_map(|s| dsde::pick_targets(s, p, k, seed))
+                        .filter(|&t| t == ctx.rank())
+                        .count()
+                });
+                m.close(ctx).expect("mesh close");
+            },
+        );
+    let snap = metrics_snapshot(&fabric);
+    if agent_json {
+        println!("{}", snap.to_json_line());
+    } else {
+        print!("{}", snap.to_prometheus());
+    }
+    ExitCode::SUCCESS
+}

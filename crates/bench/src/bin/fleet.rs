@@ -40,35 +40,52 @@ use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 use std::time::Duration;
 
-/// Every agent the fleet can spawn. `bench_agent` sweeps rank counts per
-/// backend; `scope`, `txn_ablation` and `kv_serve` are fixed-config
-/// agents that add binary diversity (their workloads live in those bins).
-/// `kv-serve` is the one *unstable* agent: transactional abort/retry
-/// counts are schedule-dependent, so its metrics feed the wall-clock
-/// table but never the byte-diffed summary.
+/// Every agent the fleet can spawn. `bench_agent` sweeps rank counts ×
+/// node sizes per backend (node_size 1 = all-inter-node, 2 = half the
+/// ring hops ride the XPMEM fast path); `scope`, `txn_ablation` and
+/// `rmc_ablation` are fixed-config agents that add binary diversity
+/// (their workloads live in those bins). `kv-serve`, `dsde` and
+/// `hashtable` are the *unstable* agents: transactional abort/retry
+/// counts and `ANY_SOURCE` drain joins are schedule-dependent, so their
+/// metrics feed the wall-clock table and the chaos sweep but never the
+/// byte-diffed summary.
+const BENCH_ARGS: &[&str] = &[
+    "--agent-json",
+    "--backend",
+    "{backend}",
+    "--ranks",
+    "{ranks}",
+    "--node-size",
+    "{node_size}",
+    "--seed",
+    "{seed}",
+];
 const REGISTRY: &[AgentSpec] = &[
     AgentSpec {
         name: "bench-rma",
         bin: "bench_agent",
-        args: &["--agent-json", "--backend", "{backend}", "--ranks", "{ranks}", "--seed", "{seed}"],
+        args: BENCH_ARGS,
         backend: "rma",
         ranks: &[2, 4, 8, 16],
+        node_sizes: &[1, 2],
         stable: true,
     },
     AgentSpec {
         name: "bench-msg",
         bin: "bench_agent",
-        args: &["--agent-json", "--backend", "{backend}", "--ranks", "{ranks}", "--seed", "{seed}"],
+        args: BENCH_ARGS,
         backend: "msg",
         ranks: &[2, 4, 8, 16],
+        node_sizes: &[1, 2],
         stable: true,
     },
     AgentSpec {
         name: "bench-pgas",
         bin: "bench_agent",
-        args: &["--agent-json", "--backend", "{backend}", "--ranks", "{ranks}", "--seed", "{seed}"],
+        args: BENCH_ARGS,
         backend: "pgas",
         ranks: &[2, 4, 8, 16],
+        node_sizes: &[1, 2],
         stable: true,
     },
     AgentSpec {
@@ -77,6 +94,7 @@ const REGISTRY: &[AgentSpec] = &[
         args: &["--agent-json"],
         backend: "rma",
         ranks: &[2],
+        node_sizes: &[1],
         stable: true,
     },
     AgentSpec {
@@ -85,6 +103,16 @@ const REGISTRY: &[AgentSpec] = &[
         args: &["--agent-json"],
         backend: "txn",
         ranks: &[2],
+        node_sizes: &[1],
+        stable: true,
+    },
+    AgentSpec {
+        name: "rmc-ablate",
+        bin: "rmc_ablation",
+        args: &["--agent-json"],
+        backend: "rmc",
+        ranks: &[4],
+        node_sizes: &[1],
         stable: true,
     },
     AgentSpec {
@@ -93,6 +121,25 @@ const REGISTRY: &[AgentSpec] = &[
         args: &["--agent-json"],
         backend: "txn",
         ranks: &[8],
+        node_sizes: &[1],
+        stable: false,
+    },
+    AgentSpec {
+        name: "dsde",
+        bin: "dsde_agent",
+        args: &["--agent-json", "--ranks", "{ranks}", "--seed", "{seed}"],
+        backend: "rmc",
+        ranks: &[8],
+        node_sizes: &[1],
+        stable: false,
+    },
+    AgentSpec {
+        name: "hashtable",
+        bin: "hashtable_agent",
+        args: &["--agent-json", "--ranks", "{ranks}", "--seed", "{seed}"],
+        backend: "rma",
+        ranks: &[8],
+        node_sizes: &[1],
         stable: false,
     },
 ];
@@ -110,6 +157,7 @@ const SCRUBBED: &[&str] = &[
     "FOMPI_PROFILE",
     "FOMPI_METRICS",
     "FOMPI_TXN_RETRY",
+    "FOMPI_RMC",
 ];
 
 /// The chaos sweep's fault plan (seeded: deterministic injections).
@@ -198,50 +246,53 @@ fn run_sweep(cli: &Cli, chaos: bool) -> Result<Vec<ConfigResult>, String> {
     let (mut bins, mut backends) = (BTreeSet::new(), BTreeSet::new());
     for spec in REGISTRY {
         for &ranks in spec.ranks.iter().filter(|&&r| r <= max_ranks) {
-            let label = format!("{}-p{ranks}", spec.name);
-            let bin = dir.join(spec.bin);
-            if !bin.exists() {
-                return Err(format!(
-                    "agent {label}: binary {} not found — build the agents first: \
-                     cargo build --release -p fompi-bench",
-                    bin.display()
-                ));
+            for &node_size in spec.node_sizes {
+                let label = format!("{}-p{ranks}-n{node_size}", spec.name);
+                let bin = dir.join(spec.bin);
+                if !bin.exists() {
+                    return Err(format!(
+                        "agent {label}: binary {} not found — build the agents first: \
+                         cargo build --release -p fompi-bench",
+                        bin.display()
+                    ));
+                }
+                let argv = expand_argv(spec, ranks, node_size, SEED)?;
+                let mut cmd = Command::new(&bin);
+                cmd.args(&argv);
+                for knob in SCRUBBED {
+                    cmd.env_remove(knob);
+                }
+                if chaos {
+                    cmd.env("FOMPI_FAULTS", CHAOS_PLAN);
+                }
+                let run = run_agent(&label, &mut cmd, timeout)?;
+                if run.exit_code != Some(0) {
+                    return Err(format!(
+                        "agent {label}: exited with {:?}\n--- stderr ---\n{}",
+                        run.exit_code,
+                        run.stderr.trim_end()
+                    ));
+                }
+                let metrics = parse_agent_json(&label, &run.stdout)?;
+                bins.insert(spec.bin);
+                backends.insert(spec.backend);
+                runs.push(ConfigResult {
+                    agent: spec.name.to_string(),
+                    backend: spec.backend.to_string(),
+                    ranks,
+                    node_size,
+                    seed: SEED,
+                    metrics,
+                    usage: run.usage,
+                    stable: spec.stable,
+                });
             }
-            let argv = expand_argv(spec, ranks, SEED)?;
-            let mut cmd = Command::new(&bin);
-            cmd.args(&argv);
-            for knob in SCRUBBED {
-                cmd.env_remove(knob);
-            }
-            if chaos {
-                cmd.env("FOMPI_FAULTS", CHAOS_PLAN);
-            }
-            let run = run_agent(&label, &mut cmd, timeout)?;
-            if run.exit_code != Some(0) {
-                return Err(format!(
-                    "agent {label}: exited with {:?}\n--- stderr ---\n{}",
-                    run.exit_code,
-                    run.stderr.trim_end()
-                ));
-            }
-            let metrics = parse_agent_json(&label, &run.stdout)?;
-            bins.insert(spec.bin);
-            backends.insert(spec.backend);
-            runs.push(ConfigResult {
-                agent: spec.name.to_string(),
-                backend: spec.backend.to_string(),
-                ranks,
-                seed: SEED,
-                metrics,
-                usage: run.usage,
-                stable: spec.stable,
-            });
         }
     }
     // The fleet's own coverage contract: a sweep that silently dropped
     // to one binary or one backend is not a cross-backend sweep.
-    assert!(bins.len() >= 3, "sweep must spawn >= 3 distinct agent binaries, got {bins:?}");
-    assert!(backends.len() >= 2, "sweep must cover >= 2 backends, got {backends:?}");
+    assert!(bins.len() >= 4, "sweep must spawn >= 4 distinct agent binaries, got {bins:?}");
+    assert!(backends.len() >= 3, "sweep must cover >= 3 backends, got {backends:?}");
     Ok(runs)
 }
 

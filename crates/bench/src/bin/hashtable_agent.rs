@@ -1,0 +1,55 @@
+//! Fleet agent wrapping the distributed-hashtable motif: owner-computes
+//! notified inserts, one JSON metrics line.
+//!
+//! ```text
+//! hashtable_agent --agent-json [--ranks <N>] [--seed <S>]
+//! ```
+//!
+//! Collision chains serialise contended AMOs in arrival order, so the
+//! virtual times are schedule-dependent — the registry marks this agent
+//! *unstable*: it feeds the wall-clock table and the chaos sweep, never
+//! the byte-diffed summary.
+
+use fompi_apps::hashtable::{self, HtConfig};
+use fompi_fabric::metrics_snapshot;
+use fompi_runtime::Universe;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut ranks = 8usize;
+    let mut seed = 1u64;
+    let mut agent_json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--agent-json" => agent_json = true,
+            "--ranks" => ranks = args.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            other => {
+                eprintln!("hashtable_agent: unknown argument {other:?}");
+                eprintln!("usage: hashtable_agent --agent-json [--ranks <N>] [--seed <S>]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if ranks < 2 {
+        eprintln!("hashtable_agent: --ranks must be >= 2");
+        return ExitCode::FAILURE;
+    }
+    let cfg = HtConfig { inserts_per_rank: 64, table_slots: 32, heap_cells: 4096, seed };
+    let (outs, fabric) = Universe::new(ranks)
+        .node_size(2)
+        .seed(seed)
+        .notify_depth(2048)
+        .metrics(true)
+        .launch(move |ctx| hashtable::run_notified(ctx, &cfg));
+    let total: usize = outs.iter().map(|r| r.local_elements).sum();
+    assert_eq!(total, ranks * 64, "hashtable agent lost elements");
+    let snap = metrics_snapshot(&fabric);
+    if agent_json {
+        println!("{}", snap.to_json_line());
+    } else {
+        print!("{}", snap.to_prometheus());
+    }
+    ExitCode::SUCCESS
+}

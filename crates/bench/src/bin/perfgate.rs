@@ -1,8 +1,8 @@
 //! Deterministic virtual-time perf-regression gate.
 //!
 //! ```text
-//! cargo run --release -p fompi-bench --bin perfgate                  # write BENCH_PR7.json
-//! cargo run --release -p fompi-bench --bin perfgate -- --check results/BENCH_PR7_baseline.json
+//! cargo run --release -p fompi-bench --bin perfgate                  # write BENCH_PR9.json
+//! cargo run --release -p fompi-bench --bin perfgate -- --check results/BENCH_PR9_baseline.json
 //! ```
 //!
 //! The fabric charges *virtual* time from a fixed cost model, so every
@@ -15,21 +15,27 @@
 //!
 //! ```text
 //! cargo run --release -p fompi-bench --bin perfgate
-//! cp BENCH_PR7.json results/BENCH_PR7_baseline.json
+//! cp BENCH_PR9.json results/BENCH_PR9_baseline.json
 //! ```
 //!
 //! Metrics cover the §3 primitives at small and large sizes, with the
 //! issue-side batching layer both off and on (put bursts and
 //! hardware-AMO accumulate bursts), plus the notified-access paths: a
 //! single `put_notify`/`wait_notify` handoff and one `msg::channel`
-//! round (notified payload put forward, notified credit-AMO back), and
-//! the transaction layer's hot path: one versioned read and the commit
-//! phase of a 2-key transaction.
+//! round (notified payload put forward, notified credit-AMO back), the
+//! transaction layer's hot path: one versioned read and the commit
+//! phase of a 2-key transaction, and the remote-memory-channel layer:
+//! a steady-state fan-in round over a 1-slot ring, the publisher-side
+//! cost of a 2-subscriber fan-out publish, and one full single-client
+//! RPC round (request forward, correlated reply back). Every rmc
+//! metric is sender-side or single-pairing, so it stays deterministic
+//! (consumer `ANY_SOURCE` drains are schedule-dependent and excluded).
 
 use fompi::{LockType, MpiOp, NumKind, Win};
 use fompi_fabric::FaultPlan;
 use fompi_fleet::gate::{compare, parse_flat_json, EXIT_BASELINE, EXIT_REGRESSED};
 use fompi_msg::channel::{channel, ChannelEnd};
+use fompi_rmc::{FaninEnd, FanoutEnd, LaggingPolicy, RmcConfig, RpcEnd};
 use fompi_runtime::{RankCtx, Universe};
 use fompi_txn::{Txn, VersionedCell};
 use std::collections::BTreeMap;
@@ -52,12 +58,12 @@ fn main() -> ExitCode {
 
     let metrics = collect();
     let json = render_json(&metrics);
-    std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
+    std::fs::write("BENCH_PR9.json", &json).expect("write BENCH_PR9.json");
     println!("== perfgate: virtual-time metrics (ns) ==");
     for (k, v) in &metrics {
         println!("  {k:<28} {v:>12.1}");
     }
-    println!("-> BENCH_PR7.json");
+    println!("-> BENCH_PR9.json");
 
     let Some(path) = baseline_path else {
         return ExitCode::SUCCESS;
@@ -289,6 +295,117 @@ fn collect() -> BTreeMap<String, f64> {
             }
         });
     m.insert("channel_round_64_ns".into(), chan[0]);
+    // Remote-memory-channel twins. All three are timed on the *sending*
+    // side (or a single fixed pairing), where virtual time is schedule-
+    // independent; consumer `ANY_SOURCE` drain clocks are max-joins in
+    // arrival order and would not byte-stabilise.
+    //
+    // Fan-in over a 1-slot ring: strict data/credit alternation, so
+    // producer time / rounds is the steady-state rmc round.
+    const RMC_ROUNDS: usize = 4;
+    let fanin_run = Universe::new(2)
+        .node_size(1)
+        .seed(1)
+        .faults(FaultPlan::disabled())
+        .batch(false)
+        .notify_depth(16)
+        .run(|ctx| match fompi_rmc::fanin(ctx, 0, &[1], 1, 64).unwrap().unwrap() {
+            FaninEnd::Producer(mut tx) => {
+                let msg = [3u8; 64];
+                ctx.barrier();
+                let t0 = ctx.now();
+                for _ in 0..RMC_ROUNDS {
+                    tx.send(&msg).unwrap();
+                }
+                while tx.credits() == 0 {
+                    tx.poll_credits().unwrap();
+                    std::thread::yield_now();
+                }
+                let dt = ctx.now() - t0;
+                tx.close(ctx).unwrap();
+                dt / RMC_ROUNDS as f64
+            }
+            FaninEnd::Consumer(mut rx) => {
+                let mut buf = [0u8; 64];
+                ctx.barrier();
+                for _ in 0..RMC_ROUNDS {
+                    rx.recv(&mut buf).unwrap();
+                }
+                rx.close(ctx).unwrap();
+                0.0
+            }
+        });
+    m.insert("rmc_fanin_round_64_ns".into(), fanin_run[1]);
+    // Fan-out publish to 2 subscribers with rings sized to the burst, so
+    // the publisher never blocks on credits: pure issue-side fan-out cost.
+    let fanout_run = Universe::new(3)
+        .node_size(1)
+        .seed(1)
+        .faults(FaultPlan::disabled())
+        .batch(false)
+        .notify_depth(16)
+        .run(|ctx| {
+            match fompi_rmc::fanout(ctx, 0, &[1, 2], RMC_ROUNDS, 64, LaggingPolicy::Block)
+                .unwrap()
+                .unwrap()
+            {
+                FanoutEnd::Publisher(mut tx) => {
+                    let msg = [4u8; 64];
+                    ctx.barrier();
+                    let t0 = ctx.now();
+                    for _ in 0..RMC_ROUNDS {
+                        assert_eq!(tx.publish(&msg).unwrap(), 2);
+                    }
+                    let dt = ctx.now() - t0;
+                    ctx.barrier();
+                    tx.close(ctx).unwrap();
+                    dt / RMC_ROUNDS as f64
+                }
+                FanoutEnd::Subscriber(mut rx) => {
+                    let mut buf = [0u8; 64];
+                    ctx.barrier();
+                    for _ in 0..RMC_ROUNDS {
+                        rx.recv(&mut buf).unwrap();
+                    }
+                    ctx.barrier();
+                    rx.close(ctx).unwrap();
+                    0.0
+                }
+            }
+        });
+    m.insert("rmc_fanout_publish_2sub_ns".into(), fanout_run[0]);
+    // One full RPC round with a single client: the server's probe order
+    // has exactly one source, so the round time is deterministic.
+    let rpc_cfg = RmcConfig { slots: 4, slot_bytes: 64, ..RmcConfig::default() };
+    let rpc_run = Universe::new(2)
+        .node_size(1)
+        .seed(1)
+        .faults(FaultPlan::disabled())
+        .batch(false)
+        .notify_depth(16)
+        .run(move |ctx| match fompi_rmc::rpc(ctx, 0, &[1], &rpc_cfg).unwrap().unwrap() {
+            RpcEnd::Server(mut srv) => {
+                for _ in 0..RMC_ROUNDS {
+                    let req = srv.recv().unwrap();
+                    let rep = req.data.clone();
+                    srv.reply(&req, &rep).unwrap();
+                }
+                srv.close(ctx).unwrap();
+                0.0
+            }
+            RpcEnd::Client(mut cl) => {
+                let req = [6u8; 64];
+                let mut rep = [0u8; 64];
+                let t0 = ctx.now();
+                for _ in 0..RMC_ROUNDS {
+                    cl.call(&req, &mut rep).unwrap();
+                }
+                let dt = ctx.now() - t0;
+                cl.close(ctx).unwrap();
+                dt / RMC_ROUNDS as f64
+            }
+        });
+    m.insert("rpc_round_64_ns".into(), rpc_run[1]);
     // Transaction-layer twins: one versioned read (two NO_OP version
     // fetches bracketing a NO_OP payload fetch) and the commit phase of a
     // 2-key transaction (lock-CAS x2, REPLACE accumulate x2, flush,

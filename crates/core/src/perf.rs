@@ -194,6 +194,30 @@ impl PaperModel {
         let k = nkeys as f64;
         2.0 * k * self.cas + k * self.acc_sum(s) + 2.0 * self.flush
     }
+
+    /// One fan-in message round over a remote-memory channel
+    /// (`fompi-rmc`): because each producer owns a private slot region on
+    /// the consumer (record `source` replaces any shared cursor), the data
+    /// path adds *nothing* over the SPSC channel — a notified put in, a
+    /// notified credit AMO back.
+    pub fn rmc_fanin_round(&self, s: usize) -> f64 {
+        self.channel_round(s)
+    }
+
+    /// One fan-out publication of `s` bytes to `m` subscribers: the
+    /// publisher serializes `m` notified-put *injections* (2 each — data +
+    /// trailing notification AMO) but the wire latencies overlap, so one
+    /// `max(Pput(s), Pacc,sum(8))` term covers the whole subscriber set.
+    pub fn rmc_fanout_publish(&self, m: usize, s: usize) -> f64 {
+        2.0 * m as f64 * self.inject + self.put(s).max(self.acc_sum(8))
+    }
+
+    /// One RPC round trip (`fompi-rmc::rpc`): the request rides a fan-in
+    /// channel round to the server, the reply rides the caller's reply
+    /// channel back — two full channel rounds, credits included.
+    pub fn rpc_round(&self, req: usize, rep: usize) -> f64 {
+        self.channel_round(req) + self.channel_round(rep)
+    }
 }
 
 /// Instruction counts the paper reports for foMPI fast paths (§2.3/§2.4/§6),
@@ -308,5 +332,39 @@ mod tests {
         let s = 256;
         assert!((m.channel_round(s) - (m.put_notified(s) + m.notified_amo())).abs() < 1e-9);
         assert!(m.notified_amo() > m.acc_sum(8));
+    }
+
+    #[test]
+    fn rmc_fanin_is_faa_free() {
+        // The MPMC fan-in data path must cost exactly the SPSC channel
+        // round: per-producer slot regions mean no shared cursor, no FAA.
+        let m = PaperModel::default();
+        for s in [8usize, 256, 4096] {
+            assert!((m.rmc_fanin_round(s) - m.channel_round(s)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rmc_fanout_overlaps_wire_latency() {
+        let m = PaperModel::default();
+        let s = 512;
+        // One subscriber degenerates to a plain notified put.
+        assert!((m.rmc_fanout_publish(1, s) - m.put_notified(s)).abs() < 1e-9);
+        // Each extra subscriber costs exactly two more injections…
+        let slope = m.rmc_fanout_publish(3, s) - m.rmc_fanout_publish(2, s);
+        assert!((slope - 2.0 * m.inject).abs() < 1e-9);
+        // …which beats m sequential notified puts (the overlap win).
+        assert!(m.rmc_fanout_publish(8, s) < 8.0 * m.put_notified(s));
+    }
+
+    #[test]
+    fn rpc_round_is_two_channel_rounds() {
+        let m = PaperModel::default();
+        let (req, rep) = (64, 256);
+        assert!(
+            (m.rpc_round(req, rep) - (m.channel_round(req) + m.channel_round(rep))).abs() < 1e-9
+        );
+        // An RPC always costs more than a one-way message of either size.
+        assert!(m.rpc_round(req, rep) > m.channel_round(req.max(rep)));
     }
 }

@@ -57,11 +57,16 @@ pub enum Protocol {
     /// CAS lock, accumulate(REPLACE) write, CAS publish) over disjoint
     /// seed-derived cell pairings; total balance is conserved.
     TxnTransfer,
+    /// Remote-memory-channel ring (the `fompi-rmc` wire protocol: slotted
+    /// notified puts forward, credit-counting notified AMOs back, a flush
+    /// fence per ring lap); counts and payloads are exact and the
+    /// notification ring must drain to empty.
+    RmcChannel,
 }
 
 impl Protocol {
     /// Every protocol, in soak order.
-    pub const ALL: [Protocol; 9] = [
+    pub const ALL: [Protocol; 10] = [
         Protocol::Fence,
         Protocol::Pscw,
         Protocol::PscwFast,
@@ -71,6 +76,7 @@ impl Protocol {
         Protocol::Notify,
         Protocol::Flush,
         Protocol::TxnTransfer,
+        Protocol::RmcChannel,
     ];
 
     /// Stable name (CSV column, violation messages).
@@ -85,6 +91,7 @@ impl Protocol {
             Protocol::Notify => "notify",
             Protocol::Flush => "flush",
             Protocol::TxnTransfer => "txn_transfer",
+            Protocol::RmcChannel => "rmc_channel",
         }
     }
 }
@@ -182,6 +189,7 @@ pub fn run_case_racecheck(
             Protocol::Notify => notify_ring(ctx, p, epochs, seed, &mut v),
             Protocol::Flush => flush_readback(ctx, p, epochs, seed, &mut v),
             Protocol::TxnTransfer => txn_transfer(ctx, p, epochs, seed, &mut v),
+            Protocol::RmcChannel => rmc_channel(ctx, p, epochs, seed, &mut v),
         };
         if let Err(e) = r {
             v.push(violation(proto.name(), seed, ctx.rank(), format!("protocol error: {e}")));
@@ -710,6 +718,120 @@ fn txn_transfer(
     Ok(())
 }
 
+/// The `fompi-rmc` channel wire protocol soaked under faults: every rank
+/// streams `epochs` messages to its right neighbour over a slotted ring
+/// in the receiver's window copy (notified puts), the receiver hands one
+/// notified credit AMO back per drained slot, and slot reuse is fenced
+/// with one flush per ring lap — exactly the producer/consumer loop the
+/// `fompi-rmc` ends run, minus the crate dependency. Each slot region has
+/// a single writer and each credit pad a single incrementer, so whatever
+/// latencies, delayed completions or transient rejections the fault layer
+/// injects, every payload must land exactly once, in order, and the
+/// notification ring must drain to empty (the channel's bufferless rest
+/// state).
+fn rmc_channel(
+    ctx: &RankCtx,
+    p: usize,
+    epochs: usize,
+    seed: u64,
+    v: &mut Vec<String>,
+) -> Result<()> {
+    const SLOTS: u64 = 2;
+    const DATA_TAG: u32 = 0x00D0;
+    const CREDIT_TAG: u32 = 0x00C0;
+    // Layout: 8-byte credit-AMO pad at 0, then SLOTS cells for the left
+    // neighbour's payloads.
+    let win = Win::allocate(ctx, 8 + SLOTS as usize * 8, 1)?;
+    let me = ctx.rank();
+    let (left, right) = neighbors(me, p);
+    win.lock_all()?;
+    ctx.barrier();
+    let (mut credits, mut head, mut flushed_at) = (SLOTS, 0u64, 0u64);
+    let (mut tail, mut drained) = (0u64, 0usize);
+    let check_slot = |win: &Win, tail: u64, v: &mut Vec<String>| {
+        let mut b = [0u8; 8];
+        win.read_local(8 + (tail % SLOTS) as usize * 8, &mut b);
+        let (got, want) = (u64::from_le_bytes(b), payload(seed, tail as usize, left));
+        if got != want {
+            v.push(violation(
+                "rmc_channel",
+                seed,
+                me,
+                format!("message {tail} from rank {left} = {got:#x}, want {want:#x}"),
+            ));
+        }
+    };
+    for e in 0..epochs {
+        // Service the consumer side first so a blocked neighbour always
+        // makes progress: drain every arrived payload, recycle its slot
+        // with a credit AMO.
+        while win.test_notify(left, DATA_TAG)?.is_some() {
+            check_slot(&win, tail, v);
+            tail += 1;
+            drained += 1;
+            win.accumulate_notify(1, MpiOp::Sum, left, 0, CREDIT_TAG)?;
+        }
+        // Producer side: absorb credits (keep draining while starved —
+        // the ring would deadlock if every rank just waited), fence slot
+        // reuse once per lap, send.
+        while credits == 0 {
+            if win.test_notify(right, CREDIT_TAG)?.is_some() {
+                credits += 1;
+            } else if win.test_notify(left, DATA_TAG)?.is_some() {
+                check_slot(&win, tail, v);
+                tail += 1;
+                drained += 1;
+                win.accumulate_notify(1, MpiOp::Sum, left, 0, CREDIT_TAG)?;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if head >= flushed_at + SLOTS {
+            win.flush(right)?;
+            flushed_at = head;
+        }
+        win.put_notify(
+            &payload(seed, e, me).to_le_bytes(),
+            right,
+            8 + (head % SLOTS) as usize * 8,
+            DATA_TAG,
+        )?;
+        head += 1;
+        credits -= 1;
+    }
+    // Drain the remainder of the left neighbour's stream...
+    while drained < epochs {
+        win.wait_notify(left, DATA_TAG)?;
+        check_slot(&win, tail, v);
+        tail += 1;
+        drained += 1;
+        win.accumulate_notify(1, MpiOp::Sum, left, 0, CREDIT_TAG)?;
+    }
+    // ...and absorb the returning credits: one per message sent, so the
+    // ring ends exactly as full as it started. A short count here is a
+    // lost credit notification.
+    while credits < SLOTS {
+        win.wait_notify(right, CREDIT_TAG)?;
+        credits += 1;
+    }
+    win.flush_all()?;
+    ctx.barrier();
+    // Bufferless rest state: every data and credit notification consumed.
+    let pending = win.notify_pending();
+    if pending != 0 {
+        v.push(violation(
+            "rmc_channel",
+            seed,
+            me,
+            format!("{pending} notification record(s) left in the ring"),
+        ));
+    }
+    win.unlock_all()?;
+    ctx.barrier();
+    quiescence(&win, "rmc_channel", seed, me, v);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -730,6 +852,25 @@ mod tests {
             assert!(out.passed(), "{:?}: {:?}", proto, out.violations);
             assert!(out.injected > 0, "{proto:?} saw no faults under a heavy plan");
         }
+    }
+
+    #[test]
+    fn rmc_channel_racecheck_clean_under_heavy_faults() {
+        // The acceptance bar for the channel wire protocol: all six fault
+        // classes armed, race checker panicking on any flag. The slot
+        // fences and single-writer layout must hold under any injected
+        // schedule.
+        let out = run_case_racecheck(
+            Protocol::RmcChannel,
+            4,
+            6,
+            7,
+            FaultPlan::heavy(0),
+            Some(fompi_fabric::RacecheckMode::Panic),
+        );
+        assert!(out.passed(), "{:?}", out.violations);
+        assert_eq!(out.raceflags, 0);
+        assert!(out.injected > 0, "heavy plan must inject");
     }
 
     #[test]

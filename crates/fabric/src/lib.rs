@@ -99,6 +99,7 @@ pub struct Fabric {
     profiler: Profiler,
     metrics_on: AtomicBool,
     txn_retry: RwLock<Option<String>>,
+    rmc: RwLock<Option<String>>,
 }
 
 impl Fabric {
@@ -177,6 +178,7 @@ impl Fabric {
             profiler,
             metrics_on: AtomicBool::new(metrics_on),
             txn_retry: RwLock::new(txn_retry_from_env()),
+            rmc: RwLock::new(rmc_from_env()),
         })
     }
 
@@ -294,6 +296,21 @@ impl Fabric {
         *self.txn_retry.write() = Some(spec.to_string());
     }
 
+    /// The remote-memory-channel tuning spec in force (`FOMPI_RMC` /
+    /// [`Fabric::set_rmc`]), if any. The fabric only carries the string —
+    /// the `fompi-rmc` layer owns the grammar and parses it at
+    /// channel-construction time.
+    pub fn rmc(&self) -> Option<String> {
+        self.rmc.read().clone()
+    }
+
+    /// Set the remote-memory-channel tuning spec programmatically.
+    /// Launch-time configuration only — the runtime's `Universe::rmc`
+    /// funnels through here, mirroring [`Fabric::set_txn_retry`].
+    pub fn set_rmc(&self, spec: &str) {
+        *self.rmc.write() = Some(spec.to_string());
+    }
+
     /// Register `seg` for remote access by rank `rank`. Returns the key
     /// remote peers use to address it — the analogue of the DMAPP
     /// registration descriptor.
@@ -381,6 +398,15 @@ fn batch_from_env() -> bool {
 /// stays ignorant of transaction semantics.
 fn txn_retry_from_env() -> Option<String> {
     std::env::var("FOMPI_TXN_RETRY").ok().map(|s| s.trim().to_string()).filter(|s| !s.is_empty())
+}
+
+/// `FOMPI_RMC` carrier: the raw remote-memory-channel tuning spec for the
+/// `fompi-rmc` layer (grammar documented there; e.g.
+/// `slots=8,slot_bytes=256,lagging=drop,rpc_budget=4,rpc_timeout_ns=2000000`).
+/// Parsed lazily by the consumer so the fabric stays ignorant of channel
+/// semantics.
+fn rmc_from_env() -> Option<String> {
+    std::env::var("FOMPI_RMC").ok().map(|s| s.trim().to_string()).filter(|s| !s.is_empty())
 }
 
 /// `FOMPI_METRICS` switch: `1`/`true`/`on` arms the metrics plane (and the

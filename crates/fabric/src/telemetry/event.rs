@@ -118,11 +118,23 @@ pub enum EventKind {
     /// or retry-budget exhaustion). The span covers the failed attempt
     /// including rollback.
     TxnAbort,
+    /// A message appended onto a remote-memory channel (`fompi-rmc` fan-in
+    /// producer or fan-out publisher). The span covers the notified put
+    /// including any credit stall; `bytes` is the payload length.
+    RmcSend,
+    /// A message drained from a remote-memory channel (fan-in consumer or
+    /// fan-out subscriber). The span covers the match → credit-return
+    /// window.
+    RmcRecv,
+    /// One complete RPC round trip at the caller (`fompi-rmc::rpc`):
+    /// request send through reply match. `bytes` is request + reply
+    /// payload.
+    RpcCall,
 }
 
 impl EventKind {
     /// Number of distinct kinds (size of per-class stat arrays).
-    pub const COUNT: usize = 30;
+    pub const COUNT: usize = 33;
 
     /// All kinds, in `index` order.
     pub const ALL: [EventKind; EventKind::COUNT] = [
@@ -156,6 +168,9 @@ impl EventKind {
         EventKind::TxnRead,
         EventKind::TxnCommit,
         EventKind::TxnAbort,
+        EventKind::RmcSend,
+        EventKind::RmcRecv,
+        EventKind::RpcCall,
     ];
 
     /// Dense index for per-class stat arrays.
@@ -197,6 +212,9 @@ impl EventKind {
             EventKind::TxnRead => "txn_read",
             EventKind::TxnCommit => "txn_commit",
             EventKind::TxnAbort => "txn_abort",
+            EventKind::RmcSend => "rmc_send",
+            EventKind::RmcRecv => "rmc_recv",
+            EventKind::RpcCall => "rpc_call",
         }
     }
 

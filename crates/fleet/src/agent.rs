@@ -3,9 +3,9 @@
 //! An *agent* is a release bench binary that, when invoked with its
 //! registered argv, prints exactly one line of JSON metrics to stdout —
 //! the [`fompi_fabric::metrics`] single-line form. The registry maps an
-//! agent name to an argv *template*; placeholders (`{ranks}`, `{seed}`,
-//! `{backend}`) are expanded per sweep point, so one registry entry covers
-//! a whole rank-count sweep.
+//! agent name to an argv *template*; placeholders (`{ranks}`,
+//! `{node_size}`, `{seed}`, `{backend}`) are expanded per sweep point, so
+//! one registry entry covers a whole (ranks × node_size) sweep grid.
 
 use crate::json::{parse, Json};
 use fompi_fabric::telemetry::HistSnapshot;
@@ -24,6 +24,11 @@ pub struct AgentSpec {
     pub backend: &'static str,
     /// Rank counts to sweep. Fixed-config agents list exactly one.
     pub ranks: &'static [usize],
+    /// Node sizes (ranks per simulated node) to sweep, crossed with
+    /// `ranks`. `1` is all-inter-node; larger values route part of the
+    /// traffic through the XPMEM fast path. Agents whose argv template
+    /// has no `{node_size}` placeholder list exactly `&[1]`.
+    pub node_sizes: &'static [usize],
     /// Whether the agent's metrics are schedule-independent (byte-stable
     /// for a fixed seed). Unstable agents still run in every sweep and
     /// appear in the wall-clock table, but their volatile numbers are
@@ -57,9 +62,15 @@ pub fn expand_template(tmpl: &str, vars: &BTreeMap<&str, String>) -> Result<Stri
 }
 
 /// Expand a whole argv template for one sweep point.
-pub fn expand_argv(spec: &AgentSpec, ranks: usize, seed: u64) -> Result<Vec<String>, String> {
+pub fn expand_argv(
+    spec: &AgentSpec,
+    ranks: usize,
+    node_size: usize,
+    seed: u64,
+) -> Result<Vec<String>, String> {
     let mut vars: BTreeMap<&str, String> = BTreeMap::new();
     vars.insert("ranks", ranks.to_string());
+    vars.insert("node_size", node_size.to_string());
     vars.insert("seed", seed.to_string());
     vars.insert("backend", spec.backend.to_string());
     spec.args.iter().map(|a| expand_template(a, &vars)).collect()
@@ -228,15 +239,21 @@ mod tests {
                 "{backend}",
                 "--ranks",
                 "{ranks}",
+                "--node-size",
+                "{node_size}",
                 "--seed",
                 "{seed}",
             ],
             backend: "rma",
             ranks: &[2, 4],
+            node_sizes: &[1, 2],
             stable: true,
         };
-        let argv = expand_argv(&spec, 4, 7).unwrap();
-        assert_eq!(argv, ["--agent-json", "--backend", "rma", "--ranks", "4", "--seed", "7"]);
+        let argv = expand_argv(&spec, 4, 2, 7).unwrap();
+        assert_eq!(
+            argv,
+            ["--agent-json", "--backend", "rma", "--ranks", "4", "--node-size", "2", "--seed", "7"]
+        );
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub struct ConfigResult {
     pub backend: String,
     /// Rank count of this sweep point.
     pub ranks: usize,
+    /// Node size (ranks per simulated node) of this sweep point.
+    pub node_size: usize,
     /// Seed the agent ran with.
     pub seed: u64,
     /// Parsed metrics line.
@@ -102,17 +104,24 @@ fn class_json(class: &str, count: u64, bytes: u64, virtual_ns: u64, lat: &HistSn
 }
 
 /// Render the byte-stable fleet summary. `runs` are sorted internally by
-/// (backend, agent, ranks), so registry order doesn't leak into the file;
-/// schedule-dependent (unstable) runs are dropped, so the file stays
-/// byte-stable even when the sweep includes them.
+/// (backend, agent, ranks, node_size), so registry order doesn't leak
+/// into the file; schedule-dependent (unstable) runs are dropped, so the
+/// file stays byte-stable even when the sweep includes them.
 pub fn render_summary(runs: &[ConfigResult]) -> String {
     let mut sorted: Vec<&ConfigResult> = runs.iter().filter(|r| r.stable).collect();
-    sorted.sort_by(|a, b| (&a.backend, &a.agent, a.ranks).cmp(&(&b.backend, &b.agent, b.ranks)));
+    sorted.sort_by(|a, b| {
+        (&a.backend, &a.agent, a.ranks, a.node_size).cmp(&(
+            &b.backend,
+            &b.agent,
+            b.ranks,
+            b.node_size,
+        ))
+    });
     let mut out = String::from("{\n  \"configs\": [\n");
     for (i, run) in sorted.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"agent\":\"{}\",\"backend\":\"{}\",\"ranks\":{},\"seed\":{},\n",
-            run.agent, run.backend, run.ranks, run.seed
+            "    {{\"agent\":\"{}\",\"backend\":\"{}\",\"ranks\":{},\"node_size\":{},\"seed\":{},\n",
+            run.agent, run.backend, run.ranks, run.node_size, run.seed
         ));
         out.push_str("     \"classes\":[\n");
         for (j, c) in run.metrics.classes.iter().enumerate() {
@@ -153,13 +162,21 @@ pub fn render_summary(runs: &[ConfigResult]) -> String {
 /// the non-deterministic sibling of the summary).
 pub fn render_table(runs: &[ConfigResult]) -> String {
     let mut sorted: Vec<&ConfigResult> = runs.iter().collect();
-    sorted.sort_by(|a, b| (&a.backend, &a.agent, a.ranks).cmp(&(&b.backend, &b.agent, b.ranks)));
+    sorted.sort_by(|a, b| {
+        (&a.backend, &a.agent, a.ranks, a.node_size).cmp(&(
+            &b.backend,
+            &b.agent,
+            b.ranks,
+            b.node_size,
+        ))
+    });
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<14} {:>7} {:>5} {:>5} {:>9} {:>12} {:>11} {:>8} {:>8} {:>7} {:>7}\n",
+        "{:<14} {:>7} {:>5} {:>4} {:>5} {:>9} {:>12} {:>11} {:>8} {:>8} {:>7} {:>7}\n",
         "agent",
         "backend",
         "ranks",
+        "node",
         "seed",
         "ops",
         "virtual_ms",
@@ -179,10 +196,11 @@ pub fn render_table(runs: &[ConfigResult]) -> String {
             .unwrap_or_else(|| "-".into());
         let fmt_opt = |v: Option<f64>| v.map(|x| format!("{x:.1}")).unwrap_or_else(|| "-".into());
         out.push_str(&format!(
-            "{:<14} {:>7} {:>5} {:>5} {:>9} {:>12.3} {:>11} {:>8.1} {:>8} {:>7} {:>7}\n",
+            "{:<14} {:>7} {:>5} {:>4} {:>5} {:>9} {:>12.3} {:>11} {:>8.1} {:>8} {:>7} {:>7}\n",
             run.agent,
             run.backend,
             run.ranks,
+            run.node_size,
             run.seed,
             run.metrics.total_ops(),
             run.metrics.total_virtual_ns() as f64 / 1e6,
@@ -197,7 +215,7 @@ pub fn render_table(runs: &[ConfigResult]) -> String {
 }
 
 /// Flatten a parsed fleet summary into gate metrics:
-/// `<agent>/p<ranks>/<class>/<field>` per configuration plus
+/// `<agent>/p<ranks>/n<node_size>/<class>/<field>` per configuration plus
 /// `merged/<class>/<field>` for the fleet-wide distributions, where
 /// `<field>` ranges over `count`, `bytes`, `virtual_ns`, `p50`, `p99`,
 /// `p999`.
@@ -223,7 +241,8 @@ pub fn flatten_summary(root: &crate::json::Json) -> Result<BTreeMap<String, f64>
     for cfg in root.get("configs").and_then(Json::as_arr).ok_or("summary: missing configs")? {
         let agent = cfg.get("agent").and_then(Json::as_str).ok_or("config without agent")?;
         let ranks = cfg.get("ranks").and_then(Json::as_u64).ok_or("config without ranks")?;
-        let prefix = format!("{agent}/p{ranks}");
+        let node = cfg.get("node_size").and_then(Json::as_u64).ok_or("config without node_size")?;
+        let prefix = format!("{agent}/p{ranks}/n{node}");
         add_classes(&prefix, cfg.get("classes").ok_or(format!("{prefix}: missing classes"))?)?;
     }
     add_classes("merged", root.get("merged").ok_or("summary: missing merged")?)?;
@@ -241,6 +260,7 @@ mod tests {
             agent: agent.into(),
             backend: backend.into(),
             ranks,
+            node_size: 1,
             seed: 1,
             metrics: AgentMetrics {
                 ranks: ranks as u64,
@@ -293,11 +313,29 @@ mod tests {
         assert_eq!(fwd, rev, "summary must not depend on registry order");
         let parsed = crate::json::parse(&fwd).unwrap();
         let flat = flatten_summary(&parsed).unwrap();
-        assert_eq!(flat["a/p2/put/count"], 2.0);
-        assert_eq!(flat["b/p4/put/count"], 1.0);
+        assert_eq!(flat["a/p2/n1/put/count"], 2.0);
+        assert_eq!(flat["b/p4/n1/put/count"], 1.0);
         assert_eq!(flat["merged/put/count"], 3.0);
         assert_eq!(flat["merged/fence/virtual_ns"], 500.0);
         assert!(flat.contains_key("merged/put/p999"));
+    }
+
+    #[test]
+    fn node_size_is_a_first_class_sweep_axis() {
+        // Same agent, same ranks, different placement: the two sweep
+        // points must survive as distinct configs with distinct gate keys
+        // (a summary that collapsed them would silently gate only one).
+        let n1 = run("a", "rma", 4, vec![class("put", &[64])]);
+        let mut n2 = run("a", "rma", 4, vec![class("put", &[32])]);
+        n2.node_size = 2;
+        let text = render_summary(&[n2.clone(), n1.clone()]);
+        let flat = flatten_summary(&crate::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(flat["a/p4/n1/put/virtual_ns"], 64.0);
+        assert_eq!(flat["a/p4/n2/put/virtual_ns"], 32.0);
+        // Sort order: n1 before n2 regardless of input order.
+        assert!(text.find("\"node_size\":1").unwrap() < text.find("\"node_size\":2").unwrap());
+        let table = render_table(&[n2, n1]);
+        assert!(table.contains("node"), "table must carry the node column:\n{table}");
     }
 
     #[test]

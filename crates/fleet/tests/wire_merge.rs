@@ -35,6 +35,7 @@ fn to_config(agent: &str, snap: &metrics::MetricsSnapshot) -> ConfigResult {
         agent: agent.into(),
         backend: "rma".into(),
         ranks: 2,
+        node_size: 1,
         seed: 1,
         metrics: parsed,
         usage: Usage::default(),

@@ -29,7 +29,7 @@
 //! the channel is SPSC (one producer rank, one consumer rank), the
 //! degenerate but dominant case of the paper's halo/pipeline patterns.
 
-use fompi::{MpiOp, Notification, Result, Win};
+use fompi::{FompiError, MpiOp, Notification, Result, Win};
 use fompi_runtime::RankCtx;
 
 /// Tag carried by data notifications (producer → consumer).
@@ -63,6 +63,11 @@ pub struct Receiver {
 /// endpoints get `None`. The ring memory lives in the consumer's window;
 /// both endpoints hold a `lock_all` passive epoch for the channel's
 /// lifetime — drop via [`Sender::close`] / [`Receiver::close`].
+///
+/// A zero-capacity configuration (`slots == 0` or `slot_bytes == 0`) is
+/// rejected with a typed error rather than a panic: every rank takes the
+/// same branch before any collective allocation, so the rejection is
+/// itself collective and no window leaks.
 pub fn channel(
     ctx: &RankCtx,
     producer: u32,
@@ -70,7 +75,9 @@ pub fn channel(
     slots: usize,
     slot_bytes: usize,
 ) -> Result<Option<ChannelEnd>> {
-    assert!(slots > 0 && slot_bytes > 0, "channel needs at least one non-empty slot");
+    if slots == 0 || slot_bytes == 0 {
+        return Err(FompiError::InvalidEpoch("channel needs at least one non-empty slot"));
+    }
     assert_ne!(producer, consumer, "SPSC channel endpoints must differ");
     // Symmetric-heap window: every rank exposes the same size (only the
     // consumer's copy holds ring data; the producer's doubles as the
@@ -131,7 +138,7 @@ impl Sender {
             // One credit notification per freed slot; its stamp joins our
             // clock, so waiting here *is* the flow-control time.
             self.win.wait_notify(self.peer, CREDIT_TAG)?;
-            self.credits += 1;
+            self.add_credit()?;
         }
         let slot = (self.head % self.slots as u64) as usize;
         self.win.put_notify(msg, self.peer, slot * self.slot_bytes, DATA_TAG)?;
@@ -148,9 +155,24 @@ impl Sender {
     /// Absorb any credit notifications that already arrived (nonblocking).
     pub fn poll_credits(&mut self) -> Result<u64> {
         while self.win.test_notify(self.peer, CREDIT_TAG)?.is_some() {
-            self.credits += 1;
+            self.add_credit()?;
         }
         Ok(self.credits)
+    }
+
+    /// Book one returned credit, failing loudly on underflow of the
+    /// outstanding-message count: a credit beyond `slots` means the
+    /// consumer freed a slot this producer never filled (a stray or
+    /// duplicated credit notification), and silently absorbing it would
+    /// let a later burst overrun the ring.
+    fn add_credit(&mut self) -> Result<()> {
+        if self.credits >= self.slots as u64 {
+            return Err(FompiError::InvalidEpoch(
+                "channel credit underflow: consumer returned more slots than were ever filled",
+            ));
+        }
+        self.credits += 1;
+        Ok(())
     }
 
     /// Tear down this half (collective with [`Receiver::close`]).
@@ -186,9 +208,26 @@ impl Receiver {
     }
 
     /// Tear down this half (collective with [`Sender::close`]).
+    ///
+    /// Closing with undelivered data still in the ring is a typed error:
+    /// the undrained messages vanish with the window. Drain with
+    /// [`Receiver::recv`] until the producer's count is met (the two
+    /// sides must agree on it out of band or via a barrier) before
+    /// closing. The teardown itself still runs — `Win::free` is
+    /// collective, so refusing here would deadlock the producer's close —
+    /// but the loss is reported instead of silent. The sender side
+    /// carries no such check: unabsorbed *credit* notifications at the
+    /// producer are benign, they only mean the producer never needed the
+    /// freed slots.
     pub fn close(self, ctx: &RankCtx) -> Result<()> {
+        let undrained = self.win.notify_pending();
         self.win.unlock_all()?;
         self.win.free(ctx);
+        if undrained != 0 {
+            return Err(FompiError::InvalidEpoch(
+                "receiver closed with undrained messages in the ring",
+            ));
+        }
         Ok(())
     }
 }
@@ -260,6 +299,84 @@ mod tests {
             }
         });
         assert_eq!(got[1], MSGS);
+    }
+
+    #[test]
+    fn zero_capacity_is_rejected_with_a_typed_error() {
+        // Both degenerate shapes, rejected on every rank before any
+        // collective allocation — the universe still tears down cleanly.
+        Universe::new(2).node_size(1).run(|ctx| {
+            for (slots, slot_bytes) in [(0usize, 64usize), (4, 0), (0, 0)] {
+                match channel(ctx, 0, 1, slots, slot_bytes) {
+                    Err(FompiError::InvalidEpoch(msg)) => assert!(msg.contains("slot")),
+                    Err(e) => panic!("wrong rejection for ({slots},{slot_bytes}): {e}"),
+                    Ok(_) => panic!("zero-capacity channel ({slots},{slot_bytes}) was accepted"),
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn receiver_close_before_drain_is_a_typed_error() {
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            let end = channel(ctx, 0, 1, 4, 8).unwrap().unwrap();
+            match end {
+                ChannelEnd::Sender(mut tx) => {
+                    tx.send(b"payload!").unwrap();
+                    ctx.barrier(); // message is in the ring before the close attempt
+                    ctx.barrier();
+                    tx.close(ctx).unwrap();
+                    0
+                }
+                ChannelEnd::Receiver(rx) => {
+                    ctx.barrier();
+                    // The ring still holds the undelivered message: the
+                    // close must refuse rather than drop it on the floor.
+                    assert_eq!(rx.try_peek().unwrap(), Some(8));
+                    let err = rx.close(ctx).unwrap_err();
+                    assert!(
+                        matches!(err, FompiError::InvalidEpoch(m) if m.contains("undrained")),
+                        "expected an undrained-close error, got {err:?}"
+                    );
+                    ctx.barrier();
+                    1
+                }
+            }
+        });
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn stray_credit_is_a_loud_underflow_error() {
+        // A consumer that returns more credits than the producer ever
+        // spent (here: one real + one forged) must trip the producer's
+        // underflow check instead of silently inflating the window.
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            let end = channel(ctx, 0, 1, 1, 8).unwrap().unwrap();
+            match end {
+                ChannelEnd::Sender(mut tx) => {
+                    tx.send(b"one-----").unwrap();
+                    ctx.barrier(); // consumer drained + forged by now
+                    let err = tx.poll_credits().unwrap_err();
+                    assert!(
+                        matches!(err, FompiError::InvalidEpoch(m) if m.contains("underflow")),
+                        "expected a credit-underflow error, got {err:?}"
+                    );
+                    tx.close(ctx).unwrap();
+                    1
+                }
+                ChannelEnd::Receiver(mut rx) => {
+                    let mut buf = [0u8; 8];
+                    rx.recv(&mut buf).unwrap(); // returns the legitimate credit
+                                                // Forge a second credit for a slot that was never filled.
+                    rx.win.accumulate_notify(1, MpiOp::Sum, rx.peer, 0, CREDIT_TAG).unwrap();
+                    ctx.barrier();
+                    rx.close(ctx).unwrap();
+                    2
+                }
+            }
+        });
+        assert_eq!(got, vec![1, 2]);
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! MPMC fan-in channel: N producers, one consumer, FAA-free data path.
+//!
+//! The consumer's window copy holds one private slot *region* per
+//! producer:
+//!
+//! ```text
+//! | producer 0: slot 0..slots | producer 1: slot 0..slots | ...
+//! ```
+//!
+//! Each producer appends into its own region with `put_notify`, so no
+//! shared cursor exists and nothing is fetch-and-added on the data path —
+//! the notification record's `source` field tells the consumer whose
+//! region (and, via that producer's tail, which slot) a message landed in,
+//! exactly like the notified DSDE port. Backpressure is per-producer: the
+//! consumer recycles a slot with one notified credit AMO aimed at the
+//! producer that owns it, and a producer out of credits blocks in
+//! [`FaninProducer::send`].
+//!
+//! The consumer drains until dry: [`FaninConsumer::try_recv`] is one
+//! nonblocking matching pass, so `while let Some(..) = q.try_recv(..)?`
+//! consumes exactly the messages whose notifications have arrived.
+
+use fompi::{FompiError, MpiOp, Result, Win, ANY_SOURCE};
+use fompi_fabric::telemetry::EventKind;
+use fompi_fabric::{Endpoint, NotifyRecord};
+use fompi_runtime::RankCtx;
+use std::rc::Rc;
+
+/// Tag carried by fan-in data notifications (producer → consumer).
+pub const FANIN_DATA_TAG: u32 = 0x00F1_00DA;
+
+/// Tag carried by fan-in credit notifications (consumer → producer).
+pub const FANIN_CREDIT_TAG: u32 = 0x00F1_00CE;
+
+/// Producer half of a fan-in channel.
+pub struct FaninProducer {
+    win: Win,
+    ep: Rc<Endpoint>,
+    consumer: u32,
+    /// Byte offset of this producer's region in the consumer's window.
+    region: usize,
+    slots: usize,
+    slot_bytes: usize,
+    head: u64,
+    credits: u64,
+    /// Head value at the last flush toward the consumer (the slot-reuse
+    /// fence — see [`FaninProducer::send`]).
+    flushed_at: u64,
+}
+
+/// Consumer half of a fan-in channel.
+pub struct FaninConsumer {
+    win: Win,
+    ep: Rc<Endpoint>,
+    producers: Vec<u32>,
+    slots: usize,
+    slot_bytes: usize,
+    /// Per-producer consumption cursor (same order as `producers`).
+    tails: Vec<u64>,
+}
+
+/// What [`fanin`] hands each participating rank.
+pub enum FaninEnd {
+    /// This rank is one of the producers.
+    Producer(FaninProducer),
+    /// This rank is the consumer.
+    Consumer(FaninConsumer),
+}
+
+/// Collectively build a fan-in channel from `producers` to `consumer`
+/// with `slots` ring cells of `slot_bytes` each per producer. Every rank
+/// of the universe must call (window creation is collective); ranks that
+/// are neither producer nor consumer get `None`. Producers must be
+/// distinct and must not include the consumer. The slot regions live in
+/// the consumer's window copy; each producer's copy doubles as its
+/// credit-AMO landing pad at offset 0. All ends hold a `lock_all` passive
+/// epoch for the channel's lifetime — drop via the ends' `close`.
+pub fn fanin(
+    ctx: &RankCtx,
+    consumer: u32,
+    producers: &[u32],
+    slots: usize,
+    slot_bytes: usize,
+) -> Result<Option<FaninEnd>> {
+    assert!(slots > 0 && slot_bytes > 0, "fan-in needs at least one non-empty slot");
+    assert!(!producers.is_empty(), "fan-in needs at least one producer");
+    assert!(!producers.contains(&consumer), "the consumer cannot also produce");
+    assert!(
+        producers.iter().enumerate().all(|(i, p)| !producers[..i].contains(p)),
+        "fan-in producers must be distinct"
+    );
+    let win = Win::allocate(ctx, producers.len() * slots * slot_bytes, 1)?;
+    win.lock_all()?;
+    let me = ctx.rank();
+    if me == consumer {
+        Ok(Some(FaninEnd::Consumer(FaninConsumer {
+            win,
+            ep: ctx.ep_rc(),
+            producers: producers.to_vec(),
+            slots,
+            slot_bytes,
+            tails: vec![0; producers.len()],
+        })))
+    } else if let Some(i) = producers.iter().position(|&p| p == me) {
+        Ok(Some(FaninEnd::Producer(FaninProducer {
+            win,
+            ep: ctx.ep_rc(),
+            consumer,
+            region: i * slots * slot_bytes,
+            slots,
+            slot_bytes,
+            head: 0,
+            credits: slots as u64,
+            flushed_at: 0,
+        })))
+    } else {
+        win.unlock_all()?;
+        win.free(ctx);
+        Ok(None)
+    }
+}
+
+impl FaninEnd {
+    /// Unwrap the producer half.
+    pub fn into_producer(self) -> FaninProducer {
+        match self {
+            FaninEnd::Producer(p) => p,
+            FaninEnd::Consumer(_) => panic!("this rank is the consumer"),
+        }
+    }
+
+    /// Unwrap the consumer half.
+    pub fn into_consumer(self) -> FaninConsumer {
+        match self {
+            FaninEnd::Consumer(c) => c,
+            FaninEnd::Producer(_) => panic!("this rank is a producer"),
+        }
+    }
+}
+
+impl FaninProducer {
+    /// Append `msg` (at most `slot_bytes`) to this producer's region.
+    /// Blocks on the consumer's credit notifications when the region is
+    /// full. The send span (`rmc_send`) shares its flow id with the
+    /// notified put, so the trace draws an arrow into the consumer's
+    /// matching wait.
+    pub fn send(&mut self, msg: &[u8]) -> Result<()> {
+        assert!(msg.len() <= self.slot_bytes, "message exceeds the fan-in slot size");
+        let t0 = self.ep.clock().now();
+        if self.credits == 0 {
+            self.win.wait_notify(self.consumer, FANIN_CREDIT_TAG)?;
+            self.credits += 1;
+        }
+        // Slot-reuse fence: the credit proves the consumer drained the old
+        // payload, but two same-origin puts in one epoch are unordered in
+        // MPI — a flush between them completes the old put before its slot
+        // is rewritten. One flush covers a whole window of slots.
+        if self.head >= self.flushed_at + self.slots as u64 {
+            self.win.flush(self.consumer)?;
+            self.flushed_at = self.head;
+        }
+        let slot = (self.head % self.slots as u64) as usize;
+        let prev = self.ep.flow_open();
+        let r = self.win.put_notify(
+            msg,
+            self.consumer,
+            self.region + slot * self.slot_bytes,
+            FANIN_DATA_TAG,
+        );
+        let flow = self.ep.current_flow();
+        self.ep.flow_close(prev);
+        r?;
+        self.head += 1;
+        self.credits -= 1;
+        self.ep.trace_flow_consume(EventKind::RmcSend, self.consumer, t0, flow, msg.len() as u64);
+        Ok(())
+    }
+
+    /// Credits currently in hand (free slots known to this side).
+    pub fn credits(&self) -> u64 {
+        self.credits
+    }
+
+    /// Absorb any credit notifications that already arrived (nonblocking).
+    pub fn poll_credits(&mut self) -> Result<u64> {
+        while self.win.test_notify(self.consumer, FANIN_CREDIT_TAG)?.is_some() {
+            self.credits += 1;
+        }
+        Ok(self.credits)
+    }
+
+    /// Tear down this end (collective with every other end's `close`).
+    pub fn close(self, ctx: &RankCtx) -> Result<()> {
+        self.win.unlock_all()?;
+        self.win.free(ctx);
+        Ok(())
+    }
+}
+
+impl FaninConsumer {
+    /// Receive the next message from any producer into `buf`; returns the
+    /// producing rank and payload length. Blocks until a data
+    /// notification arrives; the matched record's stamp fences the region
+    /// read. The slot is recycled immediately with a notified credit AMO
+    /// aimed at the producing rank.
+    pub fn recv(&mut self, buf: &mut [u8]) -> Result<(u32, usize)> {
+        let t0 = self.ep.clock().now();
+        let rec = self.win.wait_notify(ANY_SOURCE, FANIN_DATA_TAG)?;
+        self.consume(&rec, buf, t0)
+    }
+
+    /// One nonblocking matching pass — the drain-until-dry primitive:
+    /// `None` once every arrived message has been consumed.
+    pub fn try_recv(&mut self, buf: &mut [u8]) -> Result<Option<(u32, usize)>> {
+        let t0 = self.ep.clock().now();
+        match self.win.test_notify(ANY_SOURCE, FANIN_DATA_TAG)? {
+            Some(rec) => self.consume(&rec, buf, t0).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn consume(&mut self, rec: &NotifyRecord, buf: &mut [u8], t0: f64) -> Result<(u32, usize)> {
+        let i = self
+            .producers
+            .iter()
+            .position(|&p| p == rec.source)
+            .ok_or(FompiError::InvalidEpoch("fan-in data record from a non-producer rank"))?;
+        let len = rec.bytes as usize;
+        assert!(len <= self.slot_bytes && len <= buf.len(), "slot payload exceeds recv buffer");
+        let slot = (self.tails[i] % self.slots as u64) as usize;
+        let region = i * self.slots * self.slot_bytes;
+        self.win.read_local(region + slot * self.slot_bytes, &mut buf[..len]);
+        self.tails[i] += 1;
+        // Recycle the slot: one notified credit AMO to the owning
+        // producer (the operand is informational — flow control rides the
+        // notification itself).
+        self.win.accumulate_notify(1, MpiOp::Sum, rec.source, 0, FANIN_CREDIT_TAG)?;
+        self.ep.trace_flow_consume(EventKind::RmcRecv, rec.source, t0, rec.flow, rec.bytes);
+        Ok((rec.source, len))
+    }
+
+    /// Data notifications queued and not yet consumed (approximate under
+    /// concurrent producers).
+    pub fn pending(&self) -> usize {
+        self.win.notify_pending()
+    }
+
+    /// Tear down this end (collective with every other end's `close`).
+    pub fn close(self, ctx: &RankCtx) -> Result<()> {
+        self.win.unlock_all()?;
+        self.win.free(ctx);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fompi_runtime::Universe;
+
+    #[test]
+    fn many_producers_drain_until_dry() {
+        const MSGS: u64 = 12;
+        let p = 5usize;
+        let got = Universe::new(p).node_size(1).notify_depth(256).run(move |ctx| {
+            let producers: Vec<u32> = (1..p as u32).collect();
+            let end = fanin(ctx, 0, &producers, 4, 16).unwrap().unwrap();
+            match end {
+                FaninEnd::Producer(mut tx) => {
+                    for i in 0..MSGS {
+                        let word = (u64::from(ctx.rank()) << 32) | i;
+                        tx.send(&word.to_le_bytes()).unwrap();
+                    }
+                    tx.close(ctx).unwrap();
+                    Vec::new()
+                }
+                FaninEnd::Consumer(mut rx) => {
+                    let mut per_src = vec![0u64; p];
+                    let mut buf = [0u8; 16];
+                    let mut seen = 0;
+                    while seen < MSGS * (p as u64 - 1) {
+                        // Drain-until-dry, then block for the next batch.
+                        while let Some((src, len)) = rx.try_recv(&mut buf).unwrap() {
+                            assert_eq!(len, 8);
+                            let word = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                            assert_eq!(word >> 32, u64::from(src), "payload names its producer");
+                            // FIFO per producer: low word counts up.
+                            assert_eq!(word & 0xFFFF_FFFF, per_src[src as usize]);
+                            per_src[src as usize] += 1;
+                            seen += 1;
+                        }
+                        if seen < MSGS * (p as u64 - 1) {
+                            let (src, len) = rx.recv(&mut buf).unwrap();
+                            assert_eq!(len, 8);
+                            let word = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                            assert_eq!(word >> 32, u64::from(src));
+                            assert_eq!(word & 0xFFFF_FFFF, per_src[src as usize]);
+                            per_src[src as usize] += 1;
+                            seen += 1;
+                        }
+                    }
+                    assert_eq!(rx.pending(), 0, "dry means dry");
+                    rx.close(ctx).unwrap();
+                    per_src
+                }
+            }
+        });
+        assert_eq!(got[0][1..], vec![MSGS; p - 1]);
+    }
+
+    #[test]
+    fn credits_bound_each_producer_independently() {
+        // Two producers, a 2-slot ring each, far more messages than slots:
+        // every send spends a credit and nothing interleaves across
+        // regions.
+        const MSGS: u64 = 40;
+        let got = Universe::new(3).node_size(1).run(|ctx| {
+            let end = fanin(ctx, 2, &[0, 1], 2, 8).unwrap().unwrap();
+            match end {
+                FaninEnd::Producer(mut tx) => {
+                    for i in 0..MSGS {
+                        tx.send(&i.to_le_bytes()).unwrap();
+                        assert!(tx.credits() < 2, "a send always spends a credit");
+                    }
+                    tx.close(ctx).unwrap();
+                    0
+                }
+                FaninEnd::Consumer(mut rx) => {
+                    let mut next = [0u64; 2];
+                    let mut buf = [0u8; 8];
+                    for _ in 0..2 * MSGS {
+                        let (src, _) = rx.recv(&mut buf).unwrap();
+                        let v = u64::from_le_bytes(buf);
+                        assert_eq!(v, next[src as usize], "per-producer FIFO");
+                        next[src as usize] += 1;
+                    }
+                    rx.close(ctx).unwrap();
+                    next.iter().sum::<u64>()
+                }
+            }
+        });
+        assert_eq!(got[2], 2 * MSGS);
+    }
+
+    #[test]
+    fn third_party_ranks_pass_through() {
+        let got =
+            Universe::new(4).node_size(2).run(|ctx| match fanin(ctx, 3, &[1], 2, 16).unwrap() {
+                Some(FaninEnd::Producer(mut tx)) => {
+                    tx.send(b"ping").unwrap();
+                    tx.close(ctx).unwrap();
+                    1u8
+                }
+                Some(FaninEnd::Consumer(mut rx)) => {
+                    let mut b = [0u8; 16];
+                    let (src, n) = rx.recv(&mut b).unwrap();
+                    assert_eq!((src, &b[..n]), (1, &b"ping"[..]));
+                    rx.close(ctx).unwrap();
+                    2u8
+                }
+                None => 0u8,
+            });
+        assert_eq!(got, vec![0, 1, 0, 2]);
+    }
+
+    #[test]
+    fn duplicate_or_self_producers_are_rejected() {
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            let dup = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = fanin(ctx, 0, &[1, 1], 2, 8);
+            }))
+            .is_err();
+            ctx.barrier();
+            let selfp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = fanin(ctx, 0, &[0, 1], 2, 8);
+            }))
+            .is_err();
+            ctx.barrier();
+            dup && selfp
+        });
+        assert!(got.iter().all(|&b| b));
+    }
+}

@@ -1,0 +1,351 @@
+//! Fan-out channel: one publisher multicasting to a subscriber set.
+//!
+//! Every subscriber's window copy holds its own `slots × slot_bytes`
+//! ring; the publisher keeps an independent head cursor and credit window
+//! per subscriber, so a publication is one notified put per subscriber —
+//! the injections serialise on the publisher's CPU while the wire
+//! latencies overlap (the `rmc_fanout_publish` model twin).
+//!
+//! When a subscriber runs out of credits the [`LaggingPolicy`] decides:
+//! `Block` waits for its credit (lossless — the slowest subscriber paces
+//! the fan-out), `Drop` skips it and counts the drop (lossy — fast
+//! subscribers never wait; the subscriber's own cursor stays consistent
+//! because its head simply doesn't advance).
+
+use crate::LaggingPolicy;
+use fompi::{MpiOp, Result, Win};
+use fompi_fabric::telemetry::{EventKind, NO_TARGET};
+use fompi_fabric::Endpoint;
+use fompi_runtime::RankCtx;
+use std::rc::Rc;
+
+/// Tag carried by fan-out data notifications (publisher → subscriber).
+pub const FANOUT_DATA_TAG: u32 = 0x00F0_00DA;
+
+/// Tag carried by fan-out credit notifications (subscriber → publisher).
+pub const FANOUT_CREDIT_TAG: u32 = 0x00F0_00CE;
+
+/// Publishing half of a fan-out channel.
+pub struct Publisher {
+    win: Win,
+    ep: Rc<Endpoint>,
+    subs: Vec<u32>,
+    slots: usize,
+    slot_bytes: usize,
+    lagging: LaggingPolicy,
+    /// Per-subscriber publication cursor (same order as `subs`).
+    heads: Vec<u64>,
+    /// Per-subscriber credits in hand.
+    credits: Vec<u64>,
+    /// Per-subscriber head at the last flush (the slot-reuse fence — see
+    /// [`Publisher::publish`]).
+    flushed_at: Vec<u64>,
+    /// Per-subscriber messages dropped under [`LaggingPolicy::Drop`].
+    dropped: Vec<u64>,
+}
+
+/// Subscribing half of a fan-out channel.
+pub struct Subscriber {
+    win: Win,
+    ep: Rc<Endpoint>,
+    publisher: u32,
+    slots: usize,
+    slot_bytes: usize,
+    tail: u64,
+}
+
+/// What [`fanout`] hands each participating rank.
+pub enum FanoutEnd {
+    /// This rank is the publisher.
+    Publisher(Publisher),
+    /// This rank is one of the subscribers.
+    Subscriber(Subscriber),
+}
+
+/// Collectively build a fan-out channel from `publisher` to
+/// `subscribers`, each subscriber ring `slots` cells of `slot_bytes`.
+/// Every rank of the universe must call; ranks that are neither publisher
+/// nor subscriber get `None`. Subscribers must be distinct and must not
+/// include the publisher. Each subscriber's ring lives in its own window
+/// copy; the publisher's copy doubles as the credit-AMO landing pad at
+/// offset 0. All ends hold a `lock_all` passive epoch for the channel's
+/// lifetime — drop via the ends' `close`.
+pub fn fanout(
+    ctx: &RankCtx,
+    publisher: u32,
+    subscribers: &[u32],
+    slots: usize,
+    slot_bytes: usize,
+    lagging: LaggingPolicy,
+) -> Result<Option<FanoutEnd>> {
+    assert!(slots > 0 && slot_bytes > 0, "fan-out needs at least one non-empty slot");
+    assert!(!subscribers.is_empty(), "fan-out needs at least one subscriber");
+    assert!(!subscribers.contains(&publisher), "the publisher cannot also subscribe");
+    assert!(
+        subscribers.iter().enumerate().all(|(i, s)| !subscribers[..i].contains(s)),
+        "fan-out subscribers must be distinct"
+    );
+    let win = Win::allocate(ctx, slots * slot_bytes, 1)?;
+    win.lock_all()?;
+    let me = ctx.rank();
+    if me == publisher {
+        let n = subscribers.len();
+        Ok(Some(FanoutEnd::Publisher(Publisher {
+            win,
+            ep: ctx.ep_rc(),
+            subs: subscribers.to_vec(),
+            slots,
+            slot_bytes,
+            lagging,
+            heads: vec![0; n],
+            credits: vec![slots as u64; n],
+            flushed_at: vec![0; n],
+            dropped: vec![0; n],
+        })))
+    } else if subscribers.contains(&me) {
+        Ok(Some(FanoutEnd::Subscriber(Subscriber {
+            win,
+            ep: ctx.ep_rc(),
+            publisher,
+            slots,
+            slot_bytes,
+            tail: 0,
+        })))
+    } else {
+        win.unlock_all()?;
+        win.free(ctx);
+        Ok(None)
+    }
+}
+
+impl FanoutEnd {
+    /// Unwrap the publishing half.
+    pub fn into_publisher(self) -> Publisher {
+        match self {
+            FanoutEnd::Publisher(p) => p,
+            FanoutEnd::Subscriber(_) => panic!("this rank is a subscriber"),
+        }
+    }
+
+    /// Unwrap the subscribing half.
+    pub fn into_subscriber(self) -> Subscriber {
+        match self {
+            FanoutEnd::Subscriber(s) => s,
+            FanoutEnd::Publisher(_) => panic!("this rank is the publisher"),
+        }
+    }
+}
+
+impl Publisher {
+    /// Publish `msg` (at most `slot_bytes`) to every subscriber, applying
+    /// the lagging policy per subscriber. Returns how many subscribers
+    /// received the message (all of them under [`LaggingPolicy::Block`]).
+    /// One causal flow covers the whole multicast, so the trace fans
+    /// arrows from this `rmc_send` span into every subscriber's wait.
+    pub fn publish(&mut self, msg: &[u8]) -> Result<usize> {
+        assert!(msg.len() <= self.slot_bytes, "message exceeds the fan-out slot size");
+        let t0 = self.ep.clock().now();
+        let prev = self.ep.flow_open();
+        let r = self.publish_inner(msg);
+        let flow = self.ep.current_flow();
+        self.ep.flow_close(prev);
+        let delivered = r?;
+        self.ep.trace_flow_consume(
+            EventKind::RmcSend,
+            NO_TARGET,
+            t0,
+            flow,
+            (delivered * msg.len()) as u64,
+        );
+        Ok(delivered)
+    }
+
+    fn publish_inner(&mut self, msg: &[u8]) -> Result<usize> {
+        let mut delivered = 0;
+        for j in 0..self.subs.len() {
+            let sub = self.subs[j];
+            if self.credits[j] == 0 {
+                // Absorb any credits already queued before deciding the
+                // subscriber is lagging.
+                while self.win.test_notify(sub, FANOUT_CREDIT_TAG)?.is_some() {
+                    self.credits[j] += 1;
+                }
+            }
+            if self.credits[j] == 0 {
+                match self.lagging {
+                    LaggingPolicy::Block => {
+                        self.win.wait_notify(sub, FANOUT_CREDIT_TAG)?;
+                        self.credits[j] += 1;
+                    }
+                    LaggingPolicy::Drop => {
+                        self.dropped[j] += 1;
+                        continue;
+                    }
+                }
+            }
+            // Slot-reuse fence: two same-origin puts to one slot in the
+            // same epoch are unordered in MPI — flush between reuses (one
+            // flush covers a whole window of slots).
+            if self.heads[j] >= self.flushed_at[j] + self.slots as u64 {
+                self.win.flush(sub)?;
+                self.flushed_at[j] = self.heads[j];
+            }
+            let slot = (self.heads[j] % self.slots as u64) as usize;
+            self.win.put_notify(msg, sub, slot * self.slot_bytes, FANOUT_DATA_TAG)?;
+            self.heads[j] += 1;
+            self.credits[j] -= 1;
+            delivered += 1;
+        }
+        Ok(delivered)
+    }
+
+    /// Messages dropped per subscriber (same order as the subscriber
+    /// list) under [`LaggingPolicy::Drop`].
+    pub fn dropped(&self) -> &[u64] {
+        &self.dropped
+    }
+
+    /// Total drops across the subscriber set.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.iter().sum()
+    }
+
+    /// Tear down this end (collective with every other end's `close`).
+    pub fn close(self, ctx: &RankCtx) -> Result<()> {
+        self.win.unlock_all()?;
+        self.win.free(ctx);
+        Ok(())
+    }
+}
+
+impl Subscriber {
+    /// Receive the next publication into `buf`, returning the payload
+    /// length. Blocks on the publisher's data notification; the slot is
+    /// recycled immediately with a notified credit AMO.
+    pub fn recv(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let t0 = self.ep.clock().now();
+        let rec = self.win.wait_notify(self.publisher, FANOUT_DATA_TAG)?;
+        let len = rec.bytes as usize;
+        assert!(len <= self.slot_bytes && len <= buf.len(), "slot payload exceeds recv buffer");
+        let slot = (self.tail % self.slots as u64) as usize;
+        self.win.read_local(slot * self.slot_bytes, &mut buf[..len]);
+        self.tail += 1;
+        self.win.accumulate_notify(1, MpiOp::Sum, self.publisher, 0, FANOUT_CREDIT_TAG)?;
+        self.ep.trace_flow_consume(EventKind::RmcRecv, self.publisher, t0, rec.flow, rec.bytes);
+        Ok(len)
+    }
+
+    /// Nonblocking probe: is a publication ready (not consumed)?
+    pub fn try_peek(&self) -> Result<Option<usize>> {
+        Ok(if self.win.notify_pending() > 0 { Some(self.slot_bytes) } else { None })
+    }
+
+    /// Tear down this end (collective with every other end's `close`).
+    pub fn close(self, ctx: &RankCtx) -> Result<()> {
+        self.win.unlock_all()?;
+        self.win.free(ctx);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fompi_runtime::Universe;
+
+    #[test]
+    fn blocking_fanout_is_lossless_and_ordered() {
+        const MSGS: u64 = 20;
+        let got = Universe::new(4).node_size(1).run(|ctx| {
+            let end = fanout(ctx, 0, &[1, 2, 3], 2, 8, LaggingPolicy::Block).unwrap().unwrap();
+            match end {
+                FanoutEnd::Publisher(mut px) => {
+                    for i in 0..MSGS {
+                        let n = px.publish(&i.to_le_bytes()).unwrap();
+                        assert_eq!(n, 3, "block policy delivers to every subscriber");
+                    }
+                    assert_eq!(px.dropped_total(), 0);
+                    px.close(ctx).unwrap();
+                    MSGS
+                }
+                FanoutEnd::Subscriber(mut sx) => {
+                    let mut buf = [0u8; 8];
+                    let mut ok = 0u64;
+                    for i in 0..MSGS {
+                        sx.recv(&mut buf).unwrap();
+                        if u64::from_le_bytes(buf) == i {
+                            ok += 1;
+                        }
+                    }
+                    sx.close(ctx).unwrap();
+                    ok
+                }
+            }
+        });
+        assert_eq!(got, vec![MSGS; 4]);
+    }
+
+    #[test]
+    fn drop_policy_counts_lagging_subscribers() {
+        // Both subscribers park until the publisher is done: with 2-slot
+        // rings, every publication past the second must drop, and each
+        // subscriber is left with a clean *prefix* — drops happen at the
+        // publisher, so nothing is torn or reordered.
+        const MSGS: u64 = 10;
+        let got = Universe::new(3).node_size(1).run(|ctx| {
+            let end = fanout(ctx, 0, &[1, 2], 2, 8, LaggingPolicy::Drop).unwrap().unwrap();
+            match end {
+                FanoutEnd::Publisher(mut px) => {
+                    let mut delivered = 0;
+                    for i in 0..MSGS {
+                        delivered += px.publish(&i.to_le_bytes()).unwrap() as u64;
+                    }
+                    assert_eq!(delivered, 4, "2 slots per parked subscriber");
+                    assert_eq!(px.dropped(), &[MSGS - 2, MSGS - 2]);
+                    assert_eq!(px.dropped_total(), 2 * (MSGS - 2));
+                    ctx.barrier(); // the laggards may drain now
+                    let total = px.dropped_total();
+                    px.close(ctx).unwrap();
+                    total
+                }
+                FanoutEnd::Subscriber(mut sx) => {
+                    ctx.barrier(); // park until the publisher is done
+                    let mut buf = [0u8; 8];
+                    let mut seq = Vec::new();
+                    for _ in 0..2 {
+                        sx.recv(&mut buf).unwrap();
+                        seq.push(u64::from_le_bytes(buf));
+                    }
+                    assert_eq!(seq, vec![0, 1], "drops keep a clean prefix");
+                    assert!(sx.try_peek().unwrap().is_none(), "dropped messages never arrive");
+                    sx.close(ctx).unwrap();
+                    2
+                }
+            }
+        });
+        assert_eq!(got[1], 2);
+        assert_eq!(got[2], 2);
+    }
+
+    #[test]
+    fn third_party_ranks_pass_through() {
+        let got = Universe::new(4).node_size(2).run(|ctx| {
+            match fanout(ctx, 1, &[3], 2, 16, LaggingPolicy::Block).unwrap() {
+                Some(FanoutEnd::Publisher(mut px)) => {
+                    px.publish(b"cast").unwrap();
+                    px.close(ctx).unwrap();
+                    1u8
+                }
+                Some(FanoutEnd::Subscriber(mut sx)) => {
+                    let mut b = [0u8; 16];
+                    let n = sx.recv(&mut b).unwrap();
+                    assert_eq!(&b[..n], b"cast");
+                    sx.close(ctx).unwrap();
+                    2u8
+                }
+                None => 0u8,
+            }
+        });
+        assert_eq!(got, vec![0, 1, 0, 2]);
+    }
+}

@@ -1,0 +1,287 @@
+//! All-to-all MPMC mesh: every rank is simultaneously a producer toward
+//! every other rank and the consumer of its own fan-in.
+//!
+//! Why a single structure instead of `p` [`crate::fanin`] channels: the
+//! notification *ring* is per rank but the unmatched-record *stash* is per
+//! window, so two windows receiving concurrently on one rank would stash
+//! each other's records where the other window's wait can never find
+//! them. The mesh therefore lives on ONE symmetric window — every
+//! record a rank ever polls belongs to this structure and stash-first
+//! matching stays lossless.
+//!
+//! Window layout on every rank's copy (`p` ranks, `S` slots of `B`
+//! bytes):
+//!
+//! ```text
+//! | 8 B credit pad | region 0: S×B | region 1: S×B | ... | region p-1 |
+//! ```
+//!
+//! Region `s` on rank `c`'s copy is where rank `s`'s messages to `c`
+//! land, so the notification record's `source` field routes each record
+//! to its region — the FAA-free trick of the fan-in channel, now in both
+//! directions at once. Credit AMOs land in the shared pad (same-op `Sum`
+//! accumulates may overlap under the racecheck, per MPI-3.0 §11.7.1);
+//! the credit *count* is carried by the records themselves, one per slot.
+//!
+//! Credits are returned **lazily**: [`Mesh::try_recv`] only records the
+//! debt, and [`Mesh::flush_credits`] pays it. Batching the returns off
+//! the receive path keeps the drain exactly as cheap as a raw
+//! `test_notify` loop — the property the DSDE port's "RMC matches
+//! notified access" claim rests on. Call `flush_credits` at phase
+//! boundaries (after a drain, before the next send burst); a mesh used
+//! for continuous streaming should call it every few receives.
+
+use crate::RmcConfig;
+use fompi::{FompiError, MpiOp, Result, Win, ANY_SOURCE};
+use fompi_fabric::telemetry::EventKind;
+use fompi_fabric::{Endpoint, NotifyRecord};
+use fompi_runtime::RankCtx;
+use std::rc::Rc;
+
+/// Tag of mesh data notifications.
+pub const MESH_DATA_TAG: u32 = 0x00F2_00DA;
+
+/// Tag of mesh credit notifications.
+pub const MESH_CREDIT_TAG: u32 = 0x00F2_00CE;
+
+/// One rank's end of the all-to-all mesh (see the module docs).
+pub struct Mesh {
+    win: Win,
+    ep: Rc<Endpoint>,
+    slots: usize,
+    slot_bytes: usize,
+    /// Per-target write cursor into *my* region on the target's copy.
+    heads: Vec<u64>,
+    /// Per-target send credits in hand.
+    credits: Vec<u64>,
+    /// Per-target head value at the last flush toward it (see
+    /// [`Mesh::send`]'s slot-reuse fence).
+    flushed_at: Vec<u64>,
+    /// Per-source read cursor into that source's region on my copy.
+    tails: Vec<u64>,
+    /// Per-source credits consumed but not yet returned.
+    owed: Vec<u64>,
+}
+
+/// Collectively build a mesh over the whole universe. Every rank gets an
+/// end; geometry comes from `cfg` (`slots` per ordered pair, `slot_bytes`
+/// payload capacity).
+pub fn mesh(ctx: &RankCtx, cfg: &RmcConfig) -> Result<Mesh> {
+    assert!(cfg.slots > 0 && cfg.slot_bytes > 0, "mesh needs at least one non-empty slot");
+    let p = ctx.size();
+    let win = Win::allocate(ctx, 8 + p * cfg.slots * cfg.slot_bytes, 1)?;
+    win.lock_all()?;
+    Ok(Mesh {
+        win,
+        ep: ctx.ep_rc(),
+        slots: cfg.slots,
+        slot_bytes: cfg.slot_bytes,
+        heads: vec![0; p],
+        credits: vec![cfg.slots as u64; p],
+        flushed_at: vec![0; p],
+        tails: vec![0; p],
+        owed: vec![0; p],
+    })
+}
+
+impl Mesh {
+    fn region(&self, producer: u32) -> usize {
+        8 + producer as usize * self.slots * self.slot_bytes
+    }
+
+    /// Append `msg` to `target`'s copy of my region (self-sends allowed —
+    /// the record lands in my own ring). Blocks on the target's credit
+    /// when my window of `slots` in-flight messages toward it is full.
+    pub fn send(&mut self, target: u32, msg: &[u8]) -> Result<()> {
+        assert!(msg.len() <= self.slot_bytes, "message exceeds the mesh slot size");
+        let t = target as usize;
+        if self.credits[t] == 0 {
+            while self.win.test_notify(target, MESH_CREDIT_TAG)?.is_some() {
+                self.credits[t] += 1;
+            }
+            if self.credits[t] == 0 {
+                self.win.wait_notify(target, MESH_CREDIT_TAG)?;
+                self.credits[t] += 1;
+            }
+        }
+        // Slot-reuse fence: put N+slots lands where put N did. The credit
+        // proves the consumer drained the old payload, but two same-origin
+        // puts in one epoch are unordered in MPI — a flush between them
+        // completes the old put before the slot is rewritten (and bumps
+        // the racecheck phase). One flush covers a whole window of slots.
+        if self.heads[t] >= self.flushed_at[t] + self.slots as u64 {
+            self.win.flush(target)?;
+            self.flushed_at[t] = self.heads[t];
+        }
+        let me = self.ep.rank();
+        let slot = (self.heads[t] % self.slots as u64) as usize;
+        let t0 = self.ep.clock().now();
+        let prev = self.ep.flow_open();
+        let r = self.win.put_notify(
+            msg,
+            target,
+            self.region(me) + slot * self.slot_bytes,
+            MESH_DATA_TAG,
+        );
+        let flow = self.ep.current_flow();
+        self.ep.flow_close(prev);
+        r?;
+        self.heads[t] += 1;
+        self.credits[t] -= 1;
+        self.ep.trace_flow_consume(EventKind::RmcSend, target, t0, flow, msg.len() as u64);
+        Ok(())
+    }
+
+    fn consume(&mut self, rec: NotifyRecord, t0: f64, buf: &mut [u8]) -> Result<(u32, usize)> {
+        if rec.source as usize >= self.tails.len() {
+            return Err(FompiError::InvalidEpoch("mesh data record from outside the universe"));
+        }
+        let len = rec.bytes as usize;
+        assert!(len <= self.slot_bytes && len <= buf.len(), "mesh payload exceeds recv buffer");
+        let s = rec.source as usize;
+        let slot = (self.tails[s] % self.slots as u64) as usize;
+        self.win.read_local(self.region(rec.source) + slot * self.slot_bytes, &mut buf[..len]);
+        self.tails[s] += 1;
+        self.owed[s] += 1;
+        self.ep.trace_flow_consume(EventKind::RmcRecv, rec.source, t0, rec.flow, rec.bytes);
+        Ok((rec.source, len))
+    }
+
+    /// Nonblocking receive from any producer: `(source, len)` with the
+    /// payload in `buf[..len]`, or `None` when nothing is queued — the
+    /// drain-until-dry primitive. The consumed slot's credit is *owed*,
+    /// not sent; see [`Mesh::flush_credits`].
+    pub fn try_recv(&mut self, buf: &mut [u8]) -> Result<Option<(u32, usize)>> {
+        let t0 = self.ep.clock().now();
+        match self.win.test_notify(ANY_SOURCE, MESH_DATA_TAG)? {
+            Some(rec) => self.consume(rec, t0, buf).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Blocking [`Mesh::try_recv`].
+    pub fn recv(&mut self, buf: &mut [u8]) -> Result<(u32, usize)> {
+        let t0 = self.ep.clock().now();
+        let rec = self.win.wait_notify(ANY_SOURCE, MESH_DATA_TAG)?;
+        self.consume(rec, t0, buf)
+    }
+
+    /// Return every owed credit to its producer (one notified AMO per
+    /// slot, so producers can count records). Senders blocked on a full
+    /// pair window resume once these arrive.
+    pub fn flush_credits(&mut self) -> Result<()> {
+        for s in 0..self.owed.len() {
+            while self.owed[s] > 0 {
+                self.win.accumulate_notify(1, MpiOp::Sum, s as u32, 0, MESH_CREDIT_TAG)?;
+                self.owed[s] -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Data notifications queued for this rank and not yet matched.
+    pub fn pending(&self) -> usize {
+        self.win.notify_pending()
+    }
+
+    /// Tear down (collective across the universe). Unpaid credits are
+    /// fine — the window dies with them.
+    pub fn close(self, ctx: &RankCtx) -> Result<()> {
+        self.win.unlock_all()?;
+        self.win.free(ctx);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fompi_runtime::Universe;
+
+    #[test]
+    fn every_pair_exchanges_and_drains_dry() {
+        // Each rank sends one tagged payload to every rank (itself
+        // included — self-sends must work for periodic halos).
+        let p = 4usize;
+        let got = Universe::new(p).node_size(2).notify_depth(64).run(move |ctx| {
+            let mut m =
+                mesh(ctx, &RmcConfig { slots: 2, slot_bytes: 16, ..RmcConfig::default() }).unwrap();
+            let me = ctx.rank();
+            for t in 0..p as u32 {
+                m.send(t, &(((me as u64) << 32) | t as u64).to_le_bytes()).unwrap();
+            }
+            ctx.barrier();
+            let mut from = vec![false; p];
+            let mut buf = [0u8; 16];
+            while let Some((src, len)) = m.try_recv(&mut buf).unwrap() {
+                assert_eq!(len, 8);
+                let v = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                assert_eq!(v, ((src as u64) << 32) | me as u64, "wrong payload routing");
+                from[src as usize] = true;
+            }
+            m.flush_credits().unwrap();
+            ctx.barrier();
+            m.close(ctx).unwrap();
+            from.iter().all(|&b| b)
+        });
+        assert!(got.iter().all(|&b| b), "some pair lost its message: {got:?}");
+    }
+
+    #[test]
+    fn credits_recycle_across_rounds() {
+        // More rounds than slots: round N+1's sends need round N's
+        // flushed credits, exercising the lazy return path end to end.
+        let (p, rounds, slots) = (3usize, 6u64, 2usize);
+        let got = Universe::new(p).node_size(1).notify_depth(128).run(move |ctx| {
+            let mut m =
+                mesh(ctx, &RmcConfig { slots, slot_bytes: 16, ..RmcConfig::default() }).unwrap();
+            let me = ctx.rank();
+            let mut seen = 0u64;
+            for r in 0..rounds {
+                for t in 0..p as u32 {
+                    if t != me {
+                        m.send(t, &((r << 8) | t as u64).to_le_bytes()).unwrap();
+                    }
+                }
+                ctx.barrier();
+                let mut buf = [0u8; 16];
+                while let Some((_, len)) = m.try_recv(&mut buf).unwrap() {
+                    let v = u64::from_le_bytes(buf[..len].try_into().unwrap());
+                    assert_eq!(v, (r << 8) | me as u64);
+                    seen += 1;
+                }
+                m.flush_credits().unwrap();
+                ctx.barrier();
+            }
+            m.close(ctx).unwrap();
+            seen
+        });
+        assert!(got.iter().all(|&s| s == rounds * (p as u64 - 1)), "{got:?}");
+    }
+
+    #[test]
+    fn racecheck_stays_clean_under_concurrent_credit_amos() {
+        // Every rank floods every other rank; all credit AMOs land in the
+        // same shared pad byte-range concurrently. Same-op accumulate
+        // overlap is legal — the shadow must not fire.
+        let p = 3usize;
+        let rc = fompi_fabric::RacecheckMode::Panic;
+        Universe::new(p).node_size(1).notify_depth(256).racecheck(rc).run(move |ctx| {
+            let mut m =
+                mesh(ctx, &RmcConfig { slots: 4, slot_bytes: 8, ..RmcConfig::default() }).unwrap();
+            for r in 0..8u64 {
+                for t in 0..p as u32 {
+                    if t != ctx.rank() {
+                        m.send(t, &r.to_le_bytes()).unwrap();
+                    }
+                }
+                ctx.barrier();
+                let mut buf = [0u8; 8];
+                while m.try_recv(&mut buf).unwrap().is_some() {}
+                m.flush_credits().unwrap();
+                ctx.barrier();
+            }
+            m.close(ctx).unwrap();
+        });
+    }
+}

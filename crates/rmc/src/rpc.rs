@@ -1,0 +1,565 @@
+//! One-sided RPC: request/response over remote memory channels.
+//!
+//! Requests fan in to the server exactly like [`crate::fanin`] — one
+//! private slot region per client on the server's window copy — and each
+//! client's own copy holds its reply ring. The *correlation id* rides in
+//! the notification record's tag (low 16 bits under [`REQ_TAG_BASE`] /
+//! [`REP_TAG_BASE`]), so a client with several calls in flight matches
+//! exactly the reply it waits for, in any order, with no payload header.
+//!
+//! Window layout (symmetric; `C` clients, `S` slots of `B` bytes):
+//!
+//! ```text
+//! | 8 B credit pad | region 0: S×B | region 1: S×B | ... | region C-1 |
+//! ```
+//!
+//! On the server's copy region `i` is client `i`'s request ring; on a
+//! client's copy the first region is its reply ring. Credit AMOs land in
+//! the pad (same-op accumulates may overlap per MPI-3.0 §11.7.1, so one
+//! shared pad is racecheck-clean).
+//!
+//! Two budgets bound the pipeline: each client may hold at most
+//! `rpc_budget` outstanding requests (and never more than a slot-window's
+//! worth), surfaced as a *transient* error when exceeded; and a reply
+//! whose notification stamp lands after the issue time plus
+//! `rpc_timeout_ns` of virtual time is dropped and surfaced as the same
+//! transient class — retry is always legal, like fabric backpressure.
+
+use crate::RmcConfig;
+use fompi::{FompiError, MpiOp, Result, Win, ANY_SOURCE};
+use fompi_fabric::telemetry::EventKind;
+use fompi_fabric::{Endpoint, FabricError};
+use fompi_runtime::RankCtx;
+use std::rc::Rc;
+
+/// Request-tag base; the low 16 bits carry the correlation id.
+pub const REQ_TAG_BASE: u32 = 0x0052_0000;
+
+/// Reply-tag base; the low 16 bits carry the correlation id.
+pub const REP_TAG_BASE: u32 = 0x0053_0000;
+
+/// Tag of request-slot credit notifications (server → client).
+pub const REQ_CREDIT_TAG: u32 = 0x0054_0001;
+
+/// Tag of reply-slot credit notifications (client → server).
+pub const REP_CREDIT_TAG: u32 = 0x0054_0002;
+
+/// Give up a blocking RPC wait after this many fruitless matching passes:
+/// the peer is gone or deadlocked, which timeout semantics must surface
+/// as an error rather than hang.
+const SPIN_LIMIT: u64 = 1 << 20;
+
+fn transient(retry_after_ns: u64) -> FompiError {
+    FompiError::Fabric(FabricError::Backpressure { retry_after_ns })
+}
+
+/// Client half of an RPC endpoint.
+pub struct RpcClient {
+    win: Win,
+    ep: Rc<Endpoint>,
+    server: u32,
+    /// Byte offset of this client's request region on the server's copy.
+    region: usize,
+    slots: usize,
+    slot_bytes: usize,
+    budget: usize,
+    timeout_ns: u64,
+    corr_next: u64,
+    req_credits: u64,
+    /// `corr_next` at the last flush toward the server (the request-slot
+    /// reuse fence — see [`RpcClient::call_async`]).
+    flushed_at: u64,
+    /// In-flight calls: `(corr, virtual issue time)`, oldest first.
+    outstanding: Vec<(u64, f64)>,
+}
+
+/// Server half of an RPC endpoint.
+pub struct RpcServer {
+    win: Win,
+    ep: Rc<Endpoint>,
+    clients: Vec<u32>,
+    slots: usize,
+    slot_bytes: usize,
+    /// Per-client next expected correlation id (clients issue in order).
+    next_corr: Vec<u64>,
+    /// Per-client reply-slot credits in hand.
+    rep_credits: Vec<u64>,
+    /// Per-client reply corr at the last flush (the reply-slot reuse
+    /// fence — see [`RpcServer::reply`]).
+    flushed_at: Vec<u64>,
+}
+
+/// One request the server pulled off the wire.
+#[derive(Debug, Clone)]
+pub struct RpcRequest {
+    /// The calling rank.
+    pub client: u32,
+    /// Correlation id the reply must carry.
+    pub corr: u64,
+    /// Request payload.
+    pub data: Vec<u8>,
+}
+
+/// What [`rpc`] hands each participating rank.
+pub enum RpcEnd {
+    /// This rank is the server.
+    Server(RpcServer),
+    /// This rank is one of the clients.
+    Client(RpcClient),
+}
+
+/// Collectively build an RPC endpoint: `clients` call into `server`.
+/// Every rank of the universe must call; ranks that are neither get
+/// `None`. Ring geometry and budgets come from `cfg`
+/// ([`RmcConfig::from_ctx`] honours `FOMPI_RMC`).
+pub fn rpc(ctx: &RankCtx, server: u32, clients: &[u32], cfg: &RmcConfig) -> Result<Option<RpcEnd>> {
+    assert!(cfg.slots > 0 && cfg.slot_bytes > 0, "rpc needs at least one non-empty slot");
+    assert!(!clients.is_empty(), "rpc needs at least one client");
+    assert!(!clients.contains(&server), "the server cannot also call");
+    assert!(
+        clients.iter().enumerate().all(|(i, c)| !clients[..i].contains(c)),
+        "rpc clients must be distinct"
+    );
+    let win = Win::allocate(ctx, 8 + clients.len() * cfg.slots * cfg.slot_bytes, 1)?;
+    win.lock_all()?;
+    let me = ctx.rank();
+    if me == server {
+        Ok(Some(RpcEnd::Server(RpcServer {
+            win,
+            ep: ctx.ep_rc(),
+            clients: clients.to_vec(),
+            slots: cfg.slots,
+            slot_bytes: cfg.slot_bytes,
+            next_corr: vec![0; clients.len()],
+            rep_credits: vec![cfg.slots as u64; clients.len()],
+            flushed_at: vec![0; clients.len()],
+        })))
+    } else if let Some(i) = clients.iter().position(|&c| c == me) {
+        Ok(Some(RpcEnd::Client(RpcClient {
+            win,
+            ep: ctx.ep_rc(),
+            server,
+            region: 8 + i * cfg.slots * cfg.slot_bytes,
+            slots: cfg.slots,
+            slot_bytes: cfg.slot_bytes,
+            budget: cfg.rpc_budget,
+            timeout_ns: cfg.rpc_timeout_ns,
+            corr_next: 0,
+            req_credits: cfg.slots as u64,
+            flushed_at: 0,
+            outstanding: Vec::new(),
+        })))
+    } else {
+        win.unlock_all()?;
+        win.free(ctx);
+        Ok(None)
+    }
+}
+
+impl RpcEnd {
+    /// Unwrap the server half.
+    pub fn into_server(self) -> RpcServer {
+        match self {
+            RpcEnd::Server(s) => s,
+            RpcEnd::Client(_) => panic!("this rank is a client"),
+        }
+    }
+
+    /// Unwrap the client half.
+    pub fn into_client(self) -> RpcClient {
+        match self {
+            RpcEnd::Client(c) => c,
+            RpcEnd::Server(_) => panic!("this rank is the server"),
+        }
+    }
+}
+
+impl RpcClient {
+    /// Issue a request without waiting for its reply; returns the
+    /// correlation id to pass to [`RpcClient::wait_reply`]. Exceeding the
+    /// outstanding budget (or the reply ring's slot window) surfaces as a
+    /// transient error — drain a reply, then retry.
+    pub fn call_async(&mut self, req: &[u8]) -> Result<u64> {
+        assert!(req.len() <= self.slot_bytes, "request exceeds the rpc slot size");
+        if self.outstanding.len() >= self.budget {
+            return Err(transient(self.timeout_ns));
+        }
+        if let Some(&(oldest, _)) = self.outstanding.first() {
+            if self.corr_next - oldest >= self.slots as u64 {
+                // A fresh corr would alias an unconsumed reply slot.
+                return Err(transient(self.timeout_ns));
+            }
+        }
+        if self.req_credits == 0 {
+            while self.win.test_notify(self.server, REQ_CREDIT_TAG)?.is_some() {
+                self.req_credits += 1;
+            }
+            if self.req_credits == 0 {
+                self.win.wait_notify(self.server, REQ_CREDIT_TAG)?;
+                self.req_credits += 1;
+            }
+        }
+        let corr = self.corr_next;
+        // Slot-reuse fence: request corr and corr−slots share a slot, and
+        // two same-origin puts in one epoch are unordered in MPI — flush
+        // between reuses (one flush covers a whole window of slots).
+        if corr >= self.flushed_at + self.slots as u64 {
+            self.win.flush(self.server)?;
+            self.flushed_at = corr;
+        }
+        let slot = (corr % self.slots as u64) as usize;
+        let t0 = self.ep.clock().now();
+        let prev = self.ep.flow_open();
+        let r = self.win.put_notify(
+            req,
+            self.server,
+            self.region + slot * self.slot_bytes,
+            REQ_TAG_BASE | (corr as u32 & 0xFFFF),
+        );
+        let flow = self.ep.current_flow();
+        self.ep.flow_close(prev);
+        r?;
+        self.req_credits -= 1;
+        self.corr_next += 1;
+        self.outstanding.push((corr, t0));
+        self.ep.trace_flow_consume(EventKind::RmcSend, self.server, t0, flow, req.len() as u64);
+        Ok(corr)
+    }
+
+    /// Wait for the reply to `corr`, copy it into `buf`, and return its
+    /// length. Replies may be awaited in any order. A reply whose
+    /// notification stamp exceeds the issue time plus the configured
+    /// timeout is *dropped* (its slot still recycles) and surfaced as a
+    /// transient error — deterministically, since the verdict depends
+    /// only on virtual stamps. A reply that never arrives surfaces the
+    /// same error after a bounded number of matching passes.
+    pub fn wait_reply(&mut self, corr: u64, buf: &mut [u8]) -> Result<usize> {
+        let at = self
+            .outstanding
+            .iter()
+            .position(|&(c, _)| c == corr)
+            .ok_or(FompiError::InvalidEpoch("unknown rpc correlation id"))?;
+        let issued = self.outstanding[at].1;
+        let deadline = issued + self.timeout_ns as f64;
+        let tag = REP_TAG_BASE | (corr as u32 & 0xFFFF);
+        let mut spins = 0u64;
+        loop {
+            if let Some(rec) = self.win.test_notify(self.server, tag)? {
+                let len = rec.bytes as usize;
+                assert!(
+                    len <= self.slot_bytes && len <= buf.len(),
+                    "reply payload exceeds recv buffer"
+                );
+                let slot = (corr % self.slots as u64) as usize;
+                self.win.read_local(8 + slot * self.slot_bytes, &mut buf[..len]);
+                // Recycle the reply slot whether or not we keep the data.
+                self.win.accumulate_notify(1, MpiOp::Sum, self.server, 0, REP_CREDIT_TAG)?;
+                self.outstanding.remove(at);
+                if rec.stamp > deadline {
+                    return Err(transient(self.timeout_ns));
+                }
+                self.ep.trace_flow_consume(EventKind::RpcCall, self.server, issued, rec.flow, {
+                    rec.bytes
+                });
+                return Ok(len);
+            }
+            spins += 1;
+            if spins > SPIN_LIMIT {
+                return Err(transient(self.timeout_ns));
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// One synchronous round trip: issue `req`, wait for the reply.
+    pub fn call(&mut self, req: &[u8], buf: &mut [u8]) -> Result<usize> {
+        let corr = self.call_async(req)?;
+        self.wait_reply(corr, buf)
+    }
+
+    /// Requests in flight.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Tear down this end (collective with every other end's `close`).
+    pub fn close(self, ctx: &RankCtx) -> Result<()> {
+        self.win.unlock_all()?;
+        self.win.free(ctx);
+        Ok(())
+    }
+}
+
+impl RpcServer {
+    fn client_index(&self, rank: u32) -> Result<usize> {
+        self.clients
+            .iter()
+            .position(|&c| c == rank)
+            .ok_or(FompiError::InvalidEpoch("rpc record from a rank that is not a client"))
+    }
+
+    /// One nonblocking pass: absorb reply credits, then probe each client
+    /// for its next in-order request. Returns the first request found.
+    pub fn try_recv(&mut self) -> Result<Option<RpcRequest>> {
+        let t0 = self.ep.clock().now();
+        while let Some(rec) = self.win.test_notify(ANY_SOURCE, REP_CREDIT_TAG)? {
+            let i = self.client_index(rec.source)?;
+            self.rep_credits[i] += 1;
+        }
+        for i in 0..self.clients.len() {
+            let client = self.clients[i];
+            // Clients issue correlation ids in order, so the next request
+            // from client i can only carry next_corr[i] — an exact-tag
+            // match, no wildcard needed.
+            let corr = self.next_corr[i];
+            let tag = REQ_TAG_BASE | (corr as u32 & 0xFFFF);
+            if let Some(rec) = self.win.test_notify(client, tag)? {
+                let len = rec.bytes as usize;
+                assert!(len <= self.slot_bytes, "request exceeds the rpc slot size");
+                let slot = (corr % self.slots as u64) as usize;
+                let region = 8 + i * self.slots * self.slot_bytes;
+                let mut data = vec![0u8; len];
+                self.win.read_local(region + slot * self.slot_bytes, &mut data);
+                self.next_corr[i] += 1;
+                // The payload is copied out: recycle the request slot.
+                self.win.accumulate_notify(1, MpiOp::Sum, client, 0, REQ_CREDIT_TAG)?;
+                self.ep.trace_flow_consume(EventKind::RmcRecv, client, t0, rec.flow, rec.bytes);
+                return Ok(Some(RpcRequest { client, corr, data }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Block until a request arrives (bounded; a starved server panics
+    /// like a starved `wait_notify` rather than hang silently).
+    pub fn recv(&mut self) -> Result<RpcRequest> {
+        let mut spins = 0u64;
+        loop {
+            if let Some(req) = self.try_recv()? {
+                return Ok(req);
+            }
+            spins += 1;
+            assert!(spins <= SPIN_LIMIT, "rpc server starved: no request arrived");
+            std::thread::yield_now();
+        }
+    }
+
+    /// Send `rep` as the reply to `req`. Blocks on the client's
+    /// reply-slot credits when its ring is full.
+    pub fn reply(&mut self, req: &RpcRequest, rep: &[u8]) -> Result<()> {
+        assert!(rep.len() <= self.slot_bytes, "reply exceeds the rpc slot size");
+        let i = self.client_index(req.client)?;
+        if self.rep_credits[i] == 0 {
+            while self.win.test_notify(req.client, REP_CREDIT_TAG)?.is_some() {
+                self.rep_credits[i] += 1;
+            }
+            if self.rep_credits[i] == 0 {
+                self.win.wait_notify(req.client, REP_CREDIT_TAG)?;
+                self.rep_credits[i] += 1;
+            }
+        }
+        // Slot-reuse fence for the reply ring (same rule as the client's
+        // request ring).
+        if req.corr >= self.flushed_at[i] + self.slots as u64 {
+            self.win.flush(req.client)?;
+            self.flushed_at[i] = req.corr;
+        }
+        let t0 = self.ep.clock().now();
+        let slot = (req.corr % self.slots as u64) as usize;
+        let prev = self.ep.flow_open();
+        let r = self.win.put_notify(
+            rep,
+            req.client,
+            8 + slot * self.slot_bytes,
+            REP_TAG_BASE | (req.corr as u32 & 0xFFFF),
+        );
+        let flow = self.ep.current_flow();
+        self.ep.flow_close(prev);
+        r?;
+        self.rep_credits[i] -= 1;
+        self.ep.trace_flow_consume(EventKind::RmcSend, req.client, t0, flow, rep.len() as u64);
+        Ok(())
+    }
+
+    /// Tear down this end (collective with every other end's `close`).
+    pub fn close(self, ctx: &RankCtx) -> Result<()> {
+        self.win.unlock_all()?;
+        self.win.free(ctx);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fompi_runtime::Universe;
+
+    fn cfg(slots: usize, budget: usize) -> RmcConfig {
+        RmcConfig { slots, slot_bytes: 32, rpc_budget: budget, ..RmcConfig::default() }
+    }
+
+    #[test]
+    fn request_response_round_trips_from_many_clients() {
+        const CALLS: u64 = 8;
+        let p = 4usize;
+        let got = Universe::new(p).node_size(1).notify_depth(128).run(move |ctx| {
+            let clients: Vec<u32> = (1..p as u32).collect();
+            let n_clients = clients.len() as u64;
+            match rpc(ctx, 0, &clients, &cfg(4, 4)).unwrap().unwrap() {
+                RpcEnd::Server(mut srv) => {
+                    for _ in 0..CALLS * n_clients {
+                        let req = srv.recv().unwrap();
+                        let v = u64::from_le_bytes(req.data[..8].try_into().unwrap());
+                        srv.reply(&req, &(v * 3).to_le_bytes()).unwrap();
+                    }
+                    ctx.barrier();
+                    srv.close(ctx).unwrap();
+                    CALLS * n_clients
+                }
+                RpcEnd::Client(mut cl) => {
+                    let mut ok = 0u64;
+                    let mut buf = [0u8; 32];
+                    for i in 0..CALLS {
+                        let x = (u64::from(ctx.rank()) << 16) | i;
+                        let n = cl.call(&x.to_le_bytes(), &mut buf).unwrap();
+                        assert_eq!(n, 8);
+                        if u64::from_le_bytes(buf[..8].try_into().unwrap()) == x * 3 {
+                            ok += 1;
+                        }
+                    }
+                    ctx.barrier();
+                    cl.close(ctx).unwrap();
+                    ok
+                }
+            }
+        });
+        assert_eq!(got, vec![CALLS * 3, CALLS, CALLS, CALLS]);
+    }
+
+    #[test]
+    fn out_of_order_waits_match_by_correlation_tag() {
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            match rpc(ctx, 0, &[1], &cfg(4, 4)).unwrap().unwrap() {
+                RpcEnd::Server(mut srv) => {
+                    // Echo each request's own payload back.
+                    for _ in 0..3 {
+                        let req = srv.recv().unwrap();
+                        srv.reply(&req, &req.data.clone()).unwrap();
+                    }
+                    ctx.barrier();
+                    srv.close(ctx).unwrap();
+                    Vec::new()
+                }
+                RpcEnd::Client(mut cl) => {
+                    let c0 = cl.call_async(b"aaaa").unwrap();
+                    let c1 = cl.call_async(b"bbbb").unwrap();
+                    let c2 = cl.call_async(b"cccc").unwrap();
+                    assert_eq!(cl.outstanding(), 3);
+                    let mut buf = [0u8; 32];
+                    // Await newest first: correlation tags must match the
+                    // right replies regardless of order.
+                    let mut out = Vec::new();
+                    for c in [c2, c0, c1] {
+                        let n = cl.wait_reply(c, &mut buf).unwrap();
+                        out.push(buf[..n].to_vec());
+                    }
+                    assert_eq!(cl.outstanding(), 0);
+                    ctx.barrier();
+                    cl.close(ctx).unwrap();
+                    out
+                }
+            }
+        });
+        assert_eq!(got[1], vec![b"cccc".to_vec(), b"aaaa".to_vec(), b"bbbb".to_vec()]);
+    }
+
+    #[test]
+    fn outstanding_budget_is_a_transient_error() {
+        let got = Universe::new(2).node_size(1).run(|ctx| {
+            match rpc(ctx, 0, &[1], &cfg(8, 2)).unwrap().unwrap() {
+                RpcEnd::Server(mut srv) => {
+                    for _ in 0..2 {
+                        let req = srv.recv().unwrap();
+                        srv.reply(&req, b"ok").unwrap();
+                    }
+                    ctx.barrier();
+                    srv.close(ctx).unwrap();
+                    true
+                }
+                RpcEnd::Client(mut cl) => {
+                    let a = cl.call_async(b"x").unwrap();
+                    let b = cl.call_async(b"y").unwrap();
+                    let err = cl.call_async(b"z").unwrap_err();
+                    assert!(err.is_transient(), "budget exhaustion must be retryable: {err}");
+                    let mut buf = [0u8; 32];
+                    cl.wait_reply(a, &mut buf).unwrap();
+                    cl.wait_reply(b, &mut buf).unwrap();
+                    ctx.barrier();
+                    cl.close(ctx).unwrap();
+                    true
+                }
+            }
+        });
+        assert!(got.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn late_reply_times_out_deterministically() {
+        // The server stalls (virtual time) before replying: the reply's
+        // stamp lands past the client's deadline, so the wait must
+        // surface a transient timeout — and a fresh call on the same
+        // endpoint must still work (the late reply's slot recycled).
+        let run = || {
+            Universe::new(2).node_size(1).seed(7).run(|ctx| {
+                let mut c = cfg(4, 4);
+                c.rpc_timeout_ns = 100_000; // 100 µs virtual deadline
+                match rpc(ctx, 0, &[1], &c).unwrap().unwrap() {
+                    RpcEnd::Server(mut srv) => {
+                        let req = srv.recv().unwrap();
+                        ctx.ep().charge(1_000_000.0); // 1 ms stall
+                        srv.reply(&req, b"late").unwrap();
+                        let req = srv.recv().unwrap();
+                        srv.reply(&req, b"fast").unwrap();
+                        ctx.barrier();
+                        srv.close(ctx).unwrap();
+                        0
+                    }
+                    RpcEnd::Client(mut cl) => {
+                        let mut buf = [0u8; 32];
+                        let err = cl.call(b"one", &mut buf).unwrap_err();
+                        assert!(err.is_transient(), "timeout must be retryable: {err}");
+                        assert_eq!(cl.outstanding(), 0, "a timed-out call is not outstanding");
+                        let n = cl.call(b"two", &mut buf).unwrap();
+                        assert_eq!(&buf[..n], b"fast");
+                        ctx.barrier();
+                        cl.close(ctx).unwrap();
+                        ctx.now().to_bits()
+                    }
+                }
+            })
+        };
+        assert_eq!(run(), run(), "the timeout verdict must be schedule-independent");
+    }
+
+    #[test]
+    fn third_party_ranks_pass_through() {
+        let got =
+            Universe::new(4).node_size(2).run(|ctx| match rpc(ctx, 2, &[0], &cfg(2, 2)).unwrap() {
+                Some(RpcEnd::Server(mut srv)) => {
+                    let req = srv.recv().unwrap();
+                    srv.reply(&req, b"pong").unwrap();
+                    srv.close(ctx).unwrap();
+                    1u8
+                }
+                Some(RpcEnd::Client(mut cl)) => {
+                    let mut buf = [0u8; 32];
+                    let n = cl.call(b"ping", &mut buf).unwrap();
+                    assert_eq!(&buf[..n], b"pong");
+                    cl.close(ctx).unwrap();
+                    2u8
+                }
+                None => 0u8,
+            });
+        assert_eq!(got, vec![2, 0, 1, 0]);
+    }
+}

@@ -40,6 +40,7 @@ pub struct Universe {
     profile: Option<ProfileMode>,
     metrics: Option<bool>,
     txn_retry: Option<String>,
+    rmc: Option<String>,
 }
 
 impl Universe {
@@ -61,6 +62,7 @@ impl Universe {
             profile: None,
             metrics: None,
             txn_retry: None,
+            rmc: None,
         }
     }
 
@@ -157,6 +159,16 @@ impl Universe {
         self
     }
 
+    /// Set the remote-memory-channel tuning spec for the job, overriding
+    /// `FOMPI_RMC`. The fabric carries the raw string; the `fompi-rmc`
+    /// layer owns the grammar (comma-separated `key=value` pairs such as
+    /// `slots=8,lagging=drop,rpc_budget=4`) and parses it when a channel
+    /// or RPC endpoint is constructed.
+    pub fn rmc(mut self, spec: &str) -> Self {
+        self.rmc = Some(spec.to_string());
+        self
+    }
+
     /// The root seed in force.
     pub fn root_seed(&self) -> u64 {
         self.seed
@@ -202,6 +214,9 @@ impl Universe {
         }
         if let Some(spec) = &self.txn_retry {
             fabric.set_txn_retry(spec);
+        }
+        if let Some(spec) = &self.rmc {
+            fabric.set_rmc(spec);
         }
         let coll = Arc::new(CollEngine::new(self.p, fabric.clone()));
         let mut results: Vec<Option<T>> = (0..self.p).map(|_| None).collect();
@@ -472,6 +487,17 @@ mod tests {
         if std::env::var("FOMPI_TXN_RETRY").is_err() {
             let (_out, fabric) = Universe::new(2).node_size(1).launch(|ctx| ctx.barrier());
             assert!(fabric.txn_retry().is_none(), "unset means the txn layer's default policy");
+        }
+    }
+
+    #[test]
+    fn rmc_builder_lands_on_the_fabric() {
+        let (_out, fabric) =
+            Universe::new(2).node_size(1).rmc("slots=4,lagging=drop").launch(|ctx| ctx.barrier());
+        assert_eq!(fabric.rmc().as_deref(), Some("slots=4,lagging=drop"));
+        if std::env::var("FOMPI_RMC").is_err() {
+            let (_out, fabric) = Universe::new(2).node_size(1).launch(|ctx| ctx.barrier());
+            assert!(fabric.rmc().is_none(), "unset means the rmc layer's defaults");
         }
     }
 

@@ -159,6 +159,28 @@ impl LogGP {
         let k = nkeys as f64;
         2.0 * k * self.amo + k * self.acc(bytes) + 2.0 * self.sw_fompi
     }
+
+    /// One fan-in message round over a remote-memory channel: per-producer
+    /// slot regions make the MPMC data path exactly the SPSC channel round
+    /// (no shared cursor, no FAA). Twin of `fompi::perf` `rmc_fanin_round`.
+    pub fn rmc_fanin_round(&self, bytes: usize) -> f64 {
+        self.channel_round(bytes)
+    }
+
+    /// One fan-out publication to `m` subscribers: the publisher
+    /// serializes `m` notified-put injections (2·o each) while the wire
+    /// legs overlap, so one `max(Pput(s), amo)` covers the set. Twin of
+    /// `fompi::perf` `rmc_fanout_publish`.
+    pub fn rmc_fanout_publish(&self, m: usize, bytes: usize) -> f64 {
+        2.0 * m as f64 * self.o + self.put(bytes).max(self.amo)
+    }
+
+    /// One RPC round trip: a channel round carrying the request to the
+    /// server plus a channel round carrying the reply back. Twin of
+    /// `fompi::perf` `rpc_round`.
+    pub fn rpc_round(&self, req: usize, rep: usize) -> f64 {
+        self.channel_round(req) + self.channel_round(rep)
+    }
 }
 
 /// A 3-D torus with per-link occupancy (wormhole-ish approximation:
@@ -438,6 +460,30 @@ mod tests {
         assert!((per_key - (2.0 * m.amo + m.acc(s))).abs() < 1e-9);
         // A 2-key commit amortizes the flush pair over both keys.
         assert!(m.txn_commit(2, s) < 2.0 * m.txn_commit(1, s));
+    }
+
+    #[test]
+    fn rmc_twins_mirror_the_live_model() {
+        let m = LogGP::default();
+        let live = fompi::perf::PaperModel::default();
+        // Fan-in adds nothing over the SPSC channel round in either model.
+        for s in [8usize, 256, 4096] {
+            assert!((m.rmc_fanin_round(s) - m.channel_round(s)).abs() < 1e-9, "s={s}");
+            assert!((live.rmc_fanin_round(s) - live.channel_round(s)).abs() < 1e-9, "s={s}");
+        }
+        // Fan-out: one subscriber degenerates to a notified put, and every
+        // extra subscriber costs exactly two injections — in both models.
+        assert!((m.rmc_fanout_publish(1, 512) - m.put_notified(512)).abs() < 1e-9);
+        let slope = m.rmc_fanout_publish(5, 512) - m.rmc_fanout_publish(4, 512);
+        assert!((slope - 2.0 * m.o).abs() < 1e-9);
+        let live_slope = live.rmc_fanout_publish(5, 512) - live.rmc_fanout_publish(4, 512);
+        assert!((live_slope - 2.0 * live.inject).abs() < 1e-9);
+        // RPC is two channel rounds in both models.
+        assert!((m.rpc_round(64, 256) - (m.channel_round(64) + m.channel_round(256))).abs() < 1e-9);
+        assert!(
+            (live.rpc_round(64, 256) - (live.channel_round(64) + live.channel_round(256))).abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -24,7 +24,8 @@ cd "$(dirname "$0")/.."
 # knobs so ambient shell state can't perturb a byte-diffed file, then pin
 # the seed explicitly where the bin wants one.
 SCRUB=(env -u FOMPI_SEED -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY
-    -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY)
+    -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY
+    -u FOMPI_RMC)
 
 # ---------------------------------------------------------------- timing
 STAGE_NAMES=()
@@ -98,6 +99,16 @@ stage_determinism() {
     # reproducible, so not diffed; restore the committed copy.
     git checkout -q -- results/drift_sched.csv
 
+    # Remote-memory-channel ablation: every gated row is sender-side or a
+    # single fixed pairing (1-slot fan-in alternation, credit-free
+    # fan-out publishes, exact Drop-policy counts, single-client RPC), so
+    # the CSV regenerates byte-identically; consumer ANY_SOURCE drain
+    # times are schedule-dependent and stay out of the file.
+    echo "== results determinism: rmc_ablation.csv =="
+    "${SCRUB[@]}" FOMPI_SEED=1 \
+        cargo run --offline --release -q -p fompi-bench --bin rmc_ablation >/dev/null
+    git diff --exit-code -- results/rmc_ablation.csv
+
     # Transaction contention ablation: deterministically interleaved on
     # one driver rank, so the CSV is an exact function of the seed.
     echo "== results determinism: txn_ablation.csv =="
@@ -131,12 +142,12 @@ stage_perfgate() {
     # is a genuine protocol/model change, never noise. On an intentional
     # change, refresh the baseline:
     #   cargo run --release -p fompi-bench --bin perfgate
-    #   cp BENCH_PR7.json results/BENCH_PR7_baseline.json
+    #   cp BENCH_PR9.json results/BENCH_PR9_baseline.json
     echo "== perfgate: virtual-time regression check (tolerance 1%) =="
     local rc=0
     "${SCRUB[@]}" FOMPI_SEED=1 \
         cargo run --offline --release -q -p fompi-bench --bin perfgate -- \
-        --check results/BENCH_PR7_baseline.json || rc=$?
+        --check results/BENCH_PR9_baseline.json || rc=$?
     explain_gate perfgate "$rc"
 }
 
@@ -213,6 +224,8 @@ stage_nightly() {
     "${SCRUB[@]}" target/release/fleet --chaos
 
     # Long soak: keep feeding fresh seed batches until the deadline.
+    # Protocol::ALL now includes rmc_channel — the ring-shaped credit
+    # protocol soaks under every fault plan alongside the older nine.
     echo "== soak long mode (${SOAK_SECONDS:-600}s) =="
     SOAK_SECONDS="${SOAK_SECONDS:-600}" \
         cargo run --offline --release -q -p fompi-bench --bin soak

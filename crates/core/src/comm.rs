@@ -305,6 +305,29 @@ impl Win {
         }
         let rc = self.rc_start();
         let (key, base) = self.target_span(target, target_disp, result.len())?;
+        // Single 8-byte element: one hardware AMO, exactly like
+        // fetch_and_op (MPI defines fetch_and_op AS this case, so the two
+        // must share a path and a cost). This also matters for
+        // determinism: the locked fallback serialises through the
+        // per-target ACC_LOCK word, so two origins reading *different*
+        // cells on the same target contend and their retry backoff charges
+        // schedule-dependent virtual time.
+        if self.shared.cfg.hw_amo && es == 8 && result.len() == 8 && base % 8 == 0 {
+            if let Some(amo) = op.hw_amo(kind) {
+                let v = if op == MpiOp::NoOp {
+                    0
+                } else {
+                    u64::from_le_bytes(origin.try_into().unwrap())
+                };
+                let old = self.ep.amo(key, base, amo, v, 0)?;
+                result.copy_from_slice(&old.to_le_bytes());
+                if let Some(t0) = rc {
+                    let lo = self.rc_base(target_disp, base);
+                    self.rc_remote(t0, target, lo, es, AccessKind::Acc(acc_tag(op)));
+                }
+                return Ok(());
+            }
+        }
         let old = self.acc_locked(target, key, base, result.len(), |cur| {
             if op == MpiOp::NoOp {
                 return cur.to_vec();
@@ -448,8 +471,14 @@ impl Win {
             if old == 0 {
                 break;
             }
-            spins += 1;
-            crate::sync::backoff_spin(&self.ep, spins);
+            // A failed CAS means another origin holds the lock: under the
+            // model checker, park until its release swap lands instead of
+            // free-spinning (each retry is an always-enabled step, so the
+            // explored spin would never terminate). Unarmed: backoff.
+            if !self.ep.mc_poll_word(mkey, off::ACC_LOCK, "acc-lock", |w| w == 0) {
+                spins += 1;
+                crate::sync::backoff_spin(&self.ep, spins);
+            }
         }
         // One causal flow ties the protocol's get→put pair together in the
         // trace (the lock CAS/unlock swap are schedule-dependent polls and

@@ -99,6 +99,7 @@ impl Win {
             self.rc_lock_ctx(target),
             t_start,
             self.ep.clock().now(),
+            self.ep.current_flow(),
         );
         self.rc_flag(viols);
         if matches!(kind, AccessKind::Acc(_)) {
@@ -119,6 +120,7 @@ impl Win {
             off + len,
             write,
             t,
+            self.ep.current_flow(),
         );
         self.rc_flag(viols);
     }
@@ -140,7 +142,15 @@ impl Win {
                     target: v.b.origin,
                     win: v.win,
                     bytes: (v.hi - v.lo) as u64,
-                    flow: fompi_fabric::telemetry::NO_FLOW,
+                    // Carry a causal flow id so the RaceReport joins the
+                    // same Perfetto arcs as the accesses themselves: the
+                    // later access's flow, or the earlier one's if the
+                    // later carried none.
+                    flow: if v.b.flow != fompi_fabric::telemetry::NO_FLOW {
+                        v.b.flow
+                    } else {
+                        v.a.flow
+                    },
                     t_start: v.a.t_start.min(v.b.t_start),
                     t_end: v.a.t_end.max(v.b.t_end),
                 });

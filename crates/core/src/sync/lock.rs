@@ -165,13 +165,18 @@ impl Win {
             if excl == 0 {
                 break;
             }
-            // Back off: undo the registration and retry.
+            // Back off: undo the registration and retry. Under the model
+            // checker, park until the exclusive half drains (a free retry
+            // would be an always-enabled step — unbounded exploration).
             self.ep.amo_sync(gkey, off::GLOBAL_LOCK, AmoOp::Add, u64::MAX, 0)?; // -1
-            spins += 1;
-            if spins > super::SPIN_LIMIT {
-                super::spin_overflow("global lock free of exclusive holders");
+            if !self.ep.mc_poll_word(gkey, off::GLOBAL_LOCK, "lock-all", |w| split_global(w).0 == 0)
+            {
+                spins += 1;
+                if spins > super::SPIN_LIMIT {
+                    super::spin_overflow("global lock free of exclusive holders");
+                }
+                super::backoff_spin(&self.ep, spins);
             }
-            super::backoff_spin(&self.ep, spins);
         }
         self.state.borrow_mut().access = AccessEpoch::LockAll;
         self.rc_lock_acquired(None);
@@ -214,7 +219,11 @@ impl Win {
                 return Ok(());
             }
             self.ep.amo_sync(lkey, off::LOCAL_LOCK, AmoOp::Add, u64::MAX, 0)?; // -1
-                                                                               // Spin-read until the writer finishes.
+            if self.ep.mc_poll_word(lkey, off::LOCAL_LOCK, "lock-shared", |w| w & WRITER_BIT == 0) {
+                // Gate-mediated wait: the writer's release wakes us.
+                continue;
+            }
+            // Spin-read until the writer finishes.
             loop {
                 spins += 1;
                 if spins > super::SPIN_LIMIT {
@@ -254,11 +263,15 @@ impl Win {
                         GLOBAL_EXCL_ONE.wrapping_neg(),
                         0,
                     )?;
-                    spins += 1;
-                    if spins > super::SPIN_LIMIT {
-                        super::spin_overflow("global lock free of lock_all holders");
+                    if !self.ep.mc_poll_word(gkey, off::GLOBAL_LOCK, "lock-excl-global", |w| {
+                        split_global(w).1 == 0
+                    }) {
+                        spins += 1;
+                        if spins > super::SPIN_LIMIT {
+                            super::spin_overflow("global lock free of lock_all holders");
+                        }
+                        super::backoff_spin(&self.ep, spins);
                     }
-                    super::backoff_spin(&self.ep, spins);
                 }
                 true
             } else {
@@ -281,11 +294,13 @@ impl Win {
                     0,
                 )?;
             }
-            spins += 1;
-            if spins > super::SPIN_LIMIT {
-                super::spin_overflow("local lock release");
+            if !self.ep.mc_poll_word(lkey, off::LOCAL_LOCK, "lock-excl-local", |w| w == 0) {
+                spins += 1;
+                if spins > super::SPIN_LIMIT {
+                    super::spin_overflow("local lock release");
+                }
+                super::backoff_spin(&self.ep, spins);
             }
-            super::backoff_spin(&self.ep, spins);
         }
     }
 }

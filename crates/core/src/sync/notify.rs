@@ -266,6 +266,13 @@ impl Win {
                 );
                 return Ok(rec);
             }
+            // Under the model checker, park in the gate until the ring is
+            // non-empty instead of spinning: a blocked waiter with nothing
+            // to observe must be *disabled*, or exploration never
+            // terminates (and genuine deadlocks would look like spins).
+            if self.ep.mc_poll_my_ring("wait-notify") {
+                continue;
+            }
             spins += 1;
             if spins > super::SPIN_LIMIT {
                 super::spin_overflow("a matching notification");

@@ -26,8 +26,10 @@ use crate::batch::{Burst, BurstKind};
 use crate::clock::{bits_to_stamp, stamp_to_bits, Clock};
 use crate::cost::Transport;
 use crate::error::FabricError;
+use crate::mc::{McObj, McOp};
 use crate::notify::NotifyRecord;
 use crate::segment::SegKey;
+use crate::shadow::AccessKind;
 use crate::stripes::StripedHorizon;
 use crate::telemetry::{flow_id, Event, EventKind, Flavor, NO_FLOW, NO_TARGET};
 use crate::Fabric;
@@ -484,6 +486,7 @@ impl Endpoint {
     fn put_batched(&self, key: SegKey, off: usize, src: &[u8]) -> Result<(), FabricError> {
         let wall = self.fabric.profiler().start();
         let seg = self.bounds(key, off, src.len())?;
+        self.mc_seg(key, off, src.len(), AccessKind::Put, false, "put");
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
         let extra = self.apply_faults(key.rank, m.put_latency(t, src.len()), true);
@@ -531,6 +534,7 @@ impl Endpoint {
     ) -> Result<f64, FabricError> {
         let wall = self.fabric.profiler().start();
         let seg = self.bounds(key, off, src.len())?;
+        self.mc_seg(key, off, src.len(), AccessKind::Put, false, "put");
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
         let extra =
@@ -596,6 +600,7 @@ impl Endpoint {
     ) -> Result<f64, FabricError> {
         let wall = self.fabric.profiler().start();
         let seg = self.bounds(key, off, dst.len())?;
+        self.mc_seg(key, off, dst.len(), AccessKind::Get, false, "get");
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
         let extra =
@@ -657,6 +662,8 @@ impl Endpoint {
     ) -> Result<u64, FabricError> {
         let wall = self.fabric.profiler().start();
         let seg = self.bounds(key, off, 8)?;
+        let (mc_kind, mc_fetch) = Self::mc_amo(op, true);
+        self.mc_seg(key, off, 8, mc_kind, mc_fetch, "amo");
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
         let extra = self.apply_faults(key.rank, m.amo_latency(t), false);
@@ -691,6 +698,10 @@ impl Endpoint {
         op: AmoOp,
         operand: u64,
     ) -> Result<(), FabricError> {
+        // One announce covers both the batched and unbatched paths (the
+        // memory effect is eager either way).
+        let (mc_kind, mc_fetch) = Self::mc_amo(op, false);
+        self.mc_seg(key, off, 8, mc_kind, mc_fetch, "amo");
         if self.batch.get() {
             return self.amo_batched(key, off, op, operand);
         }
@@ -741,6 +752,10 @@ impl Endpoint {
         compare: u64,
     ) -> Result<(u64, f64), FabricError> {
         let seg = self.bounds(key, off, 16)?;
+        // The stamp word is part of the cell: announce the full 16 bytes
+        // so sync AMOs conflict with `read_sync`/`write_sync` spans.
+        let (mc_kind, mc_fetch) = Self::mc_amo(op, true);
+        self.mc_seg(key, off, 16, mc_kind, mc_fetch, "amo_sync");
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
         self.clock.advance(m.inject(t));
@@ -768,6 +783,8 @@ impl Endpoint {
         operand: u64,
     ) -> Result<(), FabricError> {
         let seg = self.bounds(key, off, 16)?;
+        let (mc_kind, mc_fetch) = Self::mc_amo(op, false);
+        self.mc_seg(key, off, 16, mc_kind, mc_fetch, "amo_release");
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
         let extra = self.apply_faults(key.rank, m.amo_latency(t), true);
@@ -801,6 +818,8 @@ impl Endpoint {
         operand: u64,
     ) -> Result<(), FabricError> {
         let seg = self.bounds(key, off, 16)?;
+        let (mc_kind, mc_fetch) = Self::mc_amo(op, false);
+        self.mc_seg(key, off, 16, mc_kind, mc_fetch, "amo_release_ord");
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
         // Ordered-class fencing covers the target's open burst too: retire
@@ -830,6 +849,7 @@ impl Endpoint {
     /// latency` so waiting loops accrue honest time. Returns the value.
     pub fn read_sync(&self, key: SegKey, off: usize) -> Result<u64, FabricError> {
         let seg = self.bounds(key, off, 16)?;
+        self.mc_seg(key, off, 16, AccessKind::Get, false, "read_sync");
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
         let local = key.rank == self.rank;
@@ -848,6 +868,7 @@ impl Endpoint {
     /// Write a 16-byte sync variable (value + stamp = our completion time).
     pub fn write_sync(&self, key: SegKey, off: usize, value: u64) -> Result<(), FabricError> {
         let seg = self.bounds(key, off, 16)?;
+        self.mc_seg(key, off, 16, AccessKind::Put, false, "write_sync");
         let t = self.transport_to(key.rank);
         let m = self.fabric.model();
         let extra = self.apply_faults(key.rank, m.put_latency(t, 8), true);
@@ -895,7 +916,29 @@ impl Endpoint {
         let q = self.fabric.notify().queue(target);
         let flow = self.cur_flow.get();
         let mut rec = NotifyRecord { tag, source: self.rank, bytes, stamp: t_complete, flow };
+        self.mc_op(McObj::Ring(target), 0, 0, AccessKind::Put, false, "notify-push");
         if !q.try_push(rec) {
+            if self.mc_armed() {
+                // Under the model checker a full ring is a legal blocking
+                // point, not backpressure to fault-charge: park until the
+                // consumer drains, re-announcing the push each round so the
+                // gate keeps scheduling authority over the retry.
+                loop {
+                    let fab = self.fabric.clone();
+                    self.mc_poll(McObj::Ring(target), "notify-space", move || {
+                        let q = fab.notify().queue(target);
+                        q.len() < q.capacity()
+                    });
+                    self.mc_op(McObj::Ring(target), 0, 0, AccessKind::Put, false, "notify-push");
+                    if q.try_push(rec) {
+                        break;
+                    }
+                }
+                self.note_pending(target, t_complete);
+                self.fabric.counters().notify_posts.fetch_add(1, Ordering::Relaxed);
+                self.fabric.profiler().finish(EventKind::NotifyPost, wall);
+                return Ok(());
+            }
             // Overflow → backpressure. Charge the stall once (no extra RNG
             // draws: the magnitude comes straight from the armed plan), then
             // retry while the consumer drains.
@@ -1030,6 +1073,9 @@ impl Endpoint {
     /// model must not observe. Callers pair this with
     /// [`Endpoint::notify_join`] on the record they actually consume.
     pub fn notify_poll(&self) -> Option<NotifyRecord> {
+        // Announce even when the ring turns out to be empty: observing
+        // emptiness is itself order-sensitive (it decides a retry).
+        self.mc_op(McObj::Ring(self.rank), 0, 0, AccessKind::Get, false, "notify-poll");
         let rec = self.fabric.notify().queue(self.rank).try_pop()?;
         self.fabric.counters().notify_consumed.fetch_add(1, Ordering::Relaxed);
         Some(rec)
@@ -1052,6 +1098,7 @@ impl Endpoint {
     /// free): each dropped record is counted and traced. Returns how many
     /// were dropped.
     pub fn notify_drop_all(&self) -> u64 {
+        self.mc_op(McObj::Ring(self.rank), 0, 0, AccessKind::Put, false, "notify-drain");
         let q = self.fabric.notify().queue(self.rank);
         let mut n = 0u64;
         while let Some(rec) = q.try_pop() {
@@ -1165,6 +1212,161 @@ impl Endpoint {
         }
         out.push_str(&crate::metrics::panic_summary(&self.fabric));
         eprint!("{out}");
+    }
+
+    // ------------------------------------------------------- model checking
+    //
+    // Announce points for the interleaving model checker ([`crate::mc`]).
+    // The unarmed cost is one relaxed load per site — the faults/racecheck
+    // bar. Announcements cover every shared-state touch the endpoint
+    // performs: segment data movement, stamped sync variables, and
+    // notification-ring traffic. Rank-local state (clock, open bursts,
+    // striped horizons, counters) is never announced: other ranks cannot
+    // observe it, so reordering it cannot change any rank-visible value.
+
+    /// Is a model-checker gate armed on the fabric?
+    #[inline]
+    pub fn mc_armed(&self) -> bool {
+        self.fabric.mc_armed()
+    }
+
+    /// Announce one operation on an explicit conflict object and park
+    /// until the gate schedules this rank; the caller must then perform
+    /// exactly the announced operation. No-op unless armed.
+    #[inline]
+    pub fn mc_op(
+        &self,
+        obj: McObj,
+        lo: usize,
+        hi: usize,
+        kind: AccessKind,
+        fetch: bool,
+        label: &'static str,
+    ) {
+        if self.fabric.mc_armed() {
+            self.mc_op_slow(obj, lo, hi, kind, fetch, label);
+        }
+    }
+
+    #[cold]
+    fn mc_op_slow(
+        &self,
+        obj: McObj,
+        lo: usize,
+        hi: usize,
+        kind: AccessKind,
+        fetch: bool,
+        label: &'static str,
+    ) {
+        if let Some(g) = self.fabric.mc_gate() {
+            g.op(self.rank, McOp { obj, lo, hi, kind, fetch, label });
+        }
+    }
+
+    /// Announce a segment access `[off, off + len)` by registration key.
+    #[inline]
+    fn mc_seg(
+        &self,
+        key: SegKey,
+        off: usize,
+        len: usize,
+        kind: AccessKind,
+        fetch: bool,
+        label: &'static str,
+    ) {
+        if self.fabric.mc_armed() {
+            self.mc_op_slow(
+                McObj::Seg { owner: key.rank, id: key.id },
+                off,
+                off + len,
+                kind,
+                fetch,
+                label,
+            );
+        }
+    }
+
+    /// Announce vocabulary for an AMO: the reduction tag plus whether the
+    /// op must be treated as order-observing even when non-fetching.
+    /// Same-op `Add`/`And`/`Or`/`Xor` commute; `Swap` and `Cas` never
+    /// commute with themselves, so they always carry the fetch bit; a
+    /// pure `Fetch` is the atomic-read carve-out.
+    fn mc_amo(op: AmoOp, fetch: bool) -> (AccessKind, bool) {
+        match op {
+            AmoOp::Add => (AccessKind::Acc(0), fetch),
+            AmoOp::And => (AccessKind::Acc(1), fetch),
+            AmoOp::Or => (AccessKind::Acc(2), fetch),
+            AmoOp::Xor => (AccessKind::Acc(3), fetch),
+            AmoOp::Swap => (AccessKind::Acc(4), true),
+            AmoOp::Cas => (AccessKind::Acc(5), true),
+            AmoOp::Fetch => (AccessKind::Acc(crate::shadow::ACC_NOOP), fetch),
+        }
+    }
+
+    /// Gate-mediated blocking wait: park until `pred` holds *and* the
+    /// gate schedules this rank. Returns `false` when no gate is armed —
+    /// the caller falls back to its normal spin/yield loop. A wake is a
+    /// read of `obj` in the conflict relation.
+    pub fn mc_poll<F>(&self, obj: McObj, label: &'static str, pred: F) -> bool
+    where
+        F: Fn() -> bool + Send + Sync + 'static,
+    {
+        if !self.fabric.mc_armed() {
+            return false;
+        }
+        match self.fabric.mc_gate() {
+            Some(g) => {
+                g.poll(self.rank, obj, label, Box::new(pred));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Park until this rank's own notification ring is non-empty — the
+    /// gate-mediated form of every "spin until a notification arrives"
+    /// loop. Returns `false` when no gate is armed.
+    pub fn mc_poll_my_ring(&self, label: &'static str) -> bool {
+        if !self.fabric.mc_armed() {
+            return false;
+        }
+        let fab = self.fabric.clone();
+        let rank = self.rank;
+        self.mc_poll(McObj::Ring(rank), label, move || !fab.notify().queue(rank).is_empty())
+    }
+
+    /// Park until the 8-byte sync word at `key`+`off` satisfies `pred` —
+    /// the gate-mediated form of a CAS-retry loop on a remote lock word.
+    /// A failed sync CAS means another origin holds the word, so
+    /// re-arming the attempt is only useful once the word changes; under
+    /// the checker each free retry would be an always-enabled step and
+    /// exploration of the spin would never terminate. Returns `false`
+    /// when no gate is armed — the caller falls back to its backoff spin.
+    pub fn mc_poll_word(
+        &self,
+        key: SegKey,
+        off: usize,
+        label: &'static str,
+        pred: fn(u64) -> bool,
+    ) -> bool {
+        if !self.fabric.mc_armed() {
+            return false;
+        }
+        let Ok(seg) = self.bounds(key, off, 8) else {
+            return false;
+        };
+        self.mc_poll(McObj::Seg { owner: key.rank, id: key.id }, label, move || {
+            pred(seg.word(off).load(Ordering::Acquire))
+        })
+    }
+
+    /// Enter a job-wide collective through the gate; `Some(is_leader)`
+    /// when armed, `None` otherwise (caller runs its real barrier).
+    pub fn mc_collective(&self, label: &'static str) -> Option<bool> {
+        if !self.fabric.mc_armed() {
+            return None;
+        }
+        self.fabric.mc_gate().map(|g| g.collective(self.rank, label))
     }
 }
 

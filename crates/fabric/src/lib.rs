@@ -43,6 +43,7 @@ pub mod counters;
 pub mod endpoint;
 pub mod error;
 pub mod faults;
+pub mod mc;
 pub mod metrics;
 pub mod notify;
 pub mod profile;
@@ -63,12 +64,14 @@ pub use counters::{CounterSnapshot, Counters};
 pub use endpoint::{Endpoint, NbHandle};
 pub use error::FabricError;
 pub use faults::{FaultKind, FaultParseError, FaultPlan, Faults};
+pub use mc::{McGate, McObj, McOp};
 pub use metrics::{snapshot as metrics_snapshot, MetricsSnapshot};
 pub use notify::{notify_match, NotifyHub, NotifyQueue, NotifyRecord, NOTIFY_ANY};
 pub use profile::{ProfileMode, Profiler};
 pub use segment::{SegKey, Segment};
 pub use shadow::{
-    AccessKind, AccessRecord, LockCtx, RaceClass, RaceViolation, RacecheckMode, Shadow, ACC_NOOP,
+    kinds_commute, AccessKind, AccessRecord, LockCtx, RaceClass, RaceViolation, RacecheckMode,
+    Shadow, ACC_NOOP,
 };
 pub use stripes::{StripedHorizon, STRIPE_COUNT};
 pub use telemetry::Telemetry;
@@ -100,6 +103,8 @@ pub struct Fabric {
     metrics_on: AtomicBool,
     txn_retry: RwLock<Option<String>>,
     rmc: RwLock<Option<String>>,
+    mc: RwLock<Option<Arc<dyn mc::McGate>>>,
+    mc_armed: AtomicBool,
 }
 
 impl Fabric {
@@ -179,6 +184,8 @@ impl Fabric {
             metrics_on: AtomicBool::new(metrics_on),
             txn_retry: RwLock::new(txn_retry_from_env()),
             rmc: RwLock::new(rmc_from_env()),
+            mc: RwLock::new(None),
+            mc_armed: AtomicBool::new(false),
         })
     }
 
@@ -309,6 +316,27 @@ impl Fabric {
     /// funnels through here, mirroring [`Fabric::set_txn_retry`].
     pub fn set_rmc(&self, spec: &str) {
         *self.rmc.write() = Some(spec.to_string());
+    }
+
+    /// Is a model-checker gate installed? One relaxed load — the entire
+    /// ungated hot path (mirrors [`Shadow::active`]).
+    #[inline]
+    pub fn mc_armed(&self) -> bool {
+        self.mc_armed.load(Ordering::Relaxed)
+    }
+
+    /// The installed model-checker gate, if any (see [`mc`]).
+    pub fn mc_gate(&self) -> Option<Arc<dyn mc::McGate>> {
+        self.mc.read().clone()
+    }
+
+    /// Install a model-checker gate. Launch-time configuration only —
+    /// the runtime's `Universe::mc_gate` funnels through here, mirroring
+    /// [`Fabric::set_racecheck`]. Once armed, every endpoint serializes
+    /// its shared-state operations through the gate.
+    pub fn set_mc_gate(&self, gate: Arc<dyn mc::McGate>) {
+        *self.mc.write() = Some(gate);
+        self.mc_armed.store(true, Ordering::Relaxed);
     }
 
     /// Register `seg` for remote access by rank `rank`. Returns the key

@@ -121,7 +121,9 @@ pub enum AccessKind {
 }
 
 impl AccessKind {
-    fn writes(self) -> bool {
+    /// Does this access modify window bytes? (Public for the model
+    /// checker's conflict relation — see [`kinds_commute`].)
+    pub fn writes(self) -> bool {
         match self {
             AccessKind::Put | AccessKind::LocalWrite => true,
             AccessKind::Acc(tag) => tag != ACC_NOOP,
@@ -194,13 +196,17 @@ pub struct AccessRecord {
     pub t_start: f64,
     /// Virtual-time issue span end.
     pub t_end: f64,
+    /// Causal flow id active on the origin when the access was issued
+    /// ([`crate::telemetry::NO_FLOW`] when none) — lets a race report
+    /// point at the exact Perfetto arcs the two accesses rode.
+    pub flow: u64,
 }
 
 impl fmt::Display for AccessRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} by rank {} at [{}, {}) epoch {}.{} phase {} ({}, t {:.1}..{:.1})",
+            "{} by rank {} at [{}, {}) epoch {}.{} phase {} flow {} ({}, t {:.1}..{:.1})",
             self.kind.name(),
             self.origin,
             self.lo,
@@ -208,6 +214,7 @@ impl fmt::Display for AccessRecord {
             self.epoch >> 32,
             self.epoch & 0xffff_ffff,
             self.phase,
+            self.flow,
             self.lock.name(),
             self.t_start,
             self.t_end,
@@ -216,7 +223,7 @@ impl fmt::Display for AccessRecord {
 }
 
 /// Violation classes the checker distinguishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum RaceClass {
     /// Two overlapping writes (put/put) in one epoch.
@@ -385,6 +392,24 @@ pub struct Shadow {
     tracked: AtomicU64,
     /// Retained violations (capped at [`REPORT_CAP`]).
     reports: Mutex<Vec<RaceViolation>>,
+    /// Stderr dedup: identity keys of violations already printed (see
+    /// [`RaceViolation::dedup_key`]). Counters and retained reports stay
+    /// exact; only the per-line output collapses.
+    printed: Mutex<HashSet<DedupKey>>,
+    /// Lines suppressed by the dedup (summarised by [`Shadow::report`]).
+    suppressed: AtomicU64,
+}
+
+/// Identity of a violation for stderr dedup: class, window, overlap
+/// range, both origins, and the tripping access's epoch — a hot loop
+/// re-flagging the same pair floods one key, a new epoch (or a genuinely
+/// different pair) prints again.
+type DedupKey = (RaceClass, u64, usize, usize, u32, u32, u64);
+
+impl RaceViolation {
+    fn dedup_key(&self) -> DedupKey {
+        (self.class, self.win, self.lo, self.hi, self.a.origin, self.b.origin, self.b.epoch)
+    }
 }
 
 impl Shadow {
@@ -399,6 +424,8 @@ impl Shadow {
             flagged: Default::default(),
             tracked: AtomicU64::new(0),
             reports: Mutex::new(Vec::new()),
+            printed: Mutex::new(HashSet::new()),
+            suppressed: AtomicU64::new(0),
         }
     }
 
@@ -430,7 +457,9 @@ impl Shadow {
     /// Record a remote access by `origin` to bytes `[lo, hi)` of
     /// `target`'s memory in window `win`; returns any violations the
     /// record exposed (already counted, retained, and — in report mode —
-    /// printed). `t_start..t_end` is the op's virtual issue span.
+    /// printed). `t_start..t_end` is the op's virtual issue span; `flow`
+    /// is the origin's causal flow id at issue time
+    /// ([`crate::telemetry::NO_FLOW`] when none).
     #[allow(clippy::too_many_arguments)]
     pub fn record_remote(
         &self,
@@ -443,15 +472,17 @@ impl Shadow {
         lock: LockCtx,
         t_start: f64,
         t_end: f64,
+        flow: u64,
     ) -> Vec<RaceViolation> {
         self.record(
             win,
             target,
-            AccessRecord { origin, lo, hi, kind, epoch: 0, phase: 0, lock, t_start, t_end },
+            AccessRecord { origin, lo, hi, kind, epoch: 0, phase: 0, lock, t_start, t_end, flow },
         )
     }
 
     /// Record a local load/store by `rank` on its own window memory.
+    #[allow(clippy::too_many_arguments)]
     pub fn record_local(
         &self,
         win: u64,
@@ -460,6 +491,7 @@ impl Shadow {
         hi: usize,
         write: bool,
         t: f64,
+        flow: u64,
     ) -> Vec<RaceViolation> {
         let kind = if write { AccessKind::LocalWrite } else { AccessKind::LocalRead };
         self.record(
@@ -475,6 +507,7 @@ impl Shadow {
                 lock: LockCtx::NoLock,
                 t_start: t,
                 t_end: t,
+                flow,
             },
         )
     }
@@ -499,6 +532,7 @@ impl Shadow {
                     lock: LockCtx::NoLock,
                     t_start: t_free,
                     t_end: t_free,
+                    flow: crate::telemetry::NO_FLOW,
                 },
                 b: rec,
             };
@@ -672,6 +706,7 @@ impl Shadow {
             lock: LockCtx::NoLock,
             t_start: t,
             t_end: t,
+            flow: crate::telemetry::NO_FLOW,
         };
         let v = RaceViolation {
             class: RaceClass::UseAfterFree,
@@ -695,7 +730,14 @@ impl Shadow {
         }
         drop(reports);
         if self.mode() != RacecheckMode::Off {
-            eprintln!("{v}");
+            // A hot loop re-exposing one conflict would otherwise emit a
+            // line per access pair: print each identity once per epoch
+            // and summarise the rest (counters above stay exact).
+            if self.printed.lock().insert(v.dedup_key()) {
+                eprintln!("{v}");
+            } else {
+                self.suppressed.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -730,6 +772,12 @@ impl Shadow {
         self.reports.lock().clone()
     }
 
+    /// Stderr lines suppressed by the per-epoch dedup (repeats of an
+    /// already-printed (class, window, range, ranks, epoch) identity).
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed.load(Ordering::Relaxed)
+    }
+
     /// Window ids marked freed.
     pub fn freed_windows(&self) -> HashSet<u64> {
         self.freed.lock().keys().copied().collect()
@@ -756,8 +804,25 @@ impl Shadow {
             s.push_str(&format!("  {:<32} {}\n", class.name(), self.flagged(class)));
         }
         s.push_str(&format!("  {:<32} {}\n", "total", self.total_flagged()));
+        s.push_str(&format!("  {:<32} {}\n", "suppressed duplicate reports", self.suppressed()));
         s
     }
+}
+
+/// Kind-level commutation: can two overlapping accesses of these kinds
+/// be reordered without changing any stored byte? Two reads commute;
+/// same-op (non-`MPI_NO_OP`) accumulates commute by the reduction-op
+/// algebra of MPI-3.0 §11.7.1 — the same carve-out [`classify`] grants
+/// them; every other combination involves an order-sensitive write.
+/// This is the shared kernel of the race checker's legality rules and
+/// the model checker's DPOR conflict relation ([`crate::mc`]); the
+/// latter additionally treats *fetching* AMOs as never commuting, a bit
+/// shadow records do not carry.
+pub fn kinds_commute(a: AccessKind, b: AccessKind) -> bool {
+    if !a.writes() && !b.writes() {
+        return true;
+    }
+    matches!((a, b), (AccessKind::Acc(x), AccessKind::Acc(y)) if x == y && x != ACC_NOOP)
 }
 
 /// Decide whether two overlapping same-generation records conflict, and
@@ -817,7 +882,7 @@ mod tests {
     }
 
     fn put(sh: &Shadow, win: u64, target: u32, origin: u32, lo: usize, hi: usize) -> usize {
-        sh.record_remote(win, target, origin, lo, hi, AccessKind::Put, LockCtx::NoLock, 0.0, 1.0)
+        sh.record_remote(win, target, origin, lo, hi, AccessKind::Put, LockCtx::NoLock, 0.0, 1.0, 0)
             .len()
     }
 
@@ -874,13 +939,13 @@ mod tests {
     #[test]
     fn same_origin_flush_orders_put_then_get() {
         let sh = hub(2);
-        let r = sh.record_remote(1, 1, 0, 0, 8, AccessKind::Put, LockCtx::NoLock, 0.0, 1.0);
+        let r = sh.record_remote(1, 1, 0, 0, 8, AccessKind::Put, LockCtx::NoLock, 0.0, 1.0, 0);
         assert!(r.is_empty());
         sh.flush(1, 0, Some(1));
-        let r = sh.record_remote(1, 1, 0, 0, 8, AccessKind::Get, LockCtx::NoLock, 2.0, 3.0);
+        let r = sh.record_remote(1, 1, 0, 0, 8, AccessKind::Get, LockCtx::NoLock, 2.0, 3.0, 0);
         assert!(r.is_empty());
         // Without the flush the same pair conflicts.
-        let r = sh.record_remote(1, 1, 0, 0, 8, AccessKind::Put, LockCtx::NoLock, 4.0, 5.0);
+        let r = sh.record_remote(1, 1, 0, 0, 8, AccessKind::Put, LockCtx::NoLock, 4.0, 5.0, 0);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].class, RaceClass::PutGet);
     }
@@ -891,12 +956,12 @@ mod tests {
         let sum = AccessKind::Acc(0);
         let min = AccessKind::Acc(1);
         let noop = AccessKind::Acc(ACC_NOOP);
-        assert!(sh.record_remote(1, 2, 0, 0, 8, sum, LockCtx::Shared, 0.0, 1.0).is_empty());
-        assert!(sh.record_remote(1, 2, 1, 0, 8, sum, LockCtx::Shared, 0.0, 1.0).is_empty());
-        assert!(sh.record_remote(1, 2, 0, 0, 8, noop, LockCtx::Shared, 1.0, 2.0).is_empty());
+        assert!(sh.record_remote(1, 2, 0, 0, 8, sum, LockCtx::Shared, 0.0, 1.0, 0).is_empty());
+        assert!(sh.record_remote(1, 2, 1, 0, 8, sum, LockCtx::Shared, 0.0, 1.0, 0).is_empty());
+        assert!(sh.record_remote(1, 2, 0, 0, 8, noop, LockCtx::Shared, 1.0, 2.0, 0).is_empty());
         // min(1) conflicts with sum(0); rank 1's own sum is MPI-ordered
         // (same origin) and the no_op read is carved out.
-        let r = sh.record_remote(1, 2, 1, 0, 8, min, LockCtx::Shared, 2.0, 3.0);
+        let r = sh.record_remote(1, 2, 1, 0, 8, min, LockCtx::Shared, 2.0, 3.0, 0);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].class, RaceClass::AccOps);
         assert_eq!(sh.flagged(RaceClass::AccOps), 1);
@@ -906,9 +971,9 @@ mod tests {
     fn acc_vs_put_is_non_atomic_overlap() {
         let sh = hub(2);
         assert!(sh
-            .record_remote(1, 1, 0, 0, 8, AccessKind::Acc(0), LockCtx::NoLock, 0.0, 1.0)
+            .record_remote(1, 1, 0, 0, 8, AccessKind::Acc(0), LockCtx::NoLock, 0.0, 1.0, 0)
             .is_empty());
-        let r = sh.record_remote(1, 1, 1, 0, 8, AccessKind::Put, LockCtx::NoLock, 0.5, 1.5);
+        let r = sh.record_remote(1, 1, 1, 0, 8, AccessKind::Put, LockCtx::NoLock, 0.5, 1.5, 0);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].class, RaceClass::AccMixed);
     }
@@ -917,13 +982,13 @@ mod tests {
     fn local_store_vs_remote_put_conflicts() {
         let sh = hub(2);
         assert_eq!(put(&sh, 1, 1, 0, 0, 8), 0);
-        let r = sh.record_local(1, 1, 4, 8, true, 2.0);
+        let r = sh.record_local(1, 1, 4, 8, true, 2.0, 0);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].class, RaceClass::LocalRace);
         // Local read vs remote put also conflicts (separate model).
         let sh = hub(2);
         assert_eq!(put(&sh, 1, 1, 0, 0, 8), 0);
-        let r = sh.record_local(1, 1, 0, 4, false, 2.0);
+        let r = sh.record_local(1, 1, 0, 4, false, 2.0, 0);
         assert_eq!(r.len(), 1);
     }
 
@@ -932,7 +997,7 @@ mod tests {
         let sh = hub(2);
         assert_eq!(put(&sh, 1, 1, 0, 0, 8), 0);
         sh.acquire_own(1, 1);
-        assert!(sh.record_local(1, 1, 0, 8, false, 2.0).is_empty());
+        assert!(sh.record_local(1, 1, 0, 8, false, 2.0, 0).is_empty());
     }
 
     #[test]
@@ -940,9 +1005,9 @@ mod tests {
         let sh = hub(3);
         sh.lock_acquired(1, 0, Some(2));
         sh.lock_acquired(1, 1, Some(2));
-        let r = sh.record_remote(1, 2, 0, 0, 8, AccessKind::Put, LockCtx::Shared, 0.0, 1.0);
+        let r = sh.record_remote(1, 2, 0, 0, 8, AccessKind::Put, LockCtx::Shared, 0.0, 1.0, 0);
         assert!(r.is_empty());
-        let r = sh.record_remote(1, 2, 1, 0, 8, AccessKind::Put, LockCtx::Shared, 0.5, 1.5);
+        let r = sh.record_remote(1, 2, 1, 0, 8, AccessKind::Put, LockCtx::Shared, 0.5, 1.5, 0);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].class, RaceClass::LockMode);
     }
@@ -952,12 +1017,12 @@ mod tests {
         let sh = hub(3);
         sh.lock_acquired(1, 0, Some(2));
         assert!(sh
-            .record_remote(1, 2, 0, 0, 8, AccessKind::Put, LockCtx::Exclusive, 0.0, 1.0)
+            .record_remote(1, 2, 0, 0, 8, AccessKind::Put, LockCtx::Exclusive, 0.0, 1.0, 0)
             .is_empty());
         sh.unlock(1, 0, Some(2));
         sh.lock_acquired(1, 1, Some(2));
         assert!(sh
-            .record_remote(1, 2, 1, 0, 8, AccessKind::Put, LockCtx::Exclusive, 2.0, 3.0)
+            .record_remote(1, 2, 1, 0, 8, AccessKind::Put, LockCtx::Exclusive, 2.0, 3.0, 0)
             .is_empty());
         assert_eq!(sh.total_flagged(), 0);
     }
@@ -966,7 +1031,7 @@ mod tests {
     fn access_after_free_is_flagged() {
         let sh = hub(2);
         assert!(sh.window_freed(7, 0, 10.0, true).is_empty());
-        let r = sh.record_remote(7, 1, 0, 0, 8, AccessKind::Put, LockCtx::NoLock, 11.0, 12.0);
+        let r = sh.record_remote(7, 1, 0, 0, 8, AccessKind::Put, LockCtx::NoLock, 11.0, 12.0, 0);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].class, RaceClass::UseAfterFree);
         assert!(sh.freed_windows().contains(&7));
@@ -1008,7 +1073,7 @@ mod tests {
     fn enforce_panics_in_panic_mode() {
         let sh = Shadow::new(2, RacecheckMode::Panic);
         put(&sh, 1, 1, 0, 0, 8);
-        let v = sh.record_remote(1, 1, 1, 0, 8, AccessKind::Put, LockCtx::NoLock, 0.0, 1.0);
+        let v = sh.record_remote(1, 1, 1, 0, 8, AccessKind::Put, LockCtx::NoLock, 0.0, 1.0, 0);
         sh.enforce(&v);
     }
 
@@ -1016,7 +1081,7 @@ mod tests {
     fn violation_display_names_both_accesses() {
         let sh = hub(2);
         put(&sh, 3, 1, 0, 0, 8);
-        sh.record_remote(3, 1, 1, 4, 12, AccessKind::Put, LockCtx::NoLock, 1.0, 2.0);
+        sh.record_remote(3, 1, 1, 4, 12, AccessKind::Put, LockCtx::NoLock, 1.0, 2.0, 0);
         let v = &sh.violations()[0];
         let msg = v.to_string();
         assert!(msg.contains("racecheck[put_put]"));
@@ -1025,5 +1090,51 @@ mod tests {
         assert!(msg.contains("rank 0"));
         assert!(msg.contains("rank 1"));
         assert!(msg.contains("epoch"));
+    }
+
+    #[test]
+    fn violation_display_carries_both_flow_ids() {
+        let sh = hub(2);
+        sh.record_remote(3, 1, 0, 0, 8, AccessKind::Put, LockCtx::NoLock, 0.0, 1.0, 41);
+        sh.record_remote(3, 1, 1, 0, 8, AccessKind::Put, LockCtx::NoLock, 1.0, 2.0, 42);
+        let v = &sh.violations()[0];
+        assert_eq!((v.a.flow, v.b.flow), (41, 42));
+        let msg = v.to_string();
+        assert!(msg.contains("flow 41"), "{msg}");
+        assert!(msg.contains("flow 42"), "{msg}");
+    }
+
+    #[test]
+    fn repeated_identical_violations_are_suppressed_once_printed() {
+        let sh = hub(2);
+        // Same (class, win, range, ranks, epoch) identity three times:
+        // one printed line, two suppressed; counters stay exact.
+        for _ in 0..3 {
+            sh.record_remote(5, 1, 1, 0, 8, AccessKind::Put, LockCtx::NoLock, 0.0, 1.0, 0);
+        }
+        // 1 conflict on the 2nd insert + 2 on the 3rd (against both
+        // priors) = 3 flagged, all sharing one dedup identity.
+        assert_eq!(sh.flagged(RaceClass::PutPut), 3);
+        assert_eq!(sh.suppressed(), 2);
+        assert!(sh.report().contains("suppressed duplicate reports     2"), "{}", sh.report());
+        // A new epoch re-arms the identity: the next conflict prints.
+        sh.acquire_own(5, 1);
+        sh.record_remote(5, 1, 0, 0, 8, AccessKind::Put, LockCtx::NoLock, 2.0, 3.0, 0);
+        sh.record_remote(5, 1, 1, 0, 8, AccessKind::Put, LockCtx::NoLock, 3.0, 4.0, 0);
+        assert_eq!(sh.suppressed(), 2, "fresh-epoch repeat must print, not suppress");
+    }
+
+    #[test]
+    fn kinds_commute_matches_the_classify_carve_outs() {
+        use AccessKind::*;
+        assert!(kinds_commute(Get, Get));
+        assert!(kinds_commute(Get, LocalRead));
+        assert!(kinds_commute(Acc(ACC_NOOP), Get));
+        assert!(kinds_commute(Acc(3), Acc(3)));
+        assert!(!kinds_commute(Acc(3), Acc(4)));
+        assert!(!kinds_commute(Acc(3), Acc(ACC_NOOP)));
+        assert!(!kinds_commute(Put, Get));
+        assert!(!kinds_commute(Put, Put));
+        assert!(!kinds_commute(LocalWrite, Get));
     }
 }

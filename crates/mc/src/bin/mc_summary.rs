@@ -1,0 +1,74 @@
+//! Model-checking summary: explores every model program and mutant and
+//! writes `results/mc_summary.csv` (byte-deterministic — CI diffs it
+//! against the committed copy). With `--model <name>` it checks just
+//! that model and prints one result line, which combined with
+//! `FOMPI_MC_REPLAY` gives an out-of-process replay entry point.
+
+use fompi_mc::{all_models, check, find_model, mutants, McConfig, McResult, Model};
+
+/// Collapse a violation message onto one CSV-safe line.
+fn csv_safe(s: &str) -> String {
+    s.replace('\n', " / ").replace(',', ";")
+}
+
+fn hex_clocks(clocks: &[u64]) -> String {
+    clocks.iter().map(|c| format!("{c:016x}")).collect::<Vec<_>>().join(".")
+}
+
+fn row(m: &Model, r: &McResult) -> String {
+    let (violation, schedule) = match &r.counterexample {
+        Some(cx) => (csv_safe(&cx.violation.to_string()), cx.schedule.clone()),
+        None => ("none".to_string(), String::new()),
+    };
+    format!(
+        "{},{},{},{},{},{},{},{}",
+        m.name, m.p, r.schedules, r.aborted, r.steps_total, r.complete, violation, schedule
+    )
+}
+
+fn write_summary() {
+    let cfg = McConfig::default();
+    let mut csv = String::from("model,p,schedules,aborted,steps,complete,violation,schedule\n");
+    for m in all_models().iter().chain(mutants().iter()) {
+        let r = check(m, &cfg);
+        csv.push_str(&row(m, &r));
+        csv.push('\n');
+        println!("{} -> {}", m.name, row(m, &r).split(',').skip(2).collect::<Vec<_>>().join(","));
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/mc_summary.csv");
+    std::fs::write(path, &csv).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path}");
+}
+
+fn run_one(name: &str) {
+    let model = find_model(name).unwrap_or_else(|| panic!("unknown model {name:?}"));
+    let r = check(&model, &McConfig::default());
+    match &r.counterexample {
+        Some(cx) => println!(
+            "model={name} violation={} schedule={} clocks={}",
+            csv_safe(&cx.violation.to_string()),
+            cx.schedule,
+            hex_clocks(&cx.clocks)
+        ),
+        None => println!(
+            "model={name} violation=none schedules={} aborted={} steps={} complete={} clocks={}",
+            r.schedules,
+            r.aborted,
+            r.steps_total,
+            r.complete,
+            hex_clocks(&r.clocks)
+        ),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => write_summary(),
+        [flag, name] if flag == "--model" => run_one(name),
+        _ => {
+            eprintln!("usage: mc_summary [--model <name>]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Dynamic partial-order reduction over the gate's run logs.
+//!
+//! Classic stateless exploration (Flanagan–Godefroid shape): depth-first
+//! over a tree of scheduling decisions, where each run contributes its
+//! executed schedule as a path and conflict analysis plants *backtrack
+//! points* — alternative ranks worth trying — at the shallowest step
+//! whose reordering could matter. Sleep sets prune runs that can only
+//! revisit explored interleavings.
+//!
+//! Two deliberate simplifications, both on the sound side:
+//!
+//! - the backtrack rule is the persistent-set over-approximation: for
+//!   every conflicting pair `(i, j)` with `i < j`, add `rank(j)` to the
+//!   backtrack set at `i` if it was enabled there, else add *all* of
+//!   step `i`'s enabled ranks. No vector clocks — a few redundant runs
+//!   instead of a happens-before engine, never a missed interleaving;
+//! - the conflict relation itself is the fabric's conservative
+//!   [`ops_conflict`] (whole rings are single objects).
+//!
+//! Determinism is load-bearing (counterexample schedules ship in CI
+//! gates): candidate sets are `BTreeSet`s walked in order, runs pick the
+//! lowest awake rank, and nothing consults time or randomness.
+
+use crate::gate::{RunLog, Stop};
+use fompi_fabric::mc::{ops_conflict, McOp};
+use std::collections::BTreeSet;
+
+/// What one run of the program produced, as the explorer sees it.
+pub struct RunOutcome {
+    /// Executed schedule and stop reason.
+    pub log: RunLog,
+    /// Per-rank program digests (`None` for ranks that unwound).
+    pub digests: Vec<Option<u64>>,
+    /// Per-rank final virtual clocks, `f64::to_bits`.
+    pub clocks: Vec<u64>,
+    /// Were all notification rings empty after teardown?
+    pub quiescent: bool,
+}
+
+/// A property violation, with the run that exhibits it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Found {
+    /// A rank panicked (race-checker violation, assertion, protocol
+    /// error unwrap).
+    Panic {
+        /// Rank that panicked.
+        rank: u32,
+        /// Panic payload.
+        msg: String,
+    },
+    /// Global deadlock: no rank enabled, not all finished.
+    Deadlock {
+        /// Parked-state listing from the gate.
+        detail: String,
+    },
+    /// A notification ring was non-empty after teardown.
+    Quiescence,
+    /// A completed run's per-rank digests differ from the reference
+    /// schedule's — a declared-stable output is schedule-dependent.
+    DigestMismatch {
+        /// Reference digests (first completed schedule).
+        want: Vec<u64>,
+        /// This schedule's digests.
+        got: Vec<u64>,
+    },
+}
+
+/// Everything an exploration learned.
+pub struct Exploration {
+    /// Runs that completed (every rank returned).
+    pub schedules: u64,
+    /// Runs stopped early as redundant (sleep-set blocked) or over the
+    /// step budget.
+    pub aborted: u64,
+    /// Backtrack candidates skipped by the preemption budget.
+    pub pruned: u64,
+    /// Total scheduling steps executed across all runs.
+    pub steps_total: u64,
+    /// Did the exploration cover every non-equivalent schedule within
+    /// the bounds? `false` once anything was pruned or capped.
+    pub complete: bool,
+    /// First violation found: the grant sequence that exhibits it, the
+    /// violation, and the run's per-rank clocks.
+    pub violation: Option<(Vec<u32>, Found, Vec<u64>)>,
+    /// Reference per-rank digests (first completed run).
+    pub digest: Option<Vec<u64>>,
+    /// Reference per-rank clocks (first completed run).
+    pub clocks: Vec<u64>,
+}
+
+/// One node of the decision tree: the state reached by the schedule
+/// prefix above it, and what has been tried from here.
+struct Node {
+    /// Ranks enabled at this state (sorted; recorded by the gate).
+    enabled: Vec<u32>,
+    /// Rank the current path takes here.
+    chosen: u32,
+    /// Sleep set before this step.
+    sleep: Vec<(u32, McOp)>,
+    /// Ranks worth exploring from this state.
+    backtrack: BTreeSet<u32>,
+    /// Choices already taken (or deliberately skipped) here, with the
+    /// op each one executed when known.
+    done: Vec<(u32, Option<McOp>)>,
+}
+
+/// Exploration bounds (mirrors [`crate::McConfig`]).
+pub struct Bounds {
+    /// Cap on total runs.
+    pub max_schedules: u64,
+    /// Cap on steps per run.
+    pub max_steps: usize,
+    /// Preemptive context-switch budget per schedule; `None` explores
+    /// exhaustively.
+    pub max_preemptions: Option<u32>,
+}
+
+/// Preemptive context switches along `path` if its last node chose
+/// `cand`: a switch away from a rank that was still enabled.
+fn preemptions(path: &[Node], cand: u32) -> u32 {
+    let mut n = 0;
+    for k in 1..path.len() {
+        let chosen = if k == path.len() - 1 { cand } else { path[k].chosen };
+        let prev = path[k - 1].chosen;
+        if chosen != prev && path[k].enabled.contains(&prev) {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Explore `run` (which executes one schedule: forced prefix, sleep set
+/// for the branch step, step cap) until the tree is exhausted, a bound
+/// trips, or a violation appears.
+pub fn explore(
+    bounds: &Bounds,
+    run: impl Fn(&[u32], Vec<(u32, McOp)>, usize) -> RunOutcome,
+) -> Exploration {
+    let mut out = Exploration {
+        schedules: 0,
+        aborted: 0,
+        pruned: 0,
+        steps_total: 0,
+        complete: true,
+        violation: None,
+        digest: None,
+        clocks: Vec::new(),
+    };
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut forced: Vec<u32> = Vec::new();
+    let mut sleep_base: Vec<(u32, McOp)> = Vec::new();
+    loop {
+        if out.schedules + out.aborted >= bounds.max_schedules {
+            out.complete = false;
+            return out;
+        }
+        let o = run(&forced, std::mem::take(&mut sleep_base), bounds.max_steps);
+        out.steps_total += o.log.steps.len() as u64;
+        if let Some(Stop::Divergence { at, want }) = &o.log.stop {
+            unreachable!("forced rank {want} not enabled at step {at}: model is nondeterministic");
+        }
+        let steps = &o.log.steps;
+        let base = forced.len();
+        assert!(
+            steps.len() >= base,
+            "run executed {} steps but {} were forced — nondeterministic model",
+            steps.len(),
+            base
+        );
+        // Fold the run into the tree: the branch node's choice becomes
+        // what actually ran, everything deeper is fresh.
+        if base > 0 {
+            let n = &mut nodes[base - 1];
+            n.chosen = steps[base - 1].rank;
+            let op = steps[base - 1].op.clone();
+            n.done.last_mut().expect("branch node has a pending done entry").1 = op;
+        }
+        nodes.truncate(base);
+        for step in &steps[base..] {
+            nodes.push(Node {
+                enabled: step.enabled.clone(),
+                chosen: step.rank,
+                sleep: step.sleep.clone(),
+                backtrack: BTreeSet::new(),
+                done: vec![(step.rank, step.op.clone())],
+            });
+        }
+        // Plant backtrack points for every conflicting pair.
+        for j in 0..steps.len() {
+            let Some(oj) = &steps[j].op else { continue };
+            for i in 0..j {
+                if steps[i].rank == steps[j].rank {
+                    continue;
+                }
+                let Some(oi) = &steps[i].op else { continue };
+                if ops_conflict(oi, oj) {
+                    if steps[i].enabled.contains(&steps[j].rank) {
+                        nodes[i].backtrack.insert(steps[j].rank);
+                    } else {
+                        nodes[i].backtrack.extend(steps[i].enabled.iter().copied());
+                    }
+                }
+            }
+        }
+        let grants: Vec<u32> = steps.iter().map(|s| s.rank).collect();
+        match o.log.stop {
+            Some(Stop::Panic { rank, msg }) => {
+                out.violation = Some((grants, Found::Panic { rank, msg }, o.clocks));
+                return out;
+            }
+            Some(Stop::Deadlock { detail }) => {
+                out.violation = Some((grants, Found::Deadlock { detail }, o.clocks));
+                return out;
+            }
+            Some(Stop::Redundant) => out.aborted += 1,
+            Some(Stop::StepBudget) => {
+                out.aborted += 1;
+                out.complete = false;
+            }
+            // Divergence was rejected above, before the tree fold.
+            Some(Stop::Divergence { .. }) => unreachable!(),
+            None => {
+                out.schedules += 1;
+                if !o.quiescent {
+                    out.violation = Some((grants, Found::Quiescence, o.clocks));
+                    return out;
+                }
+                let digests: Vec<u64> = o
+                    .digests
+                    .iter()
+                    .map(|d| d.expect("completed run has a digest from every rank"))
+                    .collect();
+                match &out.digest {
+                    None => {
+                        out.digest = Some(digests);
+                        out.clocks = o.clocks;
+                    }
+                    Some(want) if *want != digests => {
+                        out.violation = Some((
+                            grants,
+                            Found::DigestMismatch { want: want.clone(), got: digests },
+                            o.clocks,
+                        ));
+                        return out;
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        // Deepest-first backtrack walk for the next schedule to force.
+        let mut next: Option<(usize, u32)> = None;
+        'walk: for idx in (0..nodes.len()).rev() {
+            loop {
+                let n = &nodes[idx];
+                let cand =
+                    n.backtrack.iter().copied().find(|c| !n.done.iter().any(|(r, _)| r == c));
+                let Some(c) = cand else { break };
+                if n.sleep.iter().any(|(r, _)| *r == c) {
+                    // Sleeping here: any schedule through it is covered
+                    // by an exploration that already branched earlier.
+                    nodes[idx].done.push((c, None));
+                    continue;
+                }
+                if let Some(budget) = bounds.max_preemptions {
+                    if preemptions(&nodes[..=idx], c) > budget {
+                        out.pruned += 1;
+                        out.complete = false;
+                        nodes[idx].done.push((c, None));
+                        continue;
+                    }
+                }
+                next = Some((idx, c));
+                break 'walk;
+            }
+        }
+        let Some((idx, c)) = next else { return out };
+        forced = nodes[..idx].iter().map(|n| n.chosen).collect();
+        forced.push(c);
+        // The sleep set handed to the branch step: this node's own,
+        // plus every sibling choice already explored from here.
+        sleep_base = nodes[idx].sleep.clone();
+        for (r, op) in &nodes[idx].done {
+            if let Some(o) = op {
+                if *r != c {
+                    sleep_base.push((*r, o.clone()));
+                }
+            }
+        }
+        nodes[idx].done.push((c, None));
+        nodes.truncate(idx + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(chosen: u32, enabled: &[u32]) -> Node {
+        Node {
+            enabled: enabled.to_vec(),
+            chosen,
+            sleep: Vec::new(),
+            backtrack: BTreeSet::new(),
+            done: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn preemption_count_ignores_forced_switches() {
+        // 0 runs, then 1 runs while 0 is *not* enabled (blocked): no
+        // preemption. Then 0 again while 1 still enabled: preemptive.
+        let path = [node(0, &[0, 1]), node(1, &[1]), node(0, &[0, 1])];
+        assert_eq!(preemptions(&path, 0), 1);
+    }
+
+    #[test]
+    fn preemption_count_candidate_replaces_last_chosen() {
+        let path = [node(0, &[0, 1]), node(0, &[0, 1])];
+        // Continuing with 0 costs nothing; switching to 1 while 0 is
+        // enabled costs one.
+        assert_eq!(preemptions(&path, 0), 0);
+        assert_eq!(preemptions(&path, 1), 1);
+    }
+}

@@ -1,0 +1,421 @@
+//! The cooperative scheduler every exploration run executes under.
+//!
+//! [`SchedGate`] implements [`fompi_fabric::McGate`]: each rank thread,
+//! on reaching a scheduling point, parks inside the gate and the gate
+//! grants the global execution token to exactly one parked rank at a
+//! time. A rank holds the token from its grant until it parks at its
+//! *next* scheduling point (or finishes), so between two grants exactly
+//! one rank makes progress — the run is a serialization, and the grant
+//! sequence *is* the schedule.
+//!
+//! The gate is single-use: one `SchedGate` drives one run and is then
+//! interrogated for its [`RunLog`]. The DPOR explorer (crate-level
+//! [`crate::dpor`]) builds a fresh gate — and a fresh `Universe`, this
+//! is *stateless* model checking — for every run.
+//!
+//! # Abort protocol
+//!
+//! When the gate decides a run is over early (violation found, sleep-set
+//! redundancy, step budget), it stores a [`Stop`] and wakes every parked
+//! rank. Woken ranks unwind out of fabric code by panicking with the
+//! [`McAbort`] sentinel payload; the checker's per-rank wrapper catches
+//! it. Two guards keep the unwind clean:
+//!
+//! - a process-wide panic hook (installed once) swallows the default
+//!   "thread panicked" report for `McAbort` payloads, so aborted runs
+//!   don't spam stderr;
+//! - gate methods called while the thread is *already* panicking (fabric
+//!   calls made during unwind) return immediately instead of panicking
+//!   again — a second panic during unwind would abort the process.
+
+use fompi_fabric::mc::{ops_conflict, McGate, McObj, McOp};
+use fompi_fabric::shim::{Condvar, Mutex};
+use std::sync::Once;
+
+/// Panic payload the gate unwinds aborted ranks with. Carries no data —
+/// its type is the signal.
+pub struct McAbort;
+
+static HOOK: Once = Once::new();
+
+/// Install the `McAbort`-filtering panic hook (idempotent). Every other
+/// payload is forwarded to whatever hook was installed before — real
+/// panics, including race-checker violations, still print.
+pub fn install_abort_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<McAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Why a run stopped before (or at) completion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stop {
+    /// A rank panicked for real: race-checker violation, assertion,
+    /// `unwrap` on a protocol error. The message is the panic payload.
+    Panic {
+        /// Rank whose thread panicked.
+        rank: u32,
+        /// Stringified panic payload.
+        msg: String,
+    },
+    /// No rank is enabled and at least one has not finished.
+    Deadlock {
+        /// Human-readable parked-state listing, one entry per live rank.
+        detail: String,
+    },
+    /// Every enabled rank is in the sleep set — this run only revisits
+    /// already-explored interleavings.
+    Redundant,
+    /// The schedule exceeded the step budget ([`crate::McConfig::max_steps`]).
+    StepBudget,
+    /// A forced (replayed) rank was not enabled at its turn — the
+    /// schedule string does not match this build/model.
+    Divergence {
+        /// Step index at which the forced rank was not enabled.
+        at: usize,
+        /// The rank the schedule demanded.
+        want: u32,
+    },
+}
+
+/// One grant in the schedule, with everything the DPOR explorer needs to
+/// place backtrack points.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Rank granted the token.
+    pub rank: u32,
+    /// The operation the grant released: `Some` for announced ops and
+    /// poll wakes, `None` for collective releases (which commute with
+    /// everything and never branch).
+    pub op: Option<McOp>,
+    /// Ranks enabled when this grant was chosen, sorted ascending.
+    pub enabled: Vec<u32>,
+    /// The active sleep set *before* this step executed.
+    pub sleep: Vec<(u32, McOp)>,
+}
+
+/// What one run produced: the executed schedule and how it ended
+/// (`None` = every rank ran to completion).
+#[derive(Debug)]
+pub struct RunLog {
+    /// The executed grant sequence.
+    pub steps: Vec<Step>,
+    /// Early-stop reason, if any.
+    pub stop: Option<Stop>,
+}
+
+/// Where a parked rank is waiting.
+enum Pending {
+    /// Holds the token (or has not reached its first scheduling point).
+    Running,
+    /// Announced an operation; enabled unconditionally.
+    Want(McOp),
+    /// Waiting for a predicate; enabled iff the predicate holds.
+    Poll { obj: McObj, label: &'static str, pred: Box<dyn Fn() -> bool + Send + Sync> },
+    /// Arrived at collective number `epoch` (its own arrival count at
+    /// entry); enabled once every rank's arrival count exceeds `epoch`.
+    Coll { epoch: u64, label: &'static str },
+    /// Returned from the program (or unwound).
+    Finished,
+}
+
+impl Pending {
+    fn describe(&self) -> String {
+        match self {
+            Pending::Running => "running".into(),
+            Pending::Want(op) => format!("op {op}"),
+            Pending::Poll { obj, label, .. } => match obj {
+                McObj::Ring(r) => format!("poll {label}@ring{r}"),
+                McObj::Seg { owner, id } => format!("poll {label}@seg{owner}.{id}"),
+            },
+            Pending::Coll { label, .. } => format!("collective {label}"),
+            Pending::Finished => "finished".into(),
+        }
+    }
+}
+
+struct State {
+    ranks: Vec<Pending>,
+    /// Per-rank collective arrival counters (never reset — back-to-back
+    /// collectives are told apart by the count, not the label).
+    arrived: Vec<u64>,
+    /// Ranks currently off executing (holding the token, in their
+    /// pre-gate preamble, or unwinding). The scheduler only picks a next
+    /// step when this reaches zero.
+    executing: usize,
+    /// Replay prefix: grant exactly these ranks first.
+    forced: Vec<u32>,
+    fpos: usize,
+    /// Sleep set to activate when the last forced step (the branch step)
+    /// executes.
+    sleep_base: Vec<(u32, McOp)>,
+    /// Active sleep set (empty until the branch step).
+    sleep: Vec<(u32, McOp)>,
+    steps: Vec<Step>,
+    max_steps: usize,
+    /// Last granted rank — preferred next (run-to-completion order keeps
+    /// schedules short and context switches meaningful).
+    prev: Option<u32>,
+    stop: Option<Stop>,
+}
+
+/// The scheduling gate. See the module docs for the protocol.
+pub struct SchedGate {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl SchedGate {
+    /// Gate for `p` ranks, granting `forced` first, starting from
+    /// `sleep_base` at the branch step, aborting past `max_steps`.
+    pub fn new(p: usize, forced: Vec<u32>, sleep_base: Vec<(u32, McOp)>, max_steps: usize) -> Self {
+        install_abort_hook();
+        SchedGate {
+            state: Mutex::new(State {
+                ranks: (0..p).map(|_| Pending::Running).collect(),
+                arrived: vec![0; p],
+                executing: p,
+                forced,
+                fpos: 0,
+                sleep_base,
+                sleep: Vec::new(),
+                steps: Vec::new(),
+                max_steps,
+                prev: None,
+                stop: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Is `rank` enabled in `st`?
+    fn enabled(st: &State, rank: usize) -> bool {
+        match &st.ranks[rank] {
+            Pending::Want(_) => true,
+            Pending::Poll { pred, .. } => pred(),
+            Pending::Coll { epoch, .. } => st.arrived.iter().all(|&a| a > *epoch),
+            Pending::Running | Pending::Finished => false,
+        }
+    }
+
+    /// Pick and grant the next step. Runs under the state lock whenever
+    /// the last token holder has parked (`executing == 0`).
+    fn schedule(&self, st: &mut State) {
+        if st.stop.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let p = st.ranks.len();
+        let enabled: Vec<u32> =
+            (0..p).filter(|&r| Self::enabled(st, r)).map(|r| r as u32).collect();
+        if enabled.is_empty() {
+            if st.ranks.iter().any(|r| !matches!(r, Pending::Finished)) {
+                let detail = st
+                    .ranks
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| !matches!(r, Pending::Finished))
+                    .map(|(i, r)| format!("rank {i}: {}", r.describe()))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                st.stop = Some(Stop::Deadlock { detail });
+            }
+            // All finished: the run is complete; nothing to grant.
+            self.cv.notify_all();
+            return;
+        }
+        if st.steps.len() >= st.max_steps {
+            st.stop = Some(Stop::StepBudget);
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = if st.fpos < st.forced.len() {
+            let want = st.forced[st.fpos];
+            if !enabled.contains(&want) {
+                st.stop = Some(Stop::Divergence { at: st.fpos, want });
+                self.cv.notify_all();
+                return;
+            }
+            want
+        } else {
+            // Free phase: skip sleeping ranks (their next transition
+            // only revisits explored ground); prefer the previous rank.
+            let awake: Vec<u32> = enabled
+                .iter()
+                .copied()
+                .filter(|&r| !st.sleep.iter().any(|(sr, _)| *sr == r))
+                .collect();
+            if awake.is_empty() {
+                st.stop = Some(Stop::Redundant);
+                self.cv.notify_all();
+                return;
+            }
+            match st.prev {
+                Some(pr) if awake.contains(&pr) => pr,
+                _ => awake[0],
+            }
+        };
+        let op = match &st.ranks[chosen as usize] {
+            Pending::Want(op) => Some(op.clone()),
+            // A poll wake observes the object: model it as a fetching
+            // read so reordering against writers stays visible to DPOR.
+            Pending::Poll { obj, label, .. } => Some(McOp {
+                obj: *obj,
+                lo: 0,
+                hi: 0,
+                kind: fompi_fabric::AccessKind::Get,
+                fetch: true,
+                label,
+            }),
+            Pending::Coll { .. } => None,
+            Pending::Running | Pending::Finished => unreachable!("granting a non-parked rank"),
+        };
+        st.steps.push(Step {
+            rank: chosen,
+            op: op.clone(),
+            enabled: enabled.clone(),
+            sleep: st.sleep.clone(),
+        });
+        let at_branch = st.fpos + 1 == st.forced.len();
+        if st.fpos < st.forced.len() {
+            st.fpos += 1;
+        }
+        if at_branch {
+            // The branch step: activate the explorer's sleep set, minus
+            // whatever this very step wakes.
+            st.sleep = std::mem::take(&mut st.sleep_base);
+        }
+        if let Some(o) = &op {
+            st.sleep.retain(|(sr, so)| *sr != chosen && !ops_conflict(so, o));
+        } else {
+            st.sleep.retain(|(sr, _)| *sr != chosen);
+        }
+        st.prev = Some(chosen);
+        st.ranks[chosen as usize] = Pending::Running;
+        st.executing += 1;
+        self.cv.notify_all();
+    }
+
+    /// Park `rank` as `pending` until granted. Returns normally when the
+    /// rank holds the token; unwinds with [`McAbort`] on an early stop.
+    fn park(&self, rank: u32, pending: Pending) {
+        let mut st = self.state.lock();
+        if st.stop.is_some() {
+            drop(st);
+            self.abort();
+            return;
+        }
+        st.ranks[rank as usize] = pending;
+        st.executing -= 1;
+        if st.executing == 0 {
+            self.schedule(&mut st);
+        }
+        loop {
+            if st.stop.is_some() {
+                // Mark ourselves out so deadlock listings don't show
+                // ranks that are busy unwinding.
+                st.ranks[rank as usize] = Pending::Finished;
+                drop(st);
+                self.abort();
+                return;
+            }
+            if matches!(st.ranks[rank as usize], Pending::Running) {
+                return;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Unwind with the sentinel — unless this thread is already
+    /// unwinding (a gate call from a destructor mid-panic), in which
+    /// case fall through and let the operation run unserialized: the
+    /// run is aborted and its state is discarded anyway.
+    fn abort(&self) {
+        if !std::thread::panicking() {
+            std::panic::panic_any(McAbort);
+        }
+    }
+
+    /// `rank`'s program returned; release the token for good.
+    pub fn finish(&self, rank: u32) {
+        let mut st = self.state.lock();
+        st.ranks[rank as usize] = Pending::Finished;
+        st.executing -= 1;
+        if st.executing == 0 {
+            self.schedule(&mut st);
+        }
+    }
+
+    /// `rank`'s program panicked for real (caught by the checker's rank
+    /// wrapper): record the violation and wake everyone.
+    pub fn report_panic(&self, rank: u32, msg: String) {
+        let mut st = self.state.lock();
+        st.ranks[rank as usize] = Pending::Finished;
+        st.executing -= 1;
+        if st.stop.is_none() {
+            st.stop = Some(Stop::Panic { rank, msg });
+        }
+        self.cv.notify_all();
+    }
+
+    /// Extract the run's schedule and stop reason. Call after every rank
+    /// thread has joined.
+    pub fn take_log(&self) -> RunLog {
+        let mut st = self.state.lock();
+        RunLog { steps: std::mem::take(&mut st.steps), stop: st.stop.take() }
+    }
+}
+
+impl McGate for SchedGate {
+    fn op(&self, rank: u32, op: McOp) {
+        self.park(rank, Pending::Want(op));
+    }
+
+    fn poll(
+        &self,
+        rank: u32,
+        obj: McObj,
+        label: &'static str,
+        pred: Box<dyn Fn() -> bool + Send + Sync>,
+    ) {
+        self.park(rank, Pending::Poll { obj, label, pred });
+    }
+
+    fn collective(&self, rank: u32, label: &'static str) -> bool {
+        let epoch = {
+            let mut st = self.state.lock();
+            if st.stop.is_some() {
+                drop(st);
+                self.abort();
+                return rank == 0;
+            }
+            let e = st.arrived[rank as usize];
+            st.arrived[rank as usize] = e + 1;
+            e
+        };
+        self.park(rank, Pending::Coll { epoch, label });
+        rank == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(Pending::Running.describe(), "running");
+        assert_eq!(Pending::Coll { epoch: 3, label: "x" }.describe(), "collective x");
+    }
+
+    #[test]
+    fn stop_equality() {
+        assert_eq!(Stop::Redundant, Stop::Redundant);
+        assert_ne!(Stop::Redundant, Stop::StepBudget);
+    }
+}

@@ -46,6 +46,9 @@ pub struct Sender {
     slot_bytes: usize,
     head: u64,
     credits: u64,
+    /// Head value at the last flush toward the consumer (slot-reuse
+    /// fence, see [`Sender::send`]).
+    flushed_at: u64,
 }
 
 /// Consumer half of a notified-access channel.
@@ -92,6 +95,7 @@ pub fn channel(
             slot_bytes,
             head: 0,
             credits: slots as u64,
+            flushed_at: 0,
         })))
     } else if ctx.rank() == consumer {
         Ok(Some(ChannelEnd::Receiver(Receiver { win, peer: producer, slots, slot_bytes, tail: 0 })))
@@ -139,6 +143,16 @@ impl Sender {
             // clock, so waiting here *is* the flow-control time.
             self.win.wait_notify(self.peer, CREDIT_TAG)?;
             self.add_credit()?;
+        }
+        // Slot-reuse fence: put N+slots lands where put N did, and two
+        // same-origin puts in one passive epoch are unordered in MPI
+        // even though the returned credit proves the consumer drained
+        // the old payload. One flush covers a whole window of slots
+        // (the same rule as the RMC mesh; found by the fompi-mc model
+        // checker on a one-slot channel).
+        if self.head >= self.flushed_at + self.slots as u64 {
+            self.win.flush(self.peer)?;
+            self.flushed_at = self.head;
         }
         let slot = (self.head % self.slots as u64) as usize;
         self.win.put_notify(msg, self.peer, slot * self.slot_bytes, DATA_TAG)?;

@@ -193,6 +193,105 @@ impl Mesh {
     }
 }
 
+/// Loom model of the lazy batched credit return.
+///
+/// A mesh end is single-threaded per rank, so what loom checks is the
+/// concurrent substrate [`Mesh::flush_credits`] leans on: the consumer's
+/// batched burst of `MESH_CREDIT_TAG` records landing in the producer's
+/// notification ring *while* the producer drains it from [`Mesh::send`]'s
+/// blocked path. The property is credit conservation — across every
+/// interleaving of the batched return and the drain, exactly `owed`
+/// credits arrive, none lost, duplicated or torn, including when several
+/// consumers pay one producer concurrently (the all-to-all case).
+///
+/// loom is NOT a dependency of this workspace: add it locally as a
+/// dev-dependency (do not commit) and run
+/// `RUSTFLAGS="--cfg loom" cargo test -p fompi-rmc --release loom_`.
+#[cfg(all(test, loom))]
+mod loom_tests {
+    use super::MESH_CREDIT_TAG;
+    use fompi_fabric::{NotifyQueue, NotifyRecord};
+    use loom::thread;
+    use std::sync::Arc;
+
+    /// The record `accumulate_notify` appends per returned credit.
+    fn credit(consumer: u32) -> NotifyRecord {
+        NotifyRecord {
+            tag: MESH_CREDIT_TAG,
+            source: consumer,
+            bytes: 8,
+            stamp: 1.0,
+            flow: consumer as u64,
+        }
+    }
+
+    /// One consumer flushes a batch of owed credits while the blocked
+    /// producer drains its ring concurrently (the `send` credit-wait
+    /// loop). Every interleaving must hand the producer exactly `owed`
+    /// credits.
+    #[test]
+    fn loom_batched_return_conserves_credits() {
+        const OWED: usize = 2;
+        loom::model(|| {
+            let ring = Arc::new(NotifyQueue::new(4));
+            let consumer = {
+                let ring = Arc::clone(&ring);
+                thread::spawn(move || {
+                    // flush_credits: one notified AMO per owed slot, back
+                    // to back — the lazy batch, not one-per-recv.
+                    for _ in 0..OWED {
+                        assert!(ring.try_push(credit(1)), "sized ring refused a credit");
+                    }
+                })
+            };
+            // Producer side of the interleaving: bounded drain attempts
+            // racing the batch (test_notify's nonblocking pops).
+            let mut credits = 0usize;
+            for _ in 0..OWED {
+                if let Some(r) = ring.try_pop() {
+                    assert_eq!(r.tag, MESH_CREDIT_TAG);
+                    assert_eq!(r.source, 1);
+                    credits += 1;
+                }
+            }
+            consumer.join().unwrap();
+            // Whatever the race left queued is still there afterward.
+            while let Some(r) = ring.try_pop() {
+                assert_eq!(r.tag, MESH_CREDIT_TAG);
+                credits += 1;
+            }
+            assert_eq!(credits, OWED, "a credit was lost or duplicated");
+        });
+    }
+
+    /// Two consumers pay the same producer concurrently — the MPMC case
+    /// `flush_credits` creates in an all-to-all phase boundary. Per-source
+    /// conservation must hold (the producer tracks credits per target).
+    #[test]
+    fn loom_concurrent_payers_conserve_per_source() {
+        loom::model(|| {
+            let ring = Arc::new(NotifyQueue::new(4));
+            let payers: Vec<_> = [1u32, 2]
+                .into_iter()
+                .map(|c| {
+                    let ring = Arc::clone(&ring);
+                    thread::spawn(move || assert!(ring.try_push(credit(c))))
+                })
+                .collect();
+            for p in payers {
+                p.join().unwrap();
+            }
+            let mut per_source = [0usize; 3];
+            while let Some(r) = ring.try_pop() {
+                assert_eq!(r.tag, MESH_CREDIT_TAG);
+                assert_eq!(r.flow, r.source as u64, "torn credit record");
+                per_source[r.source as usize] += 1;
+            }
+            assert_eq!(per_source, [0, 1, 1], "per-source credit conservation");
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -263,6 +263,11 @@ impl RpcClient {
                 });
                 return Ok(len);
             }
+            // Model checker: park until a notification arrives instead of
+            // spinning, so a waiting client is disabled, not busy.
+            if self.ep.mc_poll_my_ring("rpc-wait-reply") {
+                continue;
+            }
             spins += 1;
             if spins > SPIN_LIMIT {
                 return Err(transient(self.timeout_ns));
@@ -337,6 +342,11 @@ impl RpcServer {
         loop {
             if let Some(req) = self.try_recv()? {
                 return Ok(req);
+            }
+            // Model checker: a server with an empty ring is blocked, not
+            // spinning — park until a client posts something.
+            if self.ep.mc_poll_my_ring("rpc-recv") {
+                continue;
             }
             spins += 1;
             assert!(spins <= SPIN_LIMIT, "rpc server starved: no request arrived");

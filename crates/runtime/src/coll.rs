@@ -60,9 +60,27 @@ impl CollEngine {
     /// sandwiched before anyone passes the *second* barrier — advances
     /// the race checker's epoch clocks exactly once per collective (the
     /// `init → barrier → epoch` idiom must not flag).
-    fn sync_entry(&self) {
-        if self.barrier.wait().is_leader() {
+    ///
+    /// Under an armed model-checker gate ([`fompi_fabric::mc`]) the real
+    /// barrier is replaced by the gate's collective: every other rank is
+    /// parked inside the gate, so a `std::sync::Barrier` would never
+    /// fill. The leader still runs `process_sync` before reaching the
+    /// exit rendezvous, preserving the sandwich.
+    fn sync_entry(&self, ep: &Endpoint) {
+        let leader = match ep.mc_collective("coll-entry") {
+            Some(l) => l,
+            None => self.barrier.wait().is_leader(),
+        };
+        if leader {
             self.fabric.shadow().process_sync();
+        }
+    }
+
+    /// Second rendezvous (the read-side barrier), gate-mediated like
+    /// [`CollEngine::sync_entry`].
+    fn sync_exit(&self, ep: &Endpoint) {
+        if ep.mc_collective("coll-exit").is_none() {
+            self.barrier.wait();
         }
     }
 
@@ -71,9 +89,9 @@ impl CollEngine {
     /// one's stamp.
     fn sync_clocks(&self, ep: &Endpoint) -> f64 {
         self.stamp.raise(ep.clock().now());
-        self.sync_entry();
+        self.sync_entry(ep);
         let t = self.stamp.get();
-        self.barrier.wait();
+        self.sync_exit(ep);
         t
     }
 
@@ -95,10 +113,10 @@ impl CollEngine {
             return vec![bytes.to_vec()];
         }
         self.stamp.raise(ep.clock().now());
-        self.sync_entry();
+        self.sync_entry(ep);
         let t = self.stamp.get();
         let out: Vec<Vec<u8>> = self.slots.iter().map(|s| s.lock().clone()).collect();
-        self.barrier.wait();
+        self.sync_exit(ep);
         let m = self.fabric.model();
         let tr = self.transport();
         let mut cost = 0.0;
@@ -131,14 +149,14 @@ impl CollEngine {
             return vec![v];
         }
         self.stamp.raise(ep.clock().now());
-        self.sync_entry();
+        self.sync_entry(ep);
         let t = self.stamp.get();
         let out: Vec<u64> = self
             .slots
             .iter()
             .map(|s| u64::from_le_bytes(s.lock().as_slice().try_into().unwrap()))
             .collect();
-        self.barrier.wait();
+        self.sync_exit(ep);
         let m = self.fabric.model();
         let tr = self.transport();
         let cost = self.rounds() as f64 * (m.inject(tr) + m.put_latency(tr, 8));
@@ -156,10 +174,10 @@ impl CollEngine {
             return;
         }
         self.stamp.raise(ep.clock().now());
-        self.sync_entry();
+        self.sync_entry(ep);
         let t = self.stamp.get();
         let all: Vec<Vec<u8>> = self.slots.iter().map(|s| s.lock().clone()).collect();
-        self.barrier.wait();
+        self.sync_exit(ep);
         for (i, v) in vals.iter_mut().enumerate() {
             let mut acc = f64::from_le_bytes(all[0][i * 8..i * 8 + 8].try_into().unwrap());
             for row in &all[1..] {
@@ -182,10 +200,10 @@ impl CollEngine {
             return bytes.to_vec();
         }
         self.stamp.raise(ep.clock().now());
-        self.sync_entry();
+        self.sync_entry(ep);
         let t = self.stamp.get();
         let out = self.slots[root as usize].lock().clone();
-        self.barrier.wait();
+        self.sync_exit(ep);
         let m = self.fabric.model();
         let tr = self.transport();
         let cost = self.rounds() as f64 * (m.inject(tr) + m.put_latency(tr, out.len()));

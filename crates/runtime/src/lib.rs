@@ -21,7 +21,7 @@ pub use coll::CollEngine;
 pub use group::Group;
 
 use fompi_fabric::rng::{root_seed_from_env, splitmix64};
-use fompi_fabric::{CostModel, Endpoint, Fabric, FaultPlan, ProfileMode, RacecheckMode};
+use fompi_fabric::{CostModel, Endpoint, Fabric, FaultPlan, McGate, ProfileMode, RacecheckMode};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -41,6 +41,7 @@ pub struct Universe {
     metrics: Option<bool>,
     txn_retry: Option<String>,
     rmc: Option<String>,
+    mc_gate: Option<Arc<dyn McGate>>,
 }
 
 impl Universe {
@@ -63,6 +64,7 @@ impl Universe {
             metrics: None,
             txn_retry: None,
             rmc: None,
+            mc_gate: None,
         }
     }
 
@@ -169,6 +171,16 @@ impl Universe {
         self
     }
 
+    /// Install a model-checker scheduling gate (`fompi_fabric::mc`) for
+    /// the job: every endpoint serializes its shared-state operations
+    /// through it and the collective engine swaps its real barriers for
+    /// the gate's collective. Used by `fompi-mc`; regular runs never set
+    /// this.
+    pub fn mc_gate(mut self, gate: Arc<dyn McGate>) -> Self {
+        self.mc_gate = Some(gate);
+        self
+    }
+
     /// The root seed in force.
     pub fn root_seed(&self) -> u64 {
         self.seed
@@ -217,6 +229,9 @@ impl Universe {
         }
         if let Some(spec) = &self.rmc {
             fabric.set_rmc(spec);
+        }
+        if let Some(gate) = &self.mc_gate {
+            fabric.set_mc_gate(gate.clone());
         }
         let coll = Arc::new(CollEngine::new(self.p, fabric.clone()));
         let mut results: Vec<Option<T>> = (0..self.p).map(|_| None).collect();

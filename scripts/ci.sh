@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Tiered local CI gate. Run from anywhere in the repo.
 #
-#   scripts/ci.sh             # the full gate: lint → test → determinism → perfgate → fleet
+#   scripts/ci.sh             # the full gate: lint → test → determinism → perfgate → fleet → mc
 #   scripts/ci.sh quick       # fmt + clippy + unit tests only (pre-push tier)
 #   scripts/ci.sh lint        # fmt --check + clippy -D warnings
 #   scripts/ci.sh test        # workspace unit/integration tests
 #   scripts/ci.sh determinism # regenerate every byte-diffed results/ file and compare
 #   scripts/ci.sh perfgate    # virtual-time perf-regression gate
 #   scripts/ci.sh fleet       # fleet smoke sweep: summary byte-diff + gate + gate self-test
+#   scripts/ci.sh mc          # model checker: exhaustive runs + mutation gate + summary diff
 #   scripts/ci.sh sanitize    # ThreadSanitizer + Miri pass (needs nightly)
 #   scripts/ci.sh nightly     # chaos fleet sweep + long soak (SOAK_SECONDS, default 600)
 #   scripts/ci.sh --fix       # apply rustfmt instead of checking
@@ -25,7 +26,7 @@ cd "$(dirname "$0")/.."
 # the seed explicitly where the bin wants one.
 SCRUB=(env -u FOMPI_SEED -u FOMPI_FAULTS -u FOMPI_BATCH -u FOMPI_TELEMETRY
     -u FOMPI_RACECHECK -u FOMPI_PROFILE -u FOMPI_METRICS -u FOMPI_TXN_RETRY
-    -u FOMPI_RMC)
+    -u FOMPI_RMC -u FOMPI_MC_REPLAY)
 
 # ---------------------------------------------------------------- timing
 STAGE_NAMES=()
@@ -177,6 +178,27 @@ stage_fleet() {
     echo "fleet gate self-test: regression detected as expected."
 }
 
+stage_mc() {
+    # Exhaustive interleaving model checker over the one-sided protocol
+    # kernels. Three gates in one stage:
+    #   1. the integration tests run every model program to exhaustion at
+    #      the default bounds (zero violations, `complete=true`) and are
+    #      the *mutation* gate — the broken-credit-return and
+    #      dropped-publish-CAS mutants must each yield a replayable
+    #      counterexample;
+    #   2. replay round-trip: FOMPI_MC_REPLAY must reproduce a violation
+    #      and its per-rank virtual clocks bit-for-bit (in-process and
+    #      out-of-process);
+    #   3. results/mc_summary.csv regenerates byte-identically —
+    #      exploration counts and counterexample schedules are exact
+    #      functions of the DPOR walk, so any drift is a real change.
+    echo "== mc: exhaustive model + mutation gate (fompi-mc tests) =="
+    "${SCRUB[@]}" cargo test --offline --release -q -p fompi-mc
+    echo "== results determinism: mc_summary.csv =="
+    "${SCRUB[@]}" cargo run --offline --release -q -p fompi-mc --bin mc_summary >/dev/null
+    git diff --exit-code -- results/mc_summary.csv
+}
+
 stage_sanitize() {
     # Opt-in because it needs a nightly toolchain; each tool degrades to a
     # loud skip when unavailable so the stage is safe to run anywhere.
@@ -187,10 +209,14 @@ stage_sanitize() {
     #     hand-rolled atomics live. Full-workspace soak under TSan is ~50x
     #     and times out CI.
     #   - Miri runs fompi-fabric too (raw segment pointers, Vyukov ring);
-    #     the upper crates are safe Rust over these primitives.
-    #   - Loom models for the ring/stripes are cfg-gated (`--cfg loom`)
-    #     and need loom as a local dev-dependency; the workspace is
-    #     dependency-free, so they run on developer machines, not here.
+    #     the upper crates are safe Rust over these primitives — including
+    #     fompi-mc, whose scheduler gate is std Mutex/Condvar only (its
+    #     interleaving coverage comes from the mc stage, not sanitizers).
+    #   - Loom models are cfg-gated (`--cfg loom`) and need loom as a
+    #     local dev-dependency; the workspace is dependency-free, so they
+    #     run on developer machines, not here. Current models: the notify
+    #     ring/stripes (fompi-fabric) and the mesh batched credit return
+    #     (fompi-rmc, `cargo test -p fompi-rmc ... loom_`).
     if ! rustup toolchain list 2>/dev/null | grep -q nightly; then
         echo "sanitize: no nightly toolchain installed; skipping (rustup toolchain install nightly)"
         return 0
@@ -265,6 +291,9 @@ perfgate)
 fleet)
     run_stage fleet stage_fleet
     ;;
+mc)
+    run_stage mc stage_mc
+    ;;
 sanitize)
     run_stage sanitize stage_sanitize
     ;;
@@ -279,6 +308,7 @@ all)
     run_stage determinism stage_determinism
     run_stage perfgate stage_perfgate
     run_stage fleet stage_fleet
+    run_stage mc stage_mc
     timing_summary
     echo "CI gate passed."
     ;;

@@ -59,8 +59,12 @@ fn soak_runs_are_bit_deterministic_per_seed() {
         Protocol::PscwFast,
         Protocol::Notify,
         Protocol::Flush,
-        // Disjoint pairings mean no lock contention: issue counts, fault
+        // Disjoint pairings mean no contention: issue counts, fault
         // draws and clocks are as deterministic as the ring workloads'.
+        // (This relies on single-element get_accumulate taking the
+        // hardware-AMO path — the locked fallback serialises disjoint
+        // cells through the target's one ACC_LOCK word, whose retry
+        // backoff charges schedule-dependent virtual time.)
         Protocol::TxnTransfer,
     ] {
         for &seed in &seeds(root().wrapping_add(1), 4) {
